@@ -1,0 +1,67 @@
+"""A5 — interchangeable Phase II itemset backends (§4.3.2).
+
+"Although we have described Phase II using the a priori algorithm, other
+classical association rule algorithms may be used."  This ablation runs
+the generalized-QAR pipeline (cluster labels -> frequent itemsets ->
+rules) under all four implemented backends — Apriori [AS94], PCY [PCY95],
+SON [SON95], Toivonen sampling [Toi96] — and checks they produce the
+IDENTICAL rule set while reporting their timing trade-offs.
+"""
+
+import time
+
+from repro.classic.backends import ITEMSET_BACKENDS
+from repro.core.gqar import GQARConfig, GQARMiner
+from repro.data.synthetic import make_clustered_relation
+from repro.report.tables import Table
+
+
+def rule_keys(result):
+    return {
+        (
+            tuple(sorted(c.uid for c in rule.antecedent)),
+            tuple(sorted(c.uid for c in rule.consequent)),
+            round(rule.support, 9),
+            round(rule.confidence, 9),
+        )
+        for rule in result.rules
+    }
+
+
+def run_backends():
+    relation, _ = make_clustered_relation(
+        n_modes=4, points_per_mode=250, n_attributes=3,
+        spread=0.8, separation=30.0, outlier_fraction=0.05, seed=33,
+    )
+    outcomes = {}
+    for method in sorted(ITEMSET_BACKENDS):
+        config = GQARConfig(
+            min_support=0.1, min_confidence=0.6, itemset_backend=method
+        )
+        started = time.perf_counter()
+        result = GQARMiner(config).mine(relation)
+        seconds = time.perf_counter() - started
+        outcomes[method] = {
+            "seconds": seconds,
+            "rules": len(result.rules),
+            "keys": rule_keys(result),
+        }
+    return outcomes
+
+
+def test_ablation_backends(benchmark, emit):
+    outcomes = benchmark.pedantic(run_backends, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation A5 - Phase II itemset backend (identical output required)",
+        ["backend", "rules", "pipeline seconds"],
+    )
+    for method in sorted(outcomes):
+        outcome = outcomes[method]
+        table.add_row(method, outcome["rules"], outcome["seconds"])
+    emit(table, "ablation_backends.txt")
+
+    reference = outcomes["apriori"]["keys"]
+    assert reference, "expected rules from the reference backend"
+    for method, outcome in outcomes.items():
+        assert outcome["keys"] == reference, f"{method} diverged from apriori"

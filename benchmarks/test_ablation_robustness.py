@@ -1,0 +1,145 @@
+"""A9 — robustness study (the paper's second §8 promise).
+
+"We are also extending our performance results to provide ... an analysis
+of the robustness of our techniques."  Two stressors:
+
+1. **Noise** — grow the uniform-outlier fraction from 0% to 40% of the
+   data and track whether the planted cross-attribute mode pairs still
+   surface as rules.  The frequent-cluster census is robust (the s0
+   filter absorbs individually-rare outliers), but absorbed noise inflates
+   cluster *images*, pushing degrees past the default D0 = 2×d0 — the
+   study shows degree_factor 3 restores full recovery through 40% noise.
+   This is exactly the threshold-sensitivity knowledge §8 promises.
+2. **Insertion order** — BIRCH is order-dependent; rerun the same data
+   under five shuffles and measure the census spread and the recovered
+   pair count per ordering.
+"""
+
+import numpy as np
+
+from repro.core.config import DARConfig
+from repro.core.miner import DARMiner
+from repro.data.synthetic import make_clustered_relation
+from repro.report.tables import Table
+
+NOISE_LEVELS = (0.0, 0.1, 0.2, 0.3, 0.4)
+DEGREE_FACTORS = (2.0, 3.0)
+N_ORDERINGS = 5
+
+
+def pairs_recovered(result, truth):
+    recovered = set()
+    for rule in result.rules:
+        clusters = rule.antecedent + rule.consequent
+        for mode in range(truth.n_modes):
+            hits = 0
+            for axis, name in enumerate(("a0", "a1")):
+                center = truth.centers[mode][axis]
+                if any(
+                    c.partition.name == name and abs(float(c.centroid[0]) - center) < 5
+                    for c in clusters
+                ):
+                    hits += 1
+            if hits == 2:
+                recovered.add(mode)
+    return len(recovered)
+
+
+def run_robustness():
+    config = DARConfig(frequency_fraction=0.05)
+
+    noise_rows = []
+    for fraction in NOISE_LEVELS:
+        relation, truth = make_clustered_relation(
+            n_modes=3, points_per_mode=200, n_attributes=2,
+            spread=0.8, separation=40.0, outlier_fraction=fraction, seed=61,
+        )
+        row = [fraction, len(relation)]
+        for degree_factor in DEGREE_FACTORS:
+            noisy_config = DARConfig(
+                frequency_fraction=0.05, degree_factor=degree_factor
+            )
+            result = DARMiner(noisy_config).mine(relation)
+            row.extend(
+                [
+                    result.phase2.n_frequent_clusters,
+                    len(result.rules),
+                    pairs_recovered(result, truth),
+                ]
+            )
+        noise_rows.append(tuple(row))
+
+    relation, truth = make_clustered_relation(
+        n_modes=3, points_per_mode=200, n_attributes=2,
+        spread=0.8, separation=40.0, outlier_fraction=0.1, seed=61,
+    )
+    order_rows = []
+    order_config = DARConfig(frequency_fraction=0.05, degree_factor=3.0)
+    for i in range(N_ORDERINGS):
+        rng = np.random.default_rng(100 + i)
+        order = rng.permutation(len(relation))
+        shuffled = relation.take(order)
+        shuffled_truth_labels = truth.labels[order]
+        result = DARMiner(order_config).mine(shuffled)
+
+        class _Truth:  # same centers, reshuffled labels
+            n_modes = truth.n_modes
+            centers = truth.centers
+            labels = shuffled_truth_labels
+
+        order_rows.append(
+            (
+                i,
+                result.phase2.n_frequent_clusters,
+                len(result.rules),
+                pairs_recovered(result, _Truth),
+            )
+        )
+    return noise_rows, order_rows
+
+
+def test_ablation_robustness(benchmark, emit):
+    noise_rows, order_rows = benchmark.pedantic(run_robustness, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation A9a - robustness to uniform outlier noise (3 planted modes)",
+        [
+            "outlier fraction", "tuples",
+            "clusters (D0=2d0)", "rules (D0=2d0)", "pairs (D0=2d0)",
+            "clusters (D0=3d0)", "rules (D0=3d0)", "pairs (D0=3d0)",
+        ],
+    )
+    for row in noise_rows:
+        table.add_row(*row)
+    emit(table, "ablation_robustness_noise.txt")
+
+    order_table = Table(
+        "Ablation A9b - robustness to insertion order (same data, 5 shuffles)",
+        ["ordering", "frequent clusters", "rules", "pairs recovered (of 3)"],
+    )
+    for row in order_rows:
+        order_table.add_row(*row)
+    emit(order_table, "ablation_robustness_order.txt")
+
+    # Columns: 2/3/4 = census/rules/pairs at D0=2d0; 5/6/7 at D0=3d0.
+    by_noise = {row[0]: row for row in noise_rows}
+    # Clean data: full recovery under the default threshold.
+    assert by_noise[0.0][4] == 3
+    # Under heavy noise the default D0 loses pairs (absorbed noise inflates
+    # cluster images) — the finding this study documents...
+    assert by_noise[0.4][4] <= 2
+    # ...and a lenient degree factor restores recovery throughout.
+    for fraction in NOISE_LEVELS:
+        assert by_noise[fraction][7] == 3, (fraction, by_noise[fraction])
+    # The frequent census never explodes with noise (outliers are rare
+    # individually, so the s0 filter absorbs them).
+    censuses = [row[2] for row in noise_rows]
+    assert max(censuses) - min(censuses) <= 4
+
+    # Ordering: every shuffle recovers every planted pair, and the census
+    # varies only mildly (BIRCH order-dependence is bounded).
+    assert all(row[3] == 3 for row in order_rows)
+    order_censuses = [row[1] for row in order_rows]
+    assert max(order_censuses) - min(order_censuses) <= max(
+        3, int(0.4 * min(order_censuses))
+    )

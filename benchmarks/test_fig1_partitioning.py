@@ -1,0 +1,60 @@
+"""E1 — Figure 1: equi-depth vs distance-based partitioning of Salary.
+
+The paper's table: depth-2 equi-depth partitioning produces the unintuitive
+[31K, 80K] interval, while distance-based clustering groups {18K},
+{30K, 31K} and {80K, 81K, 82K}.  This benchmark regenerates both columns
+and asserts the distance-based side matches the paper exactly.
+"""
+
+import numpy as np
+
+from repro.birch.birch import BirchClusterer, BirchOptions
+from repro.data.examples import fig1_salaries
+from repro.data.relation import AttributePartition
+from repro.quantitative.partition import assign_to_intervals, equidepth_intervals
+from repro.report.tables import Table
+
+PAPER_EQUIDEPTH = [(18_000.0, 30_000.0), (31_000.0, 80_000.0), (81_000.0, 82_000.0)]
+PAPER_DISTANCE = [(18_000.0, 18_000.0), (30_000.0, 31_000.0), (80_000.0, 82_000.0)]
+
+
+def run_fig1():
+    salaries = fig1_salaries()
+    equidepth = equidepth_intervals(salaries, depth=2, attribute="salary")
+
+    partition = AttributePartition("salary", ("salary",))
+    options = BirchOptions(initial_threshold=2_000.0)
+    result = BirchClusterer(partition, (), options).fit_arrays(
+        salaries.reshape(-1, 1), {}
+    )
+    boxes = sorted(
+        (float(acf.lo[0]), float(acf.hi[0])) for acf in result.clusters
+    )
+    return equidepth, boxes
+
+
+def test_fig1_partitioning(benchmark, emit):
+    equidepth, distance_boxes = benchmark.pedantic(run_fig1, rounds=3, iterations=1)
+
+    table = Table(
+        "Figure 1 - Equi-depth vs distance-based partitioning of Salary",
+        ["salary", "equi-depth interval", "distance-based interval"],
+    )
+    salaries = fig1_salaries()
+    equidepth_labels = assign_to_intervals(salaries, equidepth)
+    for value, label in zip(salaries, equidepth_labels):
+        box = next(b for b in distance_boxes if b[0] <= value <= b[1])
+        interval = equidepth[label]
+        table.add_row(
+            f"{value / 1000:.0f}K",
+            f"[{interval.lo / 1000:.0f}K, {interval.hi / 1000:.0f}K]",
+            f"[{box[0] / 1000:.0f}K, {box[1] / 1000:.0f}K]",
+        )
+    emit(table, "fig1_partitioning.txt")
+
+    assert [(i.lo, i.hi) for i in equidepth] == PAPER_EQUIDEPTH
+    assert distance_boxes == PAPER_DISTANCE
+    # The hallmark of the critique: equi-depth spans a 49K gap some interval.
+    assert max(i.hi - i.lo for i in equidepth) == 49_000.0
+    # Distance-based intervals never straddle the big gaps.
+    assert max(hi - lo for lo, hi in distance_boxes) <= 2_000.0

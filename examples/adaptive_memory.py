@@ -1,0 +1,65 @@
+"""Adaptive clustering under memory pressure (Section 3's operating constraint).
+
+The paper's framing: "given a limited amount of memory, we would like to
+find association rules at the finest (most detailed) level possible".  This
+example clusters the same 20,000-tuple column under byte budgets from 16KB
+to 1MB and shows the adaptive machinery at work: threshold escalations,
+tree rebuilds, outlier paging, and the resulting granularity.
+
+Run:  python examples/adaptive_memory.py
+"""
+
+from repro import BirchClusterer, BirchOptions
+from repro.birch.features import CF
+from repro.data import AttributePartition, make_wbcd_like
+from repro.data.wbcd import make_scaled_wbcd
+from repro.report import Table
+
+
+def main() -> None:
+    base = make_wbcd_like(seed=42)
+    relation = make_scaled_wbcd(20_000, outlier_fraction=0.1, seed=42, base=base)
+    name = "radius_mean"
+    partition = AttributePartition(name, (name,))
+    column = relation.matrix((name,))
+    fine_threshold = 0.01 * CF.of_points(column).rms_diameter
+    print(
+        f"Clustering {len(relation)} values of {name!r} starting at "
+        f"diameter threshold {fine_threshold:.4f}\n"
+    )
+
+    table = Table(
+        "Adaptive Phase I: smaller budgets force coarser summaries",
+        [
+            "budget", "rebuilds", "final threshold", "clusters",
+            "paged out", "outliers confirmed", "seconds",
+        ],
+    )
+    for budget in (16_384, 65_536, 262_144, 1_048_576):
+        options = BirchOptions(
+            initial_threshold=fine_threshold,
+            memory_limit_bytes=budget,
+            frequency_fraction=0.03,
+        )
+        result = BirchClusterer(partition, (), options).fit(relation)
+        stats = result.stats
+        table.add_row(
+            f"{budget // 1024}KB",
+            stats.rebuilds,
+            stats.threshold_history[-1],
+            stats.final_entry_count,
+            stats.paged_entries,
+            stats.replay.confirmed_count if stats.replay else 0,
+            stats.seconds,
+        )
+    table.print()
+
+    print(
+        "Every run summarizes the same data in one pass; tighter budgets "
+        "trade granularity (fewer, wider clusters) for memory, never "
+        "correctness — no tuple is ever dropped from the moments."
+    )
+
+
+if __name__ == "__main__":
+    main()

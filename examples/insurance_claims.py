@@ -1,0 +1,65 @@
+"""Insurance scenario: find what drives annual claims (the Figure 5 use case).
+
+Section 5.2 of the paper motivates N:1 rules with an insurance example:
+"an insurance agent wants to find associations between driver
+characteristics and a specific variable such as ... amount of annual
+claims".  This example mines the Figure 5 workload, filters for rules whose
+consequent is the claims attribute, and contrasts the result with the
+Srikant-Agrawal quantitative-rule baseline on the same data.
+
+Run:  python examples/insurance_claims.py
+"""
+
+from repro import DARConfig, DARMiner, QARConfig, QARMiner
+from repro.data import fig5_insurance
+from repro.report import describe_rule
+
+
+def main() -> None:
+    relation = fig5_insurance(n_per_mode=150, seed=5)
+    print(f"Insurance relation: {len(relation)} policies over {relation.schema.names}\n")
+
+    # --- Distance-based association rules -------------------------------
+    # density_fraction=0.3 keeps the broad [2, 5]-dependents behaviour mode
+    # coherent; support counting gives the classical corroboration.
+    config = DARConfig(density_fraction=0.3, count_rule_support=True)
+    result = DARMiner(config).mine(relation)
+
+    claims_rules = [
+        rule
+        for rule in result.rules_sorted()
+        if {c.partition.name for c in rule.consequent} == {"claims"}
+    ]
+    print(f"DAR rules targeting claims ({len(claims_rules)} found), strongest first:")
+    for rule in claims_rules[:6]:
+        print(" ", describe_rule(rule))
+
+    n_to_1 = [rule for rule in claims_rules if len(rule.antecedent) >= 2]
+    print(f"\nN:1 rules (multiple driver characteristics => claims): {len(n_to_1)}")
+    for rule in n_to_1[:3]:
+        print(" ", describe_rule(rule))
+
+    # --- Baseline: quantitative association rules [SA96] ----------------
+    baseline = QARMiner(
+        QARConfig(min_support=0.15, min_confidence=0.7, partial_completeness=3.0)
+    ).mine(relation)
+    claims_baseline = [
+        rule
+        for rule in baseline.rules
+        if any(getattr(p, "attribute", "") == "claims" for p in rule.consequent)
+    ]
+    print(
+        f"\nBaseline (equi-depth QAR) rules targeting claims: "
+        f"{len(claims_baseline)}; sample:"
+    )
+    for rule in claims_baseline[:3]:
+        print(" ", rule)
+
+    print(
+        "\nNote how the equi-depth intervals follow tuple ranks, not the "
+        "distance structure; the DAR clusters align with the real modes."
+    )
+
+
+if __name__ == "__main__":
+    main()

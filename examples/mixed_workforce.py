@@ -1,0 +1,82 @@
+"""Mixed-data mining: rules across qualitative and interval attributes.
+
+The paper's Section 8 names mining over "mixed variable data including
+interval and qualitative data" as the next step; this example runs the
+implemented extension (:mod:`repro.mixed`) on a workforce relation where a
+nominal ``job`` attribute co-varies with interval ``age`` and ``salary``.
+
+By Theorem 5.2 a degree of association toward a nominal consequent reads
+as ``1 - confidence``, so the printed degrees are directly interpretable:
+degree 0.05 toward ``job=mgr`` means 95% of the antecedent cluster's
+tuples are managers.
+
+Run:  python examples/mixed_workforce.py
+"""
+
+import numpy as np
+
+from repro.data import Relation, Schema
+from repro.mixed import MixedDARConfig, MixedDARMiner
+
+
+def make_workforce(n_per_mode: int = 200, seed: int = 11) -> Relation:
+    rng = np.random.default_rng(seed)
+    modes = [("dba", 30, 42_000), ("mgr", 45, 90_000), ("qa", 25, 35_000)]
+    jobs, ages, salaries = [], [], []
+    for job, age_center, salary_center in modes:
+        jobs += [job] * n_per_mode
+        ages.append(rng.normal(age_center, 1.5, n_per_mode))
+        salaries.append(rng.normal(salary_center, 1_500, n_per_mode))
+    order = rng.permutation(len(modes) * n_per_mode)
+    return Relation(
+        Schema.of(job="nominal", age="interval", salary="interval"),
+        {
+            "job": [jobs[i] for i in order],
+            "age": np.concatenate(ages)[order],
+            "salary": np.concatenate(salaries)[order],
+        },
+    )
+
+
+def main() -> None:
+    relation = make_workforce()
+    print(f"Workforce relation: {len(relation)} tuples over {relation.schema.names}\n")
+
+    # nominal_degree=0.3 demands confidence >= 70% toward job consequents.
+    config = MixedDARConfig(nominal_degree=0.3)
+    result = MixedDARMiner(config).mine_mixed(relation)
+
+    print("Clusters per partition:")
+    for name, clusters in sorted(result.clusters.items()):
+        rendered = ", ".join(str(cluster) for cluster in clusters[:6])
+        print(f"  {name}: {rendered}")
+
+    print("\nRules with a qualitative consequent (its degree = 1 - confidence):")
+    for rule in result.rules_sorted():
+        nominal_consequents = [c for c in rule.consequent if c.is_nominal]
+        if not nominal_consequents:
+            continue
+        # rule.degree is the max over ALL consequents (interval degrees are
+        # in attribute units); the confidence reading uses the nominal
+        # consequent's own per-cluster degree.
+        gloss = ", ".join(
+            f"{c.partition.name}={c.value}: confidence "
+            f"{1 - rule.degrees[c.uid]:.0%}"
+            for c in nominal_consequents
+        )
+        print(f"  {rule}   [{gloss}]")
+
+    print("\nRules from a qualitative antecedent to interval behaviour:")
+    shown = 0
+    for rule in result.rules_sorted():
+        if any(c.is_nominal for c in rule.antecedent) and not any(
+            c.is_nominal for c in rule.consequent
+        ):
+            print(f"  {rule}")
+            shown += 1
+            if shown == 5:
+                break
+
+
+if __name__ == "__main__":
+    main()

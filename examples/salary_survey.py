@@ -1,0 +1,81 @@
+"""Salary survey: why classical measures mislead on interval data.
+
+Recreates the paper's two motivating examples end to end:
+
+1. Figure 1 — equi-depth partitioning of a Salary column produces the
+   interval [31K, 80K] whose interior no tuple occupies; distance-based
+   clustering yields the intuitive groups.
+2. Figure 2 — Rule (1) "30-year-old DBAs earn 40,000" has identical
+   support and confidence on relations R1 and R2, yet the distance-based
+   degree of association correctly rates it far stronger on R2.
+
+Run:  python examples/salary_survey.py
+"""
+
+from repro import BirchClusterer, BirchOptions
+from repro.core.interest import distance_rule_interest
+from repro.data import AttributePartition, FIG2_RULE, fig1_salaries, fig2_relations
+from repro.quantitative import equidepth_intervals
+from repro.report import Table
+
+
+def figure1() -> None:
+    salaries = fig1_salaries()
+    equidepth = equidepth_intervals(salaries, depth=2, attribute="salary")
+
+    partition = AttributePartition("salary", ("salary",))
+    clusterer = BirchClusterer(partition, (), BirchOptions(initial_threshold=2_000.0))
+    clusters = clusterer.fit_arrays(salaries.reshape(-1, 1), {}).clusters
+
+    table = Table(
+        "Figure 1: equi-depth vs distance-based partitioning",
+        ["salary", "equi-depth interval", "distance-based cluster"],
+    )
+    for value in salaries:
+        depth_interval = next(i for i in equidepth if i.contains(value))
+        cluster = next(c for c in clusters if c.lo[0] <= value <= c.hi[0])
+        table.add_row(
+            f"{value/1000:.0f}K",
+            f"[{depth_interval.lo/1000:.0f}K, {depth_interval.hi/1000:.0f}K]",
+            f"[{cluster.lo[0]/1000:.0f}K, {cluster.hi[0]/1000:.0f}K]",
+        )
+    table.print()
+    widest = max(equidepth, key=lambda i: i.width)
+    print(
+        f"Equi-depth created [{widest.lo/1000:.0f}K, {widest.hi/1000:.0f}K] — "
+        "a 49K-wide interval with an empty interior. Distance-based "
+        "clusters never straddle the gaps.\n"
+    )
+
+
+def figure2() -> None:
+    table = Table(
+        "Figure 2: Rule (1) 'Job=DBA & Age=30 => Salary=40,000'",
+        ["relation", "support", "confidence", "degree (smaller = stronger)"],
+    )
+    for name, relation in zip(("R1", "R2"), fig2_relations()):
+        antecedent = (relation.column("job") == FIG2_RULE["job"]) & (
+            relation.column("age") == FIG2_RULE["age"]
+        )
+        consequent = antecedent & (
+            relation.column("salary") == FIG2_RULE["salary"]
+        )
+        interest = distance_rule_interest(
+            relation, antecedent, consequent, consequent_attributes=["salary"]
+        )
+        table.add_row(name, interest.support, interest.confidence, interest.degree)
+    table.print()
+    print(
+        "Support and confidence cannot tell R1 from R2; the degree of "
+        "association can: in R2 the non-matching DBAs earn 41-42K (close "
+        "to the rule), in R1 they earn 90-100K (far from it)."
+    )
+
+
+def main() -> None:
+    figure1()
+    figure2()
+
+
+if __name__ == "__main__":
+    main()

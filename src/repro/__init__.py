@@ -1,0 +1,82 @@
+"""repro — Distance-based association rules over interval data.
+
+A full reproduction of R. J. Miller and Y. Yang, "Association Rules over
+Interval Data", SIGMOD 1997: the adaptive BIRCH/ACF clustering substrate,
+the two-phase distance-based association rule (DAR) miner, the classical
+Apriori and Srikant–Agrawal quantitative-rule baselines, and the workload
+generators behind the paper's evaluation.
+
+Quickstart::
+
+    from repro import DARMiner, make_planted_rule_relation
+
+    relation, _ = make_planted_rule_relation(seed=7)
+    result = DARMiner().mine(relation)
+    for rule in result.rules_sorted()[:5]:
+        print(rule)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.core import (
+    DARConfig,
+    DARMiner,
+    DARResult,
+    DistanceRule,
+    GQARConfig,
+    GQARMiner,
+    GQARResult,
+    GQARRule,
+    StreamingDARMiner,
+)
+from repro.mixed import MixedDARConfig, MixedDARMiner
+from repro.birch import BirchClusterer, BirchOptions, BirchResult
+from repro.classic import TransactionSet, mine_classical_rules, relation_to_transactions
+from repro.data import (
+    AttributeKind,
+    AttributePartition,
+    Relation,
+    Schema,
+    default_partitions,
+    make_clustered_relation,
+    make_planted_rule_relation,
+    make_wbcd_like,
+)
+from repro.quantitative import QARConfig, QARMiner
+from repro.report import describe_result, describe_rule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DARConfig",
+    "DARMiner",
+    "DARResult",
+    "DistanceRule",
+    "GQARConfig",
+    "GQARMiner",
+    "GQARResult",
+    "GQARRule",
+    "StreamingDARMiner",
+    "MixedDARConfig",
+    "MixedDARMiner",
+    "BirchClusterer",
+    "BirchOptions",
+    "BirchResult",
+    "TransactionSet",
+    "mine_classical_rules",
+    "relation_to_transactions",
+    "AttributeKind",
+    "AttributePartition",
+    "Relation",
+    "Schema",
+    "default_partitions",
+    "make_clustered_relation",
+    "make_planted_rule_relation",
+    "make_wbcd_like",
+    "QARConfig",
+    "QARMiner",
+    "describe_result",
+    "describe_rule",
+    "__version__",
+]

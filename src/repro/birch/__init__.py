@@ -1,0 +1,39 @@
+"""BIRCH-style adaptive clustering with association clustering features.
+
+Phase I substrate of the paper: CF/ACF summaries (:mod:`.features`), the
+height-balanced summary tree (:mod:`.tree`), memory accounting and the
+adaptive threshold schedule (:mod:`.memory`), rebuilds (:mod:`.rebuild`),
+outlier paging (:mod:`.outliers`) and the one-pass scan driver
+(:mod:`.birch`).
+"""
+
+from repro.birch.birch import (
+    BirchClusterer,
+    BirchOptions,
+    BirchResult,
+    Phase1Stats,
+    assign_to_centroids,
+)
+from repro.birch.features import ACF, CF, merged_rms_diameter
+from repro.birch.memory import MemoryModel, ThresholdSchedule
+from repro.birch.outliers import OutlierStore, ReplayReport
+from repro.birch.rebuild import rebuild_tree, split_off_outlier_entries
+from repro.birch.tree import ACFTree
+
+__all__ = [
+    "ACF",
+    "CF",
+    "merged_rms_diameter",
+    "ACFTree",
+    "MemoryModel",
+    "ThresholdSchedule",
+    "OutlierStore",
+    "ReplayReport",
+    "rebuild_tree",
+    "split_off_outlier_entries",
+    "BirchClusterer",
+    "BirchOptions",
+    "BirchResult",
+    "Phase1Stats",
+    "assign_to_centroids",
+]

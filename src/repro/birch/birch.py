@@ -1,0 +1,282 @@
+"""Phase I driver: one-pass adaptive clustering of an attribute partition.
+
+Combines the ACF-tree, the memory model, the threshold schedule, and the
+outlier store into the scan loop of Sections 4.3.1 / 6.1: insert every
+tuple's projection; when the summary outgrows the byte budget, page out
+small subclusters and rebuild at a higher threshold; after the scan, replay
+paged-out entries to confirm or absorb them.
+
+The output is a list of ACF subcluster summaries plus :class:`Phase1Stats`
+(rebuild count, threshold history, timings) used by the scalability
+experiments of Section 7.2.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.birch.features import ACF
+from repro.birch.memory import MemoryModel, ThresholdSchedule
+from repro.birch.outliers import OutlierStore, ReplayReport
+from repro.birch.rebuild import rebuild_tree, split_off_outlier_entries
+from repro.birch.refine import refine_entries
+from repro.birch.tree import ACFTree
+from repro.data.relation import AttributePartition, Relation
+
+__all__ = ["BirchOptions", "Phase1Stats", "BirchResult", "BirchClusterer", "assign_to_centroids"]
+
+_MEMORY_CHECK_INTERVAL = 256
+
+
+@dataclass(frozen=True)
+class BirchOptions:
+    """Tuning knobs for Phase I clustering.
+
+    ``initial_threshold = 0`` starts at the finest granularity (every
+    distinct value its own subcluster), exactly as BIRCH recommends; the
+    adaptive loop will coarsen if memory demands it.
+    """
+
+    initial_threshold: float = 0.0
+    branching: int = 8
+    leaf_capacity: int = 8
+    memory_limit_bytes: Optional[int] = None
+    frequency_fraction: float = 0.03
+    outlier_page_fraction: float = 0.25
+    threshold_growth: float = 2.0
+    max_rebuilds_per_overflow: int = 32
+    global_refinement: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.frequency_fraction <= 1.0:
+            raise ValueError("frequency_fraction must be in (0, 1]")
+        if not 0.0 <= self.outlier_page_fraction <= 1.0:
+            raise ValueError("outlier_page_fraction must be in [0, 1]")
+        if self.memory_limit_bytes is not None and self.memory_limit_bytes <= 0:
+            raise ValueError("memory_limit_bytes must be positive when set")
+
+
+@dataclass
+class Phase1Stats:
+    """Diagnostics of one Phase I run over one partition."""
+
+    points_inserted: int = 0
+    rebuilds: int = 0
+    threshold_history: List[float] = field(default_factory=list)
+    pages_out: int = 0
+    paged_entries: int = 0
+    replay: Optional[ReplayReport] = None
+    seconds: float = 0.0
+    final_entry_count: int = 0
+    final_tree_bytes: int = 0
+
+
+@dataclass
+class BirchResult:
+    """Clusters (as ACF summaries) discovered over one partition."""
+
+    partition: AttributePartition
+    clusters: List[ACF]
+    stats: Phase1Stats
+    tree: ACFTree
+
+    def frequent(self, min_count: int) -> List[ACF]:
+        """Clusters meeting the frequency threshold ``s0`` (Dfn 4.2)."""
+        return [cluster for cluster in self.clusters if cluster.n >= min_count]
+
+    def centroids(self) -> np.ndarray:
+        if not self.clusters:
+            return np.empty((0, self.partition.dimension))
+        return np.stack([cluster.centroid for cluster in self.clusters])
+
+
+class BirchClusterer:
+    """One-pass adaptive clusterer for a single attribute partition.
+
+    Parameters
+    ----------
+    partition:
+        The attribute set ``X_i`` to cluster on.
+    cross_partitions:
+        The *other* partitions whose cross moments every ACF must carry so
+        Phase II can run without rescanning (Eq. 7).  Pass an empty list to
+        build plain-CF clusters.
+    options:
+        See :class:`BirchOptions`.
+    """
+
+    def __init__(
+        self,
+        partition: AttributePartition,
+        cross_partitions: Sequence[AttributePartition] = (),
+        options: BirchOptions = BirchOptions(),
+    ):
+        names = {partition.name} | {p.name for p in cross_partitions}
+        if len(names) != 1 + len(cross_partitions):
+            raise ValueError("partition names must be unique")
+        self.partition = partition
+        self.cross_partitions = tuple(cross_partitions)
+        self.options = options
+        self._cross_dimensions = {p.name: p.dimension for p in self.cross_partitions}
+        self.memory_model = MemoryModel(
+            dimension=partition.dimension,
+            cross_dimensions=self._cross_dimensions,
+            branching=options.branching,
+            leaf_capacity=options.leaf_capacity,
+        )
+        self._schedule = ThresholdSchedule(growth_factor=options.threshold_growth)
+
+    # ------------------------------------------------------------------
+
+    def fit(self, relation: Relation) -> BirchResult:
+        """Scan ``relation`` once and return the discovered clusters."""
+        points = relation.matrix(self.partition.attributes)
+        cross_matrices = {
+            p.name: relation.matrix(p.attributes) for p in self.cross_partitions
+        }
+        return self.fit_arrays(points, cross_matrices)
+
+    def fit_arrays(
+        self, points: np.ndarray, cross_matrices: Optional[Dict[str, np.ndarray]] = None
+    ) -> BirchResult:
+        """Scan raw arrays: ``points`` is ``(n, dim)``; cross matrices match rows."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        cross_matrices = cross_matrices or {}
+        if set(cross_matrices) != set(self._cross_dimensions):
+            raise ValueError(
+                f"cross matrices {sorted(cross_matrices)} do not match declared "
+                f"cross partitions {sorted(self._cross_dimensions)}"
+            )
+        for name, matrix in cross_matrices.items():
+            if matrix.shape[0] != points.shape[0]:
+                raise ValueError(f"cross matrix {name!r} has mismatched row count")
+        # Non-finite values would silently poison every moment downstream;
+        # fail loudly at the boundary instead.
+        if points.size and not np.all(np.isfinite(points)):
+            raise ValueError(
+                f"partition {self.partition.name!r} contains non-finite values"
+            )
+        for name, matrix in cross_matrices.items():
+            matrix = np.asarray(matrix, dtype=np.float64)
+            if matrix.size and not np.all(np.isfinite(matrix)):
+                raise ValueError(f"cross matrix {name!r} contains non-finite values")
+
+        stats = Phase1Stats()
+        started = time.perf_counter()
+        tree = ACFTree(
+            dimension=self.partition.dimension,
+            threshold=self.options.initial_threshold,
+            branching=self.options.branching,
+            leaf_capacity=self.options.leaf_capacity,
+            cross_dimensions=self._cross_dimensions,
+        )
+        stats.threshold_history.append(tree.threshold)
+        store = OutlierStore(self.memory_model)
+        cross_names = list(cross_matrices)
+
+        for i in range(points.shape[0]):
+            cross_values = {name: cross_matrices[name][i] for name in cross_names}
+            tree.insert_point(points[i], cross_values)
+            stats.points_inserted += 1
+            if (
+                self.options.memory_limit_bytes is not None
+                and stats.points_inserted % _MEMORY_CHECK_INTERVAL == 0
+            ):
+                tree = self._enforce_budget(tree, store, stats)
+
+        if self.options.memory_limit_bytes is not None:
+            tree = self._enforce_budget(tree, store, stats)
+
+        if len(store):
+            # Outliers are "significantly smaller than the frequency
+            # threshold": replay judges them against the outlier bar, not
+            # the full frequency count (which Phase II applies later).
+            stats.replay = store.replay_into(
+                tree, self._outlier_bar(stats.points_inserted)
+            )
+
+        clusters = list(tree.entries())
+        if self.options.global_refinement and len(clusters) > 1:
+            # BIRCH's global phase: undo order-dependence by merging leaf
+            # entries whose unions still respect the final threshold.
+            clusters = refine_entries(clusters, tree.threshold)
+        stats.seconds = time.perf_counter() - started
+        stats.final_entry_count = len(clusters)
+        stats.final_tree_bytes = self.memory_model.tree_bytes(*tree.summary_counts())
+        return BirchResult(
+            partition=self.partition, clusters=clusters, stats=stats, tree=tree
+        )
+
+    # ------------------------------------------------------------------
+
+    def _frequency_count(self, n_points: int) -> int:
+        return max(1, math.ceil(self.options.frequency_fraction * n_points))
+
+    def _outlier_bar(self, n_points: int) -> int:
+        """Entries 'significantly smaller than the frequency threshold'."""
+        bar = self.options.outlier_page_fraction * self._frequency_count(n_points)
+        return max(2, math.floor(bar))
+
+    def _tree_bytes(self, tree: ACFTree) -> int:
+        return self.memory_model.tree_bytes(*tree.summary_counts())
+
+    def _enforce_budget(
+        self, tree: ACFTree, store: OutlierStore, stats: Phase1Stats
+    ) -> ACFTree:
+        """Escalate the threshold (and page outliers) until within budget.
+
+        Coarsening comes first: raising the threshold and rebuilding is what
+        BIRCH does on overflow, and it keeps the summary representative.
+        Outlier paging is the secondary valve, applied after a rebuild that
+        did not shrink the tree enough — paging *before* coarsening would
+        let a stream of young singleton subclusters drain to the outlier
+        store without the threshold ever adapting.
+        """
+        budget = self.options.memory_limit_bytes
+        assert budget is not None
+        attempts = 0
+        while (
+            self._tree_bytes(tree) > budget
+            and attempts < self.options.max_rebuilds_per_overflow
+        ):
+            new_threshold = self._schedule.next_threshold(tree)
+            tree = rebuild_tree(tree, new_threshold)
+            stats.rebuilds += 1
+            stats.threshold_history.append(new_threshold)
+            attempts += 1
+            if self._tree_bytes(tree) > budget:
+                bar = self._outlier_bar(stats.points_inserted)
+                tree, outliers = split_off_outlier_entries(tree, bar)
+                if outliers:
+                    store.page_out(outliers)
+                    stats.pages_out += 1
+                    stats.paged_entries += len(outliers)
+        return tree
+
+
+def assign_to_centroids(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Label each point with the index of its closest centroid.
+
+    This is the Section 4.3.2 labeling rule ("find the centroid closest to
+    the point and define the tuple to be in the cluster represented by this
+    centroid"), vectorized.  Returns ``-1`` labels when there are no
+    centroids.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    centroids = np.atleast_2d(np.asarray(centroids, dtype=np.float64))
+    if centroids.shape[0] == 0:
+        return np.full(points.shape[0], -1, dtype=np.intp)
+    # Chunk to bound the (n_points x n_centroids) distance matrix.
+    labels = np.empty(points.shape[0], dtype=np.intp)
+    chunk = max(1, int(2_000_000 / max(centroids.shape[0], 1)))
+    for start in range(0, points.shape[0], chunk):
+        block = points[start : start + chunk]
+        deltas = block[:, None, :] - centroids[None, :, :]
+        distances = np.einsum("ijk,ijk->ij", deltas, deltas)
+        labels[start : start + chunk] = np.argmin(distances, axis=1)
+    return labels

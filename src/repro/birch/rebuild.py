@@ -1,0 +1,74 @@
+"""Tree rebuilding: coarsen the summary without rescanning the data.
+
+Section 4.3.1: "If the memory is full, the tree is reduced by increasing the
+diameter threshold and rebuilding the tree.  The rebuilding is done by
+re-inserting leaf CF nodes into the tree.  Hence, the data ... does not need
+to be rescanned."  Because ACFs are additive, re-inserting the existing leaf
+entries under a larger threshold merges nearby subclusters and shrinks the
+summary while preserving every moment exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.birch.features import ACF
+from repro.birch.tree import ACFTree
+
+__all__ = ["rebuild_tree", "split_off_outlier_entries"]
+
+
+def rebuild_tree(tree: ACFTree, new_threshold: float) -> ACFTree:
+    """Re-insert ``tree``'s leaf entries into a fresh tree at ``new_threshold``.
+
+    The result summarizes exactly the same tuples (same total count, same
+    global moments); only the granularity changes.  Raises ``ValueError``
+    if the threshold does not increase, since a rebuild at the same or a
+    smaller threshold cannot shrink the tree.
+    """
+    if new_threshold <= tree.threshold and tree.threshold > 0:
+        raise ValueError(
+            f"rebuild threshold {new_threshold} must exceed current {tree.threshold}"
+        )
+    rebuilt = ACFTree(
+        dimension=tree.dimension,
+        threshold=new_threshold,
+        branching=tree.branching,
+        leaf_capacity=tree.leaf_capacity,
+        cross_dimensions=tree.cross_dimensions,
+    )
+    for entry in tree.entries():
+        # Copy: insertion may merge subsequent entries INTO this object, and
+        # the original tree still references it — rebuilds must not mutate
+        # their input.
+        rebuilt.insert_entry(entry.copy())
+    return rebuilt
+
+
+def split_off_outlier_entries(
+    tree: ACFTree, min_count: int
+) -> Tuple[ACFTree, List[ACF]]:
+    """Rebuild ``tree`` keeping only entries with at least ``min_count`` tuples.
+
+    The removed (outlier) entries are returned so the caller can page them
+    out and replay them once the scan completes (Section 4.3.1 outlier
+    handling).  If *every* entry is an outlier the tree is left as-is and
+    nothing is paged out, since discarding the whole summary would lose the
+    scan.
+    """
+    keep: List[ACF] = []
+    outliers: List[ACF] = []
+    for entry in tree.entries():
+        (keep if entry.n >= min_count else outliers).append(entry)
+    if not keep:
+        return tree, []
+    rebuilt = ACFTree(
+        dimension=tree.dimension,
+        threshold=tree.threshold,
+        branching=tree.branching,
+        leaf_capacity=tree.leaf_capacity,
+        cross_dimensions=tree.cross_dimensions,
+    )
+    for entry in keep:
+        rebuilt.insert_entry(entry.copy())  # see rebuild_tree on aliasing
+    return rebuilt, outliers

@@ -1,0 +1,68 @@
+"""Global refinement of Phase I subclusters (BIRCH's global phase).
+
+BIRCH's incremental, order-dependent insertion can leave several leaf
+entries describing one natural cluster (the paper observes ~4% centroid
+drift "due to the use of a non-optimal clustering strategy", §7.2).  BIRCH
+proper follows the tree-building phase with a *global clustering* phase
+over the leaf entries; we implement it as centroid-linkage agglomerative
+merging driven entirely by summaries: repeatedly merge the pair of entries
+whose union stays within the diameter threshold, until no pair qualifies.
+
+Because ACFs are additive this never touches raw data, and the result is
+order-independent given the input entries.  Complexity is O(k^2 log k) for
+k leaf entries — k is small by construction (it is what fit in memory).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence
+
+from repro.birch.features import ACF, merged_rms_diameter
+
+__all__ = ["refine_entries"]
+
+
+def refine_entries(entries: Sequence[ACF], threshold: float) -> List[ACF]:
+    """Agglomeratively merge ``entries`` while unions stay within ``threshold``.
+
+    Returns new ACF objects (inputs are not mutated).  Merging prefers the
+    pair whose union has the smallest RMS diameter, so tight merges happen
+    before marginal ones.  ``threshold <= 0`` (with at least two distinct
+    entries) returns copies unchanged — nothing can merge.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    alive: List[ACF] = [entry.copy() for entry in entries]
+    if len(alive) < 2:
+        return alive
+
+    # Priority queue of candidate merges (union diameter, i, j, versions).
+    # Stale heap items are detected via per-slot version counters.
+    versions = [0] * len(alive)
+    heap: List = []
+
+    def push_pair(i: int, j: int) -> None:
+        diameter = merged_rms_diameter(alive[i].cf, alive[j].cf)
+        if diameter <= threshold:
+            heapq.heappush(heap, (diameter, i, j, versions[i], versions[j]))
+
+    for i in range(len(alive)):
+        for j in range(i + 1, len(alive)):
+            push_pair(i, j)
+
+    dead = [False] * len(alive)
+    while heap:
+        _, i, j, version_i, version_j = heapq.heappop(heap)
+        if dead[i] or dead[j]:
+            continue
+        if versions[i] != version_i or versions[j] != version_j:
+            continue  # one side changed since this candidate was scored
+        alive[i].merge(alive[j])
+        dead[j] = True
+        versions[i] += 1
+        for k in range(len(alive)):
+            if k != i and not dead[k]:
+                push_pair(min(i, k), max(i, k))
+
+    return [entry for entry, is_dead in zip(alive, dead) if not is_dead]

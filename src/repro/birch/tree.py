@@ -1,0 +1,333 @@
+"""The ACF-tree: a height-balanced tree of cluster summaries.
+
+This is the Phase I data structure of the paper (Sections 3, 4.3.1 and 6.1):
+a CF-tree in the style of BIRCH [ZRL96] whose leaf entries are ACFs.  Points
+are inserted one at a time; each point descends to the leaf whose subtree
+centroid is closest, is absorbed into the closest leaf entry if doing so
+keeps the entry's (RMS) diameter under the current *diameter threshold*, and
+otherwise starts a new entry.  Full nodes split exactly as in a B+-tree,
+with the farthest pair of entries seeding the two halves.
+
+The tree knows how many bytes its summaries occupy (see
+:mod:`repro.birch.memory`), which is what drives the adaptive behaviour:
+when the budget is exceeded the owner raises the threshold and rebuilds the
+tree from its own leaf entries (:mod:`repro.birch.rebuild`) — no rescan of
+the data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.birch.features import ACF, CF, merged_rms_diameter
+from repro.birch.node import InternalNode, LeafNode, Node
+
+__all__ = ["ACFTree"]
+
+
+def _merged_point_rms_diameter(cf: CF, point: np.ndarray) -> float:
+    """RMS diameter of ``cf`` plus one point, without building a CF for it."""
+    n = cf.n + 1
+    if n < 2:
+        return 0.0
+    ls = cf.ls + point
+    ss = cf.ss_total + float(point @ point)
+    squared = (2.0 * n * ss - 2.0 * float(ls @ ls)) / (n * (n - 1))
+    return float(np.sqrt(max(squared, 0.0)))
+
+
+def _farthest_pair(centroids: np.ndarray) -> Tuple[int, int]:
+    """Indices of the two mutually farthest rows (used to seed a split)."""
+    deltas = centroids[:, None, :] - centroids[None, :, :]
+    distances = np.linalg.norm(deltas, axis=-1)
+    flat = int(np.argmax(distances))
+    return flat // distances.shape[0], flat % distances.shape[0]
+
+
+class ACFTree:
+    """Height-balanced tree of ACF subcluster summaries.
+
+    Parameters
+    ----------
+    dimension:
+        Arity of the clustering partition ``X``.
+    threshold:
+        Diameter threshold ``T``: a point joins an existing subcluster only
+        if the merged RMS diameter stays at or below ``T``.
+    branching:
+        Maximum children of an internal node (``B`` in BIRCH).
+    leaf_capacity:
+        Maximum ACF entries per leaf (``L`` in BIRCH).
+    cross_dimensions:
+        Mapping of other-partition name to arity, fixing the cross-moment
+        layout every ACF entry must carry (Eq. 7).
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        threshold: float,
+        branching: int = 8,
+        leaf_capacity: int = 8,
+        cross_dimensions: Optional[Mapping[str, int]] = None,
+    ):
+        if dimension < 1:
+            raise ValueError("dimension must be positive")
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.dimension = dimension
+        self.threshold = float(threshold)
+        self.branching = branching
+        self.leaf_capacity = leaf_capacity
+        self.cross_dimensions: Dict[str, int] = dict(cross_dimensions or {})
+        self._root: Node = LeafNode(leaf_capacity, dimension)
+        self._first_leaf: LeafNode = self._root  # head of the leaf chain
+        self._n_points = 0
+        self._n_splits = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        """Number of tuples summarized by the tree."""
+        return self._n_points
+
+    @property
+    def n_splits(self) -> int:
+        return self._n_splits
+
+    @property
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+            height += 1
+        return height
+
+    def leaves(self) -> Iterator[LeafNode]:
+        leaf: Optional[LeafNode] = self._first_leaf
+        while leaf is not None:
+            yield leaf
+            leaf = leaf.next_leaf
+
+    def entries(self) -> Iterator[ACF]:
+        """All subcluster summaries, in leaf-chain order."""
+        for leaf in self.leaves():
+            yield from leaf.entries
+
+    def entry_count(self) -> int:
+        return sum(leaf.entry_count() for leaf in self.leaves())
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)  # type: ignore[attr-defined]
+        return count
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert_point(
+        self, point: np.ndarray, cross_values: Optional[Mapping[str, np.ndarray]] = None
+    ) -> None:
+        """Insert one tuple's projection (plus its cross projections).
+
+        Fast path of the scan loop: when the point is absorbed by an
+        existing subcluster (the overwhelmingly common case once the tree
+        has warmed up), only in-place moment updates happen — no ACF is
+        materialized for the point.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.dimension,):
+            raise ValueError(
+                f"point has shape {point.shape}, tree dimension is {self.dimension}"
+            )
+        cross_values = cross_values or {}
+        if set(cross_values) != set(self.cross_dimensions):
+            raise ValueError(
+                f"cross values for {sorted(cross_values)} do not match the "
+                f"tree's cross partitions {sorted(self.cross_dimensions)}"
+            )
+
+        path: List[InternalNode] = []
+        node = self._root
+        while not node.is_leaf:
+            path.append(node)  # type: ignore[arg-type]
+            node = node.closest_child(point)  # type: ignore[attr-defined]
+        leaf: LeafNode = node  # type: ignore[assignment]
+
+        absorbed = False
+        if leaf.entries:
+            index, _ = leaf.closest_entry(point)
+            candidate = leaf.entries[index]
+            if _merged_point_rms_diameter(candidate.cf, point) <= self.threshold:
+                candidate.add_point(point, cross_values)
+                leaf.note_point(point)
+                absorbed = True
+        if not absorbed:
+            leaf.add_entry(ACF.of_point(point, cross_values))
+        for ancestor in path:
+            ancestor.note_point(point)
+        if not absorbed and leaf.entry_count() > self.leaf_capacity:
+            self._split_leaf(leaf)
+        self._n_points += 1
+
+    def insert_entry(self, entry: ACF) -> None:
+        """Insert a whole subcluster (used by rebuilds and outlier replay)."""
+        if entry.cf.dimension != self.dimension:
+            raise ValueError("entry dimension does not match tree dimension")
+        self._insert_entry(entry)
+        self._n_points += entry.n
+
+    def _insert_entry(self, entry: ACF) -> None:
+        point = entry.centroid
+        path: List[InternalNode] = []
+        node = self._root
+        while not node.is_leaf:
+            path.append(node)  # type: ignore[arg-type]
+            node = node.closest_child(point)  # type: ignore[attr-defined]
+        leaf: LeafNode = node  # type: ignore[assignment]
+
+        absorbed = False
+        if leaf.entries:
+            index, _ = leaf.closest_entry(point)
+            candidate = leaf.entries[index]
+            if merged_rms_diameter(candidate.cf, entry.cf) <= self.threshold:
+                candidate.merge(entry)
+                leaf.note_cf(entry.cf)
+                absorbed = True
+        if not absorbed:
+            leaf.add_entry(entry)
+        for ancestor in path:
+            ancestor.note_cf(entry.cf)
+        if not absorbed and leaf.entry_count() > self.leaf_capacity:
+            self._split_leaf(leaf)
+
+    # ------------------------------------------------------------------
+    # Splitting
+    # ------------------------------------------------------------------
+
+    def _split_leaf(self, leaf: LeafNode) -> None:
+        """Split an over-full leaf around its farthest pair of entries."""
+        entries = leaf.entries
+        centroids = np.stack([entry.centroid for entry in entries])
+        seed_a, seed_b = _farthest_pair(centroids)
+        distances_a = np.linalg.norm(centroids - centroids[seed_a], axis=1)
+        distances_b = np.linalg.norm(centroids - centroids[seed_b], axis=1)
+        go_left = distances_a <= distances_b
+        go_left[seed_a] = True
+        go_left[seed_b] = False
+
+        left = LeafNode(self.leaf_capacity, self.dimension)
+        right = LeafNode(self.leaf_capacity, self.dimension)
+        for entry, is_left in zip(entries, go_left):
+            (left if is_left else right).add_entry(entry)
+
+        # Splice both halves into the leaf chain in place of ``leaf``.
+        left.prev_leaf = leaf.prev_leaf
+        left.next_leaf = right
+        right.prev_leaf = left
+        right.next_leaf = leaf.next_leaf
+        if leaf.prev_leaf is not None:
+            leaf.prev_leaf.next_leaf = left
+        else:
+            self._first_leaf = left
+        if leaf.next_leaf is not None:
+            leaf.next_leaf.prev_leaf = right
+
+        self._replace_child(leaf, left, right)
+        self._n_splits += 1
+
+    def _replace_child(self, old: Node, left: Node, right: Node) -> None:
+        """Swap ``old`` for ``left``+``right`` in the parent, splitting upward."""
+        parent = old.parent
+        if parent is None:
+            new_root = InternalNode(self.branching, self.dimension)
+            new_root.add_child(left)
+            new_root.add_child(right)
+            new_root.recompute_cf()
+            self._root = new_root
+            return
+        index = parent.children.index(old)
+        parent.children[index] = left
+        left.parent = parent
+        parent.add_child(right)
+        if parent.entry_count() > self.branching:
+            self._split_internal(parent)
+
+    def _split_internal(self, node: InternalNode) -> None:
+        """Split an over-full internal node around its farthest child pair."""
+        children = node.children
+        centroids = np.stack(
+            [
+                child.cf.centroid if child.cf.n else np.zeros(self.dimension)
+                for child in children
+            ]
+        )
+        seed_a, seed_b = _farthest_pair(centroids)
+        distances_a = np.linalg.norm(centroids - centroids[seed_a], axis=1)
+        distances_b = np.linalg.norm(centroids - centroids[seed_b], axis=1)
+        go_left = distances_a <= distances_b
+        go_left[seed_a] = True
+        go_left[seed_b] = False
+
+        left = InternalNode(self.branching, self.dimension)
+        right = InternalNode(self.branching, self.dimension)
+        for child, is_left in zip(children, go_left):
+            (left if is_left else right).add_child(child)
+        left.recompute_cf()
+        right.recompute_cf()
+        self._replace_child(node, left, right)
+        self._n_splits += 1
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def closest_entry(self, point: np.ndarray) -> Optional[ACF]:
+        """Greedy closest-centroid descent (used to label tuples, §4.3.2).
+
+        Returns ``None`` on an empty tree.  Because descent is greedy, this
+        is the same approximate assignment the paper describes ("this
+        cluster may not be the same cluster to which the tuple was assigned
+        when it was originally inserted").
+        """
+        point = np.asarray(point, dtype=np.float64)
+        node = self._root
+        while not node.is_leaf:
+            node = node.closest_child(point)  # type: ignore[attr-defined]
+        leaf: LeafNode = node  # type: ignore[assignment]
+        if not leaf.entries:
+            return None
+        index, _ = leaf.closest_entry(point)
+        return leaf.entries[index]
+
+    # ------------------------------------------------------------------
+    # Memory accounting (see repro.birch.memory for the byte model)
+    # ------------------------------------------------------------------
+
+    def summary_counts(self) -> Tuple[int, int, int]:
+        """(leaf entries, leaf nodes, internal nodes) for the memory model."""
+        n_entries = 0
+        n_leaves = 0
+        n_internal = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                n_leaves += 1
+                n_entries += node.entry_count()
+            else:
+                n_internal += 1
+                stack.extend(node.children)  # type: ignore[attr-defined]
+        return n_entries, n_leaves, n_internal

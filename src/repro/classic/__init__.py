@@ -1,0 +1,53 @@
+"""Classical association-rule mining — the paper's baseline and Phase II
+substrate, with interchangeable itemset backends (Apriori, PCY, SON,
+Toivonen sampling)."""
+
+from repro.classic.backends import ITEMSET_BACKENDS, mine_itemsets
+from repro.classic.itemsets import (
+    FrequentItemsets,
+    apriori_itemsets,
+    generate_candidates,
+)
+from repro.classic.measures import RuleMeasures, measure_rule, measure_rules, rank_by
+from repro.classic.pcy import pcy_itemsets
+from repro.classic.sampling import SamplingResult, negative_border, toivonen_itemsets
+from repro.classic.son import son_itemsets
+from repro.classic.taxonomy import (
+    Taxonomy,
+    extend_transactions,
+    mine_multilevel_rules,
+)
+from repro.classic.rules import ClassicalRule, generate_rules, mine_classical_rules
+from repro.classic.transactions import (
+    Item,
+    Transaction,
+    TransactionSet,
+    relation_to_transactions,
+)
+
+__all__ = [
+    "ITEMSET_BACKENDS",
+    "mine_itemsets",
+    "FrequentItemsets",
+    "apriori_itemsets",
+    "generate_candidates",
+    "RuleMeasures",
+    "measure_rule",
+    "measure_rules",
+    "rank_by",
+    "pcy_itemsets",
+    "SamplingResult",
+    "negative_border",
+    "toivonen_itemsets",
+    "son_itemsets",
+    "Taxonomy",
+    "extend_transactions",
+    "mine_multilevel_rules",
+    "ClassicalRule",
+    "generate_rules",
+    "mine_classical_rules",
+    "Item",
+    "Transaction",
+    "TransactionSet",
+    "relation_to_transactions",
+]

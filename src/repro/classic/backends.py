@@ -1,0 +1,72 @@
+"""Unified frequent-itemset mining interface across algorithms.
+
+Section 4.3.2: "Although we have described Phase II using the a priori
+algorithm, other classical association rule algorithms may be used."  The
+available backends (all exact on their final output):
+
+* ``apriori``  — level-wise scan/prune ([AS94]; the paper's default);
+* ``pcy``      — hash-bucket pruning of pair candidates ([PCY95]);
+* ``son``      — two-pass partition algorithm ([SON95]);
+* ``toivonen`` — sampling with negative-border verification ([Toi96]);
+  non-exact rounds are retried with progressively larger samples until
+  exact (bounded), so the returned itemsets are always correct.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.classic.itemsets import FrequentItemsets, apriori_itemsets
+from repro.classic.pcy import pcy_itemsets
+from repro.classic.sampling import toivonen_itemsets
+from repro.classic.son import son_itemsets
+from repro.classic.transactions import TransactionSet
+
+__all__ = ["ITEMSET_BACKENDS", "mine_itemsets"]
+
+
+def _toivonen_exact(
+    transactions: TransactionSet, min_support: float, max_size: int = 0
+) -> FrequentItemsets:
+    """Toivonen with retries: grow the sample until a round is exact."""
+    sample_fraction = 0.25
+    for attempt in range(4):
+        result = toivonen_itemsets(
+            transactions,
+            min_support,
+            max_size=max_size,
+            sample_fraction=min(1.0, sample_fraction),
+            seed=attempt,
+        )
+        if result.exact:
+            return result.itemsets
+        sample_fraction *= 2
+    # Final fallback: the full "sample" (always exact).
+    return toivonen_itemsets(
+        transactions, min_support, max_size=max_size, sample_fraction=1.0
+    ).itemsets
+
+
+ITEMSET_BACKENDS: Dict[str, Callable[..., FrequentItemsets]] = {
+    "apriori": apriori_itemsets,
+    "pcy": pcy_itemsets,
+    "son": son_itemsets,
+    "toivonen": _toivonen_exact,
+}
+
+
+def mine_itemsets(
+    transactions: TransactionSet,
+    min_support: float,
+    method: str = "apriori",
+    max_size: int = 0,
+) -> FrequentItemsets:
+    """Mine frequent itemsets with the named backend."""
+    try:
+        backend = ITEMSET_BACKENDS[method]
+    except KeyError:
+        raise KeyError(
+            f"unknown itemset backend {method!r}; "
+            f"available: {sorted(ITEMSET_BACKENDS)}"
+        ) from None
+    return backend(transactions, min_support, max_size=max_size)

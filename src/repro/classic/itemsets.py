@@ -1,0 +1,129 @@
+"""Frequent-itemset mining: the Apriori scan/prune loop of Section 3.
+
+The paper's outline:
+
+    Scan 1   count 1-itemsets
+    REPEAT
+      Prune i  discard candidates below the threshold s0
+      Scan i   count candidate i-itemsets whose (i-1)-subsets are frequent
+
+Candidate generation joins frequent (k-1)-itemsets sharing a (k-2)-prefix
+and prunes candidates with any infrequent subset (downward closure, [AS94]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.classic.transactions import Item, TransactionSet
+
+__all__ = ["FrequentItemsets", "apriori_itemsets", "generate_candidates"]
+
+Itemset = FrozenSet[Item]
+
+
+@dataclass
+class FrequentItemsets:
+    """All frequent itemsets with their absolute counts, grouped by size."""
+
+    counts: Dict[Itemset, int]
+    n_transactions: int
+    min_count: int
+
+    def support(self, itemset: Itemset) -> float:
+        if self.n_transactions == 0:
+            return 0.0
+        return self.counts[itemset] / self.n_transactions
+
+    def by_size(self, size: int) -> List[Itemset]:
+        return [itemset for itemset in self.counts if len(itemset) == size]
+
+    @property
+    def max_size(self) -> int:
+        return max((len(itemset) for itemset in self.counts), default=0)
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __contains__(self, itemset: object) -> bool:
+        return itemset in self.counts
+
+
+def generate_candidates(frequent: Iterable[Itemset], size: int) -> Set[Itemset]:
+    """Join frequent (size-1)-itemsets, then prune by downward closure."""
+    previous = [tuple(sorted(itemset)) for itemset in frequent]
+    previous_set = {frozenset(itemset) for itemset in previous}
+    candidates: Set[Itemset] = set()
+    by_prefix: Dict[Tuple[Item, ...], List[Tuple[Item, ...]]] = {}
+    for itemset in previous:
+        by_prefix.setdefault(itemset[:-1], []).append(itemset)
+    for prefix, group in by_prefix.items():
+        group.sort()
+        for a_index in range(len(group)):
+            for b_index in range(a_index + 1, len(group)):
+                candidate = frozenset(group[a_index]) | {group[b_index][-1]}
+                if len(candidate) != size:
+                    continue
+                if all(
+                    frozenset(subset) in previous_set
+                    for subset in combinations(sorted(candidate), size - 1)
+                ):
+                    candidates.add(candidate)
+    return candidates
+
+
+def apriori_itemsets(
+    transactions: TransactionSet,
+    min_support: float,
+    max_size: int = 0,
+) -> FrequentItemsets:
+    """All itemsets with fractional support at least ``min_support``.
+
+    ``max_size = 0`` means unbounded (stop when a level comes up empty, as
+    in the paper's outline).  ``min_support`` is the fraction ``s0/|r|``;
+    the absolute count bar is ``ceil(min_support * |r|)`` with a floor of 1
+    so ``min_support = 0`` still requires at least one occurrence.
+    """
+    if not 0.0 <= min_support <= 1.0:
+        raise ValueError("min_support must be a fraction in [0, 1]")
+    n = len(transactions)
+    # Round before ceil to dodge float artifacts on e.g. 0.3 * 10 == 2.9999....
+    min_count = max(1, math.ceil(round(min_support * n, 9)))
+
+    counts: Dict[Itemset, int] = {}
+
+    # Scan 1: 1-itemset counts.
+    level_counts: Dict[Itemset, int] = {}
+    for transaction in transactions:
+        for item in transaction:
+            singleton = frozenset([item])
+            level_counts[singleton] = level_counts.get(singleton, 0) + 1
+    frequent = {
+        itemset: count for itemset, count in level_counts.items() if count >= min_count
+    }
+    counts.update(frequent)
+
+    size = 2
+    while frequent and (max_size == 0 or size <= max_size):
+        candidates = generate_candidates(frequent.keys(), size)
+        if not candidates:
+            break
+        level_counts = {candidate: 0 for candidate in candidates}
+        for transaction in transactions:
+            if len(transaction) < size:
+                continue
+            for candidate in candidates:
+                if candidate <= transaction:
+                    level_counts[candidate] += 1
+        frequent = {
+            itemset: count
+            for itemset, count in level_counts.items()
+            if count >= min_count
+        }
+        counts.update(frequent)
+        size += 1
+
+    return FrequentItemsets(counts=counts, n_transactions=n, min_count=min_count)

@@ -1,0 +1,106 @@
+"""Additional rule-interest measures for classical rules ([PS91]).
+
+The paper frames rule mining around Piatetsky-Shapiro's treatment of rule
+interest ("Rules are typically ranked by some measure of interest",
+Section 1, citing [PS91]).  Beyond support and confidence this module
+provides the standard complements:
+
+* **lift** — confidence relative to the consequent's base rate; 1 means
+  independence, >1 positive association;
+* **leverage** — Piatetsky-Shapiro's own measure: P(AB) − P(A)P(B), the
+  absolute support gained over independence (his axioms: 0 at
+  independence, monotone in P(AB), anti-monotone in P(A) and P(B));
+* **conviction** — P(A)P(not B) / P(A and not B); infinite for exact
+  rules, 1 at independence.
+
+All take the rule plus the consequent's support, so they are computable
+from the same counts Apriori already has — no rescans.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.classic.itemsets import FrequentItemsets
+from repro.classic.rules import ClassicalRule
+
+__all__ = ["RuleMeasures", "measure_rule", "measure_rules", "rank_by"]
+
+
+@dataclass(frozen=True)
+class RuleMeasures:
+    """The full interest profile of one classical rule."""
+
+    rule: ClassicalRule
+    lift: float
+    leverage: float
+    conviction: float
+
+    @property
+    def support(self) -> float:
+        return self.rule.support
+
+    @property
+    def confidence(self) -> float:
+        return self.rule.confidence
+
+
+def measure_rule(rule: ClassicalRule, consequent_support: float) -> RuleMeasures:
+    """Compute lift/leverage/conviction from the rule and P(consequent).
+
+    ``consequent_support`` must be the fractional support of the rule's
+    consequent itemset in the same data the rule was mined from.
+    """
+    if not 0.0 <= consequent_support <= 1.0:
+        raise ValueError("consequent_support must be a fraction in [0, 1]")
+    antecedent_support = (
+        rule.support / rule.confidence if rule.confidence > 0 else 0.0
+    )
+    lift = (
+        rule.confidence / consequent_support if consequent_support > 0 else math.inf
+    )
+    leverage = rule.support - antecedent_support * consequent_support
+    if rule.confidence >= 1.0:
+        conviction = math.inf
+    else:
+        conviction = (1.0 - consequent_support) / (1.0 - rule.confidence)
+    return RuleMeasures(rule=rule, lift=lift, leverage=leverage, conviction=conviction)
+
+
+def measure_rules(
+    rules: Iterable[ClassicalRule], itemsets: FrequentItemsets
+) -> List[RuleMeasures]:
+    """Measure every rule against the itemset counts it was mined from.
+
+    Consequent supports come straight from ``itemsets``; a consequent
+    absent from the counts (possible when it is itself infrequent but the
+    full rule was generated from a frequent superset — cannot happen with
+    this package's generators, but guard anyway) raises ``KeyError``.
+    """
+    measured = []
+    n = max(itemsets.n_transactions, 1)
+    for rule in rules:
+        count = itemsets.counts.get(rule.consequent)
+        if count is None:
+            raise KeyError(
+                f"no support count for consequent {sorted(map(str, rule.consequent))}"
+            )
+        measured.append(measure_rule(rule, count / n))
+    return measured
+
+
+def rank_by(
+    measured: Iterable[RuleMeasures], key: str = "leverage", top_k: Optional[int] = None
+) -> List[RuleMeasures]:
+    """Sort by one measure, descending; ``key`` in {lift, leverage, conviction,
+    support, confidence}."""
+    valid = ("lift", "leverage", "conviction", "support", "confidence")
+    if key not in valid:
+        raise ValueError(f"key must be one of {valid}")
+    ordered = sorted(
+        measured,
+        key=lambda m: (-(getattr(m, key)), str(m.rule)),
+    )
+    return ordered[:top_k] if top_k else ordered

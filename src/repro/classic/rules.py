@@ -1,0 +1,100 @@
+"""Classical association rules: support/confidence rule generation.
+
+Given the frequent itemsets, every partition of a frequent itemset into a
+non-empty antecedent and consequent whose confidence
+``|C1 and C2| / |C1|`` meets the bar is emitted ([AIS93]/[AS94]).  These
+rules — and their interest measures — are the baseline the paper argues is
+unintuitive on interval data (Section 2, Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, Iterator, List, Tuple
+
+from repro.classic.itemsets import FrequentItemsets, apriori_itemsets
+from repro.classic.transactions import Item, TransactionSet
+
+__all__ = ["ClassicalRule", "generate_rules", "mine_classical_rules"]
+
+
+@dataclass(frozen=True)
+class ClassicalRule:
+    """An implication ``antecedent => consequent`` with its interest measures."""
+
+    antecedent: FrozenSet[Item]
+    consequent: FrozenSet[Item]
+    support: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.antecedent or not self.consequent:
+            raise ValueError("antecedent and consequent must be non-empty")
+        if self.antecedent & self.consequent:
+            raise ValueError("antecedent and consequent must be disjoint")
+
+    @property
+    def items(self) -> FrozenSet[Item]:
+        return self.antecedent | self.consequent
+
+    def __str__(self) -> str:
+        lhs = " & ".join(sorted(map(str, self.antecedent)))
+        rhs = " & ".join(sorted(map(str, self.consequent)))
+        return f"{lhs} => {rhs} (sup={self.support:.3f}, conf={self.confidence:.3f})"
+
+
+def _splits(
+    itemset: Tuple[Item, ...]
+) -> Iterator[Tuple[FrozenSet[Item], FrozenSet[Item]]]:
+    """All (antecedent, consequent) bipartitions with both sides non-empty."""
+    universe = frozenset(itemset)
+    for size in range(1, len(itemset)):
+        for antecedent in combinations(itemset, size):
+            antecedent_set = frozenset(antecedent)
+            yield antecedent_set, universe - antecedent_set
+
+
+def generate_rules(
+    itemsets: FrequentItemsets, min_confidence: float
+) -> List[ClassicalRule]:
+    """Emit every rule meeting ``min_confidence`` from frequent itemsets.
+
+    Support and confidence come from the stored counts, so no data rescans
+    are needed (the antecedent of any frequent itemset is itself frequent
+    by downward closure, hence counted).
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ValueError("min_confidence must be a fraction in [0, 1]")
+    rules: List[ClassicalRule] = []
+    for itemset, count in itemsets.counts.items():
+        if len(itemset) < 2:
+            continue
+        ordered = tuple(sorted(itemset))
+        for antecedent, consequent in _splits(ordered):
+            antecedent_count = itemsets.counts.get(antecedent)
+            if antecedent_count is None or antecedent_count == 0:
+                continue
+            confidence = count / antecedent_count
+            if confidence >= min_confidence:
+                rules.append(
+                    ClassicalRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        support=count / max(itemsets.n_transactions, 1),
+                        confidence=confidence,
+                    )
+                )
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support, str(rule)))
+    return rules
+
+
+def mine_classical_rules(
+    transactions: TransactionSet,
+    min_support: float,
+    min_confidence: float,
+    max_size: int = 0,
+) -> List[ClassicalRule]:
+    """End-to-end classical mining: Apriori itemsets, then rule generation."""
+    itemsets = apriori_itemsets(transactions, min_support, max_size=max_size)
+    return generate_rules(itemsets, min_confidence)

@@ -1,0 +1,137 @@
+"""Toivonen's sampling algorithm with negative-border verification ([Toi96]).
+
+Mine a random sample at a *lowered* threshold, then make one full pass
+counting both the sample's frequent itemsets and their **negative border**
+(minimal itemsets not frequent in the sample whose proper subsets all
+are).  If nothing on the border turns out globally frequent, the result is
+provably exact; otherwise the miss is reported so the caller can rerun
+(typically with a larger sample or lower sample threshold).
+
+Deterministic given ``seed``.  One of the interchangeable Phase II
+algorithms the paper points to (§4.3.2 cites [Toi96] alongside Apriori).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Set
+
+import numpy as np
+
+from repro.classic.itemsets import FrequentItemsets, apriori_itemsets
+from repro.classic.transactions import Item, TransactionSet
+
+__all__ = ["SamplingResult", "toivonen_itemsets", "negative_border"]
+
+Itemset = FrozenSet[Item]
+
+
+@dataclass
+class SamplingResult:
+    """Output of one sampling round.
+
+    ``exact`` is True when no negative-border itemset was globally
+    frequent — then ``itemsets`` equals the true frequent collection.
+    ``border_misses`` lists the border itemsets that WERE globally
+    frequent (evidence the sample under-represented them).
+    """
+
+    itemsets: FrequentItemsets
+    exact: bool
+    border_misses: List[Itemset]
+
+
+def negative_border(frequent: Set[Itemset], universe: Set[Item]) -> Set[Itemset]:
+    """Minimal itemsets outside ``frequent`` whose proper subsets are all in it.
+
+    Computed level-wise: border singletons are the non-frequent items;
+    border k-itemsets are Apriori-style joins of frequent (k-1)-itemsets
+    that are not themselves frequent.
+    """
+    border: Set[Itemset] = {
+        frozenset([item])
+        for item in universe
+        if frozenset([item]) not in frequent
+    }
+    max_size = max((len(itemset) for itemset in frequent), default=0)
+    for size in range(2, max_size + 2):
+        previous = [itemset for itemset in frequent if len(itemset) == size - 1]
+        seen: Set[Itemset] = set()
+        for i, a in enumerate(previous):
+            for b in previous[i + 1 :]:
+                candidate = a | b
+                if len(candidate) != size or candidate in frequent:
+                    continue
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+                if all(
+                    frozenset(subset) in frequent
+                    for subset in combinations(sorted(candidate), size - 1)
+                ):
+                    border.add(candidate)
+    return border
+
+
+def toivonen_itemsets(
+    transactions: TransactionSet,
+    min_support: float,
+    max_size: int = 0,
+    sample_fraction: float = 0.25,
+    threshold_slack: float = 0.8,
+    seed: int = 0,
+) -> SamplingResult:
+    """One round of Toivonen's algorithm.
+
+    The sample is mined at ``threshold_slack * min_support`` (the lowered
+    threshold that makes misses unlikely); the full pass then assigns
+    exact counts.  Returned counts and the frequency bar refer to the FULL
+    data, so downstream rule generation is unaffected by sampling.
+    """
+    if not 0.0 <= min_support <= 1.0:
+        raise ValueError("min_support must be a fraction in [0, 1]")
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ValueError("sample_fraction must be in (0, 1]")
+    if not 0.0 < threshold_slack <= 1.0:
+        raise ValueError("threshold_slack must be in (0, 1]")
+    n = len(transactions)
+    min_count = max(1, math.ceil(round(min_support * n, 9)))
+    if n == 0:
+        empty = FrequentItemsets(counts={}, n_transactions=0, min_count=min_count)
+        return SamplingResult(itemsets=empty, exact=True, border_misses=[])
+
+    rng = np.random.default_rng(seed)
+    sample_size = max(1, int(round(sample_fraction * n)))
+    indices = rng.choice(n, size=sample_size, replace=False)
+    sample = TransactionSet(transactions[int(i)] for i in indices)
+
+    lowered = threshold_slack * min_support
+    local = apriori_itemsets(sample, lowered, max_size=max_size)
+    sample_frequent: Set[Itemset] = set(local.counts)
+    border = negative_border(sample_frequent, set(transactions.items()))
+
+    # Full pass: exact counts for candidates and their negative border.
+    to_count = sample_frequent | border
+    global_counts: Dict[Itemset, int] = {itemset: 0 for itemset in to_count}
+    for transaction in transactions:
+        for itemset in to_count:
+            if itemset <= transaction:
+                global_counts[itemset] += 1
+
+    counts = {
+        itemset: count
+        for itemset, count in global_counts.items()
+        if itemset in sample_frequent and count >= min_count
+    }
+    misses = sorted(
+        (
+            itemset
+            for itemset in border
+            if global_counts[itemset] >= min_count
+        ),
+        key=lambda itemset: (len(itemset), sorted(map(str, itemset))),
+    )
+    result = FrequentItemsets(counts=counts, n_transactions=n, min_count=min_count)
+    return SamplingResult(itemsets=result, exact=not misses, border_misses=misses)

@@ -1,0 +1,68 @@
+"""SON: the two-pass partition algorithm ([SON95]).
+
+Savasere, Omiecinski and Navathe: split the transactions into memory-sized
+chunks, mine each chunk *completely* at the proportional local threshold
+(any globally frequent itemset must be locally frequent in at least one
+chunk), union the local results as global candidates, then make one final
+counting pass to keep the true positives.  Exactly two scans regardless of
+itemset size — attractive when the data does not fit in memory, which is
+the same operating constraint the paper's adaptive trees target.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Set
+
+from repro.classic.itemsets import FrequentItemsets, apriori_itemsets
+from repro.classic.transactions import Item, TransactionSet
+
+__all__ = ["son_itemsets"]
+
+Itemset = FrozenSet[Item]
+
+
+def son_itemsets(
+    transactions: TransactionSet,
+    min_support: float,
+    max_size: int = 0,
+    n_partitions: int = 4,
+) -> FrequentItemsets:
+    """Frequent itemsets via the partition algorithm.
+
+    Exact: returns the same itemsets and counts as plain Apriori (property
+    tests assert this).  ``n_partitions`` is capped at the transaction
+    count; an empty input yields an empty result.
+    """
+    if not 0.0 <= min_support <= 1.0:
+        raise ValueError("min_support must be a fraction in [0, 1]")
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be positive")
+    n = len(transactions)
+    min_count = max(1, math.ceil(round(min_support * n, 9)))
+    if n == 0:
+        return FrequentItemsets(counts={}, n_transactions=0, min_count=min_count)
+
+    n_partitions = min(n_partitions, n)
+    chunk_size = math.ceil(n / n_partitions)
+
+    # Pass 1: mine each chunk at the same fractional threshold.
+    candidates: Set[Itemset] = set()
+    all_transactions = list(transactions)
+    for start in range(0, n, chunk_size):
+        chunk = TransactionSet(all_transactions[start : start + chunk_size])
+        local = apriori_itemsets(chunk, min_support, max_size=max_size)
+        candidates.update(local.counts)
+
+    # Pass 2: count every candidate globally, keep the truly frequent.
+    global_counts: Dict[Itemset, int] = {candidate: 0 for candidate in candidates}
+    for transaction in all_transactions:
+        for candidate in candidates:
+            if candidate <= transaction:
+                global_counts[candidate] += 1
+    counts = {
+        itemset: count
+        for itemset, count in global_counts.items()
+        if count >= min_count
+    }
+    return FrequentItemsets(counts=counts, n_transactions=n, min_count=min_count)

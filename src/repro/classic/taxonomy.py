@@ -1,0 +1,213 @@
+"""Taxonomies over nominal values and multi-level association rules.
+
+Section 3 of the paper: "a group may be a semantic generalization of a set
+of data values (we can store one count for all cars rather than a separate
+count for Hondas, Fords, etc.)" — the [SA95]/[HF95] approach for taming
+large *nominal* domains, which the paper contrasts with its distance-based
+approach for interval domains.  Implemented here so the nominal side of a
+mixed relation can be generalized the standard way:
+
+* :class:`Taxonomy` — an is-a forest over attribute values;
+* :func:`extend_transactions` — the [SA95] encoding: each transaction also
+  contains every ancestor of its items, so one Apriori run mines all
+  levels at once;
+* :func:`mine_multilevel_rules` — mining plus the two standard cleanups:
+  dropping rules that relate a value to its own ancestor (vacuously true)
+  and [SA95]'s R-interestingness filter (a rule is uninteresting when a
+  mined generalization already predicts its support to within a factor R).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
+
+from repro.classic.itemsets import apriori_itemsets
+from repro.classic.rules import ClassicalRule, generate_rules
+from repro.classic.transactions import Item, TransactionSet
+
+__all__ = ["Taxonomy", "extend_transactions", "mine_multilevel_rules"]
+
+
+class Taxonomy:
+    """An is-a forest: each value has at most one parent.
+
+    >>> taxonomy = Taxonomy({"honda": "car", "ford": "car", "car": "vehicle"})
+    >>> taxonomy.ancestors("honda")
+    ('car', 'vehicle')
+    """
+
+    def __init__(self, parents: Mapping[Hashable, Hashable]):
+        self._parents: Dict[Hashable, Hashable] = dict(parents)
+        for child, parent in self._parents.items():
+            if child == parent:
+                raise ValueError(f"value {child!r} is its own parent")
+        # Reject cycles by walking every chain with a visited set.
+        for start in self._parents:
+            seen = {start}
+            node = self._parents.get(start)
+            while node is not None:
+                if node in seen:
+                    raise ValueError(f"taxonomy cycle through {node!r}")
+                seen.add(node)
+                node = self._parents.get(node)
+
+    @classmethod
+    def from_nested(cls, tree: Mapping[Hashable, object]) -> "Taxonomy":
+        """Build from nested dicts/lists:
+
+        >>> Taxonomy.from_nested(
+        ...     {"vehicle": {"car": ["honda", "ford"], "bike": ["bmx"]}}
+        ... ).parent("ford")
+        'car'
+        """
+        parents: Dict[Hashable, Hashable] = {}
+
+        def walk(node: object, parent: Optional[Hashable]) -> None:
+            if isinstance(node, Mapping):
+                for value, children in node.items():
+                    if parent is not None:
+                        parents[value] = parent
+                    walk(children, value)
+            elif isinstance(node, (list, tuple, set, frozenset)):
+                for value in node:
+                    walk(value, parent)
+            else:
+                if parent is not None:
+                    parents[node] = parent
+
+        walk(tree, None)
+        return cls(parents)
+
+    def parent(self, value: Hashable) -> Optional[Hashable]:
+        return self._parents.get(value)
+
+    def ancestors(self, value: Hashable) -> Tuple[Hashable, ...]:
+        """All ancestors, nearest first (empty for roots/unknown values)."""
+        chain: List[Hashable] = []
+        node = self._parents.get(value)
+        while node is not None:
+            chain.append(node)
+            node = self._parents.get(node)
+        return tuple(chain)
+
+    def is_ancestor(self, ancestor: Hashable, value: Hashable) -> bool:
+        return ancestor in self.ancestors(value)
+
+    def roots(self) -> FrozenSet[Hashable]:
+        values = set(self._parents) | set(self._parents.values())
+        return frozenset(v for v in values if v not in self._parents)
+
+    def depth(self, value: Hashable) -> int:
+        return len(self.ancestors(value))
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._parents or value in self._parents.values()
+
+
+def extend_transactions(
+    transactions: TransactionSet, taxonomy: Taxonomy
+) -> TransactionSet:
+    """The [SA95] encoding: each item brings its ancestors along.
+
+    Ancestor items share the original item's attribute, so ``item=honda``
+    in a transaction implies ``item=car`` and ``item=vehicle`` items too.
+    """
+    extended = []
+    for transaction in transactions:
+        items = set(transaction)
+        for item in transaction:
+            for ancestor in taxonomy.ancestors(item.value):
+                items.add(Item(item.attribute, ancestor))
+        extended.append(items)
+    return TransactionSet(extended)
+
+
+def _crosses_levels(rule: ClassicalRule, taxonomy: Taxonomy) -> bool:
+    """True when the rule relates a value to its own ancestor (vacuous)."""
+    items = list(rule.items)
+    for i, a in enumerate(items):
+        for b in items[i + 1 :]:
+            if a.attribute != b.attribute:
+                continue
+            if taxonomy.is_ancestor(a.value, b.value) or taxonomy.is_ancestor(
+                b.value, a.value
+            ):
+                return True
+    return False
+
+
+def _one_step_generalizations(
+    rule: ClassicalRule, taxonomy: Taxonomy
+) -> List[Tuple[Item, Item, FrozenSet[Item], FrozenSet[Item]]]:
+    """(old item, parent item, generalized antecedent, generalized consequent)."""
+    results = []
+    for side_name in ("antecedent", "consequent"):
+        side: FrozenSet[Item] = getattr(rule, side_name)
+        for item in side:
+            parent_value = taxonomy.parent(item.value)
+            if parent_value is None:
+                continue
+            parent_item = Item(item.attribute, parent_value)
+            new_side = (side - {item}) | {parent_item}
+            if side_name == "antecedent":
+                results.append((item, parent_item, frozenset(new_side), rule.consequent))
+            else:
+                results.append((item, parent_item, rule.antecedent, frozenset(new_side)))
+    return results
+
+
+def mine_multilevel_rules(
+    transactions: TransactionSet,
+    taxonomy: Taxonomy,
+    min_support: float,
+    min_confidence: float,
+    interest_ratio: Optional[float] = 1.1,
+    max_size: int = 0,
+) -> List[ClassicalRule]:
+    """Mine rules across all taxonomy levels, with the standard cleanups.
+
+    ``interest_ratio`` enables [SA95]'s R-interestingness filter: a rule is
+    dropped when some mined one-step generalization predicts its support
+    (scaled by the child/parent frequency ratio of the specialized item)
+    to within the ratio — the specialized rule then carries no information
+    beyond its generalization.  Pass ``None`` to keep every rule.
+    """
+    extended = extend_transactions(transactions, taxonomy)
+    itemsets = apriori_itemsets(extended, min_support, max_size=max_size)
+    rules = [
+        rule
+        for rule in generate_rules(itemsets, min_confidence)
+        if not _crosses_levels(rule, taxonomy)
+    ]
+    if interest_ratio is None:
+        return rules
+
+    by_sides = {(rule.antecedent, rule.consequent): rule for rule in rules}
+    n = len(extended)
+
+    def item_support(item: Item) -> float:
+        count = itemsets.counts.get(frozenset([item]))
+        if count is None:
+            return 0.0
+        return count / n if n else 0.0
+
+    interesting: List[ClassicalRule] = []
+    for rule in rules:
+        predicted = False
+        for item, parent_item, g_antecedent, g_consequent in _one_step_generalizations(
+            rule, taxonomy
+        ):
+            generalization = by_sides.get((g_antecedent, g_consequent))
+            if generalization is None:
+                continue
+            parent_support = item_support(parent_item)
+            if parent_support == 0:
+                continue
+            share = item_support(item) / parent_support
+            expected = generalization.support * share
+            if expected > 0 and rule.support < interest_ratio * expected:
+                predicted = True
+                break
+        if not predicted:
+            interesting.append(rule)
+    return interesting

@@ -1,0 +1,96 @@
+"""Transaction representations for classical association-rule mining.
+
+Classical association rules (Section 1 of the paper) are defined over
+boolean tables, "often represented in an unnormalized form as a list of
+tuple identifiers paired with a set of values".  An :class:`Item` here is an
+``(attribute, value)`` equality predicate; a transaction is the set of items
+a tuple satisfies.  Relations over arbitrary domains are itemized column by
+column, which is exactly the [SA96] mapping the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.data.relation import Relation
+
+__all__ = ["Item", "Transaction", "TransactionSet", "relation_to_transactions"]
+
+
+@dataclass(frozen=True, order=True)
+class Item:
+    """An equality predicate ``attribute = value`` (or a bare market-basket item)."""
+
+    attribute: str
+    value: Hashable
+
+    def __str__(self) -> str:
+        return f"{self.attribute}={self.value}"
+
+
+Transaction = FrozenSet[Item]
+
+
+class TransactionSet:
+    """An ordered collection of transactions with itemization helpers."""
+
+    def __init__(self, transactions: Iterable[Iterable[Item]]):
+        self._transactions: List[Transaction] = [
+            frozenset(transaction) for transaction in transactions
+        ]
+
+    @classmethod
+    def from_baskets(
+        cls, baskets: Iterable[Iterable[Hashable]], attribute: str = "item"
+    ) -> "TransactionSet":
+        """Market-basket input: each basket is a set of bare values."""
+        return cls(
+            [Item(attribute, value) for value in basket] for basket in baskets
+        )
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self):
+        return iter(self._transactions)
+
+    def __getitem__(self, index: int) -> Transaction:
+        return self._transactions[index]
+
+    def items(self) -> FrozenSet[Item]:
+        """The universe of items appearing in any transaction."""
+        universe: set = set()
+        for transaction in self._transactions:
+            universe |= transaction
+        return frozenset(universe)
+
+    def count(self, itemset: FrozenSet[Item]) -> int:
+        """Number of transactions containing every item of ``itemset``."""
+        return sum(1 for transaction in self._transactions if itemset <= transaction)
+
+    def support(self, itemset: FrozenSet[Item]) -> float:
+        """Fractional support |C|/|r| (the [AIS93] definition)."""
+        if not self._transactions:
+            return 0.0
+        return self.count(itemset) / len(self._transactions)
+
+
+def relation_to_transactions(
+    relation: Relation, attributes: Optional[Sequence[str]] = None
+) -> TransactionSet:
+    """Itemize a relation: one ``attribute=value`` item per cell.
+
+    ``attributes`` defaults to every attribute.  Numeric values are kept
+    as-is; mining equality items over dense interval data is exactly the
+    failure mode the paper critiques, which makes this mapping useful for
+    building the contrast experiments.
+    """
+    names: Tuple[str, ...] = tuple(attributes or relation.schema.names)
+    columns = [relation.column(name) for name in names]
+    transactions = []
+    for i in range(len(relation)):
+        transactions.append(
+            frozenset(Item(name, column[i]) for name, column in zip(names, columns))
+        )
+    return TransactionSet(transactions)

@@ -1,0 +1,268 @@
+"""Command-line interface: mine rules from CSV relations.
+
+Subcommands:
+
+* ``mine``      — distance-based association rules (the paper's algorithm)
+* ``baseline``  — the Srikant–Agrawal quantitative-rule baseline
+* ``generate``  — write a synthetic workload to CSV
+* ``describe``  — schema and per-column statistics of a relation
+
+Examples::
+
+    python -m repro generate planted /tmp/claims.csv --seed 7
+    python -m repro mine /tmp/claims.csv --count-support --top-k 10
+    python -m repro mine /tmp/claims.csv --target claims --prune-redundant
+    python -m repro baseline /tmp/claims.csv --min-support 0.15
+
+CSV files use the schema-header format of :mod:`repro.data.io` (written by
+``generate`` and by :func:`repro.data.io.save_csv`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DARConfig
+from repro.core.miner import DARMiner
+from repro.core.postprocess import filter_by_consequent, prune_redundant, select_rules
+from repro.data.io import load_csv, load_plain_csv, save_csv
+from repro.data.relation import Relation
+from repro.data.synthetic import make_clustered_relation, make_planted_rule_relation
+from repro.data.wbcd import make_scaled_wbcd, make_wbcd_like
+from repro.mixed.miner import MixedDARConfig, MixedDARMiner
+from repro.quantitative.qar import QARConfig, QARMiner
+from repro.report.describe import describe_rule
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distance-based association rules over interval data "
+        "(Miller & Yang, SIGMOD 1997)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    mine = commands.add_parser("mine", help="mine distance-based rules from a CSV")
+    mine.add_argument("csv", help="relation file written by repro (schema header)")
+    mine.add_argument("--frequency", type=float, default=0.03,
+                      help="frequency threshold s0 as a fraction (default 0.03)")
+    mine.add_argument("--density-fraction", type=float, default=0.15,
+                      help="d0 as a fraction of each column's spread (default 0.15)")
+    mine.add_argument("--degree-factor", type=float, default=2.0,
+                      help="D0 = degree-factor x d0 (default 2.0)")
+    mine.add_argument("--metric", choices=("d1", "d2"), default="d2",
+                      help="cluster distance for Phase II (default d2)")
+    mine.add_argument("--count-support", action="store_true",
+                      help="post-scan: count classical support per rule")
+    mine.add_argument("--mixed", action="store_true",
+                      help="include nominal attributes (Section 8 extension)")
+    mine.add_argument("--target", default=None,
+                      help="comma-separated consequent partitions to keep")
+    mine.add_argument("--prune-redundant", action="store_true",
+                      help="drop rules implied by stronger shorter rules")
+    mine.add_argument("--top-k", type=int, default=None,
+                      help="print only the k strongest rules")
+    mine.add_argument("--max-degree", type=float, default=None,
+                      help="keep rules with degree at most this")
+    mine.add_argument("--json", action="store_true",
+                      help="emit the full result as JSON (not with --mixed)")
+    mine.add_argument("--drop-missing", action="store_true",
+                      help="drop tuples with missing values before mining")
+    mine.add_argument("--impute-mean", action="store_true",
+                      help="replace numeric NaNs with the column mean")
+
+    baseline = commands.add_parser(
+        "baseline", help="Srikant-Agrawal quantitative rules (equi-depth)"
+    )
+    baseline.add_argument("csv")
+    baseline.add_argument("--min-support", type=float, default=0.1)
+    baseline.add_argument("--min-confidence", type=float, default=0.5)
+    baseline.add_argument("--partial-completeness", type=float, default=3.0)
+    baseline.add_argument("--top-k", type=int, default=None)
+
+    generate = commands.add_parser("generate", help="write a synthetic workload")
+    generate.add_argument(
+        "workload", choices=("planted", "clustered", "wbcd", "wbcd-scaled")
+    )
+    generate.add_argument("out", help="output CSV path")
+    generate.add_argument("--size", type=int, default=None,
+                          help="tuples (wbcd-scaled/clustered; see docs for defaults)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--modes", type=int, default=4,
+                          help="clustered: number of modes")
+    generate.add_argument("--attributes", type=int, default=3,
+                          help="clustered: number of attributes")
+
+    describe = commands.add_parser("describe", help="schema and column statistics")
+    describe.add_argument("csv")
+    describe.add_argument("--sketch", action="store_true",
+                          help="print a text histogram per numeric column")
+
+    return parser
+
+
+def _load_relation(path: str) -> Relation:
+    """Load a repro CSV, falling back to plain-CSV schema inference."""
+    try:
+        return load_csv(path)
+    except ValueError as error:
+        if "schema header" not in str(error):
+            raise
+        return load_plain_csv(path)
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    relation = _load_relation(args.csv)
+    if args.drop_missing and args.impute_mean:
+        raise ValueError("choose one of --drop-missing / --impute-mean")
+    if args.drop_missing:
+        from repro.data.cleaning import drop_missing
+
+        relation = drop_missing(relation)
+    elif args.impute_mean:
+        from repro.data.cleaning import impute_mean
+
+        relation = impute_mean(relation)
+    config = DARConfig(
+        frequency_fraction=args.frequency,
+        density_fraction=args.density_fraction,
+        degree_factor=args.degree_factor,
+        cluster_metric=args.metric,
+        count_rule_support=args.count_support,
+    )
+    targets = args.target.split(",") if args.target else None
+    if args.mixed:
+        if args.json:
+            raise ValueError("--json is not supported together with --mixed")
+        result = MixedDARMiner(MixedDARConfig(base=config)).mine_mixed(relation)
+    else:
+        # Targets go into the miner itself (skips non-target assoc sets).
+        result = DARMiner(config).mine(relation, targets=targets)
+
+    if args.json:
+        from repro.report.export import result_to_json
+
+        print(result_to_json(result))
+        return 0
+
+    rules = list(result.rules)
+    if args.mixed and targets:
+        rules = filter_by_consequent(rules, targets)
+    if args.prune_redundant:
+        rules = prune_redundant(rules)
+    rules = select_rules(
+        rules,
+        max_degree=args.max_degree,
+        top_k=args.top_k,
+    )
+
+    print(f"# {len(relation)} tuples, frequency bar {result.frequency_count}")
+    for name in sorted(result.density_thresholds):
+        print(
+            f"# partition {name}: d0={result.density_thresholds[name]:.6g} "
+            f"D0={result.degree_thresholds[name]:.6g}"
+        )
+    print(f"# rules: {len(rules)}")
+    for rule in rules:
+        if args.mixed:
+            print(str(rule))
+        else:
+            print(describe_rule(rule))
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    relation = _load_relation(args.csv)
+    config = QARConfig(
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        partial_completeness=args.partial_completeness,
+    )
+    result = QARMiner(config).mine(relation)
+    rules = result.rules[: args.top_k] if args.top_k else result.rules
+    print(f"# {len(relation)} tuples; intervals per attribute:")
+    for name, intervals in sorted(result.intervals.items()):
+        print(f"#   {name}: {len(intervals)} base intervals (depth {result.depth[name]})")
+    print(f"# rules: {len(rules)}")
+    for rule in rules:
+        print(str(rule))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.workload == "planted":
+        relation, _ = make_planted_rule_relation(seed=args.seed)
+    elif args.workload == "clustered":
+        points_per_mode = (args.size or 800) // max(args.modes, 1)
+        relation, _ = make_clustered_relation(
+            n_modes=args.modes,
+            points_per_mode=max(points_per_mode, 1),
+            n_attributes=args.attributes,
+            seed=args.seed,
+        )
+    elif args.workload == "wbcd":
+        relation = make_wbcd_like(n_tuples=args.size or 500, seed=args.seed)
+    else:  # wbcd-scaled
+        relation = make_scaled_wbcd(args.size or 10_000, seed=args.seed)
+    save_csv(relation, args.out)
+    print(f"wrote {len(relation)} tuples x {relation.arity} attributes to {args.out}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    relation = _load_relation(args.csv)
+    print(f"{args.csv}: {len(relation)} tuples, {relation.arity} attributes")
+    for attribute in relation.schema:
+        column = relation.column(attribute.name)
+        if attribute.kind.is_numeric and len(relation):
+            stats = (
+                f"min={column.min():.6g} max={column.max():.6g} "
+                f"mean={column.mean():.6g} std={column.std():.6g}"
+            )
+            if getattr(args, "sketch", False) and np.all(np.isfinite(column)):
+                from repro.report.ascii import histogram
+
+                print(f"  {attribute.name} [{attribute.kind.value}]: {stats}")
+                for line in histogram(column, bins=8, width=40).splitlines():
+                    print(f"      {line}")
+                continue
+        elif len(relation):
+            values, counts = np.unique(column.astype(str), return_counts=True)
+            order = np.argsort(-counts)
+            top = ", ".join(
+                f"{values[i]}({counts[i]})" for i in order[:4]
+            )
+            stats = f"{len(values)} distinct: {top}"
+        else:
+            stats = "(empty)"
+        print(f"  {attribute.name} [{attribute.kind.value}]: {stats}")
+    return 0
+
+
+_COMMANDS = {
+    "mine": _cmd_mine,
+    "baseline": _cmd_baseline,
+    "generate": _cmd_generate,
+    "describe": _cmd_describe,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Maximal clique enumeration over the clustering graph.
+
+Section 6.2: "From the clustering graph, we find all maximal cliques.
+These cliques correspond to large itemsets for DARs."  We use the
+Bron–Kerbosch algorithm with Tomita-style pivoting, which is the standard
+output-sensitive enumerator; the paper notes that in practice the graph is
+sparse ("the number of edges ... only a small constant times the number of
+nodes"), so enumeration is cheap.
+
+Isolated vertices are emitted as trivial 1-cliques, matching the paper's
+"by definition a single vertex is a trivial 1-clique", so that every
+frequent cluster can still participate in rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+__all__ = ["maximal_cliques", "non_trivial_cliques"]
+
+
+def maximal_cliques(adjacency: Dict[int, Set[int]]) -> List[FrozenSet[int]]:
+    """All maximal cliques of an undirected graph given as adjacency sets.
+
+    The adjacency mapping must be symmetric and irreflexive; every vertex
+    must appear as a key (possibly with an empty neighbor set).  Results
+    are sorted (by size descending, then lexicographically) so downstream
+    behaviour is deterministic.
+    """
+    for vertex, neighbors in adjacency.items():
+        if vertex in neighbors:
+            raise ValueError(f"self-loop on vertex {vertex}")
+        for neighbor in neighbors:
+            if vertex not in adjacency.get(neighbor, ()):
+                raise ValueError(f"asymmetric edge {vertex}->{neighbor}")
+
+    cliques: List[FrozenSet[int]] = []
+
+    def expand(r: Set[int], p: Set[int], x: Set[int]) -> None:
+        if not p and not x:
+            cliques.append(frozenset(r))
+            return
+        # Tomita pivot: the vertex of P | X with the most neighbors in P.
+        pivot = max(p | x, key=lambda u: len(adjacency[u] & p))
+        for v in sorted(p - adjacency[pivot]):
+            neighbors = adjacency[v]
+            expand(r | {v}, p & neighbors, x & neighbors)
+            p.remove(v)
+            x.add(v)
+
+    expand(set(), set(adjacency), set())
+    cliques.sort(key=lambda clique: (-len(clique), sorted(clique)))
+    return cliques
+
+
+def non_trivial_cliques(cliques: Iterable[FrozenSet[int]]) -> List[FrozenSet[int]]:
+    """Cliques with at least two vertices (the count §7.2 reports)."""
+    return [clique for clique in cliques if len(clique) >= 2]

@@ -1,0 +1,148 @@
+"""Rule interest for interval data, and the bridge to classical measures.
+
+Section 5.1 shows that distance-based rules *generalize* classical rules:
+over nominal data with the 0/1 metric,
+
+* Theorem 5.1 — a non-empty cluster has diameter 0 iff it is value-pure;
+* Theorem 5.2 — ``A=a => B=b`` holds with confidence ``c`` iff the DAR
+  ``C_A => C_B`` holds with degree ``1 - c`` under D2.
+
+This module implements both directions of that bridge, plus the raw-data
+degree-of-association computations used by the Figure 2 and Figure 4
+experiments (where clusters are explicit tuple sets rather than ACFs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.metrics.cluster import d2_average_inter_cluster, diameter
+from repro.metrics.distance import discrete, get_metric
+
+__all__ = [
+    "degree_from_confidence",
+    "confidence_from_degree",
+    "nominal_cluster_degree",
+    "nominal_cluster_diameter",
+    "RuleInterest",
+    "distance_rule_interest",
+    "classical_rule_interest",
+]
+
+
+def degree_from_confidence(confidence: float) -> float:
+    """Theorem 5.2, forward direction: degree = 1 - confidence."""
+    if not 0.0 <= confidence <= 1.0:
+        raise ValueError("confidence must be in [0, 1]")
+    return 1.0 - confidence
+
+
+def confidence_from_degree(degree: float) -> float:
+    """Theorem 5.2, reverse direction: confidence = 1 - degree."""
+    if not 0.0 <= degree <= 1.0:
+        raise ValueError("a 0/1-metric degree must be in [0, 1]")
+    return 1.0 - degree
+
+
+def nominal_cluster_diameter(values: Sequence[Hashable]) -> float:
+    """Diameter of a value multiset under the 0/1 metric (Theorem 5.1).
+
+    Returns 0 iff all values are equal (or the set is a singleton/empty).
+    """
+    encoded = _encode_nominal(values)
+    return diameter(encoded.reshape(-1, 1), metric=discrete)
+
+
+def nominal_cluster_degree(
+    antecedent_values: Sequence[Hashable], consequent_values: Sequence[Hashable]
+) -> float:
+    """D2(C_B[B], C_A[B]) under the 0/1 metric.
+
+    ``antecedent_values`` are the B-projections of the antecedent cluster's
+    tuples; ``consequent_values`` those of the consequent cluster.  Used to
+    verify Theorem 5.2 empirically.
+    """
+    joint = list(antecedent_values) + list(consequent_values)
+    encoded = _encode_nominal(joint)
+    a = encoded[: len(antecedent_values)].reshape(-1, 1)
+    b = encoded[len(antecedent_values) :].reshape(-1, 1)
+    return d2_average_inter_cluster(b, a, metric=discrete)
+
+
+def _encode_nominal(values: Sequence[Hashable]) -> np.ndarray:
+    """Map arbitrary hashable values to distinct floats (0/1-metric safe)."""
+    codes = {}
+    encoded = np.empty(len(values), dtype=np.float64)
+    for i, value in enumerate(values):
+        encoded[i] = codes.setdefault(value, float(len(codes)))
+    return encoded
+
+
+@dataclass(frozen=True)
+class RuleInterest:
+    """Side-by-side interest measures for one rule on one relation.
+
+    ``support``/``confidence`` are the classical measures; ``degree`` is
+    the distance-based measure D(C_Y[Y], C_X[Y]) computed on raw data.  A
+    smaller degree means a stronger rule — the inversion the paper builds
+    Goal 3 around.
+    """
+
+    support: float
+    confidence: float
+    degree: float
+
+    def stronger_than(self, other: "RuleInterest") -> bool:
+        """Distance-based comparison: strictly smaller degree."""
+        return self.degree < other.degree
+
+
+def classical_rule_interest(
+    relation: Relation,
+    antecedent_mask: Sequence[bool],
+    consequent_mask: Sequence[bool],
+) -> Tuple[float, float]:
+    """(support, confidence) of ``C1 => C2`` given satisfaction masks."""
+    a = np.asarray(antecedent_mask, dtype=bool)
+    c = np.asarray(consequent_mask, dtype=bool)
+    if a.shape != c.shape or a.shape != (len(relation),):
+        raise ValueError("masks must match the relation size")
+    both = int(np.count_nonzero(a & c))
+    n = len(relation)
+    support = both / n if n else 0.0
+    antecedent_count = int(np.count_nonzero(a))
+    confidence = both / antecedent_count if antecedent_count else 0.0
+    return support, confidence
+
+
+def distance_rule_interest(
+    relation: Relation,
+    antecedent_mask: Sequence[bool],
+    consequent_mask: Sequence[bool],
+    consequent_attributes: Sequence[str],
+    metric: str = "euclidean",
+) -> RuleInterest:
+    """All three interest measures for a rule ``C_X => C_Y``.
+
+    ``consequent_attributes`` is the attribute set ``Y``; the degree is
+    ``D2(C_Y[Y], C_X[Y])`` on the raw projections (Eq. 6), which is the
+    measure Dfn 5.1 uses.  The classical measures use exact set
+    membership on the same masks.
+    """
+    support, confidence = classical_rule_interest(
+        relation, antecedent_mask, consequent_mask
+    )
+    a = np.asarray(antecedent_mask, dtype=bool)
+    c = np.asarray(consequent_mask, dtype=bool)
+    if not a.any() or not c.any():
+        raise ValueError("both clusters must be non-empty to measure a degree")
+    point_metric = get_metric(metric)
+    projections = relation.matrix(list(consequent_attributes))
+    degree = d2_average_inter_cluster(
+        projections[c], projections[a], metric=point_metric
+    )
+    return RuleInterest(support=support, confidence=confidence, degree=degree)

@@ -1,0 +1,441 @@
+"""The two-phase distance-based association rule miner (Section 6).
+
+Phase I clusters every attribute partition with the adaptive ACF-tree
+(:mod:`repro.birch`); Phase II works entirely on the resulting summaries:
+it builds the clustering graph (Dfn 6.1), enumerates maximal cliques,
+computes ``assoc`` sets per consequent cluster and emits every
+Dfn 5.3-valid rule within the configured arity bounds.  Optionally a single
+post-scan counts the classical support of each candidate rule (the
+"Reducing the cost of Phase II" / post-processing remark of Section 6.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.birch.birch import BirchClusterer, Phase1Stats, assign_to_centroids
+from repro.birch.features import CF
+from repro.core.cliques import maximal_cliques, non_trivial_cliques
+from repro.core.cluster import Cluster, image_distance
+from repro.core.config import DARConfig
+from repro.core.graph import ClusteringGraph, build_clustering_graph
+from repro.core.rules import DistanceRule
+from repro.data.relation import AttributePartition, Relation, default_partitions
+
+__all__ = ["DARMiner", "DARResult", "Phase2Stats"]
+
+
+@dataclass
+class Phase2Stats:
+    """Diagnostics of the in-memory rule-formation phase."""
+
+    seconds: float = 0.0
+    n_clusters: int = 0
+    n_frequent_clusters: int = 0
+    n_cliques: int = 0
+    n_non_trivial_cliques: int = 0
+    n_edges: int = 0
+    comparisons: int = 0
+    comparisons_skipped: int = 0
+    n_rules: int = 0
+
+
+@dataclass
+class DARResult:
+    """Everything a mining run produced, summaries included."""
+
+    rules: List[DistanceRule]
+    frequent_clusters: Dict[str, List[Cluster]]
+    all_clusters: Dict[str, List[Cluster]]
+    graph: Optional[ClusteringGraph]
+    cliques: List[FrozenSet[int]]
+    density_thresholds: Dict[str, float]
+    degree_thresholds: Dict[str, float]
+    frequency_count: int
+    phase1: Dict[str, Phase1Stats]
+    phase2: Phase2Stats
+
+    def cluster_by_uid(self, uid: int) -> Cluster:
+        for clusters in self.all_clusters.values():
+            for cluster in clusters:
+                if cluster.uid == uid:
+                    return cluster
+        raise KeyError(f"no cluster with uid {uid}")
+
+    def rules_sorted(self) -> List[DistanceRule]:
+        """Rules ranked strongest-first (smallest degree, then most support)."""
+        return sorted(
+            self.rules,
+            key=lambda rule: (rule.degree, -(rule.support_count or 0), str(rule)),
+        )
+
+
+class DARMiner:
+    """Mines distance-based association rules from a relation.
+
+    >>> from repro.data.synthetic import make_planted_rule_relation
+    >>> relation, _ = make_planted_rule_relation(seed=7)
+    >>> result = DARMiner().mine(relation)
+    >>> len(result.rules) > 0
+    True
+    """
+
+    def __init__(self, config: DARConfig = DARConfig()):
+        self.config = config
+
+    # ------------------------------------------------------------------
+
+    def mine(
+        self,
+        relation: Relation,
+        partitions: Optional[Sequence[AttributePartition]] = None,
+        targets: Optional[Sequence[str]] = None,
+    ) -> DARResult:
+        """Run both phases over ``relation``.
+
+        ``partitions`` defaults to one partition per interval attribute.
+        ``targets`` optionally names the partitions rules may conclude
+        about — the Section 5.2 N:1 application ("associations between
+        driver characteristics and a specific variable"): only consequents
+        over target partitions are enumerated, which also skips their
+        assoc-set computation entirely.  Raises ``ValueError`` for empty
+        relations, empty partitionings, or unknown target names.
+        """
+        if len(relation) == 0:
+            raise ValueError("cannot mine an empty relation")
+        partition_list = list(
+            partitions if partitions is not None else default_partitions(relation.schema)
+        )
+        if not partition_list:
+            raise ValueError("no interval attributes to mine over")
+        names = [p.name for p in partition_list]
+        if len(set(names)) != len(names):
+            raise ValueError(f"partition names must be unique, got {names}")
+        target_set: Optional[frozenset] = None
+        if targets is not None:
+            target_set = frozenset(targets)
+            unknown = target_set - set(names)
+            if unknown:
+                raise ValueError(f"unknown target partitions: {sorted(unknown)}")
+            if not target_set:
+                raise ValueError("targets, when given, must be non-empty")
+
+        matrices = {p.name: relation.matrix(p.attributes) for p in partition_list}
+        density = self._resolve_density_thresholds(partition_list, matrices)
+        degree = {
+            p.name: self.config.degree_threshold(p.name, density[p.name])
+            for p in partition_list
+        }
+
+        # ------------------------------ Phase I ------------------------
+        phase1_stats: Dict[str, Phase1Stats] = {}
+        all_clusters: Dict[str, List[Cluster]] = {}
+        frequent_clusters: Dict[str, List[Cluster]] = {}
+        n = len(relation)
+        frequency_count = max(1, math.ceil(self.config.frequency_fraction * n))
+        uid = itertools.count()
+
+        for partition in partition_list:
+            others = [p for p in partition_list if p.name != partition.name]
+            options = replace(
+                self.config.birch,
+                initial_threshold=density[partition.name],
+                frequency_fraction=self.config.frequency_fraction,
+            )
+            clusterer = BirchClusterer(partition, others, options)
+            result = clusterer.fit_arrays(
+                matrices[partition.name],
+                {p.name: matrices[p.name] for p in others},
+            )
+            phase1_stats[partition.name] = result.stats
+            clusters = [
+                Cluster(uid=next(uid), partition=partition, acf=acf)
+                for acf in result.clusters
+            ]
+            all_clusters[partition.name] = clusters
+            frequent = [c for c in clusters if c.n >= frequency_count]
+            # "If for some X_i there are no frequent clusters, we omit X_i
+            # from consideration in Phase II."
+            if frequent:
+                frequent_clusters[partition.name] = frequent
+
+        # ------------------------------ Phase II -----------------------
+        phase2 = Phase2Stats()
+        started = time.perf_counter()
+        flat_frequent = [
+            cluster
+            for clusters in frequent_clusters.values()
+            for cluster in clusters
+        ]
+        phase2.n_clusters = sum(len(c) for c in all_clusters.values())
+        phase2.n_frequent_clusters = len(flat_frequent)
+
+        graph: Optional[ClusteringGraph] = None
+        cliques: List[FrozenSet[int]] = []
+        rules: List[DistanceRule] = []
+        if len(frequent_clusters) >= 2:
+            lenient = {
+                name: self.config.phase2_leniency * threshold
+                for name, threshold in density.items()
+            }
+            graph = build_clustering_graph(
+                flat_frequent,
+                lenient,
+                metric=self.config.cluster_metric,
+                use_density_pruning=self.config.use_density_pruning,
+                pruning_diameter_factor=self.config.pruning_diameter_factor,
+            )
+            cliques = maximal_cliques(graph.adjacency)
+            rules = self._rules_from_cliques(
+                graph, cliques, degree, targets=target_set
+            )
+            phase2.n_edges = graph.n_edges
+            phase2.comparisons = graph.stats.comparisons
+            phase2.comparisons_skipped = graph.stats.skipped
+        phase2.n_cliques = len(cliques)
+        phase2.n_non_trivial_cliques = len(non_trivial_cliques(cliques))
+
+        wants_counts = (
+            self.config.count_rule_support
+            or self.config.rule_support_fraction is not None
+        )
+        if wants_counts and rules:
+            rules = self._count_support(rules, frequent_clusters, matrices)
+            if self.config.rule_support_fraction is not None:
+                # Section 6.2 post-processing: "these rules are only
+                # candidate rules ... we can rescan the data (once) and
+                # count the frequency of all candidate rules."
+                bar = math.ceil(self.config.rule_support_fraction * n)
+                rules = [
+                    rule for rule in rules if (rule.support_count or 0) >= bar
+                ]
+        phase2.n_rules = len(rules)
+        phase2.seconds = time.perf_counter() - started
+
+        return DARResult(
+            rules=rules,
+            frequent_clusters=frequent_clusters,
+            all_clusters=all_clusters,
+            graph=graph,
+            cliques=cliques,
+            density_thresholds=density,
+            degree_thresholds=degree,
+            frequency_count=frequency_count,
+            phase1=phase1_stats,
+            phase2=phase2,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _resolve_density_thresholds(
+        self,
+        partitions: Sequence[AttributePartition],
+        matrices: Mapping[str, np.ndarray],
+    ) -> Dict[str, float]:
+        """Per-partition ``d0``: explicit config, else a data-derived default.
+
+        The default scales with the partition's overall spread: the RMS
+        diameter of the whole column, computable from one global CF.  A
+        degenerate (constant) column gets a tiny positive threshold so
+        clustering still works.
+        """
+        thresholds: Dict[str, float] = {}
+        for partition in partitions:
+            global_cf = CF.of_points(matrices[partition.name])
+            spread = global_cf.rms_diameter
+            derived = self.config.density_fraction * spread
+            if derived <= 0:
+                derived = 1e-9
+            thresholds[partition.name] = self.config.density_threshold(
+                partition.name, derived
+            )
+        return thresholds
+
+    # ------------------------------------------------------------------
+
+    def _rules_from_cliques(
+        self,
+        graph: ClusteringGraph,
+        cliques: Sequence[FrozenSet[int]],
+        degree_thresholds: Mapping[str, float],
+        targets: Optional[FrozenSet[str]] = None,
+    ) -> List[DistanceRule]:
+        """Section 6.2 rule formation, deduplicated across clique pairs.
+
+        For every sub-clique chosen as a consequent, the antecedent
+        candidates are the intersection of the consequents' ``assoc`` sets;
+        any antecedent subset that is itself a clique (i.e. lies inside
+        some maximal clique Q1) and is partition-disjoint from the
+        consequent yields a rule.  Enumerating antecedent subsets that are
+        pairwise adjacent is exactly equivalent to enumerating subsets of
+        all maximal cliques Q1, without visiting the same rule once per
+        containing clique.
+        """
+        metric = self.config.cluster_metric
+        clusters = graph.clusters
+
+        # assoc(C_Y) over *all* frequent clusters: antecedent candidates
+        # whose image on Y's partition sits within D0 of C_Y (Section 6.2).
+        # With targets set, only target-partition clusters can be
+        # consequents, so only their assoc sets are ever needed.
+        assoc: Dict[int, Set[int]] = {}
+        for y_uid, y_cluster in clusters.items():
+            y_name = y_cluster.partition.name
+            if targets is not None and y_name not in targets:
+                continue
+            threshold = degree_thresholds[y_name]
+            members: Set[int] = set()
+            for x_uid, x_cluster in clusters.items():
+                if x_cluster.partition.name == y_name:
+                    continue
+                if image_distance(x_cluster, y_cluster, on=y_name, metric=metric) <= threshold:
+                    members.add(x_uid)
+            assoc[y_uid] = members
+
+        seen: Set[Tuple[frozenset, frozenset]] = set()
+        rules: List[DistanceRule] = []
+
+        for clique in cliques:
+            ordered = sorted(clique)
+            max_y = min(self.config.max_consequent, len(ordered))
+            for y_size in range(1, max_y + 1):
+                for consequent_uids in itertools.combinations(ordered, y_size):
+                    consequent = tuple(clusters[u] for u in consequent_uids)
+                    consequent_names = {c.partition.name for c in consequent}
+                    if targets is not None and not consequent_names <= targets:
+                        continue
+                    candidates = set.intersection(
+                        *(assoc[u] for u in consequent_uids)
+                    )
+                    candidates -= set(consequent_uids)
+                    candidates = {
+                        u
+                        for u in candidates
+                        if clusters[u].partition.name not in consequent_names
+                    }
+                    if not candidates:
+                        continue
+                    ranked = self._rank_candidates(
+                        candidates, consequent, clusters, metric
+                    )
+                    for antecedent_uids in self._antecedent_subsets(ranked, graph):
+                        antecedent = tuple(clusters[u] for u in antecedent_uids)
+                        antecedent_names = [
+                            c.partition.name for c in antecedent
+                        ]
+                        if len(set(antecedent_names)) != len(antecedent_names):
+                            continue
+                        key = (frozenset(antecedent_uids), frozenset(consequent_uids))
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        rules.append(
+                            self._make_rule(antecedent, consequent, metric)
+                        )
+        rules.sort(key=lambda rule: (rule.degree, str(rule)))
+        return rules
+
+    def _rank_candidates(
+        self,
+        candidates: Set[int],
+        consequent: Tuple[Cluster, ...],
+        clusters: Mapping[int, Cluster],
+        metric: str,
+    ) -> List[int]:
+        """Bound the antecedent search: keep the strongest-associated
+        ``max_antecedent_candidates`` clusters (smallest worst-case image
+        distance to the consequent), deterministically ordered."""
+        def strength(uid: int) -> float:
+            x_cluster = clusters[uid]
+            return max(
+                image_distance(
+                    x_cluster, y_cluster, on=y_cluster.partition.name, metric=metric
+                )
+                for y_cluster in consequent
+            )
+
+        ranked = sorted(candidates, key=lambda uid: (strength(uid), uid))
+        return ranked[: self.config.max_antecedent_candidates]
+
+    def _antecedent_subsets(
+        self, candidates: Sequence[int], graph: ClusteringGraph
+    ):
+        """Non-empty pairwise-adjacent subsets of ``candidates`` (bounded size).
+
+        Size-1 subsets are always cliques; larger subsets require every
+        pair to share a graph edge, which is the Dfn 5.2/5.3 condition
+        that co-antecedent clusters occur together.
+        """
+        max_size = min(self.config.max_antecedent, len(candidates))
+        for size in range(1, max_size + 1):
+            for subset in itertools.combinations(candidates, size):
+                if size == 1 or all(
+                    graph.has_edge(a, b)
+                    for a, b in itertools.combinations(subset, 2)
+                ):
+                    yield subset
+
+    @staticmethod
+    def _make_rule(
+        antecedent: Tuple[Cluster, ...],
+        consequent: Tuple[Cluster, ...],
+        metric: str,
+    ) -> DistanceRule:
+        degrees: Dict[int, float] = {}
+        worst = 0.0
+        for y_cluster in consequent:
+            y_name = y_cluster.partition.name
+            y_worst = 0.0
+            for x_cluster in antecedent:
+                distance = image_distance(x_cluster, y_cluster, on=y_name, metric=metric)
+                y_worst = max(y_worst, distance)
+            degrees[y_cluster.uid] = y_worst
+            worst = max(worst, y_worst)
+        return DistanceRule(
+            antecedent=antecedent, consequent=consequent, degree=worst, degrees=degrees
+        )
+
+    # ------------------------------------------------------------------
+
+    def _count_support(
+        self,
+        rules: List[DistanceRule],
+        frequent_clusters: Mapping[str, List[Cluster]],
+        matrices: Mapping[str, np.ndarray],
+    ) -> List[DistanceRule]:
+        """One post-scan: classical support of every candidate rule.
+
+        Tuples are labeled per partition by closest frequent-cluster
+        centroid (§4.3.2); a tuple supports a rule when its label matches
+        the rule's cluster in every partition the rule mentions.
+        """
+        masks: Dict[int, np.ndarray] = {}
+        for name, clusters in frequent_clusters.items():
+            centroids = np.stack([cluster.centroid for cluster in clusters])
+            labels = assign_to_centroids(matrices[name], centroids)
+            for index, cluster in enumerate(clusters):
+                masks[cluster.uid] = labels == index
+
+        counted: List[DistanceRule] = []
+        for rule in rules:
+            mask: Optional[np.ndarray] = None
+            for cluster in rule.antecedent + rule.consequent:
+                cluster_mask = masks[cluster.uid]
+                mask = cluster_mask if mask is None else (mask & cluster_mask)
+            support = int(np.count_nonzero(mask)) if mask is not None else 0
+            counted.append(
+                DistanceRule(
+                    antecedent=rule.antecedent,
+                    consequent=rule.consequent,
+                    degree=rule.degree,
+                    degrees=rule.degrees,
+                    support_count=support,
+                )
+            )
+        return counted

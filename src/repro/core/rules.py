@@ -1,0 +1,96 @@
+"""Distance-based association rules (Dfn 5.1, 5.2, 5.3).
+
+A DAR ``C_X1 ... C_Xx => C_Y1 ... C_Yy`` asserts that tuples whose ``X_i``
+values fall in the antecedent clusters have ``Y_j`` values *close to* the
+consequent clusters.  Its interest measures replace the classical pair:
+
+* the *degree of association* — the worst-case image distance
+  ``D(C_Yj[Yj], C_Xi[Yj])`` — replaces confidence (smaller is stronger);
+* the density conditions between co-antecedent (and co-consequent)
+  clusters replace support on the combined itemset; the frequency
+  threshold survives only on the individual clusters (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.cluster import Cluster
+
+__all__ = ["DistanceRule", "validate_rule_partitions"]
+
+
+def validate_rule_partitions(
+    antecedent: Tuple[Cluster, ...], consequent: Tuple[Cluster, ...]
+) -> None:
+    """Dfn 5.3 requires all X_i and Y_j to be pairwise disjoint attribute sets.
+
+    With named partitions, disjointness is simply name uniqueness across
+    both sides.  Raises ``ValueError`` on violation or on an empty side.
+    """
+    if not antecedent or not consequent:
+        raise ValueError("both rule sides must be non-empty")
+    names = [cluster.partition.name for cluster in antecedent + consequent]
+    if len(set(names)) != len(names):
+        raise ValueError(f"rule partitions are not pairwise disjoint: {names}")
+
+
+@dataclass(frozen=True)
+class DistanceRule:
+    """A DAR with its measured degree of association.
+
+    ``degree`` is the maximum image distance over all (antecedent,
+    consequent) cluster pairs — the rule "holds with degree D0" for any
+    ``D0 >= degree``.  ``degrees`` records the per-consequent detail and
+    ``support_count`` is filled only when the optional post-scan of
+    Section 6.2 is enabled.
+    """
+
+    antecedent: Tuple[Cluster, ...]
+    consequent: Tuple[Cluster, ...]
+    degree: float
+    degrees: Dict[int, float] = field(default_factory=dict, compare=False, hash=False)
+    support_count: Optional[int] = field(default=None, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        validate_rule_partitions(self.antecedent, self.consequent)
+        if self.degree < 0:
+            raise ValueError("degree of association cannot be negative")
+
+    @property
+    def arity(self) -> Tuple[int, int]:
+        """(x, y) — antecedent and consequent cluster counts."""
+        return len(self.antecedent), len(self.consequent)
+
+    @property
+    def is_one_to_one(self) -> bool:
+        return self.arity == (1, 1)
+
+    @property
+    def antecedent_uids(self) -> frozenset:
+        return frozenset(cluster.uid for cluster in self.antecedent)
+
+    @property
+    def consequent_uids(self) -> frozenset:
+        return frozenset(cluster.uid for cluster in self.consequent)
+
+    def key(self) -> Tuple[frozenset, frozenset]:
+        """Identity for deduplication across clique pairs."""
+        return self.antecedent_uids, self.consequent_uids
+
+    def __str__(self) -> str:
+        lhs = " & ".join(str(cluster) for cluster in self.antecedent)
+        rhs = " & ".join(str(cluster) for cluster in self.consequent)
+        suffix = f" (degree={self.degree:.4g}"
+        if self.support_count is not None:
+            suffix += f", support={self.support_count}"
+        return f"{lhs} => {rhs}{suffix})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DistanceRule):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())

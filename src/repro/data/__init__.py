@@ -1,0 +1,55 @@
+"""Relations, attribute partitions, generators and IO."""
+
+from repro.data.examples import (
+    FIG2_RULE,
+    fig1_salaries,
+    fig2_relations,
+    fig4_clusters,
+    fig4_points,
+    fig5_insurance,
+)
+from repro.data.cleaning import drop_missing, impute_mean, missing_mask
+from repro.data.io import load_csv, load_plain_csv, save_csv
+from repro.data.relation import (
+    Attribute,
+    AttributeKind,
+    AttributePartition,
+    Relation,
+    Schema,
+    default_partitions,
+)
+from repro.data.synthetic import (
+    PlantedStructure,
+    make_clustered_relation,
+    make_planted_rule_relation,
+    scale_relation,
+)
+from repro.data.wbcd import WBCD_ATTRIBUTES, make_scaled_wbcd, make_wbcd_like
+
+__all__ = [
+    "FIG2_RULE",
+    "fig1_salaries",
+    "fig2_relations",
+    "fig4_clusters",
+    "fig4_points",
+    "fig5_insurance",
+    "drop_missing",
+    "impute_mean",
+    "missing_mask",
+    "load_csv",
+    "load_plain_csv",
+    "save_csv",
+    "Attribute",
+    "AttributeKind",
+    "AttributePartition",
+    "Relation",
+    "Schema",
+    "default_partitions",
+    "PlantedStructure",
+    "make_clustered_relation",
+    "make_planted_rule_relation",
+    "scale_relation",
+    "WBCD_ATTRIBUTES",
+    "make_scaled_wbcd",
+    "make_wbcd_like",
+]

@@ -1,0 +1,89 @@
+"""Missing-data handling for relations.
+
+The miners reject non-finite values at their boundaries (silently poisoned
+moments are worse than a crash), so real-world data with gaps must be
+cleaned first.  Two standard policies:
+
+* :func:`drop_missing` — remove every tuple with a NaN in any (or the
+  given) numeric attribute, and optionally tuples with empty nominal
+  values;
+* :func:`impute_mean` — replace NaNs with the column mean (computed over
+  the present values).  Mean imputation shrinks cluster diameters around
+  the column mean; prefer dropping when missingness is rare.
+
+Both return new relations; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.relation import Relation
+
+__all__ = ["missing_mask", "drop_missing", "impute_mean"]
+
+
+def missing_mask(
+    relation: Relation,
+    attributes: Optional[Sequence[str]] = None,
+    include_empty_nominal: bool = True,
+) -> np.ndarray:
+    """Boolean mask of tuples with at least one missing value.
+
+    Numeric attributes are missing where NaN; nominal attributes (when
+    ``include_empty_nominal``) where the value is the empty string or
+    ``None``.
+    """
+    names = tuple(attributes or relation.schema.names)
+    mask = np.zeros(len(relation), dtype=bool)
+    for name in names:
+        attribute = relation.schema[name]
+        column = relation.column(name)
+        if attribute.kind.is_numeric:
+            mask |= np.isnan(column.astype(np.float64))
+        elif include_empty_nominal:
+            mask |= np.array(
+                [value is None or value == "" for value in column], dtype=bool
+            )
+    return mask
+
+
+def drop_missing(
+    relation: Relation,
+    attributes: Optional[Sequence[str]] = None,
+    include_empty_nominal: bool = True,
+) -> Relation:
+    """Remove tuples with missing values (in ``attributes``, default all)."""
+    mask = missing_mask(relation, attributes, include_empty_nominal)
+    return relation.select(~mask)
+
+
+def impute_mean(
+    relation: Relation, attributes: Optional[Sequence[str]] = None
+) -> Relation:
+    """Replace numeric NaNs by the per-column mean of present values.
+
+    A column that is entirely NaN cannot be imputed — raises
+    ``ValueError`` rather than inventing a value.  Nominal attributes are
+    left untouched.
+    """
+    names = tuple(attributes or relation.schema.numeric_names())
+    columns = {}
+    for name in relation.schema.names:
+        column = relation.column(name)
+        attribute = relation.schema[name]
+        if name in names and attribute.kind.is_numeric:
+            values = column.astype(np.float64)
+            missing = np.isnan(values)
+            if missing.any():
+                present = values[~missing]
+                if present.size == 0:
+                    raise ValueError(f"column {name!r} has no present values to impute from")
+                values = values.copy()
+                values[missing] = present.mean()
+            columns[name] = values
+        else:
+            columns[name] = column
+    return Relation(relation.schema, columns)

@@ -1,0 +1,152 @@
+"""The literal example datasets from the paper's figures.
+
+These tiny relations drive the motivation experiments:
+
+* Figure 1 — the six salary values whose equi-depth partition produces the
+  unintuitive ``[31K, 80K]`` interval;
+* Figure 2 — relations R1 and R2, on which Rule (1) has identical support
+  and confidence but intuitively different strength;
+* Figure 4 — the two overlapping 2-d clusters whose classical confidences
+  (10/12 vs 10/13) order the rules opposite to the distance-based view;
+* Figure 5 — the insurance example (age / dependents / claims) behind the
+  N:1 rule definition.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.relation import Relation, Schema
+
+__all__ = [
+    "fig1_salaries",
+    "fig2_relations",
+    "fig4_points",
+    "fig4_clusters",
+    "fig5_insurance",
+    "FIG2_RULE",
+]
+
+
+def fig1_salaries() -> np.ndarray:
+    """The Salary column of Figure 1: {18K, 30K, 31K, 80K, 81K, 82K}."""
+    return np.array([18_000.0, 30_000.0, 31_000.0, 80_000.0, 81_000.0, 82_000.0])
+
+
+#: Rule (1): Job = DBA and Age = 30  =>  Salary = 40,000.
+FIG2_RULE = {"job": "DBA", "age": 30.0, "salary": 40_000.0}
+
+
+def _fig2_schema() -> Schema:
+    return Schema.of(job="nominal", age="interval", salary="interval")
+
+
+def fig2_relations() -> Tuple[Relation, Relation]:
+    """Relations R1 and R2 of Figure 2 (six tuples each)."""
+    schema = _fig2_schema()
+    r1 = Relation.from_rows(
+        schema,
+        [
+            ("Mgr", 30, 40_000),
+            ("DBA", 30, 40_000),
+            ("DBA", 30, 40_000),
+            ("DBA", 30, 40_000),
+            ("DBA", 30, 100_000),
+            ("DBA", 30, 90_000),
+        ],
+    )
+    r2 = Relation.from_rows(
+        schema,
+        [
+            ("Mgr", 30, 40_000),
+            ("DBA", 30, 40_000),
+            ("DBA", 30, 40_000),
+            ("DBA", 30, 40_000),
+            ("DBA", 30, 41_000),
+            ("DBA", 30, 42_000),
+        ],
+    )
+    return r1, r2
+
+
+def fig4_points(seed: int = 4) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Point sets realizing Figure 4's geometry.
+
+    Returns ``(intersection, x_only, y_only)`` as (n, 2) arrays of (X, Y)
+    values:
+
+    * 10 points in both clusters (dense in X and in Y);
+    * 2 points in C_X only, with Y values far from C_Y;
+    * 3 points in C_Y only, with X values only moderately off C_X —
+      "comparatively closer to the intersection".
+
+    So |C_X| = 12, |C_Y| = 13, |C_X & C_Y| = 10, reproducing the classical
+    confidences 10/12 and 10/13, while distance-wise C_Y => C_X is the
+    stronger implication.
+    """
+    rng = np.random.default_rng(seed)
+    intersection = np.column_stack(
+        [
+            50.0 + rng.uniform(-1.0, 1.0, size=10),
+            50.0 + rng.uniform(-1.0, 1.0, size=10),
+        ]
+    )
+    # In C_X only: X is clustered, Y is far away (these hurt C_X => C_Y a lot).
+    x_only = np.column_stack(
+        [
+            50.0 + rng.uniform(-1.0, 1.0, size=2),
+            np.array([90.0, 88.0]),
+        ]
+    )
+    # In C_Y only: Y is clustered, X is moderately off (they hurt C_Y => C_X
+    # less, despite being more numerous).
+    y_only = np.column_stack(
+        [
+            np.array([58.0, 59.0, 57.5]),
+            50.0 + rng.uniform(-1.0, 1.0, size=3),
+        ]
+    )
+    return intersection, x_only, y_only
+
+
+def fig4_clusters(seed: int = 4) -> Tuple[np.ndarray, np.ndarray]:
+    """(C_X, C_Y) as (n, 2) arrays, assembled from :func:`fig4_points`."""
+    intersection, x_only, y_only = fig4_points(seed)
+    c_x = np.vstack([intersection, x_only])
+    c_y = np.vstack([intersection, y_only])
+    return c_x, c_y
+
+
+def fig5_insurance(
+    n_per_mode: int = 120, seed: int = 5
+) -> Relation:
+    """An insurance relation realizing Figure 5's three clusters.
+
+    The target mode places ages in [41, 47], dependents in [2, 5] and
+    annual claims in [10K, 14K]; two distractor modes make sure the rule
+    has to be *found*, not just read off.
+    """
+    rng = np.random.default_rng(seed)
+    modes = [
+        # (age range, dependents range, claims range)
+        ((41, 47), (2, 5), (10_000, 14_000)),
+        ((22, 30), (0, 1), (1_000, 4_000)),
+        ((55, 70), (0, 2), (20_000, 30_000)),
+    ]
+    ages, dependents, claims = [], [], []
+    for (age_lo, age_hi), (dep_lo, dep_hi), (claim_lo, claim_hi) in modes:
+        ages.append(rng.uniform(age_lo, age_hi, size=n_per_mode))
+        dependents.append(rng.uniform(dep_lo, dep_hi, size=n_per_mode))
+        claims.append(rng.uniform(claim_lo, claim_hi, size=n_per_mode))
+    order = rng.permutation(3 * n_per_mode)
+    schema = Schema.of(age="interval", dependents="interval", claims="interval")
+    return Relation(
+        schema,
+        {
+            "age": np.concatenate(ages)[order],
+            "dependents": np.concatenate(dependents)[order],
+            "claims": np.concatenate(claims)[order],
+        },
+    )

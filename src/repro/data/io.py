@@ -1,0 +1,140 @@
+"""CSV persistence for relations, with the schema in a header comment.
+
+Format: a first line ``# name:kind,name:kind,...`` followed by a standard
+CSV with a header row of attribute names.  Round-trips exactly for
+interval/ordinal columns (repr-precision floats) and nominal strings.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.data.relation import Attribute, AttributeKind, Relation, Schema
+
+__all__ = ["save_csv", "load_csv", "load_plain_csv"]
+
+PathLike = Union[str, Path]
+
+
+def save_csv(relation: Relation, path: PathLike) -> None:
+    """Write ``relation`` to ``path`` (parent directory must exist)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        schema_line = ",".join(
+            f"{attribute.name}:{attribute.kind.value}"
+            for attribute in relation.schema
+        )
+        handle.write(f"# {schema_line}\n")
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        for row in relation.rows():
+            writer.writerow([_render(value) for value in row])
+
+
+def _render(value: object) -> str:
+    # Numpy scalars repr as "np.float64(...)" under numpy >= 2; go through
+    # the plain Python float, whose repr round-trips exactly.
+    if isinstance(value, (float, np.floating)):
+        return repr(float(value))
+    return str(value)
+
+
+def load_csv(path: PathLike) -> Relation:
+    """Read a relation written by :func:`save_csv`.
+
+    Raises ``ValueError`` when the schema header is missing or the column
+    row disagrees with it.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        first = handle.readline()
+        if not first.startswith("#"):
+            raise ValueError(f"{path}: missing '# name:kind,...' schema header")
+        attributes = []
+        for chunk in first[1:].strip().split(","):
+            name, _, kind = chunk.partition(":")
+            if not kind:
+                raise ValueError(f"{path}: malformed schema entry {chunk!r}")
+            attributes.append(Attribute(name.strip(), AttributeKind(kind.strip())))
+        schema = Schema(attributes)
+
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != schema.names:
+            raise ValueError(
+                f"{path}: column header {header} does not match schema {schema.names}"
+            )
+        rows = []
+        for row in reader:
+            converted = []
+            for attribute, text in zip(schema, row):
+                if attribute.kind.is_numeric:
+                    converted.append(float(text))
+                else:
+                    converted.append(text)
+            rows.append(tuple(converted))
+    return Relation.from_rows(schema, rows)
+
+
+def load_plain_csv(path: PathLike) -> Relation:
+    """Read an ordinary CSV (header row, no schema comment), inferring kinds.
+
+    A column whose every non-empty cell parses as a float becomes an
+    ``interval`` attribute (blank cells load as NaN — clean them with
+    :mod:`repro.data.cleaning` before mining); anything else is
+    ``nominal``, with blanks kept as empty strings.  This is the
+    permissive entry point for data not written by :func:`save_csv`; when
+    ordinal semantics matter, construct the :class:`Schema` explicitly.
+    Raises ``ValueError`` on an empty file or ragged rows.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header:
+            raise ValueError(f"{path}: empty file, expected a header row")
+        rows = []
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_number}: row has {len(row)} cells, "
+                    f"header has {len(header)}"
+                )
+            rows.append(row)
+
+    def is_numeric(column_index: int) -> bool:
+        saw_value = False
+        for row in rows:
+            text = row[column_index].strip()
+            if not text:
+                continue
+            saw_value = True
+            try:
+                float(text)
+            except ValueError:
+                return False
+        return saw_value
+
+    attributes = []
+    numeric = []
+    for index, name in enumerate(header):
+        column_is_numeric = is_numeric(index)
+        numeric.append(column_is_numeric)
+        kind = AttributeKind.INTERVAL if column_is_numeric else AttributeKind.NOMINAL
+        attributes.append(Attribute(name.strip(), kind))
+    schema = Schema(attributes)
+
+    def convert(index: int, cell: str):
+        if not numeric[index]:
+            return cell
+        text = cell.strip()
+        return float(text) if text else float("nan")
+
+    converted = []
+    for row in rows:
+        converted.append(tuple(convert(index, cell) for index, cell in enumerate(row)))
+    return Relation.from_rows(schema, converted)

@@ -1,0 +1,324 @@
+"""Typed in-memory relations.
+
+Every algorithm in this package operates over a :class:`Relation`: a small
+columnar table with a :class:`Schema` that records, for each attribute,
+whether it is *nominal* (names without order), *ordinal* (ordered, but
+separations are meaningless) or *interval* (ordered with meaningful
+separations).  The distinction is the heart of the paper: classical
+association-rule machinery is correct for nominal/ordinal attributes, while
+interval attributes call for the distance-based treatment implemented in
+:mod:`repro.core`.
+
+Columns are stored as numpy arrays: ``float64`` for ordinal and interval
+attributes, ``object`` for nominal ones.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "AttributeKind",
+    "Attribute",
+    "Schema",
+    "Relation",
+    "AttributePartition",
+    "default_partitions",
+]
+
+
+class AttributeKind(enum.Enum):
+    """Measurement scale of an attribute (Stevens' typology, as in [JD88])."""
+
+    NOMINAL = "nominal"
+    ORDINAL = "ordinal"
+    INTERVAL = "interval"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (AttributeKind.ORDINAL, AttributeKind.INTERVAL)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation."""
+
+    name: str
+    kind: AttributeKind = AttributeKind.INTERVAL
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+
+class Schema:
+    """An ordered collection of uniquely named attributes."""
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        self._attributes: Tuple[Attribute, ...] = tuple(attributes)
+        self._by_name: Dict[str, Attribute] = {}
+        for attribute in self._attributes:
+            if attribute.name in self._by_name:
+                raise ValueError(f"duplicate attribute name: {attribute.name!r}")
+            self._by_name[attribute.name] = attribute
+
+    @classmethod
+    def of(cls, **kinds: str) -> "Schema":
+        """Build a schema from ``name=kind`` keyword pairs.
+
+        >>> Schema.of(age="interval", job="nominal").names
+        ('age', 'job')
+        """
+        return cls(Attribute(name, AttributeKind(kind)) for name, kind in kinds.items())
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(attribute.name for attribute in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no attribute named {name!r}; have {self.names}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a.name}:{a.kind.value}" for a in self._attributes)
+        return f"Schema({inner})"
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted to ``names``, in the given order."""
+        return Schema(self[name] for name in names)
+
+    def numeric_names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes if a.kind.is_numeric)
+
+    def interval_names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes if a.kind is AttributeKind.INTERVAL)
+
+    def nominal_names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes if a.kind is AttributeKind.NOMINAL)
+
+
+def _as_column(attribute: Attribute, values: Sequence) -> np.ndarray:
+    """Coerce raw values into the canonical storage dtype for ``attribute``."""
+    if attribute.kind.is_numeric:
+        column = np.asarray(values, dtype=np.float64)
+    else:
+        column = np.empty(len(values), dtype=object)
+        column[:] = list(values)
+    return column
+
+
+class Relation:
+    """An immutable columnar relation ``r`` over a schema ``R``.
+
+    The notation follows the paper: ``|R|`` is the number of attributes
+    (:meth:`arity`), ``|r|`` the number of tuples (``len(relation)``).
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, Sequence]):
+        self._schema = schema
+        missing = [name for name in schema.names if name not in columns]
+        if missing:
+            raise ValueError(f"columns missing for attributes: {missing}")
+        extra = [name for name in columns if name not in schema]
+        if extra:
+            raise ValueError(f"columns without schema attributes: {extra}")
+        self._columns: Dict[str, np.ndarray] = {
+            name: _as_column(schema[name], columns[name]) for name in schema.names
+        }
+        lengths = {len(column) for column in self._columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        self._length = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence]) -> "Relation":
+        """Build a relation from an iterable of tuples ordered like ``schema``."""
+        materialized = [tuple(row) for row in rows]
+        for row in materialized:
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"row arity {len(row)} does not match schema arity {len(schema)}"
+                )
+        columns = {
+            name: [row[i] for row in materialized]
+            for i, name in enumerate(schema.names)
+        }
+        return cls(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Relation":
+        return cls(schema, {name: [] for name in schema.names})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def arity(self) -> int:
+        return len(self._schema)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __repr__(self) -> str:
+        return f"Relation({self._schema!r}, n={self._length})"
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw storage array for attribute ``name`` (do not mutate)."""
+        self._schema[name]  # raise KeyError with a helpful message
+        return self._columns[name]
+
+    def rows(self) -> Iterator[Tuple]:
+        """Iterate tuples in schema order."""
+        columns = [self._columns[name] for name in self._schema.names]
+        for i in range(self._length):
+            yield tuple(column[i] for column in columns)
+
+    def row(self, index: int) -> Tuple:
+        return tuple(self._columns[name][index] for name in self._schema.names)
+
+    def matrix(self, names: Sequence[str]) -> np.ndarray:
+        """Stack numeric columns ``names`` into an ``(n, len(names))`` float array.
+
+        This is the projection ``r[X]`` used throughout the paper for a
+        partition ``X`` of interval attributes.
+        """
+        arrays = []
+        for name in names:
+            attribute = self._schema[name]
+            if not attribute.kind.is_numeric:
+                raise TypeError(f"attribute {name!r} is {attribute.kind.value}, not numeric")
+            arrays.append(self._columns[name])
+        if not arrays:
+            return np.empty((self._length, 0), dtype=np.float64)
+        return np.column_stack(arrays)
+
+    # ------------------------------------------------------------------
+    # Relational operators
+    # ------------------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        """Projection ``r[X]`` keeping duplicates (bag semantics, as the paper uses)."""
+        schema = self._schema.project(names)
+        return Relation(schema, {name: self._columns[name] for name in names})
+
+    def select(self, mask: Sequence[bool]) -> "Relation":
+        """Selection by boolean mask, preserving order."""
+        mask_array = np.asarray(mask, dtype=bool)
+        if mask_array.shape != (self._length,):
+            raise ValueError(
+                f"mask length {mask_array.shape} does not match relation size {self._length}"
+            )
+        return Relation(
+            self._schema,
+            {name: column[mask_array] for name, column in self._columns.items()},
+        )
+
+    def take(self, indices: Sequence[int]) -> "Relation":
+        """Select rows by position (duplicates and reorderings allowed)."""
+        index_array = np.asarray(indices, dtype=np.intp)
+        return Relation(
+            self._schema,
+            {name: column[index_array] for name, column in self._columns.items()},
+        )
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Append ``other``'s tuples; schemas must match exactly."""
+        if other.schema != self._schema:
+            raise ValueError("cannot concat relations with different schemas")
+        return Relation(
+            self._schema,
+            {
+                name: np.concatenate([self._columns[name], other._columns[name]])
+                for name in self._schema.names
+            },
+        )
+
+    def head(self, n: int = 5) -> "Relation":
+        """The first ``n`` tuples (fewer if the relation is smaller)."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return self.take(range(min(n, self._length)))
+
+    def sample(self, n: int, seed: int = 0) -> "Relation":
+        """``n`` tuples drawn without replacement, deterministic in ``seed``.
+
+        Raises ``ValueError`` when ``n`` exceeds the relation size.
+        """
+        if n > self._length:
+            raise ValueError(f"cannot sample {n} of {self._length} tuples")
+        rng = np.random.default_rng(seed)
+        return self.take(rng.choice(self._length, size=n, replace=False))
+
+
+@dataclass(frozen=True)
+class AttributePartition:
+    """One element ``X_i`` of the user-supplied partition of the attributes.
+
+    Section 6 of the paper: the miner operates over a single partitioning of
+    the interval attributes into disjoint sets, each equipped with a point
+    metric that is meaningful *within* the set (e.g. Euclidean over
+    latitude/longitude).  Most partitions are single attributes.
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+    metric: str = "euclidean"
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("a partition must contain at least one attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError(f"partition {self.name!r} repeats attributes")
+
+    @property
+    def dimension(self) -> int:
+        return len(self.attributes)
+
+
+def default_partitions(schema: Schema, metric: str = "euclidean") -> List[AttributePartition]:
+    """One single-attribute partition per interval attribute.
+
+    This is the default the paper assumes when no cross-attribute metric is
+    known ("for most attribute combinations, we will not have a meaningful
+    distance metric", Section 5.2).
+    """
+    return [
+        AttributePartition(name=name, attributes=(name,), metric=metric)
+        for name in schema.interval_names()
+    ]

@@ -1,0 +1,12 @@
+"""Evaluation support: fits, drift measures and reusable Phase I runs."""
+
+from repro.evaluation.fits import LinearFit, linear_fit, nearest_match_drift
+from repro.evaluation.phase1 import Phase1Measurement, measure_phase1
+
+__all__ = [
+    "LinearFit",
+    "linear_fit",
+    "nearest_match_drift",
+    "Phase1Measurement",
+    "measure_phase1",
+]

@@ -1,0 +1,73 @@
+"""Statistical helpers for the evaluation harness.
+
+Small, dependency-free (numpy only) utilities shared by the benchmark
+suite and usable by downstream scalability studies: least-squares linear
+fits with R², and the centroid-drift measure used by the §7.2 stability
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["LinearFit", "linear_fit", "nearest_match_drift"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A least-squares line with its goodness of fit."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Least-squares fit of ``ys`` against ``xs``.
+
+    Requires at least two points.  A constant ``ys`` series fits perfectly
+    (R² = 1 by convention: the model explains all — zero — variance).
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be equal-length 1-d sequences")
+    if x.size < 2:
+        raise ValueError("a linear fit needs at least two points")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    total = float(((y - y.mean()) ** 2).sum())
+    residual = float(((y - predicted) ** 2).sum())
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+def nearest_match_drift(
+    reference: Mapping[str, Sequence[float]],
+    other: Mapping[str, Sequence[float]],
+) -> float:
+    """Mean relative drift of ``other``'s values to their nearest reference.
+
+    Used to compare cluster centroids across runs: every centroid in
+    ``other`` is matched to the closest centroid of the same key in
+    ``reference`` and the relative gap is averaged (the §7.2 "difference
+    in the centroid of the clusters" measure).  Keys missing from the
+    reference, or empty reference lists, are skipped; returns 0.0 when
+    nothing is comparable.
+    """
+    drifts = []
+    for key, values in other.items():
+        ref = np.asarray(reference.get(key, ()), dtype=np.float64)
+        if ref.size == 0:
+            continue
+        for value in values:
+            nearest = ref[int(np.argmin(np.abs(ref - value)))]
+            scale = max(abs(float(nearest)), 1e-9)
+            drifts.append(abs(float(nearest) - float(value)) / scale)
+    return float(np.mean(drifts)) if drifts else 0.0

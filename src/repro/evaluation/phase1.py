@@ -1,0 +1,77 @@
+"""Reusable Phase I measurement runs for scalability studies.
+
+The Figure 6 / §7.2 experiments all share one shape: cluster a set of
+attribute partitions over a relation at the paper's operating point (3%
+frequency threshold, 5MB budget, density thresholds derived per column)
+and record time, entry counts and frequent-cluster centroids.  This module
+packages that run so benchmarks — and downstream users reproducing the
+study on their own data — don't each re-implement it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.birch.birch import BirchClusterer, BirchOptions
+from repro.birch.features import CF
+from repro.data.relation import AttributePartition, Relation
+
+__all__ = ["Phase1Measurement", "measure_phase1"]
+
+
+@dataclass
+class Phase1Measurement:
+    """Aggregate Phase I outcome over a set of partitions."""
+
+    n_tuples: int
+    seconds: float
+    entry_count: int
+    frequent_count: int
+    centroids: Dict[str, List[float]] = field(default_factory=dict)
+    rebuilds: int = 0
+
+
+def measure_phase1(
+    relation: Relation,
+    attribute_names: Sequence[str],
+    frequency_fraction: float = 0.03,
+    density_fraction: float = 0.15,
+    memory_limit_bytes: int = 5 * 2**20,
+    with_cross_moments: bool = True,
+) -> Phase1Measurement:
+    """Run Phase I over single-attribute partitions and measure it.
+
+    ``with_cross_moments=True`` builds full ACFs (every other attribute's
+    moments carried along), which is what the DAR miner does;
+    ``False`` measures bare clustering (the §7.2 census runs).
+    """
+    partitions = [AttributePartition(name, (name,)) for name in attribute_names]
+    frequency_count = max(1, math.ceil(frequency_fraction * len(relation)))
+    measurement = Phase1Measurement(
+        n_tuples=len(relation), seconds=0.0, entry_count=0, frequent_count=0
+    )
+    for partition in partitions:
+        others: Tuple[AttributePartition, ...] = (
+            tuple(p for p in partitions if p.name != partition.name)
+            if with_cross_moments
+            else ()
+        )
+        column = relation.matrix(partition.attributes)
+        threshold = density_fraction * CF.of_points(column).rms_diameter
+        options = BirchOptions(
+            initial_threshold=threshold if threshold > 0 else 1e-9,
+            memory_limit_bytes=memory_limit_bytes,
+            frequency_fraction=frequency_fraction,
+        )
+        result = BirchClusterer(partition, others, options).fit(relation)
+        frequent = result.frequent(frequency_count)
+        measurement.seconds += result.stats.seconds
+        measurement.entry_count += result.stats.final_entry_count
+        measurement.frequent_count += len(frequent)
+        measurement.rebuilds += result.stats.rebuilds
+        measurement.centroids[partition.name] = sorted(
+            float(acf.centroid[0]) for acf in frequent
+        )
+    return measurement

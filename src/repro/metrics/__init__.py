@@ -1,0 +1,47 @@
+"""Distance metrics: point metrics (delta) and cluster statistics (d, D1, D2)."""
+
+from repro.metrics.cluster import (
+    bounding_box,
+    centroid,
+    d1_centroid_distance,
+    d1_from_moments,
+    d2_average_inter_cluster,
+    diameter,
+    radius,
+    rms_d2_from_moments,
+    rms_diameter_from_moments,
+    rms_radius_from_moments,
+)
+from repro.metrics.distance import (
+    available_metrics,
+    chebyshev,
+    cross_pairwise,
+    discrete,
+    euclidean,
+    get_metric,
+    manhattan,
+    pairwise,
+    register_metric,
+)
+
+__all__ = [
+    "bounding_box",
+    "centroid",
+    "d1_centroid_distance",
+    "d1_from_moments",
+    "d2_average_inter_cluster",
+    "diameter",
+    "radius",
+    "rms_d2_from_moments",
+    "rms_diameter_from_moments",
+    "rms_radius_from_moments",
+    "available_metrics",
+    "chebyshev",
+    "cross_pairwise",
+    "discrete",
+    "euclidean",
+    "get_metric",
+    "manhattan",
+    "pairwise",
+    "register_metric",
+]

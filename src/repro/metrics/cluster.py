@@ -1,0 +1,160 @@
+"""Cluster-level statistics: diameter, centroid, and inter-cluster distances.
+
+Implements, both from raw point sets and from moment summaries (N, LS, SS):
+
+* the *diameter* ``d`` of Dfn 4.1 / Eq. (2) — average pairwise distance;
+* the *centroid* of Eq. (4);
+* the centroid Manhattan distance ``D1`` of Eq. (5);
+* the average inter-cluster distance ``D2`` of Eq. (6).
+
+The moment-based variants are what make Theorem 6.1 (ACF Representativity)
+work: Phase II of the DAR algorithm never touches raw data, only the
+``(N, sum t, sum t^2)`` vectors carried by the ACF-tree.  Under the squared
+Euclidean geometry used by BIRCH [ZRL96], the *root-mean-square* pairwise
+distance is an exact function of the moments:
+
+    D_rms^2  = (2 N * SS - 2 ||LS||^2) / (N (N - 1))
+    D2_rms^2 = SS1/N1 + SS2/N2 - 2 <LS1, LS2> / (N1 N2)
+
+For the average (non-squared) distance of Eq. (2) the RMS value is an upper
+bound (Jensen); we expose both and the library consistently uses the RMS
+form for moment-only computations, exactly as BIRCH does.  Property tests in
+``tests/metrics`` verify ``avg <= rms`` and exactness in degenerate cases.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.metrics.distance import Metric, cross_pairwise, euclidean, manhattan, pairwise
+
+__all__ = [
+    "centroid",
+    "diameter",
+    "radius",
+    "rms_diameter_from_moments",
+    "rms_radius_from_moments",
+    "d1_centroid_distance",
+    "d1_from_moments",
+    "d2_average_inter_cluster",
+    "rms_d2_from_moments",
+    "bounding_box",
+]
+
+
+def _points(points: np.ndarray) -> np.ndarray:
+    array = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if array.size and array.ndim != 2:
+        raise ValueError(f"expected an (n, d) point array, got shape {array.shape}")
+    return array
+
+
+def centroid(points: np.ndarray) -> np.ndarray:
+    """Eq. (4): the arithmetic mean of the points."""
+    array = _points(points)
+    if array.shape[0] == 0:
+        raise ValueError("centroid of an empty point set is undefined")
+    return array.mean(axis=0)
+
+
+def diameter(points: np.ndarray, metric: Metric = euclidean) -> float:
+    """Dfn 4.1 / Eq. (2): average pairwise distance between distinct points.
+
+    A singleton (or empty) set has diameter 0 by convention — there are no
+    pairs to average, and the paper's Theorem 5.1 relies on singleton
+    clusters having diameter 0.
+    """
+    array = _points(points)
+    n = array.shape[0]
+    if n < 2:
+        return 0.0
+    distances = pairwise(array, metric)
+    # Eq. (2) sums over all ordered pairs i != j and divides by N(N-1);
+    # the diagonal contributes zero, so summing everything is equivalent.
+    return float(distances.sum() / (n * (n - 1)))
+
+
+def radius(points: np.ndarray, metric: Metric = euclidean) -> float:
+    """Average distance of points to their centroid (BIRCH's R statistic)."""
+    array = _points(points)
+    n = array.shape[0]
+    if n == 0:
+        return 0.0
+    center = centroid(array)
+    return float(np.mean(metric(array, center[None, :])))
+
+
+def rms_diameter_from_moments(n: int, ls: np.ndarray, ss: float) -> float:
+    """Root-mean-square pairwise distance from CF moments (BIRCH's D).
+
+    ``ls`` is the linear sum vector, ``ss`` the scalar sum of squared norms.
+    Returns 0 for singletons.  Negative values caused by floating-point
+    cancellation are clamped to 0.
+    """
+    if n < 2:
+        return 0.0
+    ls = np.asarray(ls, dtype=np.float64)
+    squared = (2.0 * n * ss - 2.0 * float(ls @ ls)) / (n * (n - 1))
+    return float(np.sqrt(max(squared, 0.0)))
+
+
+def rms_radius_from_moments(n: int, ls: np.ndarray, ss: float) -> float:
+    """Root-mean-square distance to the centroid from CF moments."""
+    if n == 0:
+        return 0.0
+    ls = np.asarray(ls, dtype=np.float64)
+    squared = ss / n - float(ls @ ls) / (n * n)
+    return float(np.sqrt(max(squared, 0.0)))
+
+
+def d1_centroid_distance(points_a: np.ndarray, points_b: np.ndarray) -> float:
+    """Eq. (5): Manhattan distance between the two centroids."""
+    return float(manhattan(centroid(points_a), centroid(points_b))[0])
+
+
+def d1_from_moments(
+    n1: int, ls1: np.ndarray, n2: int, ls2: np.ndarray
+) -> float:
+    """Eq. (5) computed from moments: |LS1/N1 - LS2/N2| in the L1 norm."""
+    if n1 == 0 or n2 == 0:
+        raise ValueError("D1 between empty clusters is undefined")
+    c1 = np.asarray(ls1, dtype=np.float64) / n1
+    c2 = np.asarray(ls2, dtype=np.float64) / n2
+    return float(np.sum(np.abs(c1 - c2)))
+
+
+def d2_average_inter_cluster(
+    points_a: np.ndarray, points_b: np.ndarray, metric: Metric = euclidean
+) -> float:
+    """Eq. (6): average distance over all cross pairs."""
+    a = _points(points_a)
+    b = _points(points_b)
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        raise ValueError("D2 between empty clusters is undefined")
+    return float(cross_pairwise(a, b, metric).mean())
+
+
+def rms_d2_from_moments(
+    n1: int, ls1: np.ndarray, ss1: float, n2: int, ls2: np.ndarray, ss2: float
+) -> float:
+    """Root-mean-square cross-pair distance from CF moments.
+
+    Exact for squared-Euclidean geometry; an upper bound on Eq. (6)'s
+    average Euclidean distance (equality when all cross distances agree).
+    """
+    if n1 == 0 or n2 == 0:
+        raise ValueError("D2 between empty clusters is undefined")
+    ls1 = np.asarray(ls1, dtype=np.float64)
+    ls2 = np.asarray(ls2, dtype=np.float64)
+    squared = ss1 / n1 + ss2 / n2 - 2.0 * float(ls1 @ ls2) / (n1 * n2)
+    return float(np.sqrt(max(squared, 0.0)))
+
+
+def bounding_box(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Smallest axis-aligned bounding box (Section 7.2 cluster description)."""
+    array = _points(points)
+    if array.shape[0] == 0:
+        raise ValueError("bounding box of an empty point set is undefined")
+    return array.min(axis=0), array.max(axis=0)

@@ -1,0 +1,13 @@
+"""Mixed interval + qualitative data mining (the paper's Section 8 extension)."""
+
+from repro.mixed.cluster import MixedCluster
+from repro.mixed.features import NominalFeature
+from repro.mixed.miner import MixedDARConfig, MixedDARMiner, MixedDARResult
+
+__all__ = [
+    "MixedCluster",
+    "NominalFeature",
+    "MixedDARConfig",
+    "MixedDARMiner",
+    "MixedDARResult",
+]

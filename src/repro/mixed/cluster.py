@@ -1,0 +1,120 @@
+"""Clusters over mixed interval + qualitative data.
+
+A :class:`MixedCluster` plays the role of :class:`repro.core.cluster.Cluster`
+in the Section 8 extension: it is defined either on an interval partition
+(where it wraps an ACF exactly as before) or on a single nominal attribute
+(where, per Theorem 5.1, the only diameter-0 clusters are the value-pure
+sets, so a cluster IS a frequent attribute value).  Either way it carries
+images for *every* partition — CFs for interval projections, value
+histograms (:class:`~repro.mixed.features.NominalFeature`) for qualitative
+ones — so Phase II runs on summaries alone, exactly like the pure-interval
+algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.birch.features import CF
+from repro.data.relation import AttributePartition
+from repro.mixed.features import NominalFeature
+
+__all__ = ["MixedCluster", "Image"]
+
+Image = Union[CF, NominalFeature]
+
+
+@dataclass(frozen=True)
+class MixedCluster:
+    """A cluster over one partition of a mixed relation.
+
+    ``images`` must contain an entry for every partition in the mining
+    run, including the cluster's own (its primary summary).  ``value`` is
+    set only for nominal clusters and names the attribute value the
+    cluster is pure on.
+    """
+
+    uid: int
+    partition: AttributePartition
+    images: Dict[str, Image] = field(compare=False, hash=False, repr=False)
+    value: Optional[Hashable] = None
+
+    def __post_init__(self) -> None:
+        if self.partition.name not in self.images:
+            raise ValueError(
+                f"cluster {self.uid} lacks its own image on "
+                f"{self.partition.name!r}"
+            )
+
+    @property
+    def is_nominal(self) -> bool:
+        return self.value is not None
+
+    @property
+    def n(self) -> int:
+        return self.images[self.partition.name].n
+
+    @property
+    def dimension(self) -> int:
+        return self.partition.dimension
+
+    @property
+    def diameter(self) -> float:
+        """0/1-metric diameter for nominal clusters (0: value-pure),
+        RMS diameter for interval ones."""
+        own = self.images[self.partition.name]
+        if isinstance(own, NominalFeature):
+            return own.diameter
+        return own.rms_diameter
+
+    @property
+    def centroid(self) -> np.ndarray:
+        own = self.images[self.partition.name]
+        if isinstance(own, NominalFeature):
+            raise TypeError("a nominal cluster has a mode, not a centroid")
+        return own.centroid
+
+    def image(self, partition_name: str) -> Image:
+        try:
+            return self.images[partition_name]
+        except KeyError:
+            raise KeyError(
+                f"cluster {self.uid} has no image on {partition_name!r}; "
+                f"available: {sorted(self.images)}"
+            ) from None
+
+    def image_diameter(self, partition_name: str) -> float:
+        image = self.image(partition_name)
+        if isinstance(image, NominalFeature):
+            return image.diameter
+        return image.rms_diameter
+
+    def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Interval clusters only: centroid +- RMS radius (the ACF is not
+        kept here, so the exact min/max box is unavailable; the miner
+        substitutes the true box when it has one)."""
+        own = self.images[self.partition.name]
+        if isinstance(own, NominalFeature):
+            raise TypeError("a nominal cluster has no bounding box")
+        radius = own.rms_radius
+        return own.centroid - radius, own.centroid + radius
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MixedCluster):
+            return NotImplemented
+        return self.uid == other.uid
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __str__(self) -> str:
+        if self.is_nominal:
+            return (
+                f"C{self.uid}({self.partition.name}={self.value!s}; n={self.n})"
+            )
+        own = self.images[self.partition.name]
+        center = ", ".join(f"{v:g}" for v in np.atleast_1d(own.centroid))
+        return f"C{self.uid}({self.partition.name}~[{center}]; n={self.n})"

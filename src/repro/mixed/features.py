@@ -1,0 +1,118 @@
+"""Additive summaries for qualitative (nominal) attributes.
+
+Section 8 of the paper: "We are currently extending our techniques to
+consider the mining of rules over mixed variable data including interval
+and qualitative data.  This involves combining the quality and interest
+measures used for different types of data."
+
+Under the 0/1 metric of Section 5.1, the inter-cluster distance D2 between
+two tuple sets A and B projected on a nominal attribute is
+
+    D2(A, B) = 1 - sum_v  count_A(v) * count_B(v) / (|A| |B|)
+
+— one minus the probability that a random cross pair agrees.  That is not
+a function of moments, so CF-style summaries do not suffice; it IS a
+function of the per-value histograms, and histograms are additive under
+union exactly like CFs.  :class:`NominalFeature` is therefore the
+qualitative analogue of a CF, and the mixed miner's cluster summaries
+carry one per nominal attribute (the qualitative analogue of ACF cross
+moments).
+
+The diameter of a tuple set under the 0/1 metric follows the same algebra:
+
+    d(A) = 1 - sum_v count_A(v) * (count_A(v) - 1) / (|A| (|A| - 1))
+
+which is 0 iff the set is value-pure — exactly Theorem 5.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable
+
+__all__ = ["NominalFeature"]
+
+
+class NominalFeature:
+    """An additive per-value histogram of a nominal column's projection."""
+
+    __slots__ = ("counts", "n")
+
+    def __init__(self, counts: Dict[Hashable, int] = None):
+        self.counts: Dict[Hashable, int] = dict(counts or {})
+        for value, count in self.counts.items():
+            if count < 0:
+                raise ValueError(f"negative count for value {value!r}")
+        self.n = sum(self.counts.values())
+
+    @classmethod
+    def of_value(cls, value: Hashable) -> "NominalFeature":
+        return cls({value: 1})
+
+    @classmethod
+    def of_values(cls, values: Iterable[Hashable]) -> "NominalFeature":
+        counts: Dict[Hashable, int] = {}
+        for value in values:
+            counts[value] = counts.get(value, 0) + 1
+        return cls(counts)
+
+    def copy(self) -> "NominalFeature":
+        return NominalFeature(self.counts)
+
+    # ------------------------------------------------------------------
+    # Additivity (the qualitative Additivity Theorem)
+    # ------------------------------------------------------------------
+
+    def add_value(self, value: Hashable) -> None:
+        self.counts[value] = self.counts.get(value, 0) + 1
+        self.n += 1
+
+    def merge(self, other: "NominalFeature") -> None:
+        for value, count in other.counts.items():
+            self.counts[value] = self.counts.get(value, 0) + count
+        self.n += other.n
+
+    def merged(self, other: "NominalFeature") -> "NominalFeature":
+        result = self.copy()
+        result.merge(other)
+        return result
+
+    # ------------------------------------------------------------------
+    # Derived 0/1-metric statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def diameter(self) -> float:
+        """Average pairwise 0/1 distance (Eq. 2 under the discrete metric).
+
+        Zero iff value-pure (Theorem 5.1); singletons and empty sets are 0
+        by convention.
+        """
+        if self.n < 2:
+            return 0.0
+        agreements = sum(count * (count - 1) for count in self.counts.values())
+        return 1.0 - agreements / (self.n * (self.n - 1))
+
+    def d2(self, other: "NominalFeature") -> float:
+        """Average cross-pair 0/1 distance (Eq. 6 under the discrete metric)."""
+        if self.n == 0 or other.n == 0:
+            raise ValueError("D2 between empty nominal clusters is undefined")
+        agreements = sum(
+            count * other.counts.get(value, 0)
+            for value, count in self.counts.items()
+        )
+        return 1.0 - agreements / (self.n * other.n)
+
+    def mode(self) -> Hashable:
+        """The most frequent value (ties broken by value order)."""
+        if not self.counts:
+            raise ValueError("mode of an empty nominal feature is undefined")
+        return min(self.counts, key=lambda value: (-self.counts[value], str(value)))
+
+    def purity(self) -> float:
+        """Fraction of tuples holding the modal value."""
+        if self.n == 0:
+            raise ValueError("purity of an empty nominal feature is undefined")
+        return self.counts[self.mode()] / self.n
+
+    def __repr__(self) -> str:
+        return f"NominalFeature(n={self.n}, values={len(self.counts)})"

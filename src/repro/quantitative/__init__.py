@@ -1,0 +1,29 @@
+"""Quantitative association rules ([SA96]) — the equi-depth baseline."""
+
+from repro.quantitative.partition import (
+    Interval,
+    assign_to_intervals,
+    equidepth_intervals,
+    equiwidth_intervals,
+    partial_completeness_interval_count,
+)
+from repro.quantitative.qar import (
+    EqualityPredicate,
+    QARConfig,
+    QARMiner,
+    QARResult,
+    QuantitativeRule,
+)
+
+__all__ = [
+    "Interval",
+    "assign_to_intervals",
+    "equidepth_intervals",
+    "equiwidth_intervals",
+    "partial_completeness_interval_count",
+    "EqualityPredicate",
+    "QARConfig",
+    "QARMiner",
+    "QARResult",
+    "QuantitativeRule",
+]

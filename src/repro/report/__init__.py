@@ -1,0 +1,30 @@
+"""Rendering: cluster/rule descriptions and fixed-width result tables."""
+
+from repro.report.ascii import cluster_strip, histogram
+from repro.report.describe import (
+    describe_cluster,
+    describe_result,
+    describe_rule,
+    format_rules,
+)
+from repro.report.export import (
+    cluster_to_dict,
+    result_to_dict,
+    result_to_json,
+    rule_to_dict,
+)
+from repro.report.tables import Table
+
+__all__ = [
+    "cluster_strip",
+    "histogram",
+    "describe_cluster",
+    "describe_result",
+    "describe_rule",
+    "format_rules",
+    "cluster_to_dict",
+    "result_to_dict",
+    "result_to_json",
+    "rule_to_dict",
+    "Table",
+]

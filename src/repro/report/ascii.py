@@ -1,0 +1,103 @@
+"""Plain-text sketches of columns and cluster layouts.
+
+Terminal-friendly summaries for the CLI and quick interactive inspection:
+
+* :func:`histogram` — a fixed-width bar chart of a numeric column;
+* :func:`cluster_strip` — clusters drawn as spans on one axis, making the
+  Figure 1 situation (groups vs gaps) visible at a glance.
+
+Everything is pure text; no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["histogram", "cluster_strip"]
+
+_BAR = "#"
+
+
+def histogram(
+    values: Sequence[float], bins: int = 10, width: int = 40
+) -> str:
+    """A left-to-right bar chart: one row per bin, bars scaled to ``width``.
+
+    >>> print(histogram([1, 1, 2, 9], bins=2, width=4))   # doctest: +SKIP
+    [1, 5)  ### 3
+    [5, 9]  #   1
+    """
+    if bins < 1:
+        raise ValueError("bins must be at least 1")
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        return "(no values)"
+    if not np.all(np.isfinite(data)):
+        raise ValueError("histogram of non-finite values is undefined")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = max(int(counts.max()), 1)
+    label_pairs: List[Tuple[str, int]] = []
+    for i, count in enumerate(counts):
+        closer = "]" if i == len(counts) - 1 else ")"
+        label_pairs.append(
+            (f"[{edges[i]:.4g}, {edges[i + 1]:.4g}{closer}", int(count))
+        )
+    label_width = max(len(label) for label, _ in label_pairs)
+    lines = []
+    for label, count in label_pairs:
+        bar = _BAR * max(1 if count else 0, round(count / peak * width))
+        lines.append(f"{label.ljust(label_width)}  {bar.ljust(width)} {count}")
+    return "\n".join(lines)
+
+
+def cluster_strip(
+    spans: Sequence[Tuple[float, float]],
+    lo: float = None,
+    hi: float = None,
+    width: int = 60,
+) -> str:
+    """Clusters as bracketed spans on a shared axis.
+
+    ``spans`` are (lo, hi) pairs (e.g. cluster bounding boxes on one
+    attribute).  Each span renders on its own row against a common scale,
+    with an axis line underneath — gaps between clusters are as visible as
+    the clusters themselves.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    if not spans:
+        return "(no clusters)"
+    for span_lo, span_hi in spans:
+        if span_lo > span_hi:
+            raise ValueError(f"empty span ({span_lo}, {span_hi})")
+    axis_lo = min(s[0] for s in spans) if lo is None else lo
+    axis_hi = max(s[1] for s in spans) if hi is None else hi
+    if axis_hi == axis_lo:
+        axis_hi = axis_lo + 1.0
+    scale = (width - 1) / (axis_hi - axis_lo)
+
+    def column_of(value: float) -> int:
+        return int(round((value - axis_lo) * scale))
+
+    lines = []
+    for span_lo, span_hi in sorted(spans):
+        start = max(column_of(span_lo), 0)
+        end = min(column_of(span_hi), width - 1)
+        row = [" "] * width
+        if end == start:
+            row[start] = "|"
+        else:
+            row[start] = "["
+            row[end] = "]"
+            for i in range(start + 1, end):
+                row[i] = "="
+        lines.append("".join(row) + f"  [{span_lo:.4g}, {span_hi:.4g}]")
+    axis = "-" * width
+    labels = f"{axis_lo:<.4g}".ljust(width - 8) + f"{axis_hi:>.4g}"
+    lines.append(axis)
+    lines.append(labels)
+    return "\n".join(lines)

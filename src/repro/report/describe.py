@@ -1,0 +1,71 @@
+"""Human-readable descriptions of clusters and rules.
+
+Section 7.2: "A cluster can be described by its centroid, but we have found
+that this is not the most meaningful description. ... we have chosen to
+describe a cluster by its smallest bounding box."  The formatters here
+render bounding boxes, the full rule syntax of Dfn 5.3, and compact
+summaries of mining results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.cluster import Cluster
+from repro.core.miner import DARResult
+from repro.core.rules import DistanceRule
+
+__all__ = ["describe_cluster", "describe_rule", "describe_result", "format_rules"]
+
+
+def describe_cluster(cluster: Cluster, precision: int = 6) -> str:
+    """``partition[lo, hi] x ... (n=..., d=...)`` bounding-box description."""
+    lo, hi = cluster.bounding_box()
+    spans = []
+    for i, name in enumerate(cluster.partition.attributes):
+        spans.append(f"{name} in [{lo[i]:.{precision}g}, {hi[i]:.{precision}g}]")
+    body = " x ".join(spans)
+    return f"{body} (n={cluster.n}, diameter={cluster.diameter:.{precision}g})"
+
+
+def describe_rule(rule: DistanceRule, precision: int = 4) -> str:
+    """Full Dfn 5.3 syntax with per-consequent degrees."""
+    lhs = " AND ".join(describe_cluster(c, precision) for c in rule.antecedent)
+    rhs = " AND ".join(describe_cluster(c, precision) for c in rule.consequent)
+    extras = [f"degree={rule.degree:.{precision}g}"]
+    if rule.support_count is not None:
+        extras.append(f"support={rule.support_count}")
+    return f"IF {lhs} THEN {rhs} [{', '.join(extras)}]"
+
+
+def format_rules(rules: Iterable[DistanceRule], limit: int = 0) -> str:
+    """One rule per line, strongest (smallest degree) first."""
+    ordered = sorted(rules, key=lambda rule: (rule.degree, str(rule)))
+    if limit:
+        ordered = ordered[:limit]
+    return "\n".join(describe_rule(rule) for rule in ordered)
+
+
+def describe_result(result: DARResult) -> str:
+    """A run summary: thresholds, cluster counts, graph shape, top rules."""
+    lines: List[str] = []
+    lines.append("Distance-based association rule mining result")
+    lines.append(f"  frequency threshold (count): {result.frequency_count}")
+    for name in sorted(result.density_thresholds):
+        lines.append(
+            f"  partition {name}: d0={result.density_thresholds[name]:.4g}, "
+            f"D0={result.degree_thresholds[name]:.4g}, "
+            f"clusters={len(result.all_clusters.get(name, []))}, "
+            f"frequent={len(result.frequent_clusters.get(name, []))}"
+        )
+    if result.graph is not None:
+        lines.append(
+            f"  clustering graph: {result.graph.n_nodes} nodes, "
+            f"{result.graph.n_edges} edges, "
+            f"{result.phase2.n_non_trivial_cliques} non-trivial cliques"
+        )
+    lines.append(f"  rules found: {len(result.rules)}")
+    top = result.rules_sorted()[:10]
+    for rule in top:
+        lines.append(f"    {describe_rule(rule)}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""JSON export of mining results.
+
+Serializes clusters (bounding box, centroid, size, diameter) and rules
+(sides, degree, per-consequent degrees, optional support) into plain JSON
+structures — the integration surface for dashboards or downstream jobs.
+Everything is converted to built-in types so ``json.dumps`` works without
+custom encoders.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.core.cluster import Cluster
+from repro.core.miner import DARResult
+from repro.core.rules import DistanceRule
+
+__all__ = ["cluster_to_dict", "rule_to_dict", "result_to_dict", "result_to_json"]
+
+
+def cluster_to_dict(cluster: Cluster) -> Dict:
+    lo, hi = cluster.bounding_box()
+    return {
+        "uid": cluster.uid,
+        "partition": cluster.partition.name,
+        "attributes": list(cluster.partition.attributes),
+        "n": cluster.n,
+        "diameter": float(cluster.diameter),
+        "centroid": [float(v) for v in cluster.centroid],
+        "bounding_box": {
+            "lo": [float(v) for v in lo],
+            "hi": [float(v) for v in hi],
+        },
+    }
+
+
+def rule_to_dict(rule: DistanceRule) -> Dict:
+    return {
+        "antecedent": [cluster.uid for cluster in rule.antecedent],
+        "consequent": [cluster.uid for cluster in rule.consequent],
+        "degree": float(rule.degree),
+        "degrees": {str(uid): float(d) for uid, d in rule.degrees.items()},
+        "support_count": rule.support_count,
+    }
+
+
+def result_to_dict(result: DARResult) -> Dict:
+    """Whole-run export: thresholds, clusters (by partition), rules."""
+    return {
+        "frequency_count": result.frequency_count,
+        "density_thresholds": {
+            name: float(value) for name, value in result.density_thresholds.items()
+        },
+        "degree_thresholds": {
+            name: float(value) for name, value in result.degree_thresholds.items()
+        },
+        "clusters": {
+            name: [cluster_to_dict(cluster) for cluster in clusters]
+            for name, clusters in result.frequent_clusters.items()
+        },
+        "rules": [rule_to_dict(rule) for rule in result.rules_sorted()],
+        "phase2": {
+            "n_edges": result.phase2.n_edges,
+            "n_cliques": result.phase2.n_cliques,
+            "n_non_trivial_cliques": result.phase2.n_non_trivial_cliques,
+            "comparisons": result.phase2.comparisons,
+            "comparisons_skipped": result.phase2.comparisons_skipped,
+        },
+    }
+
+
+def result_to_json(result: DARResult, indent: int = 2) -> str:
+    """``result_to_dict`` rendered as a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)

@@ -1,0 +1,55 @@
+"""Fixed-width text tables for the benchmark harness.
+
+Every experiment in ``benchmarks/`` prints the rows/series the paper
+reports through this renderer, so outputs are uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A minimal fixed-width table with a title and typed-ish cells."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers: List[str] = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([self._format(cell) for cell in cells])
+
+    @staticmethod
+    def _format(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Iterable[str]) -> str:
+            return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+        separator = "-+-".join("-" * width for width in widths)
+        body = [line(self.headers), separator]
+        body.extend(line(row) for row in self.rows)
+        underline = "=" * max(len(self.title), len(separator))
+        return "\n".join([self.title, underline] + body)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,163 @@
+"""Tests for the Phase I driver: end-to-end one-pass clustering."""
+
+import numpy as np
+import pytest
+
+from repro.birch.birch import (
+    BirchClusterer,
+    BirchOptions,
+    assign_to_centroids,
+)
+from repro.data.relation import AttributePartition
+from repro.data.synthetic import make_clustered_relation
+
+
+def partition(name="x", attributes=None):
+    return AttributePartition(name, tuple(attributes or (name,)))
+
+
+class TestOptions:
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            BirchOptions(frequency_fraction=0.0)
+
+    def test_rejects_bad_page_fraction(self):
+        with pytest.raises(ValueError):
+            BirchOptions(outlier_page_fraction=1.5)
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ValueError):
+            BirchOptions(memory_limit_bytes=0)
+
+
+class TestFitBasics:
+    def test_recovers_well_separated_modes(self):
+        relation, truth = make_clustered_relation(
+            n_modes=3, points_per_mode=100, n_attributes=1,
+            spread=0.5, separation=50.0, outlier_fraction=0.0, seed=1,
+            attribute_prefix="x",
+        )
+        options = BirchOptions(initial_threshold=3.0)
+        result = BirchClusterer(partition("x0"), (), options).fit(relation)
+        frequent = result.frequent(min_count=50)
+        assert len(frequent) == 3
+        centroids = sorted(acf.centroid[0] for acf in frequent)
+        expected = sorted(truth.centers[:, 0])
+        assert np.allclose(centroids, expected, atol=1.0)
+
+    def test_total_count_preserved(self):
+        relation, _ = make_clustered_relation(
+            n_modes=2, points_per_mode=50, n_attributes=1, seed=2,
+            attribute_prefix="x",
+        )
+        result = BirchClusterer(partition("x0"), (), BirchOptions(initial_threshold=1.0)).fit(relation)
+        assert sum(acf.n for acf in result.clusters) == len(relation)
+        assert result.stats.points_inserted == len(relation)
+
+    def test_cross_moments_populated(self):
+        relation, _ = make_clustered_relation(
+            n_modes=2, points_per_mode=50, n_attributes=2, seed=3,
+            attribute_prefix="a",
+        )
+        p_a = partition("a0")
+        p_b = partition("a1")
+        result = BirchClusterer(p_a, (p_b,), BirchOptions(initial_threshold=2.0)).fit(relation)
+        for acf in result.clusters:
+            assert "a1" in acf.cross
+            assert acf.cross["a1"].n == acf.n
+
+    def test_mismatched_cross_matrices_rejected(self):
+        clusterer = BirchClusterer(partition("x"), (partition("y"),))
+        with pytest.raises(ValueError, match="cross"):
+            clusterer.fit_arrays(np.zeros((5, 1)), {})
+
+    def test_duplicate_partition_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            BirchClusterer(partition("x"), (partition("x"),))
+
+
+class TestAdaptiveBehaviour:
+    def test_memory_limit_triggers_rebuilds(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0, 1000, size=(3000, 1))
+        options = BirchOptions(
+            initial_threshold=0.0, memory_limit_bytes=4_000,
+        )
+        result = BirchClusterer(partition("x"), (), options).fit_arrays(points, {})
+        assert result.stats.rebuilds > 0
+        assert result.stats.threshold_history[-1] > 0.0
+        assert result.stats.final_tree_bytes <= 4_000 * 2  # approximately bounded
+        assert sum(acf.n for acf in result.clusters) + (
+            result.stats.replay.outlier_tuples if result.stats.replay else 0
+        ) == 3000
+
+    def test_unbounded_memory_never_rebuilds(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(500, 1))
+        options = BirchOptions(initial_threshold=0.5, memory_limit_bytes=None)
+        result = BirchClusterer(partition("x"), (), options).fit_arrays(points, {})
+        assert result.stats.rebuilds == 0
+
+    def test_smaller_budget_coarser_summary(self):
+        rng = np.random.default_rng(6)
+        points = rng.uniform(0, 1000, size=(2000, 1))
+        def run(budget):
+            options = BirchOptions(initial_threshold=0.0, memory_limit_bytes=budget)
+            return BirchClusterer(partition("x"), (), options).fit_arrays(points, {})
+        coarse = run(3_000)
+        fine = run(60_000)
+        assert coarse.stats.final_entry_count <= fine.stats.final_entry_count
+
+    def test_outliers_paged_and_replayed(self):
+        rng = np.random.default_rng(7)
+        clustered = rng.normal(0, 0.5, size=(1900, 1))
+        strays = rng.uniform(-5000, 5000, size=(100, 1))
+        points = np.vstack([clustered, strays])
+        rng.shuffle(points)
+        options = BirchOptions(
+            initial_threshold=1.0, memory_limit_bytes=3_000,
+            frequency_fraction=0.03,
+        )
+        result = BirchClusterer(partition("x"), (), options).fit_arrays(points, {})
+        if result.stats.paged_entries:
+            assert result.stats.replay is not None
+
+
+class TestAssignToCentroids:
+    def test_basic_assignment(self):
+        points = np.array([[0.0], [9.0], [5.1]])
+        centroids = np.array([[0.0], [10.0], [5.0]])
+        labels = assign_to_centroids(points, centroids)
+        assert list(labels) == [0, 1, 2]
+
+    def test_no_centroids_gives_minus_one(self):
+        labels = assign_to_centroids(np.zeros((3, 2)), np.empty((0, 2)))
+        assert list(labels) == [-1, -1, -1]
+
+    def test_chunking_matches_direct(self):
+        rng = np.random.default_rng(8)
+        points = rng.normal(size=(5000, 2))
+        centroids = rng.normal(size=(7, 2))
+        labels = assign_to_centroids(points, centroids)
+        deltas = points[:, None, :] - centroids[None, :, :]
+        direct = np.argmin((deltas**2).sum(axis=-1), axis=1)
+        assert np.array_equal(labels, direct)
+
+
+class TestInputValidation:
+    def test_nan_points_rejected(self):
+        clusterer = BirchClusterer(partition("x"), ())
+        with pytest.raises(ValueError, match="non-finite"):
+            clusterer.fit_arrays(np.array([[1.0], [np.nan]]), {})
+
+    def test_inf_points_rejected(self):
+        clusterer = BirchClusterer(partition("x"), ())
+        with pytest.raises(ValueError, match="non-finite"):
+            clusterer.fit_arrays(np.array([[np.inf]]), {})
+
+    def test_nan_cross_rejected(self):
+        clusterer = BirchClusterer(partition("x"), (partition("y"),))
+        with pytest.raises(ValueError, match="non-finite"):
+            clusterer.fit_arrays(
+                np.array([[1.0]]), {"y": np.array([[np.nan]])}
+            )

@@ -1,0 +1,213 @@
+"""Tests for CF/ACF summaries: additivity, derived statistics, Thm 6.1 data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.birch.features import ACF, CF, merged_rms_diameter
+from repro.metrics.cluster import diameter
+
+bounded = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+def point_arrays(min_rows=1, max_rows=10, dim=2):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(min_rows, max_rows), st.just(dim)),
+        elements=bounded,
+    )
+
+
+class TestCFConstruction:
+    def test_zero(self):
+        cf = CF.zero(3)
+        assert cf.n == 0
+        assert np.all(cf.ls == 0) and np.all(cf.ss == 0)
+
+    def test_of_point(self):
+        cf = CF.of_point(np.array([2.0, -3.0]))
+        assert cf.n == 1
+        assert np.allclose(cf.ls, [2.0, -3.0])
+        assert np.allclose(cf.ss, [4.0, 9.0])
+
+    def test_of_points_matches_manual_sums(self):
+        points = np.array([[1.0, 2.0], [3.0, 4.0]])
+        cf = CF.of_points(points)
+        assert cf.n == 2
+        assert np.allclose(cf.ls, [4.0, 6.0])
+        assert np.allclose(cf.ss, [10.0, 20.0])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            CF(1, np.zeros(2), np.zeros(3))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CF(-1, np.zeros(2), np.zeros(2))
+
+
+class TestCFAdditivity:
+    @given(a=point_arrays(), b=point_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_additivity_theorem(self, a, b):
+        """CF(A) + CF(B) == CF(A | B), component-wise (the BIRCH theorem)."""
+        merged = CF.of_points(a).merged(CF.of_points(b))
+        direct = CF.of_points(np.vstack([a, b]))
+        assert merged.n == direct.n
+        assert np.allclose(merged.ls, direct.ls)
+        assert np.allclose(merged.ss, direct.ss)
+
+    @given(points=point_arrays(min_rows=2))
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_equals_batch(self, points):
+        incremental = CF.zero(points.shape[1])
+        for point in points:
+            incremental.add_point(point)
+        batch = CF.of_points(points)
+        assert incremental.n == batch.n
+        assert np.allclose(incremental.ls, batch.ls)
+        assert np.allclose(incremental.ss, batch.ss)
+
+    def test_merge_in_place(self):
+        a = CF.of_point(np.array([1.0]))
+        b = CF.of_point(np.array([3.0]))
+        a.merge(b)
+        assert a.n == 2
+        assert a.centroid[0] == 2.0
+
+    def test_copy_is_independent(self):
+        a = CF.of_point(np.array([1.0]))
+        b = a.copy()
+        b.add_point(np.array([5.0]))
+        assert a.n == 1 and b.n == 2
+
+
+class TestCFStatistics:
+    def test_centroid(self):
+        cf = CF.of_points(np.array([[0.0, 0.0], [4.0, 8.0]]))
+        assert np.allclose(cf.centroid, [2.0, 4.0])
+
+    def test_centroid_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            CF.zero(2).centroid
+
+    def test_variance_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            CF.zero(2).variance
+
+    @given(points=point_arrays(min_rows=2, max_rows=8))
+    @settings(max_examples=30, deadline=None)
+    def test_variance_matches_numpy(self, points):
+        cf = CF.of_points(points)
+        assert np.allclose(cf.variance, points.var(axis=0), atol=1e-4)
+
+    @given(points=point_arrays(min_rows=2, max_rows=8))
+    @settings(max_examples=30, deadline=None)
+    def test_rms_diameter_bounds_eq2_diameter(self, points):
+        cf = CF.of_points(points)
+        assert cf.rms_diameter >= diameter(points) - 1e-6 * (1 + cf.rms_diameter)
+
+    def test_singleton_diameter_zero(self):
+        assert CF.of_point(np.array([7.0])).rms_diameter == 0.0
+
+    def test_d1_between_cfs(self):
+        a = CF.of_points(np.array([[0.0, 0.0], [2.0, 2.0]]))
+        b = CF.of_point(np.array([4.0, 5.0]))
+        assert a.d1(b) == pytest.approx(3.0 + 4.0)
+
+    def test_centroid_distance(self):
+        a = CF.of_point(np.array([0.0, 0.0]))
+        b = CF.of_point(np.array([3.0, 4.0]))
+        assert a.centroid_distance(b) == pytest.approx(5.0)
+
+    @given(a=point_arrays(), b=point_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_merged_rms_diameter_consistent(self, a, b):
+        cf_a, cf_b = CF.of_points(a), CF.of_points(b)
+        union = CF.of_points(np.vstack([a, b]))
+        # abs tolerance covers sqrt-amplified cancellation on near-identical
+        # points (residual ~ |x| * sqrt(machine eps)).
+        assert merged_rms_diameter(cf_a, cf_b) == pytest.approx(
+            union.rms_diameter, rel=1e-6, abs=1.5e-3
+        )
+
+
+class TestACF:
+    def _make(self, x, cross):
+        return ACF.of_points(np.asarray(x, dtype=float), {k: np.asarray(v, dtype=float) for k, v in cross.items()})
+
+    def test_of_point_with_cross(self):
+        acf = ACF.of_point(np.array([1.0]), {"y": np.array([5.0, 6.0])})
+        assert acf.n == 1
+        assert acf.cross["y"].dimension == 2
+
+    def test_cross_count_consistency_enforced(self):
+        cf = CF.of_points(np.array([[1.0], [2.0]]))
+        bad_cross = {"y": CF.of_point(np.array([1.0]))}
+        with pytest.raises(ValueError, match="cover"):
+            ACF(cf, bad_cross)
+
+    def test_add_point_updates_everything(self):
+        acf = ACF.of_point(np.array([1.0]), {"y": np.array([10.0])})
+        acf.add_point(np.array([3.0]), {"y": np.array([20.0])})
+        assert acf.n == 2
+        assert acf.cross["y"].n == 2
+        assert np.allclose(acf.cross["y"].ls, [30.0])
+        lo, hi = acf.bounding_box()
+        assert lo[0] == 1.0 and hi[0] == 3.0
+
+    def test_add_point_cross_mismatch_rejected(self):
+        acf = ACF.of_point(np.array([1.0]), {"y": np.array([10.0])})
+        with pytest.raises(ValueError):
+            acf.add_point(np.array([2.0]), {"z": np.array([1.0])})
+
+    def test_merge_cross_mismatch_rejected(self):
+        a = ACF.of_point(np.array([1.0]), {"y": np.array([10.0])})
+        b = ACF.of_point(np.array([2.0]), {"z": np.array([10.0])})
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    @given(
+        x_a=point_arrays(dim=1), x_b=point_arrays(dim=1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_extended_additivity_theorem(self, x_a, x_b):
+        """ACF additivity extends to the cross moments (Section 6.1)."""
+        rng = np.random.default_rng(0)
+        y_a = rng.normal(size=(x_a.shape[0], 2))
+        y_b = rng.normal(size=(x_b.shape[0], 2))
+        acf_a = ACF.of_points(x_a, {"y": y_a})
+        acf_b = ACF.of_points(x_b, {"y": y_b})
+        merged = acf_a.merged(acf_b)
+        direct = ACF.of_points(
+            np.vstack([x_a, x_b]), {"y": np.vstack([y_a, y_b])}
+        )
+        assert merged.n == direct.n
+        assert np.allclose(merged.cross["y"].ls, direct.cross["y"].ls)
+        assert np.allclose(merged.cross["y"].ss, direct.cross["y"].ss)
+        assert np.allclose(merged.lo, direct.lo)
+        assert np.allclose(merged.hi, direct.hi)
+
+    def test_image_own_partition_is_primary_cf(self):
+        acf = ACF.of_point(np.array([1.0]), {"y": np.array([10.0])})
+        assert acf.image("x", own_name="x") is acf.cf
+        assert acf.image("y", own_name="x") is acf.cross["y"]
+
+    def test_image_unknown_partition_raises(self):
+        acf = ACF.of_point(np.array([1.0]), {"y": np.array([10.0])})
+        with pytest.raises(KeyError, match="available"):
+            acf.image("nope", own_name="x")
+
+    def test_bounding_box_of_empty_raises(self):
+        acf = ACF(CF.zero(1))
+        with pytest.raises(ValueError):
+            acf.bounding_box()
+
+    def test_copy_independent(self):
+        a = ACF.of_point(np.array([1.0]), {"y": np.array([5.0])})
+        b = a.copy()
+        b.add_point(np.array([9.0]), {"y": np.array([1.0])})
+        assert a.n == 1 and b.n == 2
+        assert a.cross["y"].n == 1

@@ -1,0 +1,81 @@
+"""Tests for the outlier store and the end-of-scan replay."""
+
+import numpy as np
+
+from repro.birch.features import ACF
+from repro.birch.memory import MemoryModel
+from repro.birch.outliers import OutlierStore
+from repro.birch.tree import ACFTree
+
+
+def make_store():
+    return OutlierStore(
+        MemoryModel(dimension=1, cross_dimensions={}, branching=4, leaf_capacity=4)
+    )
+
+
+def entry_at(value, count=1):
+    points = np.full((count, 1), float(value))
+    return ACF.of_points(points, {})
+
+
+class TestStoreBasics:
+    def test_empty_store(self):
+        store = make_store()
+        assert len(store) == 0
+        assert store.tuple_count == 0
+        assert store.bytes_used() == 0
+
+    def test_page_out_accumulates(self):
+        store = make_store()
+        store.page_out([entry_at(1.0), entry_at(2.0, count=3)])
+        assert len(store) == 2
+        assert store.tuple_count == 4
+        assert store.bytes_used() > 0
+
+
+class TestReplay:
+    def test_absorbed_outlier_joins_existing_cluster(self):
+        """A paged-out entry near a real cluster is absorbed on replay."""
+        tree = ACFTree(dimension=1, threshold=2.0)
+        for _ in range(20):
+            tree.insert_point(np.array([10.0]))
+        store = make_store()
+        store.page_out([entry_at(10.4)])
+        report = store.replay_into(tree, min_count=5)
+        assert report.absorbed == 1
+        assert report.confirmed_count == 0
+        assert tree.n_points == 21
+
+    def test_confirmed_outlier_removed_from_tree(self):
+        """A far-away small entry is confirmed and stripped from the tree."""
+        tree = ACFTree(dimension=1, threshold=2.0)
+        for _ in range(20):
+            tree.insert_point(np.array([10.0]))
+        store = make_store()
+        store.page_out([entry_at(500.0)])
+        report = store.replay_into(tree, min_count=5)
+        assert report.confirmed_count == 1
+        assert report.outlier_tuples == 1
+        # The stray entry must not survive as a cluster.
+        assert all(entry.n >= 5 for entry in tree.entries())
+
+    def test_grown_outlier_counts_as_absorbed(self):
+        """An entry that grew past the bar while paged is a real cluster."""
+        tree = ACFTree(dimension=1, threshold=2.0)
+        for _ in range(20):
+            tree.insert_point(np.array([10.0]))
+        store = make_store()
+        store.page_out([entry_at(500.0, count=8)])
+        report = store.replay_into(tree, min_count=5)
+        assert report.absorbed == 1
+        assert report.confirmed_count == 0
+        assert any(abs(entry.centroid[0] - 500.0) < 1 for entry in tree.entries())
+
+    def test_store_drained_after_replay(self):
+        tree = ACFTree(dimension=1, threshold=2.0)
+        tree.insert_point(np.array([0.0]))
+        store = make_store()
+        store.page_out([entry_at(100.0)])
+        store.replay_into(tree, min_count=1)
+        assert len(store) == 0

@@ -1,0 +1,111 @@
+"""Tests for the global refinement phase (agglomerative entry merging)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.birch.birch import BirchClusterer, BirchOptions
+from repro.birch.features import ACF
+from repro.birch.refine import refine_entries
+from repro.data.relation import AttributePartition
+
+
+def entry(values, cross=None):
+    points = np.asarray(values, dtype=float).reshape(-1, 1)
+    cross_arrays = {
+        name: np.asarray(data, dtype=float).reshape(-1, 1)
+        for name, data in (cross or {}).items()
+    }
+    return ACF.of_points(points, cross_arrays)
+
+
+class TestRefineEntries:
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            refine_entries([entry([1.0])], -1.0)
+
+    def test_empty_and_singleton_pass_through(self):
+        assert refine_entries([], 1.0) == []
+        (only,) = refine_entries([entry([3.0])], 1.0)
+        assert only.n == 1
+
+    def test_close_entries_merge(self):
+        merged = refine_entries([entry([0.0]), entry([0.5]), entry([100.0])], 2.0)
+        assert len(merged) == 2
+        counts = sorted(acf.n for acf in merged)
+        assert counts == [1, 2]
+
+    def test_zero_threshold_merges_nothing_distinct(self):
+        merged = refine_entries([entry([0.0]), entry([1.0])], 0.0)
+        assert len(merged) == 2
+
+    def test_zero_threshold_merges_identical(self):
+        merged = refine_entries([entry([5.0]), entry([5.0])], 0.0)
+        assert len(merged) == 1
+        assert merged[0].n == 2
+
+    def test_inputs_not_mutated(self):
+        a, b = entry([0.0]), entry([0.1])
+        refine_entries([a, b], 10.0)
+        assert a.n == 1 and b.n == 1
+
+    def test_chained_merging(self):
+        """Entries at 0, 1, 2 with threshold covering the chain merge fully."""
+        merged = refine_entries([entry([0.0]), entry([1.0]), entry([2.0])], 3.0)
+        assert len(merged) == 1
+        assert merged[0].n == 3
+
+    def test_cross_moments_preserved(self):
+        a = entry([0.0], cross={"y": [10.0]})
+        b = entry([0.2], cross={"y": [20.0]})
+        (merged,) = refine_entries([a, b], 2.0)
+        assert merged.cross["y"].ls[0] == 30.0
+
+    def test_order_independence(self):
+        entries = [entry([v]) for v in (0.0, 0.4, 10.0, 10.3, 20.0)]
+        forward = refine_entries(entries, 1.0)
+        backward = refine_entries(list(reversed(entries)), 1.0)
+        key = lambda acfs: sorted((round(a.centroid[0], 6), a.n) for a in acfs)
+        assert key(forward) == key(backward)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=1, max_size=20,
+        ),
+        threshold=st.floats(min_value=0.0, max_value=50.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, values, threshold):
+        entries = [entry([v]) for v in values]
+        merged = refine_entries(entries, threshold)
+        # Count conservation.
+        assert sum(acf.n for acf in merged) == len(values)
+        # Every survivor respects the threshold.
+        for acf in merged:
+            assert acf.rms_diameter <= threshold + 1e-9
+        # Moment conservation.
+        total = sum(acf.cf.ls[0] for acf in merged)
+        assert total == pytest.approx(sum(values), rel=1e-9, abs=1e-6)
+
+
+class TestRefinementInClusterer:
+    def test_refinement_reduces_fragmentation(self):
+        """Order-dependent insertion fragments a cluster; refinement heals it."""
+        rng = np.random.default_rng(3)
+        # One tight mode presented in adversarial order (extremes first).
+        points = np.sort(rng.normal(50.0, 0.5, size=400))[::-1].copy().reshape(-1, 1)
+        partition = AttributePartition("x", ("x",))
+
+        def run(refine):
+            options = BirchOptions(
+                initial_threshold=2.0, global_refinement=refine,
+                leaf_capacity=4, branching=4,
+            )
+            return BirchClusterer(partition, (), options).fit_arrays(points, {})
+
+        plain = run(False)
+        refined = run(True)
+        assert len(refined.clusters) <= len(plain.clusters)
+        assert sum(acf.n for acf in refined.clusters) == 400

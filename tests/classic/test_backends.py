@@ -1,0 +1,152 @@
+"""Tests for the alternative itemset backends: PCY, SON, Toivonen.
+
+The load-bearing property: every backend returns EXACTLY the itemsets and
+counts plain Apriori returns, on arbitrary inputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classic.backends import ITEMSET_BACKENDS, mine_itemsets
+from repro.classic.itemsets import apriori_itemsets
+from repro.classic.pcy import pcy_itemsets
+from repro.classic.sampling import negative_border, toivonen_itemsets
+from repro.classic.son import son_itemsets
+from repro.classic.transactions import Item, TransactionSet
+
+
+def iset(*values):
+    return frozenset(Item("item", value) for value in values)
+
+
+def baskets(*sets):
+    return TransactionSet.from_baskets(sets)
+
+
+FIXTURE = baskets(
+    {"bread", "milk"},
+    {"bread", "diapers", "beer", "eggs"},
+    {"milk", "diapers", "beer", "cola"},
+    {"bread", "milk", "diapers", "beer"},
+    {"bread", "milk", "diapers", "cola"},
+)
+
+random_datasets = st.lists(
+    st.frozensets(st.sampled_from("abcdef"), min_size=1, max_size=5),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestDispatcher:
+    def test_known_backends(self):
+        assert set(ITEMSET_BACKENDS) == {"apriori", "pcy", "son", "toivonen"}
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError, match="apriori"):
+            mine_itemsets(FIXTURE, 0.5, method="fpgrowth")
+
+    @pytest.mark.parametrize("method", sorted(ITEMSET_BACKENDS))
+    def test_all_backends_run(self, method):
+        result = mine_itemsets(FIXTURE, 0.6, method=method)
+        assert result.counts[iset("bread")] == 4
+
+
+class TestAgreementWithApriori:
+    @pytest.mark.parametrize("method", ["pcy", "son", "toivonen"])
+    @given(data=random_datasets, min_support=st.sampled_from([0.1, 0.3, 0.6]))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_agreement(self, method, data, min_support):
+        transactions = TransactionSet.from_baskets(data)
+        expected = apriori_itemsets(transactions, min_support)
+        actual = mine_itemsets(transactions, min_support, method=method)
+        assert actual.counts == expected.counts
+        assert actual.min_count == expected.min_count
+
+
+class TestPCY:
+    def test_few_buckets_still_exact(self):
+        """Heavy bucket collisions weaken pruning but never correctness."""
+        expected = apriori_itemsets(FIXTURE, 0.4)
+        actual = pcy_itemsets(FIXTURE, 0.4, n_buckets=2)
+        assert actual.counts == expected.counts
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            pcy_itemsets(FIXTURE, 0.5, n_buckets=0)
+
+    def test_max_size_one(self):
+        result = pcy_itemsets(FIXTURE, 0.4, max_size=1)
+        assert result.max_size == 1
+
+
+class TestSON:
+    def test_more_partitions_than_transactions(self):
+        expected = apriori_itemsets(FIXTURE, 0.4)
+        actual = son_itemsets(FIXTURE, 0.4, n_partitions=50)
+        assert actual.counts == expected.counts
+
+    def test_single_partition_degenerates_to_apriori(self):
+        expected = apriori_itemsets(FIXTURE, 0.4)
+        actual = son_itemsets(FIXTURE, 0.4, n_partitions=1)
+        assert actual.counts == expected.counts
+
+    def test_empty_input(self):
+        result = son_itemsets(TransactionSet([]), 0.5)
+        assert len(result) == 0
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            son_itemsets(FIXTURE, 0.5, n_partitions=0)
+
+
+class TestNegativeBorder:
+    def test_border_of_empty_frequent_is_singletons(self):
+        universe = {Item("item", "a"), Item("item", "b")}
+        border = negative_border(set(), universe)
+        assert border == {iset("a"), iset("b")}
+
+    def test_border_contains_minimal_nonfrequent_pairs(self):
+        frequent = {iset("a"), iset("b"), iset("c"), iset("a", "b")}
+        universe = {Item("item", v) for v in "abc"}
+        border = negative_border(frequent, universe)
+        # {a,c} and {b,c} have all subsets frequent but are not frequent.
+        assert iset("a", "c") in border
+        assert iset("b", "c") in border
+        # {a,b,c} is not minimal (contains non-frequent {a,c}).
+        assert iset("a", "b", "c") not in border
+
+
+class TestToivonen:
+    def test_full_sample_is_exact(self):
+        result = toivonen_itemsets(FIXTURE, 0.4, sample_fraction=1.0)
+        assert result.exact
+        assert result.itemsets.counts == apriori_itemsets(FIXTURE, 0.4).counts
+
+    def test_counts_refer_to_full_data(self):
+        result = toivonen_itemsets(FIXTURE, 0.4, sample_fraction=0.6, seed=1)
+        for itemset, count in result.itemsets.counts.items():
+            assert count == FIXTURE.count(itemset)
+
+    def test_misses_reported_not_silently_dropped(self):
+        """A tiny sample may miss itemsets, but then exact=False."""
+        for seed in range(10):
+            result = toivonen_itemsets(
+                FIXTURE, 0.4, sample_fraction=0.2, seed=seed
+            )
+            if not result.exact:
+                assert result.border_misses
+                return
+        # All seeds exact is also acceptable (small fixture).
+
+    def test_empty_input(self):
+        result = toivonen_itemsets(TransactionSet([]), 0.5)
+        assert result.exact
+        assert len(result.itemsets) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            toivonen_itemsets(FIXTURE, 0.5, sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            toivonen_itemsets(FIXTURE, 0.5, threshold_slack=0.0)

@@ -1,0 +1,138 @@
+"""Tests for Apriori frequent-itemset mining, incl. downward-closure property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classic.itemsets import apriori_itemsets, generate_candidates
+from repro.classic.transactions import Item, TransactionSet
+
+
+def baskets(*sets):
+    return TransactionSet.from_baskets(sets)
+
+
+def iset(*values):
+    return frozenset(Item("item", value) for value in values)
+
+
+class TestAprioriBasics:
+    def test_singletons_counted(self):
+        transactions = baskets({"a", "b"}, {"a"}, {"a", "c"})
+        result = apriori_itemsets(transactions, min_support=0.5)
+        assert result.counts[iset("a")] == 3
+        assert iset("b") not in result
+
+    def test_pairs_found(self):
+        transactions = baskets({"a", "b"}, {"a", "b"}, {"a"}, {"b"})
+        result = apriori_itemsets(transactions, min_support=0.5)
+        assert result.counts[iset("a", "b")] == 2
+
+    def test_classic_textbook_example(self):
+        transactions = baskets(
+            {"bread", "milk"},
+            {"bread", "diapers", "beer", "eggs"},
+            {"milk", "diapers", "beer", "cola"},
+            {"bread", "milk", "diapers", "beer"},
+            {"bread", "milk", "diapers", "cola"},
+        )
+        result = apriori_itemsets(transactions, min_support=0.6)
+        assert result.counts[iset("bread")] == 4
+        assert result.counts[iset("milk", "diapers")] == 3
+        assert iset("beer", "milk") not in result
+
+    def test_min_support_zero_requires_one_occurrence(self):
+        transactions = baskets({"a"}, {"b"})
+        result = apriori_itemsets(transactions, min_support=0.0)
+        assert iset("a") in result and iset("b") in result
+
+    def test_exact_boundary_support(self):
+        """0.3 of 10 transactions -> count bar exactly 3 (no float slop)."""
+        transactions = baskets(*([{"a"}] * 3 + [{"b"}] * 7))
+        result = apriori_itemsets(transactions, min_support=0.3)
+        assert iset("a") in result
+
+    def test_invalid_support_rejected(self):
+        with pytest.raises(ValueError):
+            apriori_itemsets(baskets({"a"}), min_support=1.5)
+
+    def test_max_size_caps_levels(self):
+        transactions = baskets(*([{"a", "b", "c"}] * 5))
+        result = apriori_itemsets(transactions, min_support=0.5, max_size=2)
+        assert result.max_size == 2
+
+    def test_support_accessor(self):
+        transactions = baskets({"a"}, {"a"}, {"b"})
+        result = apriori_itemsets(transactions, min_support=0.3)
+        assert result.support(iset("a")) == pytest.approx(2 / 3)
+
+    def test_by_size(self):
+        transactions = baskets(*([{"a", "b"}] * 4))
+        result = apriori_itemsets(transactions, min_support=0.5)
+        assert len(result.by_size(1)) == 2
+        assert len(result.by_size(2)) == 1
+
+
+class TestCandidateGeneration:
+    def test_joins_common_prefix(self):
+        frequent = [iset("a", "b"), iset("a", "c"), iset("b", "c")]
+        candidates = generate_candidates(frequent, size=3)
+        assert candidates == {iset("a", "b", "c")}
+
+    def test_prunes_missing_subset(self):
+        # {a,b} and {a,c} join to {a,b,c}, but {b,c} is not frequent.
+        frequent = [iset("a", "b"), iset("a", "c")]
+        assert generate_candidates(frequent, size=3) == set()
+
+    def test_empty_input(self):
+        assert generate_candidates([], size=2) == set()
+
+
+class TestDownwardClosure:
+    """Property: every subset of a frequent itemset is frequent (Apriori)."""
+
+    @given(
+        data=st.lists(
+            st.frozensets(st.sampled_from("abcdef"), min_size=1, max_size=5),
+            min_size=1,
+            max_size=30,
+        ),
+        min_support=st.sampled_from([0.1, 0.3, 0.5]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_subsets_of_frequent_are_frequent(self, data, min_support):
+        transactions = TransactionSet.from_baskets(data)
+        result = apriori_itemsets(transactions, min_support)
+        for itemset in result.counts:
+            for item in itemset:
+                subset = itemset - {item}
+                if subset:
+                    assert subset in result.counts
+
+    @given(
+        data=st.lists(
+            st.frozensets(st.sampled_from("abcde"), min_size=1, max_size=4),
+            min_size=1,
+            max_size=25,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_counts_are_exact(self, data):
+        transactions = TransactionSet.from_baskets(data)
+        result = apriori_itemsets(transactions, min_support=0.2)
+        for itemset, count in result.counts.items():
+            assert count == transactions.count(itemset)
+
+    @given(
+        data=st.lists(
+            st.frozensets(st.sampled_from("abcd"), min_size=1, max_size=4),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_support(self, data):
+        transactions = TransactionSet.from_baskets(data)
+        loose = apriori_itemsets(transactions, min_support=0.2)
+        tight = apriori_itemsets(transactions, min_support=0.6)
+        assert set(tight.counts) <= set(loose.counts)

@@ -1,0 +1,110 @@
+"""Tests for lift / leverage / conviction ([PS91] interest measures)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classic.itemsets import apriori_itemsets
+from repro.classic.measures import measure_rule, measure_rules, rank_by
+from repro.classic.rules import ClassicalRule, generate_rules
+from repro.classic.transactions import Item, TransactionSet
+
+
+def iset(*values):
+    return frozenset(Item("item", value) for value in values)
+
+
+def rule(support, confidence):
+    return ClassicalRule(iset("a"), iset("b"), support, confidence)
+
+
+class TestMeasureRule:
+    def test_independence_baseline(self):
+        """P(A)=0.5, P(B)=0.4, independent: lift 1, leverage 0, conviction 1."""
+        measures = measure_rule(rule(support=0.2, confidence=0.4), 0.4)
+        assert measures.lift == pytest.approx(1.0)
+        assert measures.leverage == pytest.approx(0.0)
+        assert measures.conviction == pytest.approx(1.0)
+
+    def test_positive_association(self):
+        measures = measure_rule(rule(support=0.3, confidence=0.9), 0.4)
+        assert measures.lift > 1.0
+        assert measures.leverage > 0.0
+        assert measures.conviction > 1.0
+
+    def test_negative_association(self):
+        measures = measure_rule(rule(support=0.05, confidence=0.1), 0.5)
+        assert measures.lift < 1.0
+        assert measures.leverage < 0.0
+        assert measures.conviction < 1.0
+
+    def test_exact_rule_infinite_conviction(self):
+        measures = measure_rule(rule(support=0.5, confidence=1.0), 0.6)
+        assert math.isinf(measures.conviction)
+
+    def test_invalid_consequent_support(self):
+        with pytest.raises(ValueError):
+            measure_rule(rule(0.2, 0.5), 1.5)
+
+    @given(
+        antecedent=st.floats(0.05, 1.0),
+        confidence=st.floats(0.01, 1.0),
+        consequent=st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_piatetsky_shapiro_axiom1(self, antecedent, confidence, consequent):
+        """Leverage is 0 exactly when P(AB) = P(A)P(B)."""
+        support = antecedent * confidence
+        if support > 1:
+            return
+        measures = measure_rule(rule(support, confidence), consequent)
+        independent = abs(support - antecedent * consequent) < 1e-12
+        assert (abs(measures.leverage) < 1e-9) == independent
+
+
+class TestMeasureRules:
+    @pytest.fixture
+    def mined(self):
+        transactions = TransactionSet.from_baskets(
+            [{"a", "b"}] * 6 + [{"a"}] * 2 + [{"b"}] * 1 + [{"c"}] * 3
+        )
+        itemsets = apriori_itemsets(transactions, min_support=0.05)
+        rules = generate_rules(itemsets, min_confidence=0.1)
+        return itemsets, rules
+
+    def test_all_rules_measured(self, mined):
+        itemsets, rules = mined
+        measured = measure_rules(rules, itemsets)
+        assert len(measured) == len(rules)
+
+    def test_values_match_hand_computation(self, mined):
+        itemsets, rules = mined
+        measured = measure_rules(rules, itemsets)
+        a_to_b = next(
+            m for m in measured
+            if {i.value for i in m.rule.antecedent} == {"a"}
+            and {i.value for i in m.rule.consequent} == {"b"}
+        )
+        # P(a)=8/12, P(b)=7/12, P(ab)=6/12.
+        assert a_to_b.lift == pytest.approx((6 / 8) / (7 / 12))
+        assert a_to_b.leverage == pytest.approx(6 / 12 - (8 / 12) * (7 / 12))
+
+
+class TestRankBy:
+    def test_descending_order(self):
+        measures = [
+            measure_rule(rule(0.2, 0.4), 0.4),
+            measure_rule(rule(0.3, 0.9), 0.4),
+        ]
+        ranked = rank_by(measures, key="lift")
+        assert ranked[0].lift >= ranked[1].lift
+
+    def test_top_k(self):
+        measures = [measure_rule(rule(0.2, 0.4), 0.4)] * 3
+        assert len(rank_by(measures, top_k=2)) == 2
+
+    def test_invalid_key(self):
+        with pytest.raises(ValueError):
+            rank_by([], key="shininess")

@@ -1,0 +1,102 @@
+"""Tests for classical rule generation: support/confidence semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classic.itemsets import apriori_itemsets
+from repro.classic.rules import ClassicalRule, generate_rules, mine_classical_rules
+from repro.classic.transactions import Item, TransactionSet
+
+
+def iset(*values):
+    return frozenset(Item("item", value) for value in values)
+
+
+class TestClassicalRule:
+    def test_requires_nonempty_sides(self):
+        with pytest.raises(ValueError):
+            ClassicalRule(frozenset(), iset("a"), 0.5, 0.5)
+
+    def test_requires_disjoint_sides(self):
+        with pytest.raises(ValueError):
+            ClassicalRule(iset("a"), iset("a", "b"), 0.5, 0.5)
+
+    def test_str_contains_measures(self):
+        rule = ClassicalRule(iset("a"), iset("b"), 0.25, 0.75)
+        assert "sup=0.250" in str(rule)
+        assert "conf=0.750" in str(rule)
+
+
+class TestGenerateRules:
+    def test_confidence_computed_from_counts(self):
+        transactions = TransactionSet.from_baskets(
+            [{"a", "b"}, {"a", "b"}, {"a"}, {"b"}]
+        )
+        itemsets = apriori_itemsets(transactions, min_support=0.25)
+        rules = generate_rules(itemsets, min_confidence=0.0)
+        by_sides = {
+            (tuple(sorted(i.value for i in r.antecedent)),
+             tuple(sorted(i.value for i in r.consequent))): r
+            for r in rules
+        }
+        a_to_b = by_sides[(("a",), ("b",))]
+        assert a_to_b.confidence == pytest.approx(2 / 3)
+        assert a_to_b.support == pytest.approx(0.5)
+
+    def test_min_confidence_filters(self):
+        transactions = TransactionSet.from_baskets(
+            [{"a", "b"}, {"a"}, {"a"}, {"a"}]
+        )
+        itemsets = apriori_itemsets(transactions, min_support=0.25)
+        rules = generate_rules(itemsets, min_confidence=0.9)
+        # a => b has confidence 0.25; b => a has confidence 1.0.
+        assert all(rule.confidence >= 0.9 for rule in rules)
+        assert any(
+            {i.value for i in rule.antecedent} == {"b"} for rule in rules
+        )
+
+    def test_rules_sorted_by_confidence(self):
+        transactions = TransactionSet.from_baskets(
+            [{"a", "b"}, {"a", "b"}, {"a"}, {"b"}, {"b"}]
+        )
+        rules = mine_classical_rules(transactions, 0.2, 0.0)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_three_way_rules(self):
+        transactions = TransactionSet.from_baskets([{"a", "b", "c"}] * 4)
+        rules = mine_classical_rules(transactions, 0.5, 0.5)
+        arities = {(len(r.antecedent), len(r.consequent)) for r in rules}
+        assert (2, 1) in arities
+        assert (1, 2) in arities
+
+    def test_invalid_confidence_rejected(self):
+        transactions = TransactionSet.from_baskets([{"a"}])
+        itemsets = apriori_itemsets(transactions, 0.5)
+        with pytest.raises(ValueError):
+            generate_rules(itemsets, min_confidence=2.0)
+
+
+class TestRuleProperties:
+    @given(
+        data=st.lists(
+            st.frozensets(st.sampled_from("abcde"), min_size=1, max_size=4),
+            min_size=2,
+            max_size=25,
+        ),
+        min_support=st.sampled_from([0.2, 0.4]),
+        min_confidence=st.sampled_from([0.3, 0.7]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_reported_measures_are_correct(self, data, min_support, min_confidence):
+        """Support/confidence on every emitted rule match brute-force counts."""
+        transactions = TransactionSet.from_baskets(data)
+        rules = mine_classical_rules(transactions, min_support, min_confidence)
+        n = len(transactions)
+        for rule in rules:
+            both = transactions.count(rule.antecedent | rule.consequent)
+            antecedent = transactions.count(rule.antecedent)
+            assert rule.support == pytest.approx(both / n)
+            assert rule.confidence == pytest.approx(both / antecedent)
+            assert rule.confidence >= min_confidence

@@ -1,0 +1,169 @@
+"""Tests for taxonomies and multi-level rule mining ([SA95]/[HF95])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classic.taxonomy import Taxonomy, extend_transactions, mine_multilevel_rules
+from repro.classic.transactions import Item, TransactionSet
+
+VEHICLES = Taxonomy.from_nested(
+    {"vehicle": {"car": ["honda", "ford"], "bike": ["bmx", "road"]}}
+)
+
+
+class TestTaxonomy:
+    def test_ancestors_nearest_first(self):
+        assert VEHICLES.ancestors("honda") == ("car", "vehicle")
+
+    def test_root_has_no_ancestors(self):
+        assert VEHICLES.ancestors("vehicle") == ()
+
+    def test_unknown_value_has_no_ancestors(self):
+        assert VEHICLES.ancestors("boat") == ()
+
+    def test_parent(self):
+        assert VEHICLES.parent("ford") == "car"
+        assert VEHICLES.parent("vehicle") is None
+
+    def test_is_ancestor(self):
+        assert VEHICLES.is_ancestor("vehicle", "bmx")
+        assert not VEHICLES.is_ancestor("car", "bmx")
+
+    def test_roots(self):
+        assert VEHICLES.roots() == frozenset({"vehicle"})
+
+    def test_depth(self):
+        assert VEHICLES.depth("honda") == 2
+        assert VEHICLES.depth("car") == 1
+        assert VEHICLES.depth("vehicle") == 0
+
+    def test_contains(self):
+        assert "honda" in VEHICLES
+        assert "boat" not in VEHICLES
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValueError, match="own parent"):
+            Taxonomy({"a": "a"})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            Taxonomy({"a": "b", "b": "c", "c": "a"})
+
+
+class TestExtendTransactions:
+    def test_ancestors_added(self):
+        transactions = TransactionSet.from_baskets([{"honda"}])
+        extended = extend_transactions(transactions, VEHICLES)
+        values = {item.value for item in extended[0]}
+        assert values == {"honda", "car", "vehicle"}
+
+    def test_attribute_preserved(self):
+        transactions = TransactionSet([[Item("product", "bmx")]])
+        extended = extend_transactions(transactions, VEHICLES)
+        assert Item("product", "bike") in extended[0]
+
+    def test_values_outside_taxonomy_untouched(self):
+        transactions = TransactionSet.from_baskets([{"boat"}])
+        extended = extend_transactions(transactions, VEHICLES)
+        assert {item.value for item in extended[0]} == {"boat"}
+
+    @given(
+        baskets=st.lists(
+            st.frozensets(
+                st.sampled_from(["honda", "ford", "bmx", "road", "boat"]),
+                min_size=1, max_size=3,
+            ),
+            min_size=1, max_size=15,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ancestor_support_dominates_descendants(self, baskets):
+        """support(parent) >= support(child) after extension, always."""
+        transactions = TransactionSet.from_baskets(baskets)
+        extended = extend_transactions(transactions, VEHICLES)
+        for child, parent in (("honda", "car"), ("bmx", "bike"), ("car", "vehicle")):
+            child_support = extended.support(frozenset([Item("item", child)]))
+            parent_support = extended.support(frozenset([Item("item", parent)]))
+            assert parent_support >= child_support
+
+
+class TestMultilevelMining:
+    @pytest.fixture
+    def purchases(self):
+        # Pattern: car buyers (any brand) buy insurance; bikes do not.
+        baskets = (
+            [{"honda", "insurance"}] * 4
+            + [{"ford", "insurance"}] * 4
+            + [{"bmx"}] * 4
+            + [{"road", "helmet"}] * 4
+        )
+        return TransactionSet.from_baskets(baskets)
+
+    def test_generalized_rule_found(self, purchases):
+        """car => insurance is frequent even though each brand alone is not."""
+        rules = mine_multilevel_rules(
+            purchases, VEHICLES, min_support=0.4, min_confidence=0.9,
+            interest_ratio=None,
+        )
+        assert any(
+            {i.value for i in rule.antecedent} == {"car"}
+            and {i.value for i in rule.consequent} == {"insurance"}
+            for rule in rules
+        )
+
+    def test_vacuous_ancestor_rules_removed(self, purchases):
+        """honda => car (confidence 1 by construction) must not appear."""
+        rules = mine_multilevel_rules(
+            purchases, VEHICLES, min_support=0.1, min_confidence=0.5,
+            interest_ratio=None,
+        )
+        for rule in rules:
+            values = [i.value for i in rule.items]
+            for a in values:
+                for b in values:
+                    if a != b:
+                        assert not VEHICLES.is_ancestor(a, b)
+
+    def test_interest_filter_drops_predictable_specializations(self, purchases):
+        """honda => insurance is fully predicted by car => insurance."""
+        keep_all = mine_multilevel_rules(
+            purchases, VEHICLES, min_support=0.2, min_confidence=0.9,
+            interest_ratio=None,
+        )
+        filtered = mine_multilevel_rules(
+            purchases, VEHICLES, min_support=0.2, min_confidence=0.9,
+            interest_ratio=1.1,
+        )
+        def has_honda_rule(rules):
+            return any(
+                {i.value for i in rule.antecedent} == {"honda"}
+                and {i.value for i in rule.consequent} == {"insurance"}
+                for rule in rules
+            )
+        assert has_honda_rule(keep_all)
+        assert not has_honda_rule(filtered)
+        # The generalization survives the filter.
+        assert any(
+            {i.value for i in rule.antecedent} == {"car"}
+            and {i.value for i in rule.consequent} == {"insurance"}
+            for rule in filtered
+        )
+
+    def test_surprising_specialization_survives(self):
+        """A brand that deviates from its parent's pattern is interesting."""
+        baskets = (
+            [{"honda", "insurance"}] * 8         # hondas: all insured
+            + [{"ford"}] * 8                      # fords: never insured
+            + [{"bmx"}] * 4
+        )
+        transactions = TransactionSet.from_baskets(baskets)
+        rules = mine_multilevel_rules(
+            transactions, VEHICLES, min_support=0.2, min_confidence=0.8,
+            interest_ratio=1.1,
+        )
+        assert any(
+            {i.value for i in rule.antecedent} == {"honda"}
+            and {i.value for i in rule.consequent} == {"insurance"}
+            for rule in rules
+        )

@@ -1,0 +1,66 @@
+"""Tests for transaction representations and relation itemization."""
+
+import pytest
+
+from repro.classic.transactions import (
+    Item,
+    TransactionSet,
+    relation_to_transactions,
+)
+from repro.data.relation import Relation, Schema
+
+
+class TestItem:
+    def test_ordering_and_equality(self):
+        assert Item("a", 1) == Item("a", 1)
+        assert Item("a", 1) < Item("b", 0)
+
+    def test_str(self):
+        assert str(Item("job", "DBA")) == "job=DBA"
+
+
+class TestTransactionSet:
+    @pytest.fixture
+    def transactions(self):
+        return TransactionSet.from_baskets(
+            [{"milk", "bread"}, {"milk"}, {"bread", "eggs"}, {"milk", "bread", "eggs"}]
+        )
+
+    def test_len_and_indexing(self, transactions):
+        assert len(transactions) == 4
+        assert Item("item", "milk") in transactions[0]
+
+    def test_items_universe(self, transactions):
+        values = {item.value for item in transactions.items()}
+        assert values == {"milk", "bread", "eggs"}
+
+    def test_count_subset_semantics(self, transactions):
+        itemset = frozenset({Item("item", "milk"), Item("item", "bread")})
+        assert transactions.count(itemset) == 2
+
+    def test_support_fraction(self, transactions):
+        assert transactions.support(frozenset({Item("item", "milk")})) == 0.75
+
+    def test_support_of_empty_set_is_one(self, transactions):
+        assert transactions.support(frozenset()) == 1.0
+
+    def test_empty_transaction_set(self):
+        empty = TransactionSet([])
+        assert len(empty) == 0
+        assert empty.support(frozenset({Item("a", 1)})) == 0.0
+
+
+class TestRelationToTransactions:
+    def test_every_cell_becomes_item(self):
+        schema = Schema.of(job="nominal", age="interval")
+        relation = Relation.from_rows(schema, [("dba", 30), ("mgr", 40)])
+        transactions = relation_to_transactions(relation)
+        assert len(transactions) == 2
+        assert Item("job", "dba") in transactions[0]
+        assert Item("age", 30.0) in transactions[0]
+
+    def test_attribute_subset(self):
+        schema = Schema.of(job="nominal", age="interval")
+        relation = Relation.from_rows(schema, [("dba", 30)])
+        transactions = relation_to_transactions(relation, attributes=["job"])
+        assert transactions[0] == frozenset({Item("job", "dba")})

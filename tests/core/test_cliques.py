@@ -1,0 +1,113 @@
+"""Tests for maximal clique enumeration (Bron-Kerbosch with pivoting)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cliques import maximal_cliques, non_trivial_cliques
+
+
+def graph_from_edges(n, edges):
+    adjacency = {v: set() for v in range(n)}
+    for a, b in edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    return adjacency
+
+
+class TestKnownGraphs:
+    def test_empty_graph(self):
+        assert maximal_cliques({}) == [frozenset()]
+
+    def test_isolated_vertices_are_trivial_cliques(self):
+        cliques = maximal_cliques(graph_from_edges(3, []))
+        assert sorted(map(sorted, cliques)) == [[0], [1], [2]]
+
+    def test_triangle(self):
+        cliques = maximal_cliques(graph_from_edges(3, [(0, 1), (1, 2), (0, 2)]))
+        assert cliques == [frozenset({0, 1, 2})]
+
+    def test_path_graph(self):
+        cliques = maximal_cliques(graph_from_edges(4, [(0, 1), (1, 2), (2, 3)]))
+        assert sorted(map(sorted, cliques)) == [[0, 1], [1, 2], [2, 3]]
+
+    def test_two_triangles_sharing_vertex(self):
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+        cliques = maximal_cliques(graph_from_edges(5, edges))
+        assert sorted(map(sorted, cliques)) == [[0, 1, 2], [2, 3, 4]]
+
+    def test_complete_graph_k5(self):
+        edges = list(itertools.combinations(range(5), 2))
+        cliques = maximal_cliques(graph_from_edges(5, edges))
+        assert cliques == [frozenset(range(5))]
+
+    def test_results_sorted_largest_first(self):
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4)]
+        cliques = maximal_cliques(graph_from_edges(5, edges))
+        assert len(cliques[0]) >= len(cliques[-1])
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            maximal_cliques({0: {0}})
+
+    def test_asymmetric_edge_rejected(self):
+        with pytest.raises(ValueError, match="asymmetric"):
+            maximal_cliques({0: {1}, 1: set()})
+
+
+class TestNonTrivial:
+    def test_filters_singletons(self):
+        cliques = [frozenset({0}), frozenset({1, 2}), frozenset({3, 4, 5})]
+        assert non_trivial_cliques(cliques) == [frozenset({1, 2}), frozenset({3, 4, 5})]
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(1, 9))
+    possible = list(itertools.combinations(range(n), 2))
+    edges = draw(st.lists(st.sampled_from(possible), max_size=20, unique=True)) if possible else []
+    return graph_from_edges(n, edges)
+
+
+class TestCliqueProperties:
+    @given(adjacency=random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_every_result_is_a_clique(self, adjacency):
+        for clique in maximal_cliques(adjacency):
+            for a, b in itertools.combinations(clique, 2):
+                assert b in adjacency[a]
+
+    @given(adjacency=random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_every_result_is_maximal(self, adjacency):
+        for clique in maximal_cliques(adjacency):
+            for vertex in set(adjacency) - clique:
+                assert not clique <= adjacency[vertex] | {vertex}, (
+                    f"{clique} extendable by {vertex}"
+                )
+
+    @given(adjacency=random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_cliques_cover_all_vertices(self, adjacency):
+        covered = set().union(*maximal_cliques(adjacency)) if adjacency else set()
+        assert covered == set(adjacency)
+
+    @given(adjacency=random_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_brute_force(self, adjacency):
+        vertices = sorted(adjacency)
+        brute = set()
+        for size in range(1, len(vertices) + 1):
+            for subset in itertools.combinations(vertices, size):
+                if all(b in adjacency[a] for a, b in itertools.combinations(subset, 2)):
+                    extendable = any(
+                        all(u in adjacency[v] for u in subset)
+                        for v in set(vertices) - set(subset)
+                    )
+                    if not extendable:
+                        brute.add(frozenset(subset))
+        assert set(maximal_cliques(adjacency)) == brute

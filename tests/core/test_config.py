@@ -1,0 +1,55 @@
+"""Tests for DARConfig threshold resolution and validation."""
+
+import pytest
+
+from repro.birch.birch import BirchOptions
+from repro.core.config import DARConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        DARConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"frequency_fraction": 0.0},
+            {"frequency_fraction": 1.5},
+            {"density_fraction": 0.0},
+            {"degree_factor": 0.0},
+            {"phase2_leniency": 0.5},
+            {"cluster_metric": "d3"},
+            {"max_antecedent": 0},
+            {"max_consequent": 0},
+            {"max_antecedent_candidates": 0},
+            {"pruning_diameter_factor": 0.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DARConfig(**kwargs)
+
+
+class TestThresholdResolution:
+    def test_density_explicit_wins(self):
+        config = DARConfig(density_thresholds={"x": 7.0})
+        assert config.density_threshold("x", derived=1.0) == 7.0
+
+    def test_density_falls_back_to_derived(self):
+        config = DARConfig()
+        assert config.density_threshold("x", derived=1.5) == 1.5
+
+    def test_degree_default_scales_density(self):
+        config = DARConfig(degree_factor=3.0)
+        assert config.degree_threshold("y", density=2.0) == 6.0
+
+    def test_degree_explicit_wins(self):
+        config = DARConfig(degree_thresholds={"y": 0.25})
+        assert config.degree_threshold("y", density=100.0) == 0.25
+
+    def test_with_birch_replaces_only_phase1(self):
+        config = DARConfig(degree_factor=5.0)
+        new_birch = BirchOptions(initial_threshold=9.0)
+        updated = config.with_birch(new_birch)
+        assert updated.birch.initial_threshold == 9.0
+        assert updated.degree_factor == 5.0

@@ -1,0 +1,106 @@
+"""Tests for the generalized quantitative association rule miner (Dfn 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gqar import GQARConfig, GQARMiner
+from repro.data.relation import Relation, Schema
+from repro.data.synthetic import make_clustered_relation
+
+
+@pytest.fixture(scope="module")
+def relation_and_truth():
+    return make_clustered_relation(
+        n_modes=3, points_per_mode=120, n_attributes=2,
+        spread=0.8, separation=40.0, outlier_fraction=0.0, seed=13,
+    )
+
+
+class TestConfig:
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            GQARConfig(min_support=1.5)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            GQARConfig(min_confidence=-0.5)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            GQARConfig(density_fraction=0.0)
+
+
+class TestMining:
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            GQARMiner().mine(Relation.empty(Schema.of(a="interval")))
+
+    def test_mode_rules_recovered(self, relation_and_truth):
+        """Each mode's a0-cluster should imply its a1-cluster with conf ~1."""
+        relation, truth = relation_and_truth
+        config = GQARConfig(min_support=0.2, min_confidence=0.8)
+        result = GQARMiner(config).mine(relation)
+        assert len(result.clusters["a0"]) == 3
+        assert len(result.clusters["a1"]) == 3
+        one_to_one = [r for r in result.rules if len(r.antecedent) == 1 and len(r.consequent) == 1]
+        assert len(one_to_one) >= 6  # both directions for each of 3 modes
+        assert all(rule.confidence >= 0.8 for rule in one_to_one)
+
+    def test_supports_are_plausible(self, relation_and_truth):
+        relation, _ = relation_and_truth
+        result = GQARMiner(GQARConfig(min_support=0.2, min_confidence=0.5)).mine(relation)
+        for rule in result.rules:
+            assert 0.2 <= rule.support <= 1.0
+
+    def test_labels_cover_all_tuples(self, relation_and_truth):
+        relation, _ = relation_and_truth
+        result = GQARMiner(GQARConfig(min_support=0.2)).mine(relation)
+        for name, labels in result.labels.items():
+            assert labels.shape == (len(relation),)
+            assert labels.min() >= 0
+            assert labels.max() < len(result.clusters[name])
+
+    def test_labels_agree_with_ground_truth(self, relation_and_truth):
+        """Cluster labels must be consistent with the generating modes."""
+        relation, truth = relation_and_truth
+        result = GQARMiner(GQARConfig(min_support=0.2)).mine(relation)
+        labels = result.labels["a0"]
+        for mode in range(truth.n_modes):
+            mode_labels = labels[truth.mode_indices(mode)]
+            # All tuples of one generating mode map to one discovered cluster.
+            assert len(set(mode_labels.tolist())) == 1
+
+    def test_infrequent_partition_omitted(self):
+        """A partition with no frequent clusters drops out (Section 4.3.2)."""
+        rng = np.random.default_rng(3)
+        schema = Schema.of(dense="interval", scattered="interval")
+        relation = Relation(
+            schema,
+            {
+                "dense": np.concatenate([np.full(50, 1.0), np.full(50, 100.0)]),
+                "scattered": rng.uniform(0, 1e6, size=100),
+            },
+        )
+        config = GQARConfig(
+            min_support=0.4, density_thresholds={"scattered": 1e-3, "dense": 5.0}
+        )
+        result = GQARMiner(config).mine(relation)
+        assert "dense" in result.clusters
+        assert "scattered" not in result.clusters
+
+
+class TestItemsetBackendChoice:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown itemset backend"):
+            GQARConfig(itemset_backend="fpgrowth")
+
+    @pytest.mark.parametrize("method", ["pcy", "son", "toivonen"])
+    def test_backends_agree_with_apriori(self, method, relation_and_truth):
+        relation, _ = relation_and_truth
+        reference = GQARMiner(
+            GQARConfig(min_support=0.2, min_confidence=0.7)
+        ).mine(relation)
+        alternative = GQARMiner(
+            GQARConfig(min_support=0.2, min_confidence=0.7, itemset_backend=method)
+        ).mine(relation)
+        assert sorted(map(str, alternative.rules)) == sorted(map(str, reference.rules))

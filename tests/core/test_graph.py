@@ -1,0 +1,139 @@
+"""Tests for the clustering graph (Dfn 6.1) and the §6.2 pruning heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.birch.features import ACF
+from repro.core.cluster import Cluster
+from repro.core.graph import build_clustering_graph
+from repro.data.relation import AttributePartition
+
+P_X = AttributePartition("x", ("x",))
+P_Y = AttributePartition("y", ("y",))
+
+
+def cluster(uid, partition, own_values, cross_name, cross_values):
+    own = np.asarray(own_values, dtype=float).reshape(-1, 1)
+    cross = np.asarray(cross_values, dtype=float).reshape(-1, 1)
+    acf = ACF.of_points(own, {cross_name: cross})
+    return Cluster(uid=uid, partition=partition, acf=acf)
+
+
+def co_occurring_pair():
+    """An X-cluster and a Y-cluster describing the same tuples exactly."""
+    x_values = [10.0, 10.5, 9.5]
+    y_values = [100.0, 101.0, 99.0]
+    c_x = cluster(0, P_X, x_values, "y", y_values)
+    c_y = cluster(1, P_Y, y_values, "x", x_values)
+    return c_x, c_y
+
+
+class TestEdgeSemantics:
+    def test_co_occurring_clusters_get_edge(self):
+        c_x, c_y = co_occurring_pair()
+        graph = build_clustering_graph(
+            [c_x, c_y], {"x": 2.0, "y": 5.0}, use_density_pruning=False
+        )
+        assert graph.has_edge(0, 1)
+        assert graph.n_edges == 1
+
+    def test_distant_clusters_no_edge(self):
+        c_x = cluster(0, P_X, [10.0], "y", [100.0])
+        c_y = cluster(1, P_Y, [500.0], "x", [90.0])  # far from c_x on y
+        graph = build_clustering_graph(
+            [c_x, c_y], {"x": 5.0, "y": 5.0}, use_density_pruning=False
+        )
+        assert not graph.has_edge(0, 1)
+
+    def test_same_partition_never_compared(self):
+        a = cluster(0, P_X, [0.0], "y", [0.0])
+        b = cluster(1, P_X, [0.0], "y", [0.0])
+        graph = build_clustering_graph(
+            [a, b], {"x": 10.0, "y": 10.0}, use_density_pruning=False
+        )
+        assert graph.n_edges == 0
+        assert graph.stats.comparisons == 0
+
+    def test_edge_requires_both_projections_close(self):
+        # Close on x, far on y.
+        c_x = cluster(0, P_X, [10.0], "y", [100.0])
+        c_y = cluster(1, P_Y, [300.0], "x", [10.2])
+        graph = build_clustering_graph(
+            [c_x, c_y], {"x": 5.0, "y": 5.0}, use_density_pruning=False
+        )
+        assert graph.n_edges == 0
+
+    def test_duplicate_uid_rejected(self):
+        a = cluster(7, P_X, [0.0], "y", [0.0])
+        b = cluster(7, P_Y, [0.0], "x", [0.0])
+        with pytest.raises(ValueError, match="duplicate"):
+            build_clustering_graph([a, b], {"x": 1.0, "y": 1.0})
+
+    def test_missing_threshold_rejected(self):
+        a = cluster(0, P_X, [0.0], "y", [0.0])
+        with pytest.raises(ValueError, match="threshold"):
+            build_clustering_graph([a], {"y": 1.0})
+
+    def test_adjacency_symmetric(self):
+        c_x, c_y = co_occurring_pair()
+        graph = build_clustering_graph(
+            [c_x, c_y], {"x": 2.0, "y": 5.0}, use_density_pruning=False
+        )
+        assert 1 in graph.neighbors(0)
+        assert 0 in graph.neighbors(1)
+        assert graph.degree(0) == 1
+
+
+class TestDensityPruning:
+    def test_poor_density_image_skips_comparisons(self):
+        """A cluster whose y-image is hugely spread is skipped entirely."""
+        c_x = cluster(0, P_X, [10.0, 10.1], "y", [0.0, 10_000.0])  # awful y image
+        c_y = cluster(1, P_Y, [5_000.0, 5_000.1], "x", [10.0, 10.1])
+        pruned = build_clustering_graph(
+            [c_x, c_y], {"x": 1.0, "y": 1.0},
+            use_density_pruning=True, pruning_diameter_factor=2.0,
+        )
+        unpruned = build_clustering_graph(
+            [c_x, c_y], {"x": 1.0, "y": 1.0}, use_density_pruning=False
+        )
+        assert pruned.stats.skipped == 1
+        assert pruned.stats.comparisons == 0
+        assert unpruned.stats.comparisons == 1
+
+    def test_pruning_preserves_edges_of_dense_images(self):
+        """On well-formed clusters the heuristic must not drop edges."""
+        c_x, c_y = co_occurring_pair()
+        with_pruning = build_clustering_graph(
+            [c_x, c_y], {"x": 2.0, "y": 5.0},
+            use_density_pruning=True, pruning_diameter_factor=2.0,
+        )
+        without = build_clustering_graph(
+            [c_x, c_y], {"x": 2.0, "y": 5.0}, use_density_pruning=False
+        )
+        assert with_pruning.n_edges == without.n_edges == 1
+
+    def test_considered_equals_comparisons_plus_skipped(self):
+        c_x, c_y = co_occurring_pair()
+        graph = build_clustering_graph(
+            [c_x, c_y], {"x": 2.0, "y": 5.0}, use_density_pruning=True
+        )
+        assert graph.stats.considered == graph.stats.comparisons + graph.stats.skipped
+
+
+class TestMetricChoice:
+    def test_d1_and_d2_can_disagree(self):
+        """D1 uses centroids only; spread-out images can pass D1 but fail D2."""
+        # c_x's y-image straddles c_y symmetrically: centroids coincide
+        # (D1 = 0) but every cross pair is ~50 apart (D2 large).
+        c_x = cluster(0, P_X, [10.0, 10.2], "y", [50.0, 150.0])
+        c_y = cluster(1, P_Y, [100.0, 100.0], "x", [10.0, 10.2])
+        d1_graph = build_clustering_graph(
+            [c_x, c_y], {"x": 1.0, "y": 10.0}, metric="d1",
+            use_density_pruning=False,
+        )
+        d2_graph = build_clustering_graph(
+            [c_x, c_y], {"x": 1.0, "y": 10.0}, metric="d2",
+            use_density_pruning=False,
+        )
+        assert d1_graph.n_edges == 1
+        assert d2_graph.n_edges == 0

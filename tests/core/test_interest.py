@@ -1,0 +1,148 @@
+"""Tests for rule-interest measures and the classical bridge (Thm 5.1/5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interest import (
+    classical_rule_interest,
+    confidence_from_degree,
+    degree_from_confidence,
+    distance_rule_interest,
+    nominal_cluster_degree,
+    nominal_cluster_diameter,
+)
+from repro.data.examples import FIG2_RULE, fig2_relations
+from repro.data.relation import Relation, Schema
+
+
+class TestTheorem51:
+    """A non-empty cluster has 0/1-metric diameter 0 iff it is value-pure."""
+
+    def test_pure_cluster_diameter_zero(self):
+        assert nominal_cluster_diameter(["dba"] * 5) == 0.0
+
+    def test_impure_cluster_diameter_positive(self):
+        assert nominal_cluster_diameter(["dba", "mgr"]) > 0.0
+
+    def test_singleton_diameter_zero(self):
+        assert nominal_cluster_diameter(["dba"]) == 0.0
+
+    @given(values=st.lists(st.sampled_from("abc"), min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_iff_property(self, values):
+        is_pure = len(set(values)) == 1
+        diameter = nominal_cluster_diameter(values)
+        assert (diameter == 0.0) == is_pure
+
+
+class TestTheorem52:
+    """A=a => B=b with confidence c iff C_A => C_B holds with degree 1-c."""
+
+    def test_known_example(self):
+        # 3 of 5 antecedent tuples have the consequent value.
+        antecedent_b_values = ["x", "x", "x", "y", "z"]
+        consequent_b_values = ["x", "x", "x"]
+        degree = nominal_cluster_degree(antecedent_b_values, consequent_b_values)
+        assert degree == pytest.approx(1.0 - 3 / 5)
+
+    @given(
+        n_match=st.integers(0, 10),
+        n_miss=st.integers(0, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equivalence_for_all_confidences(self, n_match, n_miss):
+        if n_match + n_miss == 0 or n_match == 0:
+            return  # empty antecedent or empty consequent cluster
+        antecedent = ["b"] * n_match + [f"other{i}" for i in range(n_miss)]
+        consequent = ["b"] * n_match
+        confidence = n_match / (n_match + n_miss)
+        degree = nominal_cluster_degree(antecedent, consequent)
+        assert degree == pytest.approx(degree_from_confidence(confidence))
+
+    def test_conversions_are_inverse(self):
+        for confidence in (0.0, 0.3, 1.0):
+            assert confidence_from_degree(
+                degree_from_confidence(confidence)
+            ) == pytest.approx(confidence)
+
+    def test_conversion_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            degree_from_confidence(1.2)
+        with pytest.raises(ValueError):
+            confidence_from_degree(-0.1)
+
+
+def rule1_masks(relation):
+    jobs = relation.column("job")
+    ages = relation.column("age")
+    salaries = relation.column("salary")
+    antecedent = (jobs == FIG2_RULE["job"]) & (ages == FIG2_RULE["age"])
+    consequent = antecedent & (salaries == FIG2_RULE["salary"])
+    return antecedent, consequent
+
+
+class TestFigure2Semantics:
+    def test_classical_measures_identical_on_r1_r2(self):
+        r1, r2 = fig2_relations()
+        for relation in (r1, r2):
+            antecedent, consequent = rule1_masks(relation)
+            support, confidence = classical_rule_interest(
+                relation, antecedent, consequent
+            )
+            assert support == pytest.approx(0.5)
+            assert confidence == pytest.approx(0.6)
+
+    def test_degree_smaller_on_r2(self):
+        """Goal 3: the distance-based measure ranks R2's rule stronger."""
+        r1, r2 = fig2_relations()
+        interests = []
+        for relation in (r1, r2):
+            antecedent, consequent = rule1_masks(relation)
+            interests.append(
+                distance_rule_interest(
+                    relation, antecedent, consequent, consequent_attributes=["salary"]
+                )
+            )
+        assert interests[1].degree < interests[0].degree
+        assert interests[1].stronger_than(interests[0])
+
+    def test_mask_length_validated(self):
+        r1, _ = fig2_relations()
+        with pytest.raises(ValueError):
+            classical_rule_interest(r1, [True], [False])
+
+    def test_empty_cluster_rejected_for_degree(self):
+        r1, _ = fig2_relations()
+        n = len(r1)
+        with pytest.raises(ValueError, match="non-empty"):
+            distance_rule_interest(
+                r1, [False] * n, [True] * n, consequent_attributes=["salary"]
+            )
+
+
+class TestDegreeScalesWithDistance:
+    def test_farther_consequent_values_weaker_rule(self):
+        schema = Schema.of(x="interval", y="interval")
+
+        def relation_with_strays(stray):
+            return Relation(
+                schema,
+                {
+                    "x": [1.0, 1.0, 1.0, 1.0],
+                    "y": [10.0, 10.0, 10.0, stray],
+                },
+            )
+
+        masks = ([True] * 4, [True, True, True, False])
+        near = distance_rule_interest(
+            relation_with_strays(12.0), *masks, consequent_attributes=["y"]
+        )
+        far = distance_rule_interest(
+            relation_with_strays(500.0), *masks, consequent_attributes=["y"]
+        )
+        # Same support and confidence, but distance sees the difference.
+        assert near.support == far.support
+        assert near.confidence == far.confidence
+        assert near.degree < far.degree

@@ -1,0 +1,115 @@
+"""Tests for multi-attribute partitions (Section 5.2's latitude/longitude case).
+
+"If a semantically meaningful distance metric across a set of attributes
+is available, we consider those attributes together and apply clustering
+to the set of attributes."  These tests mine with a 2-d geo partition and
+verify clusters, images and rules all handle dimension > 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DARConfig
+from repro.core.miner import DARMiner
+from repro.data.relation import AttributePartition, Relation, Schema
+
+CITIES = [
+    # (lat, lon, risk-center)
+    (40.7, -74.0, 9.0),   # dense urban, high risk
+    (44.5, -89.5, 2.0),   # rural, low risk
+    (33.4, -112.1, 5.0),  # desert metro, medium risk
+]
+
+
+def make_geo_relation(n_per_city=120, seed=23):
+    rng = np.random.default_rng(seed)
+    lats, lons, risks = [], [], []
+    for lat, lon, risk in CITIES:
+        lats.append(rng.normal(lat, 0.15, n_per_city))
+        lons.append(rng.normal(lon, 0.15, n_per_city))
+        risks.append(rng.normal(risk, 0.4, n_per_city))
+    order = rng.permutation(len(CITIES) * n_per_city)
+    schema = Schema.of(lat="interval", lon="interval", risk="interval")
+    return Relation(
+        schema,
+        {
+            "lat": np.concatenate(lats)[order],
+            "lon": np.concatenate(lons)[order],
+            "risk": np.concatenate(risks)[order],
+        },
+    )
+
+
+GEO_PARTITIONS = [
+    AttributePartition("geo", ("lat", "lon")),
+    AttributePartition("risk", ("risk",)),
+]
+
+
+@pytest.fixture(scope="module")
+def result():
+    relation = make_geo_relation()
+    return DARMiner(DARConfig(count_rule_support=True)).mine(relation, GEO_PARTITIONS)
+
+
+class TestMultidimClustering:
+    def test_geo_clusters_are_two_dimensional(self, result):
+        for cluster in result.frequent_clusters["geo"]:
+            assert cluster.dimension == 2
+            assert cluster.centroid.shape == (2,)
+
+    def test_three_cities_recovered(self, result):
+        clusters = result.frequent_clusters["geo"]
+        assert len(clusters) == 3
+        found = {
+            min(
+                range(len(CITIES)),
+                key=lambda i: abs(cluster.centroid[0] - CITIES[i][0])
+                + abs(cluster.centroid[1] - CITIES[i][1]),
+            )
+            for cluster in clusters
+        }
+        assert found == {0, 1, 2}
+
+    def test_bounding_boxes_cover_both_axes(self, result):
+        for cluster in result.frequent_clusters["geo"]:
+            lo, hi = cluster.bounding_box()
+            assert lo.shape == hi.shape == (2,)
+            assert np.all(lo <= hi)
+
+    def test_cross_images_match_dimension(self, result):
+        geo = result.frequent_clusters["geo"][0]
+        assert geo.image("risk").dimension == 1
+        risk = result.frequent_clusters["risk"][0]
+        assert risk.image("geo").dimension == 2
+
+
+class TestMultidimRules:
+    def test_geo_to_risk_rules_found(self, result):
+        rules = [
+            rule
+            for rule in result.rules
+            if {c.partition.name for c in rule.antecedent} == {"geo"}
+            and {c.partition.name for c in rule.consequent} == {"risk"}
+        ]
+        assert len(rules) >= 3  # each city implies its risk band
+
+    def test_city_risk_pairing_correct(self, result):
+        """The urban cluster must pair with the high-risk cluster."""
+        urban_rules = [
+            rule
+            for rule in result.rules
+            if any(
+                c.partition.name == "geo" and abs(c.centroid[0] - 40.7) < 0.5
+                for c in rule.antecedent
+            )
+            and any(c.partition.name == "risk" for c in rule.consequent)
+        ]
+        assert urban_rules
+        best = min(urban_rules, key=lambda rule: rule.degree)
+        risk_cluster = best.consequent[0]
+        assert abs(risk_cluster.centroid[0] - 9.0) < 1.0
+
+    def test_support_counted_on_multidim(self, result):
+        for rule in result.rules:
+            assert rule.support_count is not None

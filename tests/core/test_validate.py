@@ -1,0 +1,79 @@
+"""Tests for raw-data auditing of mined rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DARConfig
+from repro.core.miner import DARMiner
+from repro.core.validate import audit_result
+from repro.data.synthetic import make_planted_rule_relation
+
+
+@pytest.fixture(scope="module")
+def audited():
+    relation, _ = make_planted_rule_relation(seed=7)
+    result = DARMiner(DARConfig(count_rule_support=True)).mine(relation)
+    return result, audit_result(result, relation)
+
+
+class TestAuditResult:
+    def test_every_rule_audited(self, audited):
+        result, audits = audited
+        assert len(audits) == len(result.rules)
+
+    def test_raw_degrees_positive_and_finite(self, audited):
+        _, audits = audited
+        for audit in audits:
+            assert np.isfinite(audit.raw_degree)
+            assert audit.raw_degree >= 0
+
+    def test_summary_close_to_raw(self, audited):
+        """The RMS/moment degree tracks the raw Eq. 6 degree.
+
+        RMS upper-bounds the average, and §4.3.2 labeling differs from
+        insertion-time membership, so gaps exist — but on a clean workload
+        they stay moderate for the strong rules.
+        """
+        _, audits = audited
+        strong = sorted(audits, key=lambda audit: audit.summary_degree)[:5]
+        for audit in strong:
+            assert audit.degree_gap < 0.5, (
+                audit.rule,
+                audit.summary_degree,
+                audit.raw_degree,
+            )
+
+    def test_summary_upper_bounds_raw_mostly(self, audited):
+        """RMS >= mean for identical tuple sets; labeling drift can flip a
+        few, but the median relationship must hold."""
+        _, audits = audited
+        upper = sum(
+            1 for audit in audits if audit.summary_degree >= audit.raw_degree * 0.8
+        )
+        assert upper >= len(audits) * 0.5
+
+    def test_audit_support_matches_post_scan(self, audited):
+        """The audit's support must equal the miner's own post-scan count."""
+        result, audits = audited
+        for audit in audits:
+            assert audit.support_count == audit.rule.support_count
+
+    def test_confidence_in_unit_interval(self, audited):
+        _, audits = audited
+        for audit in audits:
+            assert 0.0 <= audit.confidence <= 1.0
+
+    def test_strong_rules_beat_the_base_rate(self, audited):
+        """Small degree should co-occur with real classical lift.
+
+        Absolute confidence is capped by consequent granularity (a mode
+        split into fragments divides its confidence among them), so the
+        meaningful check is lift: confidence well above the consequent's
+        base rate.
+        """
+        _, audits = audited
+        total = 450  # planted relation size (3 modes x 150)
+        one_to_one = [a for a in audits if a.rule.is_one_to_one]
+        strongest = min(one_to_one, key=lambda audit: audit.summary_degree)
+        base_rate = strongest.rule.consequent[0].n / total
+        assert strongest.confidence > 2 * base_rate

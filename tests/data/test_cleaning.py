@@ -1,0 +1,102 @@
+"""Tests for missing-data handling."""
+
+import numpy as np
+import pytest
+
+from repro.data.cleaning import drop_missing, impute_mean, missing_mask
+from repro.data.relation import Relation, Schema
+
+
+@pytest.fixture
+def gappy():
+    schema = Schema.of(job="nominal", age="interval", pay="interval")
+    return Relation(
+        schema,
+        {
+            "job": ["dba", "", "mgr", "qa"],
+            "age": [30.0, 40.0, np.nan, 25.0],
+            "pay": [40_000.0, 50_000.0, 90_000.0, np.nan],
+        },
+    )
+
+
+class TestMissingMask:
+    def test_detects_nans_and_empty_nominals(self, gappy):
+        mask = missing_mask(gappy)
+        assert list(mask) == [False, True, True, True]
+
+    def test_nominal_blanks_optional(self, gappy):
+        mask = missing_mask(gappy, include_empty_nominal=False)
+        assert list(mask) == [False, False, True, True]
+
+    def test_attribute_subset(self, gappy):
+        mask = missing_mask(gappy, attributes=["age"])
+        assert list(mask) == [False, False, True, False]
+
+
+class TestDropMissing:
+    def test_drops_exactly_the_masked(self, gappy):
+        cleaned = drop_missing(gappy)
+        assert len(cleaned) == 1
+        assert cleaned.row(0)[0] == "dba"
+
+    def test_clean_relation_untouched(self):
+        relation = Relation(Schema.of(x="interval"), {"x": [1.0, 2.0]})
+        assert len(drop_missing(relation)) == 2
+
+    def test_result_is_minable(self, gappy):
+        from repro.core.miner import DARMiner
+
+        cleaned = drop_missing(gappy, attributes=["age", "pay"])
+        assert len(cleaned) == 2
+        DARMiner().mine(cleaned)  # must not raise the non-finite guard
+
+
+class TestImputeMean:
+    def test_nans_replaced_by_mean(self, gappy):
+        imputed = impute_mean(gappy)
+        ages = imputed.column("age")
+        assert not np.isnan(ages).any()
+        assert ages[2] == pytest.approx(np.mean([30.0, 40.0, 25.0]))
+
+    def test_present_values_untouched(self, gappy):
+        imputed = impute_mean(gappy)
+        assert imputed.column("age")[0] == 30.0
+
+    def test_nominal_untouched(self, gappy):
+        imputed = impute_mean(gappy)
+        assert list(imputed.column("job")) == ["dba", "", "mgr", "qa"]
+
+    def test_all_nan_column_rejected(self):
+        relation = Relation(Schema.of(x="interval"), {"x": [np.nan, np.nan]})
+        with pytest.raises(ValueError, match="no present values"):
+            impute_mean(relation)
+
+    def test_original_not_mutated(self, gappy):
+        impute_mean(gappy)
+        assert np.isnan(gappy.column("age")[2])
+
+
+class TestPlainCsvBlankNumeric:
+    def test_blank_numeric_cell_loads_as_nan(self, tmp_path):
+        from repro.data.io import load_plain_csv
+
+        path = tmp_path / "gaps.csv"
+        path.write_text("a,b\n1,x\n,y\n3,z\n")
+        relation = load_plain_csv(path)
+        column = relation.column("a")
+        assert column[0] == 1.0
+        assert np.isnan(column[1])
+        assert relation.schema["a"].kind.is_numeric
+
+    def test_clean_then_mine(self, tmp_path):
+        from repro.data.io import load_plain_csv
+
+        path = tmp_path / "gaps.csv"
+        rows = ["x,y"]
+        for i in range(50):
+            rows.append(f"{i % 5},{(i % 5) * 10}")
+        rows.append(",3")  # one gap
+        path.write_text("\n".join(rows) + "\n")
+        relation = drop_missing(load_plain_csv(path))
+        assert len(relation) == 50

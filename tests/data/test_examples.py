@@ -1,0 +1,98 @@
+"""Tests that the figure datasets match the paper's stated numbers."""
+
+import numpy as np
+import pytest
+
+from repro.data.examples import (
+    FIG2_RULE,
+    fig1_salaries,
+    fig2_relations,
+    fig4_clusters,
+    fig4_points,
+    fig5_insurance,
+)
+
+
+class TestFig1:
+    def test_exact_values(self):
+        salaries = fig1_salaries()
+        assert list(salaries) == [18_000, 30_000, 31_000, 80_000, 81_000, 82_000]
+
+
+class TestFig2:
+    def test_sizes(self):
+        r1, r2 = fig2_relations()
+        assert len(r1) == len(r2) == 6
+
+    def test_rule1_support_is_half_in_both(self):
+        """Three of six tuples satisfy Rule (1) in each relation."""
+        for relation in fig2_relations():
+            satisfied = sum(
+                1
+                for job, age, salary in relation.rows()
+                if job == FIG2_RULE["job"]
+                and age == FIG2_RULE["age"]
+                and salary == FIG2_RULE["salary"]
+            )
+            assert satisfied / len(relation) == pytest.approx(0.5)
+
+    def test_rule1_confidence_is_60pct_in_both(self):
+        """Three of the five 30-year-old DBAs earn 40,000 in each relation."""
+        for relation in fig2_relations():
+            antecedent = [
+                salary
+                for job, age, salary in relation.rows()
+                if job == FIG2_RULE["job"] and age == FIG2_RULE["age"]
+            ]
+            assert len(antecedent) == 5
+            hits = sum(1 for salary in antecedent if salary == FIG2_RULE["salary"])
+            assert hits / len(antecedent) == pytest.approx(0.6)
+
+    def test_r2_salaries_are_closer_to_40k(self):
+        r1, r2 = fig2_relations()
+        target = FIG2_RULE["salary"]
+        spread1 = np.abs(r1.column("salary") - target).mean()
+        spread2 = np.abs(r2.column("salary") - target).mean()
+        assert spread2 < spread1
+
+
+class TestFig4:
+    def test_membership_counts(self):
+        intersection, x_only, y_only = fig4_points()
+        assert intersection.shape[0] == 10
+        assert x_only.shape[0] == 2
+        assert y_only.shape[0] == 3
+
+    def test_cluster_sizes_match_confidences(self):
+        c_x, c_y = fig4_clusters()
+        assert c_x.shape[0] == 12  # confidence C_X => C_Y is 10/12
+        assert c_y.shape[0] == 13  # confidence C_Y => C_X is 10/13
+
+    def test_x_only_points_far_in_y(self):
+        intersection, x_only, y_only = fig4_points()
+        y_center = intersection[:, 1].mean()
+        assert np.abs(x_only[:, 1] - y_center).min() > 30.0
+
+    def test_y_only_points_near_in_x(self):
+        intersection, x_only, y_only = fig4_points()
+        x_center = intersection[:, 0].mean()
+        assert np.abs(y_only[:, 0] - x_center).max() < 15.0
+
+
+class TestFig5:
+    def test_shape(self):
+        relation = fig5_insurance(n_per_mode=50)
+        assert len(relation) == 150
+        assert relation.schema.names == ("age", "dependents", "claims")
+
+    def test_target_mode_present(self):
+        relation = fig5_insurance(n_per_mode=100, seed=1)
+        ages = relation.column("age")
+        dependents = relation.column("dependents")
+        claims = relation.column("claims")
+        in_target = (
+            (ages >= 41) & (ages <= 47)
+            & (dependents >= 2) & (dependents <= 5)
+            & (claims >= 10_000) & (claims <= 14_000)
+        )
+        assert int(np.count_nonzero(in_target)) == 100

@@ -1,0 +1,119 @@
+"""Round-trip tests for CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_csv, save_csv
+from repro.data.relation import Relation, Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema.of(job="nominal", age="interval", score="ordinal")
+    return Relation.from_rows(
+        schema,
+        [("dba", 30.5, 1), ("mgr", 45.25, 3), ("dev, senior", 28.0, 2)],
+    )
+
+
+class TestRoundTrip:
+    def test_schema_preserved(self, relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_csv(relation, path)
+        loaded = load_csv(path)
+        assert loaded.schema == relation.schema
+
+    def test_values_preserved_exactly(self, relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_csv(relation, path)
+        loaded = load_csv(path)
+        assert list(loaded.rows()) == list(relation.rows())
+
+    def test_nominal_with_comma_survives(self, relation, tmp_path):
+        path = tmp_path / "r.csv"
+        save_csv(relation, path)
+        loaded = load_csv(path)
+        assert loaded.row(2)[0] == "dev, senior"
+
+    def test_float_precision_survives(self, tmp_path):
+        schema = Schema.of(x="interval")
+        relation = Relation(schema, {"x": [np.pi, 1e-17, -2.5e300]})
+        path = tmp_path / "r.csv"
+        save_csv(relation, path)
+        loaded = load_csv(path)
+        assert np.array_equal(loaded.column("x"), relation.column("x"))
+
+    def test_empty_relation_round_trip(self, tmp_path):
+        relation = Relation.empty(Schema.of(a="interval", b="nominal"))
+        path = tmp_path / "empty.csv"
+        save_csv(relation, path)
+        loaded = load_csv(path)
+        assert len(loaded) == 0
+        assert loaded.schema == relation.schema
+
+
+class TestErrors:
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="schema header"):
+            load_csv(path)
+
+    def test_malformed_schema_entry(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# a\na\n1\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_csv(path)
+
+    def test_header_schema_mismatch(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# a:interval\nwrong\n1\n")
+        with pytest.raises(ValueError, match="does not match"):
+            load_csv(path)
+
+
+class TestLoadPlainCsv:
+    def test_kind_inference(self, tmp_path):
+        from repro.data.io import load_plain_csv
+        from repro.data.relation import AttributeKind
+
+        path = tmp_path / "plain.csv"
+        path.write_text("job,age,salary\ndba,30,40000\nmgr,45,90000\n")
+        relation = load_plain_csv(path)
+        assert relation.schema["job"].kind is AttributeKind.NOMINAL
+        assert relation.schema["age"].kind is AttributeKind.INTERVAL
+        assert relation.column("salary")[1] == 90000.0
+
+    def test_mixed_numeric_text_column_is_nominal(self, tmp_path):
+        from repro.data.io import load_plain_csv
+        from repro.data.relation import AttributeKind
+
+        path = tmp_path / "plain.csv"
+        path.write_text("code\n12\nabc\n")
+        relation = load_plain_csv(path)
+        assert relation.schema["code"].kind is AttributeKind.NOMINAL
+
+    def test_empty_file_rejected(self, tmp_path):
+        from repro.data.io import load_plain_csv
+
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="header"):
+            load_plain_csv(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        from repro.data.io import load_plain_csv
+
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(ValueError, match="cells"):
+            load_plain_csv(path)
+
+    def test_all_blank_column_is_nominal(self, tmp_path):
+        from repro.data.io import load_plain_csv
+        from repro.data.relation import AttributeKind
+
+        path = tmp_path / "blank.csv"
+        path.write_text("a,b\n,1\n,2\n")
+        relation = load_plain_csv(path)
+        assert relation.schema["a"].kind is AttributeKind.NOMINAL

@@ -1,0 +1,211 @@
+"""Tests for the relation substrate: schema, columns, relational operators."""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import (
+    Attribute,
+    AttributeKind,
+    AttributePartition,
+    Relation,
+    Schema,
+    default_partitions,
+)
+
+
+class TestAttribute:
+    def test_default_kind_is_interval(self):
+        assert Attribute("salary").kind is AttributeKind.INTERVAL
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("")
+
+    def test_kind_numeric_flags(self):
+        assert AttributeKind.INTERVAL.is_numeric
+        assert AttributeKind.ORDINAL.is_numeric
+        assert not AttributeKind.NOMINAL.is_numeric
+
+
+class TestSchema:
+    def test_of_constructor_preserves_order(self):
+        schema = Schema.of(b="interval", a="nominal")
+        assert schema.names == ("b", "a")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema([Attribute("x"), Attribute("x")])
+
+    def test_lookup_and_contains(self):
+        schema = Schema.of(x="interval", label="nominal")
+        assert schema["x"].kind is AttributeKind.INTERVAL
+        assert "label" in schema
+        assert "missing" not in schema
+
+    def test_missing_lookup_mentions_available(self):
+        schema = Schema.of(x="interval")
+        with pytest.raises(KeyError, match="x"):
+            schema["y"]
+
+    def test_project_subset_and_order(self):
+        schema = Schema.of(a="interval", b="nominal", c="ordinal")
+        projected = schema.project(["c", "a"])
+        assert projected.names == ("c", "a")
+
+    def test_kind_filters(self):
+        schema = Schema.of(a="interval", b="nominal", c="ordinal")
+        assert schema.interval_names() == ("a",)
+        assert schema.nominal_names() == ("b",)
+        assert schema.numeric_names() == ("a", "c")
+
+    def test_equality_and_hash(self):
+        assert Schema.of(a="interval") == Schema.of(a="interval")
+        assert Schema.of(a="interval") != Schema.of(a="ordinal")
+        assert hash(Schema.of(a="interval")) == hash(Schema.of(a="interval"))
+
+
+class TestRelationConstruction:
+    def test_from_rows_round_trip(self):
+        schema = Schema.of(name="nominal", age="interval")
+        relation = Relation.from_rows(schema, [("ann", 30), ("bob", 40)])
+        assert len(relation) == 2
+        assert relation.row(1) == ("bob", 40.0)
+
+    def test_from_rows_wrong_arity(self):
+        schema = Schema.of(a="interval", b="interval")
+        with pytest.raises(ValueError, match="arity"):
+            Relation.from_rows(schema, [(1.0,)])
+
+    def test_missing_column_rejected(self):
+        schema = Schema.of(a="interval", b="interval")
+        with pytest.raises(ValueError, match="missing"):
+            Relation(schema, {"a": [1.0]})
+
+    def test_extra_column_rejected(self):
+        schema = Schema.of(a="interval")
+        with pytest.raises(ValueError, match="without schema"):
+            Relation(schema, {"a": [1.0], "zz": [2.0]})
+
+    def test_ragged_columns_rejected(self):
+        schema = Schema.of(a="interval", b="interval")
+        with pytest.raises(ValueError, match="ragged"):
+            Relation(schema, {"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_empty_relation(self):
+        relation = Relation.empty(Schema.of(a="interval"))
+        assert len(relation) == 0
+        assert list(relation.rows()) == []
+
+    def test_numeric_column_dtype(self):
+        relation = Relation(Schema.of(a="interval"), {"a": [1, 2, 3]})
+        assert relation.column("a").dtype == np.float64
+
+    def test_nominal_column_dtype(self):
+        relation = Relation(Schema.of(a="nominal"), {"a": ["x", "y"]})
+        assert relation.column("a").dtype == object
+
+
+class TestRelationOperators:
+    @pytest.fixture
+    def relation(self):
+        schema = Schema.of(job="nominal", age="interval", pay="interval")
+        return Relation.from_rows(
+            schema,
+            [("dba", 30, 40_000), ("mgr", 45, 90_000), ("dba", 31, 42_000)],
+        )
+
+    def test_project(self, relation):
+        projected = relation.project(["pay", "job"])
+        assert projected.schema.names == ("pay", "job")
+        assert projected.row(0) == (40_000.0, "dba")
+
+    def test_select(self, relation):
+        selected = relation.select([True, False, True])
+        assert len(selected) == 2
+        assert list(selected.column("job")) == ["dba", "dba"]
+
+    def test_select_bad_mask_length(self, relation):
+        with pytest.raises(ValueError):
+            relation.select([True])
+
+    def test_take_with_duplicates(self, relation):
+        taken = relation.take([2, 2, 0])
+        assert len(taken) == 3
+        assert taken.row(0) == taken.row(1)
+
+    def test_concat(self, relation):
+        doubled = relation.concat(relation)
+        assert len(doubled) == 6
+
+    def test_concat_schema_mismatch(self, relation):
+        other = Relation.empty(Schema.of(a="interval"))
+        with pytest.raises(ValueError):
+            relation.concat(other)
+
+    def test_matrix_shape_and_values(self, relation):
+        matrix = relation.matrix(["age", "pay"])
+        assert matrix.shape == (3, 2)
+        assert matrix[0, 1] == 40_000.0
+
+    def test_matrix_rejects_nominal(self, relation):
+        with pytest.raises(TypeError, match="nominal"):
+            relation.matrix(["job"])
+
+    def test_matrix_empty_names(self, relation):
+        assert relation.matrix([]).shape == (3, 0)
+
+    def test_rows_iteration_order(self, relation):
+        rows = list(relation.rows())
+        assert rows[1] == ("mgr", 45.0, 90_000.0)
+
+
+class TestPartitions:
+    def test_partition_requires_attributes(self):
+        with pytest.raises(ValueError):
+            AttributePartition("p", ())
+
+    def test_partition_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            AttributePartition("p", ("a", "a"))
+
+    def test_default_partitions_cover_interval_attributes(self):
+        schema = Schema.of(a="interval", b="nominal", c="interval")
+        partitions = default_partitions(schema)
+        assert [p.name for p in partitions] == ["a", "c"]
+        assert all(p.dimension == 1 for p in partitions)
+
+    def test_default_partitions_metric_propagates(self):
+        schema = Schema.of(a="interval")
+        (partition,) = default_partitions(schema, metric="manhattan")
+        assert partition.metric == "manhattan"
+
+
+class TestHeadAndSample:
+    @pytest.fixture
+    def relation(self):
+        schema = Schema.of(x="interval")
+        return Relation(schema, {"x": list(range(10))})
+
+    def test_head_default(self, relation):
+        assert len(relation.head()) == 5
+        assert list(relation.head().column("x")) == [0, 1, 2, 3, 4]
+
+    def test_head_beyond_size(self, relation):
+        assert len(relation.head(100)) == 10
+
+    def test_head_negative_rejected(self, relation):
+        with pytest.raises(ValueError):
+            relation.head(-1)
+
+    def test_sample_deterministic(self, relation):
+        a = relation.sample(4, seed=1)
+        b = relation.sample(4, seed=1)
+        assert list(a.column("x")) == list(b.column("x"))
+
+    def test_sample_without_replacement(self, relation):
+        sampled = relation.sample(10, seed=2)
+        assert sorted(sampled.column("x")) == list(range(10))
+
+    def test_sample_too_many_rejected(self, relation):
+        with pytest.raises(ValueError):
+            relation.sample(11)

@@ -1,0 +1,124 @@
+"""Tests for the synthetic generators, including the §7.2 scaling protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    make_clustered_relation,
+    make_planted_rule_relation,
+    scale_relation,
+)
+
+
+class TestClusteredRelation:
+    def test_size_and_schema(self):
+        relation, truth = make_clustered_relation(
+            n_modes=3, points_per_mode=50, n_attributes=4, outlier_fraction=0.0, seed=1
+        )
+        assert len(relation) == 150
+        assert relation.arity == 4
+        assert truth.n_modes == 3
+
+    def test_outlier_fraction_respected(self):
+        relation, truth = make_clustered_relation(
+            n_modes=2, points_per_mode=100, outlier_fraction=0.2, seed=2
+        )
+        n_outliers = int(np.count_nonzero(truth.labels == -1))
+        assert n_outliers / len(relation) == pytest.approx(0.2, abs=0.02)
+
+    def test_deterministic_in_seed(self):
+        a, _ = make_clustered_relation(seed=9)
+        b, _ = make_clustered_relation(seed=9)
+        assert np.array_equal(a.column("a0"), b.column("a0"))
+
+    def test_different_seeds_differ(self):
+        a, _ = make_clustered_relation(seed=1)
+        b, _ = make_clustered_relation(seed=2)
+        assert not np.array_equal(a.column("a0"), b.column("a0"))
+
+    def test_modes_are_separated(self):
+        """Points of a mode are far closer to their center than to others."""
+        relation, truth = make_clustered_relation(
+            n_modes=3, points_per_mode=80, n_attributes=2,
+            spread=0.5, separation=30.0, outlier_fraction=0.0, seed=3,
+        )
+        data = relation.matrix(relation.schema.names)
+        for mode in range(truth.n_modes):
+            members = data[truth.mode_indices(mode)]
+            own = np.linalg.norm(members - truth.centers[mode], axis=1)
+            assert own.max() < 5.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            make_clustered_relation(n_modes=0)
+        with pytest.raises(ValueError):
+            make_clustered_relation(outlier_fraction=1.0)
+
+
+class TestPlantedRuleRelation:
+    def test_shape(self):
+        relation, truth = make_planted_rule_relation(seed=0)
+        assert relation.schema.names == ("age", "dependents", "claims")
+        assert len(relation) == 3 * 150
+        assert truth.centers.shape == (3, 3)
+
+    def test_modes_have_expected_claims(self):
+        relation, truth = make_planted_rule_relation(seed=1)
+        claims = relation.column("claims")
+        mid_mode = truth.mode_indices(0)
+        assert np.abs(claims[mid_mode].mean() - 12_000) < 500
+
+
+class TestScaleRelation:
+    @pytest.fixture
+    def base(self):
+        relation, _ = make_clustered_relation(
+            n_modes=3, points_per_mode=60, n_attributes=2,
+            outlier_fraction=0.0, seed=4,
+        )
+        return relation
+
+    def test_target_size_exact(self, base):
+        scaled = scale_relation(base, target_size=1234, seed=0)
+        assert len(scaled) == 1234
+
+    def test_cluster_structure_preserved(self, base):
+        """Scaling must not move the modes: per-column means stay put."""
+        scaled = scale_relation(base, target_size=3000, outlier_fraction=0.0, seed=1)
+        for name in base.schema.names:
+            assert scaled.column(name).mean() == pytest.approx(
+                base.column(name).mean(), abs=2.0
+            )
+
+    def test_outliers_expand_range(self, base):
+        scaled = scale_relation(base, target_size=3000, outlier_fraction=0.3, seed=2)
+        column = base.schema.names[0]
+        assert scaled.column(column).max() > base.column(column).max()
+        assert scaled.column(column).min() < base.column(column).min()
+
+    def test_no_outliers_keeps_range_tight(self, base):
+        scaled = scale_relation(
+            base, target_size=2000, outlier_fraction=0.0,
+            jitter_fraction=0.001, seed=3,
+        )
+        column = base.schema.names[0]
+        spread = base.column(column).std()
+        assert scaled.column(column).max() < base.column(column).max() + spread
+
+    def test_deterministic(self, base):
+        a = scale_relation(base, 500, seed=5)
+        b = scale_relation(base, 500, seed=5)
+        assert np.array_equal(a.column(a.schema.names[0]), b.column(b.schema.names[0]))
+
+    def test_rejects_empty_base(self):
+        from repro.data.relation import Relation, Schema
+
+        empty = Relation.empty(Schema.of(a="interval"))
+        with pytest.raises(ValueError):
+            scale_relation(empty, 10)
+
+    def test_rejects_bad_sizes(self, base):
+        with pytest.raises(ValueError):
+            scale_relation(base, 0)
+        with pytest.raises(ValueError):
+            scale_relation(base, 100, outlier_fraction=1.0)

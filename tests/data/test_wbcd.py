@@ -1,0 +1,73 @@
+"""Tests for the WBCD surrogate generator (DESIGN.md substitution S1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.wbcd import WBCD_ATTRIBUTES, make_scaled_wbcd, make_wbcd_like
+
+
+class TestMakeWbcdLike:
+    def test_default_shape_matches_paper(self):
+        relation = make_wbcd_like()
+        assert len(relation) == 500
+        assert relation.arity == 30
+        assert relation.schema.names == WBCD_ATTRIBUTES
+
+    def test_thirty_attributes_from_ten_factors(self):
+        mean_names = [n for n in WBCD_ATTRIBUTES if n.endswith("_mean")]
+        se_names = [n for n in WBCD_ATTRIBUTES if n.endswith("_se")]
+        worst_names = [n for n in WBCD_ATTRIBUTES if n.endswith("_worst")]
+        assert len(mean_names) == len(se_names) == len(worst_names) == 10
+
+    def test_all_values_non_negative(self):
+        relation = make_wbcd_like(seed=3)
+        for name in WBCD_ATTRIBUTES:
+            assert relation.column(name).min() >= 0.0
+
+    def test_bimodal_radius(self):
+        """Benign/malignant modes make radius_mean clearly spread."""
+        relation = make_wbcd_like(seed=1)
+        radius = relation.column("radius_mean")
+        assert radius.std() > 2.0
+
+    def test_worst_exceeds_mean(self):
+        relation = make_wbcd_like(seed=2)
+        assert np.all(
+            relation.column("radius_worst") >= relation.column("radius_mean") - 1e-9
+        )
+
+    def test_heterogeneous_scales(self):
+        relation = make_wbcd_like(seed=4)
+        assert relation.column("area_mean").mean() > 100.0
+        assert relation.column("fractal_dimension_mean").mean() < 1.0
+
+    def test_deterministic(self):
+        a = make_wbcd_like(seed=7)
+        b = make_wbcd_like(seed=7)
+        assert np.array_equal(a.column("area_mean"), b.column("area_mean"))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            make_wbcd_like(n_tuples=1)
+        with pytest.raises(ValueError):
+            make_wbcd_like(malignant_fraction=0.0)
+
+
+class TestMakeScaledWbcd:
+    def test_target_size(self):
+        scaled = make_scaled_wbcd(2000, seed=0)
+        assert len(scaled) == 2000
+        assert scaled.arity == 30
+
+    def test_structure_constant_across_scales(self):
+        """The §7.2 invariant: scaling shifts sizes, not the modes."""
+        small = make_scaled_wbcd(1000, outlier_fraction=0.05, seed=1)
+        large = make_scaled_wbcd(4000, outlier_fraction=0.05, seed=1)
+        assert small.column("radius_mean").mean() == pytest.approx(
+            large.column("radius_mean").mean(), rel=0.1
+        )
+
+    def test_reuses_provided_base(self):
+        base = make_wbcd_like(seed=9)
+        scaled = make_scaled_wbcd(800, base=base, seed=9)
+        assert len(scaled) == 800

@@ -1,0 +1,100 @@
+"""Determinism: identical inputs must yield identical mining output.
+
+A reproduction package is only auditable if reruns agree bit-for-bit; the
+miners are deliberately free of unordered-set iteration in any place that
+affects results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classic.backends import ITEMSET_BACKENDS, mine_itemsets
+from repro.classic.transactions import TransactionSet
+from repro.core.config import DARConfig
+from repro.core.gqar import GQARConfig, GQARMiner
+from repro.core.miner import DARMiner
+from repro.data.synthetic import make_clustered_relation, make_planted_rule_relation
+from repro.mixed.miner import MixedDARMiner
+from repro.quantitative.qar import QARConfig, QARMiner
+
+
+def rule_fingerprint(result):
+    return [
+        (
+            tuple(sorted(c.uid for c in rule.antecedent)),
+            tuple(sorted(c.uid for c in rule.consequent)),
+            round(rule.degree, 12),
+        )
+        for rule in result.rules_sorted()
+    ]
+
+
+class TestDARMinerDeterminism:
+    def test_same_relation_same_rules(self):
+        relation, _ = make_planted_rule_relation(seed=3)
+        a = DARMiner(DARConfig(count_rule_support=True)).mine(relation)
+        b = DARMiner(DARConfig(count_rule_support=True)).mine(relation)
+        assert rule_fingerprint(a) == rule_fingerprint(b)
+        assert [r.support_count for r in a.rules_sorted()] == [
+            r.support_count for r in b.rules_sorted()
+        ]
+
+    def test_cluster_censuses_identical(self):
+        relation, _ = make_clustered_relation(seed=8)
+        a = DARMiner().mine(relation)
+        b = DARMiner().mine(relation)
+        for name in a.frequent_clusters:
+            centroids_a = [tuple(c.centroid) for c in a.frequent_clusters[name]]
+            centroids_b = [tuple(c.centroid) for c in b.frequent_clusters[name]]
+            assert centroids_a == centroids_b
+
+    def test_graph_shape_identical(self):
+        relation, _ = make_planted_rule_relation(seed=3)
+        a = DARMiner().mine(relation)
+        b = DARMiner().mine(relation)
+        assert a.phase2.n_edges == b.phase2.n_edges
+        assert a.cliques == b.cliques
+
+
+class TestOtherMinersDeterminism:
+    def test_gqar(self):
+        relation, _ = make_clustered_relation(seed=9, n_attributes=2)
+        config = GQARConfig(min_support=0.1, min_confidence=0.5)
+        a = GQARMiner(config).mine(relation)
+        b = GQARMiner(config).mine(relation)
+        assert [str(r) for r in a.rules] == [str(r) for r in b.rules]
+
+    def test_qar(self):
+        relation, _ = make_clustered_relation(seed=9, n_attributes=2)
+        config = QARConfig(min_support=0.1, min_confidence=0.5, partial_completeness=5.0)
+        a = QARMiner(config).mine(relation)
+        b = QARMiner(config).mine(relation)
+        assert [str(r) for r in a.rules] == [str(r) for r in b.rules]
+
+    def test_mixed(self):
+        rng = np.random.default_rng(0)
+        from repro.data.relation import Relation, Schema
+
+        n = 100
+        relation = Relation(
+            Schema.of(label="nominal", x="interval"),
+            {
+                "label": ["a"] * n + ["b"] * n,
+                "x": np.concatenate([rng.normal(0, 1, n), rng.normal(50, 1, n)]),
+            },
+        )
+        a = MixedDARMiner().mine_mixed(relation)
+        b = MixedDARMiner().mine_mixed(relation)
+        assert [str(r) for r in a.rules_sorted()] == [str(r) for r in b.rules_sorted()]
+
+    @pytest.mark.parametrize("method", sorted(ITEMSET_BACKENDS))
+    def test_itemset_backends(self, method):
+        rng = np.random.default_rng(4)
+        baskets = [
+            set(rng.choice(list("abcdef"), size=rng.integers(1, 5), replace=False))
+            for _ in range(60)
+        ]
+        transactions = TransactionSet.from_baskets(baskets)
+        a = mine_itemsets(transactions, 0.15, method=method)
+        b = mine_itemsets(transactions, 0.15, method=method)
+        assert a.counts == b.counts

@@ -1,0 +1,157 @@
+"""Cross-module integration tests: whole pipelines on realistic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.birch.birch import BirchOptions
+from repro.core.config import DARConfig
+from repro.core.gqar import GQARConfig, GQARMiner
+from repro.core.miner import DARMiner
+from repro.data.examples import fig5_insurance
+from repro.data.io import load_csv, save_csv
+from repro.data.synthetic import make_clustered_relation
+from repro.data.wbcd import make_scaled_wbcd, make_wbcd_like
+
+
+class TestFig5Pipeline:
+    """The Section 5.2 motivating example, end to end."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        relation = fig5_insurance(n_per_mode=150, seed=5)
+        # density_fraction=0.3 lets the [2, 5]-dependents mode survive as a
+        # coherent cluster (it is uniform over a 3-unit range); the default
+        # 0.15 shatters it into fragments too small to carry a 2:1 rule.
+        config = DARConfig(density_fraction=0.3, count_rule_support=True)
+        return DARMiner(config).mine(relation)
+
+    def test_target_clusters_discovered(self, result):
+        ages = [c for c in result.frequent_clusters["age"] if 40 < c.centroid[0] < 48]
+        claims = [
+            c for c in result.frequent_clusters["claims"]
+            if 9_000 < c.centroid[0] < 15_000
+        ]
+        assert ages and claims
+
+    def test_n_to_1_rule_age_dependents_imply_claims(self, result):
+        """The headline N:1 rule of Figure 5."""
+        matches = [
+            rule
+            for rule in result.rules
+            if {c.partition.name for c in rule.antecedent} == {"age", "dependents"}
+            and {c.partition.name for c in rule.consequent} == {"claims"}
+            and any(40 < c.centroid[0] < 48 for c in rule.antecedent)
+            and any(9_000 < c.centroid[0] < 15_000 for c in rule.consequent)
+        ]
+        assert matches, "expected C_age C_dependents => C_claims"
+
+    def test_rule_support_matches_mode_size(self, result):
+        best = max(
+            (r for r in result.rules if len(r.antecedent) == 2),
+            key=lambda rule: rule.support_count or 0,
+        )
+        assert (best.support_count or 0) > 100  # one mode is 150 tuples
+
+
+class TestDARvsGQARAgreement:
+    """On well-separated modes the two miners must tell the same story."""
+
+    def test_cluster_agreement(self):
+        relation, truth = make_clustered_relation(
+            n_modes=3, points_per_mode=100, n_attributes=2,
+            spread=0.5, separation=50.0, outlier_fraction=0.0, seed=21,
+        )
+        dar = DARMiner().mine(relation)
+        gqar = GQARMiner(GQARConfig(min_support=0.2, min_confidence=0.7)).mine(relation)
+        dar_centroids = sorted(c.centroid[0] for c in dar.frequent_clusters["a0"])
+        gqar_centroids = sorted(c.centroid[0] for c in gqar.clusters["a0"])
+        assert np.allclose(dar_centroids, gqar_centroids, atol=2.0)
+
+    def test_rule_pairs_agree(self):
+        relation, truth = make_clustered_relation(
+            n_modes=3, points_per_mode=100, n_attributes=2,
+            spread=0.5, separation=50.0, outlier_fraction=0.0, seed=21,
+        )
+        dar = DARMiner().mine(relation)
+        gqar = GQARMiner(GQARConfig(min_support=0.2, min_confidence=0.9)).mine(relation)
+
+        def pair_set(rules, antecedent_of, consequent_of):
+            pairs = set()
+            for rule in rules:
+                for a in antecedent_of(rule):
+                    for c in consequent_of(rule):
+                        pairs.add((round(a.centroid[0]), round(c.centroid[0])))
+            return pairs
+
+        dar_pairs = pair_set(dar.rules, lambda r: r.antecedent, lambda r: r.consequent)
+        gqar_pairs = pair_set(gqar.rules, lambda r: r.antecedent, lambda r: r.consequent)
+        assert gqar_pairs <= dar_pairs | gqar_pairs  # sanity
+        assert len(dar_pairs & gqar_pairs) >= 3
+
+
+class TestOutlierRobustness:
+    def test_outliers_do_not_invent_rules(self):
+        clean_relation, _ = make_clustered_relation(
+            n_modes=2, points_per_mode=150, n_attributes=2,
+            spread=0.5, separation=60.0, outlier_fraction=0.0, seed=31,
+        )
+        noisy_relation, _ = make_clustered_relation(
+            n_modes=2, points_per_mode=150, n_attributes=2,
+            spread=0.5, separation=60.0, outlier_fraction=0.15, seed=31,
+        )
+        config = DARConfig(frequency_fraction=0.1)
+        clean = DARMiner(config).mine(clean_relation)
+        noisy = DARMiner(config).mine(noisy_relation)
+
+        def centroid_pairs(result):
+            return {
+                tuple(
+                    round(c.centroid[0], -1)
+                    for c in rule.antecedent + rule.consequent
+                )
+                for rule in result.rules
+            }
+
+        # The frequent-cluster story survives 15% noise.
+        assert len(noisy.frequent_clusters["a0"]) == len(clean.frequent_clusters["a0"])
+
+
+class TestWBCDPipeline:
+    def test_wbcd_mines_without_error(self):
+        relation = make_wbcd_like(n_tuples=300, seed=2)
+        config = DARConfig(
+            frequency_fraction=0.05,
+            max_antecedent=1,
+            max_consequent=1,
+            birch=BirchOptions(memory_limit_bytes=512_000),
+        )
+        result = DARMiner(config).mine(relation)
+        assert result.phase2.n_frequent_clusters > 0
+        # Correlated mean/worst factors should produce rules.
+        assert result.rules
+
+    def test_scaled_wbcd_cluster_counts_stable(self):
+        """Mini version of the §7.2 stability claim."""
+        counts = []
+        base = make_wbcd_like(seed=11)
+        for size in (1_000, 2_000):
+            relation = make_scaled_wbcd(size, seed=11, base=base)
+            sub = relation.project(relation.schema.names[:4])
+            result = DARMiner(DARConfig(frequency_fraction=0.03)).mine(sub)
+            counts.append(result.phase2.n_frequent_clusters)
+        assert counts[0] > 0
+        assert abs(counts[0] - counts[1]) <= max(2, 0.3 * counts[0])
+
+
+class TestPersistenceRoundTrip:
+    def test_mine_after_csv_round_trip(self, tmp_path):
+        relation, _ = make_clustered_relation(
+            n_modes=2, points_per_mode=80, n_attributes=2, seed=41,
+        )
+        path = tmp_path / "data.csv"
+        save_csv(relation, path)
+        reloaded = load_csv(path)
+        a = DARMiner().mine(relation)
+        b = DARMiner().mine(reloaded)
+        assert len(a.rules) == len(b.rules)
+        assert a.phase2.n_frequent_clusters == b.phase2.n_frequent_clusters

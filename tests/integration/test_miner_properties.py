@@ -1,0 +1,101 @@
+"""Property-based fuzzing of the DAR miner on arbitrary small relations.
+
+Whatever the data looks like — constant columns, duplicated tuples, wild
+scales, tiny sizes — mining must terminate without error and its output
+must satisfy the definitional invariants:
+
+* every cluster in a rule is frequent (Dfn 4.2's s0);
+* rule sides are non-empty and partition-disjoint (Dfn 5.3);
+* per-consequent degrees respect the resolved D0 thresholds;
+* rule identities are unique (no duplicate emissions);
+* cluster counts add up to the relation size per partition.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DARConfig
+from repro.core.miner import DARMiner
+from repro.data.relation import Relation, Schema
+
+column_values = st.lists(
+    st.floats(min_value=-1e5, max_value=1e5, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+@st.composite
+def small_relations(draw):
+    n = draw(st.integers(1, 50))
+    n_attributes = draw(st.integers(1, 3))
+    columns = {}
+    for j in range(n_attributes):
+        base = draw(
+            st.lists(
+                st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+                min_size=1, max_size=4,
+            )
+        )
+        # Values drawn from a few centers (clustered-ish) plus jitter.
+        rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+        centers = np.asarray(base, dtype=float)
+        picks = rng.integers(0, len(centers), size=n)
+        columns[f"a{j}"] = centers[picks] + rng.normal(scale=1.0, size=n)
+    schema = Schema.of(**{name: "interval" for name in columns})
+    return Relation(schema, columns)
+
+
+@st.composite
+def miner_configs(draw):
+    return DARConfig(
+        frequency_fraction=draw(st.sampled_from([0.02, 0.05, 0.1, 0.3])),
+        density_fraction=draw(st.sampled_from([0.05, 0.15, 0.4])),
+        degree_factor=draw(st.sampled_from([1.0, 2.0, 4.0])),
+        phase2_leniency=draw(st.sampled_from([1.0, 2.0])),
+        cluster_metric=draw(st.sampled_from(["d1", "d2"])),
+        max_antecedent=draw(st.integers(1, 2)),
+        max_consequent=draw(st.integers(1, 2)),
+        use_density_pruning=draw(st.booleans()),
+        count_rule_support=draw(st.booleans()),
+    )
+
+
+class TestMinerNeverViolatesDefinitions:
+    @given(relation=small_relations(), config=miner_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, relation, config):
+        result = DARMiner(config).mine(relation)
+
+        # Cluster accounting per partition.
+        for name, clusters in result.all_clusters.items():
+            assert sum(c.n for c in clusters) == len(relation)
+        for clusters in result.frequent_clusters.values():
+            assert all(c.n >= result.frequency_count for c in clusters)
+
+        seen_keys = set()
+        for rule in result.rules:
+            # Dfn 5.3 structure.
+            assert rule.antecedent and rule.consequent
+            names = [c.partition.name for c in rule.antecedent + rule.consequent]
+            assert len(names) == len(set(names))
+            assert len(rule.antecedent) <= config.max_antecedent
+            assert len(rule.consequent) <= config.max_consequent
+            # Frequency threshold on every participating cluster.
+            for cluster in rule.antecedent + rule.consequent:
+                assert cluster.n >= result.frequency_count
+            # Degree thresholds per consequent.
+            for consequent in rule.consequent:
+                threshold = result.degree_thresholds[consequent.partition.name]
+                assert rule.degrees[consequent.uid] <= threshold + 1e-9
+            assert rule.degree == pytest.approx(
+                max(rule.degrees.values()), rel=1e-12, abs=1e-12
+            )
+            # Support counting, when on, yields sane values.
+            if config.count_rule_support:
+                assert 0 <= (rule.support_count or 0) <= len(relation)
+            # No duplicates.
+            assert rule.key() not in seen_keys
+            seen_keys.add(rule.key())

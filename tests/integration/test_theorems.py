@@ -1,0 +1,123 @@
+"""Empirical verification of the paper's theorems on random relations.
+
+Theorem 5.1: a non-empty cluster has diameter 0 under the 0/1 metric iff it
+is value-pure.
+
+Theorem 5.2: the classical rule ``A=a => B=b`` holds with confidence ``c``
+iff the DAR ``C_A => C_B`` holds with degree ``1 - c`` (D2, 0/1 metric).
+
+Theorem 6.1 (ACF Representativity): the clustering graph computed from ACFs
+matches the one computed from raw tuple sets, for both D1 and D2.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.birch.features import ACF
+from repro.core.cluster import Cluster, image_distance
+from repro.core.interest import (
+    degree_from_confidence,
+    nominal_cluster_degree,
+    nominal_cluster_diameter,
+)
+from repro.data.relation import AttributePartition
+from repro.metrics.cluster import diameter
+from repro.metrics.distance import discrete
+
+nominal_rows = st.lists(
+    st.tuples(st.sampled_from("abc"), st.sampled_from("xyz")),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestTheorem51OnRandomRelations:
+    @given(rows=nominal_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_every_value_selection_is_pure_zero_diameter(self, rows):
+        a_values = [a for a, _ in rows]
+        for value in set(a_values):
+            cluster_values = [v for v in a_values if v == value]
+            assert nominal_cluster_diameter(cluster_values) == 0.0
+
+    @given(rows=nominal_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_selections_have_positive_diameter(self, rows):
+        a_values = [a for a, _ in rows]
+        if len(set(a_values)) < 2:
+            return
+        assert nominal_cluster_diameter(a_values) > 0.0
+
+
+class TestTheorem52OnRandomRelations:
+    @given(rows=nominal_rows)
+    @settings(max_examples=80, deadline=None)
+    def test_confidence_degree_duality_for_all_rules(self, rows):
+        """For every (a, b) pair: degree(C_A => C_B) == 1 - confidence."""
+        for a_value in {a for a, _ in rows}:
+            antecedent_b = [b for a, b in rows if a == a_value]
+            for b_value in {b for _, b in rows}:
+                consequent_b = [b for _, b in rows if b == b_value]
+                if not consequent_b:
+                    continue
+                matches = sum(1 for b in antecedent_b if b == b_value)
+                confidence = matches / len(antecedent_b)
+                degree = nominal_cluster_degree(antecedent_b, consequent_b)
+                assert degree == pytest.approx(
+                    degree_from_confidence(confidence), abs=1e-9
+                )
+
+
+def _make_cluster(uid, name, own, cross_name, cross):
+    acf = ACF.of_points(
+        np.asarray(own, float).reshape(-1, 1),
+        {cross_name: np.asarray(cross, float).reshape(-1, 1)},
+    )
+    return Cluster(uid=uid, partition=AttributePartition(name, (name,)), acf=acf)
+
+
+class TestTheorem61Representativity:
+    """ACF-derived distances equal raw-data distances, so the clustering
+    graph is computable from summaries alone."""
+
+    @given(
+        x1=st.lists(st.floats(-100, 100), min_size=1, max_size=15),
+        x2=st.lists(st.floats(-100, 100), min_size=1, max_size=15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_d1_from_acf_matches_raw(self, x1, x2):
+        rng = np.random.default_rng(0)
+        y1 = rng.normal(size=len(x1))
+        y2 = rng.normal(size=len(x2))
+        c1 = _make_cluster(1, "x", x1, "y", y1)
+        c2 = _make_cluster(2, "y", y2, "x", x2)
+        # D1 between images on "x": raw centroids vs ACF moments.
+        raw = abs(np.mean(x1) - np.mean(x2))
+        via_acf = image_distance(c1, c2, on="x", metric="d1")
+        assert via_acf == pytest.approx(raw, rel=1e-9, abs=1e-7)
+
+    @given(
+        x1=st.lists(st.floats(-100, 100), min_size=1, max_size=15),
+        x2=st.lists(st.floats(-100, 100), min_size=1, max_size=15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_d2_from_acf_matches_raw_rms(self, x1, x2):
+        rng = np.random.default_rng(1)
+        y1 = rng.normal(size=len(x1))
+        y2 = rng.normal(size=len(x2))
+        c1 = _make_cluster(1, "x", x1, "y", y1)
+        c2 = _make_cluster(2, "y", y2, "x", x2)
+        a = np.asarray(x1, float)
+        b = np.asarray(x2, float)
+        raw_rms = np.sqrt(((a[:, None] - b[None, :]) ** 2).mean())
+        via_acf = image_distance(c1, c2, on="x", metric="d2")
+        assert via_acf == pytest.approx(raw_rms, rel=1e-6, abs=1e-5)
+
+    def test_discrete_metric_diameter_equals_cf_for_pure_sets(self):
+        """Under 0/1 data encoded as equal floats, CF diameter is 0 too."""
+        points = np.full((6, 1), 3.0)
+        assert diameter(points, metric=discrete) == 0.0
+        acf = ACF.of_points(points, {})
+        assert acf.rms_diameter == 0.0

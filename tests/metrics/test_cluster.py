@@ -1,0 +1,216 @@
+"""Tests for cluster statistics: diameter, centroid, D1, D2, moment forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.cluster import (
+    bounding_box,
+    centroid,
+    d1_centroid_distance,
+    d1_from_moments,
+    d2_average_inter_cluster,
+    diameter,
+    radius,
+    rms_d2_from_moments,
+    rms_diameter_from_moments,
+    rms_radius_from_moments,
+)
+from repro.metrics.distance import discrete, euclidean, manhattan
+
+bounded = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+def point_sets(min_rows=2, max_rows=12, dim=2):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(min_rows, max_rows), st.just(dim)),
+        elements=bounded,
+    )
+
+
+def _moments(points):
+    return points.shape[0], points.sum(axis=0), float((points * points).sum())
+
+
+class TestCentroid:
+    def test_known_value(self):
+        points = np.array([[0.0, 0.0], [2.0, 4.0]])
+        assert np.allclose(centroid(points), [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid(np.empty((0, 2)))
+
+    @given(points=point_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_mean(self, points):
+        assert np.allclose(centroid(points), points.mean(axis=0))
+
+
+class TestDiameter:
+    def test_singleton_is_zero(self):
+        assert diameter(np.array([[3.0, 4.0]])) == 0.0
+
+    def test_empty_is_zero(self):
+        assert diameter(np.empty((0, 2))) == 0.0
+
+    def test_pair_is_their_distance(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert diameter(points) == pytest.approx(5.0)
+
+    def test_equation2_definition(self):
+        """Direct check against Eq. (2): sum over ordered pairs / N(N-1)."""
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(6, 2))
+        n = points.shape[0]
+        total = 0.0
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    total += np.linalg.norm(points[i] - points[j])
+        assert diameter(points) == pytest.approx(total / (n * (n - 1)))
+
+    def test_pure_nominal_cluster_has_zero_diameter(self):
+        """Theorem 5.1 direction: identical values => diameter 0."""
+        points = np.full((7, 1), 42.0)
+        assert diameter(points, metric=discrete) == 0.0
+
+    def test_impure_nominal_cluster_has_positive_diameter(self):
+        points = np.array([[1.0], [1.0], [2.0]])
+        assert diameter(points, metric=discrete) > 0.0
+
+    @given(points=point_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_translation_invariance(self, points):
+        shifted = points + np.array([100.0, -250.0])
+        assert diameter(points) == pytest.approx(diameter(shifted), rel=1e-6, abs=1e-6)
+
+
+class TestMomentForms:
+    @given(points=point_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_rms_diameter_bounds_average(self, points):
+        """RMS pairwise distance upper-bounds Eq. (2)'s average (Jensen)."""
+        avg = diameter(points, euclidean)
+        rms = rms_diameter_from_moments(*_moments(points))
+        assert rms >= avg - 1e-6 * (1 + avg)
+
+    def test_rms_diameter_exact_for_pair(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert rms_diameter_from_moments(*_moments(points)) == pytest.approx(5.0)
+
+    def test_rms_diameter_singleton_zero(self):
+        points = np.array([[1.0, 2.0]])
+        assert rms_diameter_from_moments(*_moments(points)) == 0.0
+
+    @given(points=point_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_rms_diameter_matches_direct_rms(self, points):
+        """Moment formula == sqrt(mean of squared pairwise distances)."""
+        n = points.shape[0]
+        deltas = points[:, None, :] - points[None, :, :]
+        squared = (deltas**2).sum(axis=-1)
+        direct = np.sqrt(squared.sum() / (n * (n - 1)))
+        by_moments = rms_diameter_from_moments(*_moments(points))
+        # abs tolerance: sqrt-amplified cancellation on near-identical points.
+        assert by_moments == pytest.approx(direct, rel=1e-6, abs=1.5e-3)
+
+    @given(points=point_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_rms_radius_matches_direct(self, points):
+        center = points.mean(axis=0)
+        direct = np.sqrt(((points - center) ** 2).sum(axis=1).mean())
+        # abs tolerance covers sqrt-amplified cancellation on near-identical
+        # points: residual ~ |x| * sqrt(machine eps), up to ~2e-4 at |x|=1e4.
+        assert rms_radius_from_moments(*_moments(points)) == pytest.approx(
+            direct, rel=1e-6, abs=1.5e-3
+        )
+
+    def test_radius_average_leq_rms(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(10, 3))
+        assert radius(points) <= rms_radius_from_moments(*_moments(points)) + 1e-12
+
+
+class TestD1:
+    def test_d1_is_manhattan_between_centroids(self):
+        a = np.array([[0.0, 0.0], [2.0, 2.0]])
+        b = np.array([[5.0, 1.0]])
+        expected = manhattan(centroid(a), centroid(b))[0]
+        assert d1_centroid_distance(a, b) == pytest.approx(expected)
+
+    @given(a=point_sets(), b=point_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_d1_moments_equals_raw(self, a, b):
+        raw = d1_centroid_distance(a, b)
+        by_moments = d1_from_moments(a.shape[0], a.sum(axis=0), b.shape[0], b.sum(axis=0))
+        assert by_moments == pytest.approx(raw, rel=1e-6, abs=1e-6)
+
+    def test_d1_empty_raises(self):
+        with pytest.raises(ValueError):
+            d1_from_moments(0, np.zeros(2), 3, np.ones(2))
+
+
+class TestD2:
+    def test_equation6_definition(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(4, 2))
+        b = rng.normal(size=(3, 2))
+        total = sum(
+            np.linalg.norm(a[i] - b[j]) for i in range(4) for j in range(3)
+        )
+        assert d2_average_inter_cluster(a, b) == pytest.approx(total / 12)
+
+    def test_d2_symmetric(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(5, 2))
+        b = rng.normal(size=(4, 2))
+        assert d2_average_inter_cluster(a, b) == pytest.approx(
+            d2_average_inter_cluster(b, a)
+        )
+
+    def test_d2_empty_raises(self):
+        with pytest.raises(ValueError):
+            d2_average_inter_cluster(np.empty((0, 2)), np.ones((2, 2)))
+
+    @given(a=point_sets(), b=point_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_rms_d2_bounds_average_d2(self, a, b):
+        avg = d2_average_inter_cluster(a, b)
+        rms = rms_d2_from_moments(
+            a.shape[0], a.sum(axis=0), float((a * a).sum()),
+            b.shape[0], b.sum(axis=0), float((b * b).sum()),
+        )
+        assert rms >= avg - 1e-6 * (1 + avg)
+
+    @given(a=point_sets(), b=point_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_rms_d2_matches_direct_rms(self, a, b):
+        deltas = a[:, None, :] - b[None, :, :]
+        squared = (deltas**2).sum(axis=-1)
+        direct = np.sqrt(squared.mean())
+        by_moments = rms_d2_from_moments(
+            a.shape[0], a.sum(axis=0), float((a * a).sum()),
+            b.shape[0], b.sum(axis=0), float((b * b).sum()),
+        )
+        # abs tolerance: sqrt-amplified cancellation on near-identical points.
+        assert by_moments == pytest.approx(direct, rel=1e-6, abs=1.5e-3)
+
+    def test_identical_singletons_d2_zero(self):
+        a = np.array([[1.0, 2.0]])
+        assert d2_average_inter_cluster(a, a) == 0.0
+
+
+class TestBoundingBox:
+    def test_known_box(self):
+        points = np.array([[0.0, 5.0], [2.0, 1.0], [1.0, 3.0]])
+        lo, hi = bounding_box(points)
+        assert np.allclose(lo, [0.0, 1.0])
+        assert np.allclose(hi, [2.0, 5.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box(np.empty((0, 2)))

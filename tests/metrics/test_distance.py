@@ -1,0 +1,119 @@
+"""Unit and property tests for point metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.distance import (
+    available_metrics,
+    chebyshev,
+    cross_pairwise,
+    discrete,
+    euclidean,
+    get_metric,
+    manhattan,
+    pairwise,
+    register_metric,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def vectors(dim: int = 3):
+    return arrays(np.float64, (dim,), elements=finite_floats)
+
+
+class TestBasics:
+    def test_euclidean_known_value(self):
+        assert euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0]))[0] == 5.0
+
+    def test_manhattan_known_value(self):
+        assert manhattan(np.array([1.0, 2.0]), np.array([4.0, -2.0]))[0] == 7.0
+
+    def test_chebyshev_known_value(self):
+        assert chebyshev(np.array([1.0, 2.0]), np.array([4.0, -2.0]))[0] == 4.0
+
+    def test_discrete_zero_iff_equal(self):
+        assert discrete(np.array([1.0, 2.0]), np.array([1.0, 2.0]))[0] == 0.0
+        assert discrete(np.array([1.0, 2.0]), np.array([1.0, 3.0]))[0] == 1.0
+
+    def test_batch_broadcasting(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        origin = np.zeros((1, 2))
+        distances = euclidean(points, origin)
+        assert distances.shape == (3,)
+        assert distances[2] == pytest.approx(np.sqrt(8))
+
+
+class TestRegistry:
+    def test_get_known_metrics(self):
+        for name in ("euclidean", "manhattan", "chebyshev", "discrete"):
+            assert callable(get_metric(name))
+            assert name in available_metrics()
+
+    def test_get_unknown_metric_raises_with_names(self):
+        with pytest.raises(KeyError, match="euclidean"):
+            get_metric("no-such-metric")
+
+    def test_register_and_use_custom_metric(self):
+        name = "test-only-half-manhattan"
+        if name not in available_metrics():
+            register_metric(name, lambda x, y: 0.5 * manhattan(x, y))
+        metric = get_metric(name)
+        assert metric(np.array([0.0]), np.array([4.0]))[0] == 2.0
+
+    def test_register_duplicate_raises(self):
+        with pytest.raises(ValueError):
+            register_metric("euclidean", euclidean)
+
+
+class TestPairwise:
+    def test_pairwise_shape_and_diagonal(self):
+        points = np.random.default_rng(0).normal(size=(5, 2))
+        matrix = pairwise(points)
+        assert matrix.shape == (5, 5)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_pairwise_symmetry(self):
+        points = np.random.default_rng(1).normal(size=(6, 3))
+        matrix = pairwise(points, manhattan)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_cross_pairwise_shape(self):
+        a = np.zeros((3, 2))
+        b = np.ones((4, 2))
+        matrix = cross_pairwise(a, b)
+        assert matrix.shape == (3, 4)
+        assert np.allclose(matrix, np.sqrt(2))
+
+
+class TestMetricAxioms:
+    """Property-based checks of the metric axioms on all built-in metrics."""
+
+    @pytest.mark.parametrize("metric", [euclidean, manhattan, chebyshev, discrete])
+    @given(x=vectors(), y=vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry_and_nonnegativity(self, metric, x, y):
+        d_xy = float(metric(x, y)[0])
+        d_yx = float(metric(y, x)[0])
+        assert d_xy == pytest.approx(d_yx, rel=1e-12, abs=1e-12)
+        assert d_xy >= 0.0
+
+    @pytest.mark.parametrize("metric", [euclidean, manhattan, chebyshev, discrete])
+    @given(x=vectors())
+    @settings(max_examples=25, deadline=None)
+    def test_identity(self, metric, x):
+        assert float(metric(x, x)[0]) == 0.0
+
+    @pytest.mark.parametrize("metric", [euclidean, manhattan, chebyshev, discrete])
+    @given(x=vectors(), y=vectors(), z=vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, metric, x, y, z):
+        d_xz = float(metric(x, z)[0])
+        d_xy = float(metric(x, y)[0])
+        d_yz = float(metric(y, z)[0])
+        assert d_xz <= d_xy + d_yz + 1e-6 * (1 + d_xy + d_yz)

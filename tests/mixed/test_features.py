@@ -1,0 +1,121 @@
+"""Tests for NominalFeature: additivity and 0/1-metric statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interest import nominal_cluster_degree, nominal_cluster_diameter
+from repro.mixed.features import NominalFeature
+
+value_lists = st.lists(st.sampled_from("abcde"), min_size=1, max_size=25)
+
+
+class TestConstruction:
+    def test_of_values_counts(self):
+        feature = NominalFeature.of_values(["a", "b", "a"])
+        assert feature.n == 3
+        assert feature.counts == {"a": 2, "b": 1}
+
+    def test_of_value_singleton(self):
+        feature = NominalFeature.of_value("x")
+        assert feature.n == 1 and feature.counts == {"x": 1}
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            NominalFeature({"a": -1})
+
+    def test_copy_independent(self):
+        a = NominalFeature.of_values(["a"])
+        b = a.copy()
+        b.add_value("a")
+        assert a.n == 1 and b.n == 2
+
+
+class TestAdditivity:
+    @given(left=value_lists, right=value_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_union(self, left, right):
+        merged = NominalFeature.of_values(left).merged(NominalFeature.of_values(right))
+        direct = NominalFeature.of_values(left + right)
+        assert merged.counts == direct.counts
+        assert merged.n == direct.n
+
+    @given(values=value_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_equals_batch(self, values):
+        incremental = NominalFeature()
+        for value in values:
+            incremental.add_value(value)
+        assert incremental.counts == NominalFeature.of_values(values).counts
+
+
+class TestDiameter:
+    def test_pure_is_zero(self):
+        assert NominalFeature.of_values(["a"] * 7).diameter == 0.0
+
+    def test_singleton_is_zero(self):
+        assert NominalFeature.of_value("a").diameter == 0.0
+
+    def test_two_distinct_values(self):
+        # Pairs: (a,b) and (b,a) of 2 ordered pairs -> diameter 1.
+        assert NominalFeature.of_values(["a", "b"]).diameter == 1.0
+
+    @given(values=value_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_matches_raw_computation(self, values):
+        """Histogram formula == the raw Eq. 2 computation used elsewhere."""
+        by_histogram = NominalFeature.of_values(values).diameter
+        by_raw = nominal_cluster_diameter(values)
+        assert by_histogram == pytest.approx(by_raw, abs=1e-12)
+
+    @given(values=value_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_theorem51_iff(self, values):
+        feature = NominalFeature.of_values(values)
+        assert (feature.diameter == 0.0) == (len(set(values)) == 1)
+
+
+class TestD2:
+    def test_identical_pure_sets(self):
+        a = NominalFeature.of_values(["x"] * 3)
+        assert a.d2(a) == 0.0
+
+    def test_disjoint_sets(self):
+        a = NominalFeature.of_values(["x"])
+        b = NominalFeature.of_values(["y", "z"])
+        assert a.d2(b) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NominalFeature().d2(NominalFeature.of_value("a"))
+
+    @given(left=value_lists, right=value_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_matches_raw_computation(self, left, right):
+        by_histogram = NominalFeature.of_values(right).d2(
+            NominalFeature.of_values(left)
+        )
+        by_raw = nominal_cluster_degree(left, right)
+        assert by_histogram == pytest.approx(by_raw, abs=1e-12)
+
+    @given(left=value_lists, right=value_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric(self, left, right):
+        a = NominalFeature.of_values(left)
+        b = NominalFeature.of_values(right)
+        assert a.d2(b) == pytest.approx(b.d2(a))
+
+
+class TestModeAndPurity:
+    def test_mode(self):
+        assert NominalFeature.of_values(["a", "b", "b"]).mode() == "b"
+
+    def test_mode_tie_deterministic(self):
+        assert NominalFeature.of_values(["a", "b"]).mode() == "a"
+
+    def test_purity(self):
+        assert NominalFeature.of_values(["a", "a", "b", "c"]).purity() == 0.5
+
+    def test_empty_mode_rejected(self):
+        with pytest.raises(ValueError):
+            NominalFeature().mode()

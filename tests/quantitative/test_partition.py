@@ -1,0 +1,139 @@
+"""Tests for equi-depth/equi-width partitioning and partial completeness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.examples import fig1_salaries
+from repro.quantitative.partition import (
+    Interval,
+    assign_to_intervals,
+    equidepth_intervals,
+    equiwidth_intervals,
+    partial_completeness_interval_count,
+)
+
+
+class TestInterval:
+    def test_contains_closed_range(self):
+        interval = Interval("x", 1.0, 3.0)
+        assert interval.contains(1.0) and interval.contains(3.0)
+        assert not interval.contains(3.0001)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval("x", 5.0, 1.0)
+
+    def test_str_point_interval(self):
+        assert str(Interval("x", 2.0, 2.0)) == "x=2"
+
+    def test_width(self):
+        assert Interval("x", 1.0, 4.0).width == 3.0
+
+
+class TestEquiDepth:
+    def test_figure1_partition(self):
+        """The paper's Figure 1: depth 2 gives [18K,30K], [31K,80K], [81K,82K]."""
+        intervals = equidepth_intervals(fig1_salaries(), depth=2, attribute="salary")
+        bounds = [(interval.lo, interval.hi) for interval in intervals]
+        assert bounds == [
+            (18_000.0, 30_000.0),
+            (31_000.0, 80_000.0),
+            (81_000.0, 82_000.0),
+        ]
+
+    def test_unsorted_input_sorted_internally(self):
+        intervals = equidepth_intervals([5.0, 1.0, 3.0], depth=1)
+        assert [i.lo for i in intervals] == [1.0, 3.0, 5.0]
+
+    def test_ties_never_straddle_boundaries(self):
+        intervals = equidepth_intervals([1, 1, 1, 2, 3], depth=2)
+        assert intervals[0].lo == 1.0 and intervals[0].hi == 1.0
+
+    def test_empty_values(self):
+        assert equidepth_intervals([], depth=3) == []
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            equidepth_intervals([1.0], depth=0)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=1, max_size=50,
+        ),
+        depth=st.integers(1, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_covers_all_values_disjointly(self, values, depth):
+        intervals = equidepth_intervals(values, depth)
+        labels = assign_to_intervals(values, intervals)
+        assert np.all(labels >= 0)  # every value falls in some interval
+        # Intervals are ordered and non-overlapping except possibly at ties.
+        for earlier, later in zip(intervals, intervals[1:]):
+            assert earlier.hi <= later.lo
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1, max_size=40, unique=True,
+        ),
+        depth=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_depth_respected_on_distinct_values(self, values, depth):
+        """Without ties, every interval but the last holds exactly `depth`."""
+        intervals = equidepth_intervals(values, depth)
+        labels = assign_to_intervals(sorted(values), intervals)
+        counts = np.bincount(labels, minlength=len(intervals))
+        assert all(count == depth for count in counts[:-1])
+        assert 1 <= counts[-1] <= depth
+
+
+class TestEquiWidth:
+    def test_widths_equal(self):
+        intervals = equiwidth_intervals(np.arange(0.0, 10.1, 1.0), 5)
+        widths = {round(interval.width, 9) for interval in intervals}
+        assert widths == {2.0}
+
+    def test_constant_column_single_interval(self):
+        intervals = equiwidth_intervals([3.0, 3.0, 3.0], 4)
+        assert len(intervals) == 1
+        assert intervals[0].lo == intervals[0].hi == 3.0
+
+    def test_empty(self):
+        assert equiwidth_intervals([], 3) == []
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            equiwidth_intervals([1.0], 0)
+
+
+class TestPartialCompleteness:
+    def test_sa96_formula(self):
+        # N = 2 / (minsup * (K - 1)); minsup=0.1, K=1.5 -> 40 intervals.
+        assert partial_completeness_interval_count(0.1, 1.5) == 40
+
+    def test_higher_k_fewer_intervals(self):
+        assert partial_completeness_interval_count(
+            0.1, 3.0
+        ) < partial_completeness_interval_count(0.1, 1.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            partial_completeness_interval_count(0.0, 2.0)
+        with pytest.raises(ValueError):
+            partial_completeness_interval_count(0.1, 1.0)
+
+
+class TestAssignToIntervals:
+    def test_unassigned_get_minus_one(self):
+        intervals = [Interval("x", 0.0, 1.0)]
+        labels = assign_to_intervals([0.5, 2.0], intervals)
+        assert list(labels) == [0, -1]
+
+    def test_first_containing_interval_wins(self):
+        overlapping = [Interval("x", 0.0, 2.0), Interval("x", 1.0, 3.0)]
+        labels = assign_to_intervals([1.5], overlapping)
+        assert list(labels) == [0]

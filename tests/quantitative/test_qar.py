@@ -1,0 +1,128 @@
+"""Tests for the Srikant-Agrawal quantitative rule baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation, Schema
+from repro.quantitative.partition import Interval
+from repro.quantitative.qar import EqualityPredicate, QARConfig, QARMiner
+
+
+def two_column_relation(n=60, seed=0):
+    """Age drives salary: two clear (age-band, salary-band) associations."""
+    rng = np.random.default_rng(seed)
+    young = rng.uniform(25, 30, size=n // 2)
+    old = rng.uniform(55, 60, size=n // 2)
+    low_pay = rng.uniform(30_000, 35_000, size=n // 2)
+    high_pay = rng.uniform(90_000, 95_000, size=n // 2)
+    schema = Schema.of(age="interval", salary="interval")
+    return Relation(
+        schema,
+        {
+            "age": np.concatenate([young, old]),
+            "salary": np.concatenate([low_pay, high_pay]),
+        },
+    )
+
+
+class TestConfig:
+    def test_rejects_bad_support(self):
+        with pytest.raises(ValueError):
+            QARConfig(min_support=-0.1)
+
+    def test_rejects_bad_completeness(self):
+        with pytest.raises(ValueError):
+            QARConfig(partial_completeness=1.0)
+
+
+class TestQARMiner:
+    def test_finds_age_salary_association(self):
+        relation = two_column_relation()
+        # K=5 -> 2 base intervals per attribute (each 50% support), so the
+        # two planted (age-band, salary-band) pairs are frequent.
+        config = QARConfig(min_support=0.3, min_confidence=0.8, partial_completeness=5.0)
+        result = QARMiner(config).mine(relation)
+        assert result.rules, "expected at least one rule"
+        # Some rule should map an age range to a salary range.
+        assert any(
+            any(getattr(p, "attribute", None) == "age" for p in rule.antecedent)
+            and any(getattr(p, "attribute", None) == "salary" for p in rule.consequent)
+            for rule in result.rules
+        )
+
+    def test_interval_predicates_are_ranges(self):
+        relation = two_column_relation()
+        config = QARConfig(min_support=0.3, min_confidence=0.8, partial_completeness=3.0)
+        result = QARMiner(config).mine(relation)
+        for rule in result.rules:
+            for predicate in rule.antecedent + rule.consequent:
+                assert isinstance(predicate, (Interval, EqualityPredicate))
+
+    def test_nominal_attributes_become_equality_predicates(self):
+        schema = Schema.of(job="nominal", pay="interval")
+        rows = [("dba", 40_000.0)] * 6 + [("mgr", 90_000.0)] * 6
+        relation = Relation.from_rows(schema, rows)
+        config = QARConfig(min_support=0.4, min_confidence=0.9, partial_completeness=3.0)
+        result = QARMiner(config).mine(relation)
+        nominal_predicates = [
+            predicate
+            for rule in result.rules
+            for predicate in rule.antecedent + rule.consequent
+            if isinstance(predicate, EqualityPredicate)
+        ]
+        assert nominal_predicates
+        assert {p.value for p in nominal_predicates} <= {"dba", "mgr"}
+
+    def test_intervals_recorded_per_attribute(self):
+        relation = two_column_relation()
+        result = QARMiner(QARConfig(min_support=0.2)).mine(relation)
+        assert set(result.intervals) == {"age", "salary"}
+        assert all(result.depth[name] >= 1 for name in result.depth)
+
+    def test_adjacent_merge_respects_cap(self):
+        relation = two_column_relation(n=100)
+        config = QARConfig(
+            min_support=0.1, partial_completeness=1.2, max_combined_support=0.3
+        )
+        result = QARMiner(config).mine(relation)
+        column = relation.column("age")
+        n = len(relation)
+        # No merged interval may exceed the cap unless it is a base interval.
+        base = QARMiner(QARConfig(min_support=0.1, partial_completeness=1.2)).mine(relation)
+        base_bounds = {(i.lo, i.hi) for i in base.intervals["age"]}
+        for interval in result.intervals["age"]:
+            count = int(np.count_nonzero((column >= interval.lo) & (column <= interval.hi)))
+            if (interval.lo, interval.hi) not in base_bounds:
+                assert count / n <= 0.3 + 1e-9
+
+    def test_equidepth_ignores_distance_figure1_style(self):
+        """The baseline's defining flaw: a huge-gap interval is legal."""
+        from repro.data.examples import fig1_salaries
+
+        schema = Schema.of(salary="interval")
+        relation = Relation(schema, {"salary": fig1_salaries()})
+        config = QARConfig(min_support=0.34, min_confidence=0.5, partial_completeness=3.0)
+        result = QARMiner(config).mine(relation)
+        widths = [interval.width for interval in result.intervals["salary"]]
+        assert max(widths) >= 49_000  # the [31K, 80K]-style interval exists
+
+
+class TestAdjacentMergeEdgeCases:
+    def test_huge_cap_merges_everything(self):
+        relation = two_column_relation(n=40)
+        config = QARConfig(
+            min_support=0.1, partial_completeness=1.2, max_combined_support=1.0
+        )
+        result = QARMiner(config).mine(relation)
+        # With the cap at 100%, each attribute collapses to one interval.
+        assert all(len(intervals) == 1 for intervals in result.intervals.values())
+
+    def test_zero_cap_keeps_base_intervals(self):
+        relation = two_column_relation(n=40)
+        base = QARMiner(
+            QARConfig(min_support=0.1, partial_completeness=1.2)
+        ).mine(relation)
+        capped = QARMiner(
+            QARConfig(min_support=0.1, partial_completeness=1.2, max_combined_support=0.0)
+        ).mine(relation)
+        assert len(capped.intervals["age"]) == len(base.intervals["age"])

@@ -1,0 +1,76 @@
+"""Tests for plain-text histograms and cluster strips."""
+
+import numpy as np
+import pytest
+
+from repro.report.ascii import cluster_strip, histogram
+
+
+class TestHistogram:
+    def test_counts_shown(self):
+        text = histogram([1, 1, 2, 9], bins=2, width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("3")
+        assert lines[1].endswith("1")
+
+    def test_bars_scale_to_width(self):
+        text = histogram([1] * 100 + [9], bins=2, width=20)
+        top = text.splitlines()[0]
+        assert "#" * 20 in top
+
+    def test_empty_values(self):
+        assert histogram([]) == "(no values)"
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([1.0, np.nan])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+        with pytest.raises(ValueError):
+            histogram([1.0], width=0)
+
+    def test_zero_count_bins_have_no_bar(self):
+        text = histogram([0.0, 10.0], bins=5, width=10)
+        middle = text.splitlines()[2]
+        assert "#" not in middle
+
+
+class TestClusterStrip:
+    def test_figure1_gap_visible(self):
+        """The salary clusters leave an obvious hole in the strip."""
+        spans = [(18_000.0, 18_000.0), (30_000.0, 31_000.0), (80_000.0, 82_000.0)]
+        text = cluster_strip(spans, width=60)
+        lines = text.splitlines()
+        assert len(lines) == 5  # 3 spans + axis + labels
+        # The last cluster's row is mostly blank before its bracket.
+        last = lines[2]
+        assert last.lstrip().startswith("[") or last.lstrip().startswith("|")
+        assert last.index(last.strip()[0]) > 40
+
+    def test_point_cluster_renders_as_pipe(self):
+        text = cluster_strip([(5.0, 5.0), (0.0, 10.0)], width=20)
+        assert "|" in text
+
+    def test_span_ordering_is_by_lo(self):
+        text = cluster_strip([(50.0, 60.0), (0.0, 10.0)], width=20)
+        first, second = text.splitlines()[:2]
+        assert "[0," in first
+        assert "[50," in second
+
+    def test_empty_spans(self):
+        assert cluster_strip([]) == "(no clusters)"
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_strip([(5.0, 1.0)])
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_strip([(0.0, 1.0)], width=5)
+
+    def test_degenerate_axis(self):
+        text = cluster_strip([(3.0, 3.0)], width=20)
+        assert "(no clusters)" not in text

@@ -1,0 +1,100 @@
+"""Tests for cluster/rule/result descriptions."""
+
+import numpy as np
+import pytest
+
+from repro.birch.features import ACF
+from repro.core.cluster import Cluster
+from repro.core.miner import DARMiner
+from repro.core.rules import DistanceRule
+from repro.data.relation import AttributePartition
+from repro.data.synthetic import make_planted_rule_relation
+from repro.report.describe import (
+    describe_cluster,
+    describe_result,
+    describe_rule,
+    format_rules,
+)
+
+
+def cluster(uid, name, values):
+    acf = ACF.of_points(np.asarray(values, dtype=float).reshape(-1, 1), {})
+    return Cluster(uid=uid, partition=AttributePartition(name, (name,)), acf=acf)
+
+
+class TestDescribeCluster:
+    def test_bounding_box_rendered(self):
+        text = describe_cluster(cluster(1, "salary", [40_000.0, 42_000.0]))
+        assert "salary in [40000, 42000]" in text
+        assert "n=2" in text
+
+    def test_precision_parameter(self):
+        text = describe_cluster(cluster(1, "x", [1.23456, 1.23456]), precision=2)
+        assert "1.2" in text
+
+
+class TestDescribeRule:
+    def test_if_then_structure(self):
+        rule = DistanceRule(
+            (cluster(1, "age", [30.0, 31.0]),),
+            (cluster(2, "salary", [40_000.0]),),
+            degree=0.5,
+        )
+        text = describe_rule(rule)
+        assert text.startswith("IF ")
+        assert " THEN " in text
+        assert "degree=0.5" in text
+
+    def test_support_included_when_counted(self):
+        rule = DistanceRule(
+            (cluster(1, "a", [1.0]),),
+            (cluster(2, "b", [2.0]),),
+            degree=0.1,
+            support_count=42,
+        )
+        assert "support=42" in describe_rule(rule)
+
+
+class TestFormatRules:
+    def test_sorted_strongest_first_and_limited(self):
+        rules = [
+            DistanceRule((cluster(1, "a", [1.0]),), (cluster(2, "b", [2.0]),), degree=0.9),
+            DistanceRule((cluster(3, "c", [1.0]),), (cluster(4, "d", [2.0]),), degree=0.1),
+        ]
+        text = format_rules(rules, limit=1)
+        assert text.count("IF") == 1
+        assert "degree=0.1" in text
+
+
+class TestDescribeResult:
+    def test_full_run_summary(self):
+        relation, _ = make_planted_rule_relation(seed=3)
+        result = DARMiner().mine(relation)
+        text = describe_result(result)
+        assert "frequency threshold" in text
+        assert "partition age" in text
+        assert "rules found" in text
+
+
+class TestDescribeResultEdgeCases:
+    def test_single_partition_no_graph(self):
+        from repro.data.synthetic import make_clustered_relation
+
+        relation, _ = make_clustered_relation(
+            n_modes=2, points_per_mode=50, n_attributes=1, seed=19,
+            attribute_prefix="x",
+        )
+        result = DARMiner().mine(relation)
+        text = describe_result(result)
+        assert "rules found: 0" in text
+        assert "clustering graph" not in text
+
+    def test_format_rules_unlimited(self):
+        rules = [
+            DistanceRule((cluster(1, "a", [1.0]),), (cluster(2, "b", [2.0]),), degree=0.5),
+            DistanceRule((cluster(3, "c", [1.0]),), (cluster(4, "d", [2.0]),), degree=0.1),
+        ]
+        text = format_rules(rules)
+        assert text.count("IF") == 2
+        # Strongest first.
+        assert text.index("degree=0.1") < text.index("degree=0.5")

@@ -1,0 +1,70 @@
+"""Tests for JSON export of mining results."""
+
+import json
+
+import pytest
+
+from repro.core.config import DARConfig
+from repro.core.miner import DARMiner
+from repro.data.synthetic import make_planted_rule_relation
+from repro.report.export import (
+    cluster_to_dict,
+    result_to_dict,
+    result_to_json,
+    rule_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    relation, _ = make_planted_rule_relation(seed=7)
+    return DARMiner(DARConfig(count_rule_support=True)).mine(relation)
+
+
+class TestClusterExport:
+    def test_fields(self, result):
+        cluster = result.frequent_clusters["age"][0]
+        exported = cluster_to_dict(cluster)
+        assert exported["partition"] == "age"
+        assert exported["n"] == cluster.n
+        assert len(exported["centroid"]) == 1
+        assert exported["bounding_box"]["lo"][0] <= exported["centroid"][0]
+        assert exported["centroid"][0] <= exported["bounding_box"]["hi"][0]
+
+    def test_plain_types_only(self, result):
+        cluster = result.frequent_clusters["age"][0]
+        json.dumps(cluster_to_dict(cluster))  # must not raise
+
+
+class TestRuleExport:
+    def test_fields(self, result):
+        rule = result.rules[0]
+        exported = rule_to_dict(rule)
+        assert exported["antecedent"] == [c.uid for c in rule.antecedent]
+        assert exported["degree"] == pytest.approx(rule.degree)
+        assert exported["support_count"] == rule.support_count
+
+
+class TestResultExport:
+    def test_round_trips_through_json(self, result):
+        text = result_to_json(result)
+        decoded = json.loads(text)
+        assert decoded["frequency_count"] == result.frequency_count
+        assert len(decoded["rules"]) == len(result.rules)
+        assert set(decoded["clusters"]) == set(result.frequent_clusters)
+
+    def test_rule_cluster_uids_resolvable(self, result):
+        decoded = json.loads(result_to_json(result))
+        known_uids = {
+            cluster["uid"]
+            for clusters in decoded["clusters"].values()
+            for cluster in clusters
+        }
+        for rule in decoded["rules"]:
+            for uid in rule["antecedent"] + rule["consequent"]:
+                assert uid in known_uids
+
+    def test_rules_sorted_strongest_first(self, result):
+        decoded = json.loads(result_to_json(result))
+        degrees = [rule["degree"] for rule in decoded["rules"]]
+        assert degrees == sorted(degrees)

@@ -1,0 +1,46 @@
+"""Tests for the fixed-width table renderer."""
+
+import pytest
+
+from repro.report.tables import Table
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table("t", [])
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_contains_everything(self):
+        table = Table("Phase I scaling", ["N", "seconds"])
+        table.add_row(100_000, 1.234)
+        table.add_row(500_000, 6.0)
+        text = table.render()
+        assert "Phase I scaling" in text
+        assert "100000" in text
+        assert "1.234" in text
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row(0.123456789)
+        assert "0.1235" in table.render()
+
+    def test_columns_aligned(self):
+        table = Table("t", ["name", "n"])
+        table.add_row("a", 1)
+        table.add_row("longer-name", 22)
+        lines = table.render().splitlines()
+        # Layout: title, underline, header, separator, data rows.
+        rows = [lines[2]] + lines[4:]
+        pipes = {line.index("|") for line in rows}
+        assert len(pipes) == 1
+
+    def test_print_smoke(self, capsys):
+        table = Table("t", ["a"])
+        table.add_row(1)
+        table.print()
+        assert "t" in capsys.readouterr().out

@@ -1,0 +1,218 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import load_csv, save_csv
+from repro.data.relation import Relation, Schema
+
+
+@pytest.fixture
+def planted_csv(tmp_path):
+    path = tmp_path / "planted.csv"
+    assert main(["generate", "planted", str(path), "--seed", "7"]) == 0
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_planted(self, tmp_path, capsys):
+        path = tmp_path / "a.csv"
+        assert main(["generate", "planted", str(path)]) == 0
+        assert "wrote 450 tuples" in capsys.readouterr().out
+        relation = load_csv(path)
+        assert relation.schema.names == ("age", "dependents", "claims")
+
+    def test_clustered_with_options(self, tmp_path):
+        path = tmp_path / "b.csv"
+        assert main([
+            "generate", "clustered", str(path),
+            "--size", "200", "--modes", "2", "--attributes", "4",
+        ]) == 0
+        relation = load_csv(path)
+        assert relation.arity == 4
+        assert len(relation) >= 200
+
+    def test_wbcd(self, tmp_path):
+        path = tmp_path / "c.csv"
+        assert main(["generate", "wbcd", str(path), "--size", "100"]) == 0
+        assert load_csv(path).arity == 30
+
+    def test_bad_output_path(self, tmp_path, capsys):
+        missing = tmp_path / "no" / "such" / "dir" / "x.csv"
+        assert main(["generate", "planted", str(missing)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDescribe:
+    def test_numeric_stats(self, planted_csv, capsys):
+        assert main(["describe", planted_csv]) == 0
+        out = capsys.readouterr().out
+        assert "450 tuples" in out
+        assert "age [interval]" in out
+        assert "mean=" in out
+
+    def test_nominal_stats(self, tmp_path, capsys):
+        path = tmp_path / "mixed.csv"
+        relation = Relation(
+            Schema.of(job="nominal", pay="interval"),
+            {"job": ["a", "a", "b"], "pay": [1.0, 2.0, 3.0]},
+        )
+        save_csv(relation, path)
+        assert main(["describe", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 distinct" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["describe", "/nonexistent/file.csv"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMine:
+    def test_basic_mining(self, planted_csv, capsys):
+        assert main(["mine", planted_csv]) == 0
+        out = capsys.readouterr().out
+        assert "# rules:" in out
+        assert "IF " in out and " THEN " in out
+
+    def test_top_k_limits_output(self, planted_csv, capsys):
+        assert main(["mine", planted_csv, "--top-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("IF ") == 3
+
+    def test_count_support_shown(self, planted_csv, capsys):
+        assert main(["mine", planted_csv, "--count-support", "--top-k", "2"]) == 0
+        assert "support=" in capsys.readouterr().out
+
+    def test_target_filtering(self, planted_csv, capsys):
+        assert main(["mine", planted_csv, "--target", "claims"]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            if line.startswith("IF "):
+                consequent = line.split(" THEN ")[1]
+                assert "claims in" in consequent
+                assert "age in" not in consequent
+
+    def test_prune_reduces_rule_count(self, planted_csv, capsys):
+        assert main(["mine", planted_csv]) == 0
+        full = capsys.readouterr().out.count("IF ")
+        assert main(["mine", planted_csv, "--prune-redundant"]) == 0
+        pruned = capsys.readouterr().out.count("IF ")
+        assert pruned <= full
+
+    def test_d1_metric_runs(self, planted_csv, capsys):
+        assert main(["mine", planted_csv, "--metric", "d1", "--top-k", "1"]) == 0
+        assert "IF " in capsys.readouterr().out
+
+    def test_mixed_mining(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        n = 120
+        relation = Relation(
+            Schema.of(job="nominal", pay="interval"),
+            {
+                "job": ["dba"] * n + ["mgr"] * n,
+                "pay": np.concatenate(
+                    [rng.normal(40_000, 800, n), rng.normal(90_000, 800, n)]
+                ),
+            },
+        )
+        path = tmp_path / "jobs.csv"
+        save_csv(relation, path)
+        assert main(["mine", str(path), "--mixed"]) == 0
+        out = capsys.readouterr().out
+        assert "job=" in out
+
+
+class TestBaseline:
+    def test_runs_and_reports_intervals(self, planted_csv, capsys):
+        assert main([
+            "baseline", planted_csv,
+            "--min-support", "0.15", "--partial-completeness", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "base intervals" in out
+        assert "# rules:" in out
+
+
+class TestPlainCsvFallback:
+    def test_mine_plain_csv(self, tmp_path, capsys):
+        import numpy as np
+
+        rng = np.random.default_rng(2)
+        lines = ["x,y"]
+        for cx, cy in ((0.0, 0.0), (50.0, 80.0)):
+            for _ in range(60):
+                lines.append(f"{cx + rng.normal():.4f},{cy + rng.normal():.4f}")
+        path = tmp_path / "plain.csv"
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["mine", str(path), "--top-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "IF " in out
+
+    def test_describe_plain_csv(self, tmp_path, capsys):
+        path = tmp_path / "plain.csv"
+        path.write_text("name,score\nana,1\nbob,2\n")
+        assert main(["describe", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "name [nominal]" in out
+        assert "score [interval]" in out
+
+
+class TestJsonOutput:
+    def test_json_is_valid_and_complete(self, planted_csv, capsys):
+        import json
+
+        assert main(["mine", planted_csv, "--count-support", "--json"]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert "rules" in decoded and "clusters" in decoded
+        assert decoded["frequency_count"] > 0
+
+    def test_json_with_mixed_rejected(self, planted_csv, capsys):
+        assert main(["mine", planted_csv, "--mixed", "--json"]) == 1
+        assert "not supported" in capsys.readouterr().err
+
+
+class TestMissingDataFlags:
+    @pytest.fixture
+    def gappy_csv(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        lines = ["x,y"]
+        for i in range(60):
+            lines.append(f"{i % 3}.0,{(i % 3) * 10}.0")
+        lines.append(",5.0")
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_unclean_data_fails_loudly(self, gappy_csv, capsys):
+        assert main(["mine", gappy_csv]) == 1
+        assert "non-finite" in capsys.readouterr().err
+
+    def test_drop_missing(self, gappy_csv, capsys):
+        assert main(["mine", gappy_csv, "--drop-missing"]) == 0
+        assert "# 60 tuples" in capsys.readouterr().out
+
+    def test_impute_mean(self, gappy_csv, capsys):
+        assert main(["mine", gappy_csv, "--impute-mean"]) == 0
+        assert "# 61 tuples" in capsys.readouterr().out
+
+    def test_both_flags_rejected(self, gappy_csv, capsys):
+        assert main(["mine", gappy_csv, "--drop-missing", "--impute-mean"]) == 1
+        assert "choose one" in capsys.readouterr().err
+
+
+class TestDescribeSketch:
+    def test_sketch_prints_histograms(self, planted_csv, capsys):
+        assert main(["describe", planted_csv, "--sketch"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # histogram bars
+        assert out.count("[") > 3  # bin labels

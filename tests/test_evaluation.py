@@ -1,0 +1,102 @@
+"""Tests for the evaluation support package."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.wbcd import make_wbcd_like
+from repro.evaluation.fits import linear_fit, nearest_match_drift
+from repro.evaluation.phase1 import measure_phase1
+
+
+class TestLinearFit:
+    def test_perfect_line(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [0, 2])
+        assert fit.predict(10) == pytest.approx(20.0)
+
+    def test_constant_series_r2_one(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.r_squared == 1.0
+        assert fit.slope == pytest.approx(0.0)
+
+    def test_noise_lowers_r2(self):
+        rng = np.random.default_rng(0)
+        xs = np.arange(50.0)
+        noisy = xs + rng.normal(scale=20.0, size=50)
+        assert linear_fit(xs, noisy).r_squared < 0.95
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1, 2, 3])
+
+    @given(
+        slope=st.floats(-10, 10),
+        intercept=st.floats(-100, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_exact_lines(self, slope, intercept):
+        xs = np.array([0.0, 1.0, 2.0, 5.0, 9.0])
+        ys = slope * xs + intercept
+        fit = linear_fit(xs, ys)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-6)
+
+
+class TestNearestMatchDrift:
+    def test_identical_sets_zero(self):
+        centroids = {"a": [1.0, 5.0], "b": [10.0]}
+        assert nearest_match_drift(centroids, centroids) == 0.0
+
+    def test_known_drift(self):
+        reference = {"a": [100.0]}
+        other = {"a": [104.0]}
+        assert nearest_match_drift(reference, other) == pytest.approx(0.04)
+
+    def test_nearest_matching(self):
+        reference = {"a": [0.0, 100.0]}
+        other = {"a": [99.0]}  # matches 100, not 0
+        assert nearest_match_drift(reference, other) == pytest.approx(0.01)
+
+    def test_missing_keys_skipped(self):
+        assert nearest_match_drift({}, {"a": [1.0]}) == 0.0
+
+    def test_empty_reference_list_skipped(self):
+        assert nearest_match_drift({"a": []}, {"a": [1.0]}) == 0.0
+
+
+class TestMeasurePhase1:
+    @pytest.fixture(scope="class")
+    def relation(self):
+        return make_wbcd_like(n_tuples=300, seed=6)
+
+    def test_basic_measurement(self, relation):
+        names = relation.schema.names[:3]
+        measurement = measure_phase1(relation, names)
+        assert measurement.n_tuples == 300
+        assert measurement.seconds > 0
+        assert measurement.entry_count > 0
+        assert 0 < measurement.frequent_count <= measurement.entry_count
+        assert set(measurement.centroids) == set(names)
+
+    def test_centroids_sorted(self, relation):
+        measurement = measure_phase1(relation, relation.schema.names[:2])
+        for centroids in measurement.centroids.values():
+            assert centroids == sorted(centroids)
+
+    def test_cross_moments_cost_more(self, relation):
+        names = relation.schema.names[:3]
+        with_cross = measure_phase1(relation, names, with_cross_moments=True)
+        without = measure_phase1(relation, names, with_cross_moments=False)
+        # Same clustering structure either way.
+        assert with_cross.entry_count == without.entry_count
