@@ -1,0 +1,122 @@
+"""Batch vs per-point Phase I ingestion on the Figure 6 workload.
+
+Verifies the :meth:`ACFTree.insert_points` contract end to end on the
+paper's scaled-WBCD scan: the batch path must produce the *same* leaf
+entries as per-point insertion (the multiset of (n, LS, SS) summaries,
+within 1e-9) while ingesting at least ``MIN_SPEEDUP`` times faster.  The
+measured ratio on an idle machine is ~8-10x; the bar leaves room for
+shared-runner noise.
+"""
+
+import time
+
+from repro.birch.features import CF
+from repro.birch.tree import ACFTree
+from repro.data.wbcd import make_scaled_wbcd, make_wbcd_like
+from repro.report.tables import Table
+
+from conftest import bench_scale
+
+N_ATTRIBUTES = 4
+DENSITY_FRACTION = 0.15  # the miner's default d0 derivation
+MIN_SPEEDUP = 3.0
+
+
+def build_workload():
+    size = int(round(20_000 * bench_scale()))
+    base = make_wbcd_like(seed=42)
+    names = list(base.schema.names[:N_ATTRIBUTES])
+    relation = make_scaled_wbcd(size, outlier_fraction=0.05, seed=42, base=base)
+    matrices = {name: relation.matrix((name,)) for name in names}
+    return names, matrices
+
+
+def fresh_tree(name, names, matrices):
+    column = matrices[name]
+    threshold = DENSITY_FRACTION * CF.of_points(column).rms_diameter
+    return ACFTree(
+        dimension=column.shape[1],
+        threshold=threshold,
+        branching=8,
+        leaf_capacity=8,
+        cross_dimensions={
+            other: matrices[other].shape[1] for other in names if other != name
+        },
+    )
+
+
+def entry_key(entry):
+    return (entry.cf.n, tuple(entry.cf.ls), tuple(entry.cf.ss))
+
+
+def run_comparison():
+    names, matrices = build_workload()
+    rows = []
+    for name in names:
+        points = matrices[name]
+        cross = {other: matrices[other] for other in names if other != name}
+        cross_names = list(cross)
+
+        seq_tree = fresh_tree(name, names, matrices)
+        started = time.perf_counter()
+        for i in range(points.shape[0]):
+            seq_tree.insert_point(
+                points[i], {other: cross[other][i] for other in cross_names}
+            )
+        seq_seconds = time.perf_counter() - started
+
+        bat_tree = fresh_tree(name, names, matrices)
+        started = time.perf_counter()
+        stats = bat_tree.insert_points(points, cross)
+        bat_seconds = time.perf_counter() - started
+
+        rows.append((name, seq_tree, bat_tree, seq_seconds, bat_seconds, stats))
+    return rows
+
+
+def test_perf_batch_insert(benchmark, emit):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    table = Table(
+        "Batch vs per-point Phase I ingestion "
+        f"(fig6 workload, {N_ATTRIBUTES} partitions)",
+        ["partition", "per-point s", "batch s", "speedup", "entries",
+         "absorb %", "points/s"],
+    )
+    total_seq = total_bat = 0.0
+    for name, seq_tree, bat_tree, seq_seconds, bat_seconds, stats in rows:
+        total_seq += seq_seconds
+        total_bat += bat_seconds
+        table.add_row(
+            name,
+            seq_seconds,
+            bat_seconds,
+            seq_seconds / bat_seconds,
+            bat_tree.entry_count(),
+            100.0 * stats.absorb_rate,
+            stats.points_per_second,
+        )
+    table.add_row(
+        "TOTAL", total_seq, total_bat, total_seq / total_bat, "", "", ""
+    )
+    emit(table, "perf_batch_insert.txt")
+
+    # Equivalence: identical leaf-entry multiset, (n, LS, SS) within 1e-9.
+    for name, seq_tree, bat_tree, _, _, stats in rows:
+        assert bat_tree.n_points == seq_tree.n_points
+        assert bat_tree.entry_count() == seq_tree.entry_count(), name
+        want = sorted(seq_tree.entries(), key=entry_key)
+        got = sorted(bat_tree.entries(), key=entry_key)
+        for a, b in zip(want, got):
+            assert a.cf.n == b.cf.n
+            assert abs(a.cf.ls - b.cf.ls).max() <= 1e-9
+            assert abs(a.cf.ss - b.cf.ss).max() <= 1e-9
+        # The instrumentation must describe the scan it timed.
+        assert stats.points == seq_tree.n_points
+        assert stats.absorbed + stats.new_entries == stats.points
+
+    speedup = total_seq / total_bat
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch ingestion only {speedup:.2f}x faster than per-point "
+        f"(required {MIN_SPEEDUP}x)"
+    )

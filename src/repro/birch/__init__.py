@@ -7,6 +7,7 @@ outlier paging (:mod:`.outliers`) and the one-pass scan driver
 (:mod:`.birch`).
 """
 
+from repro.birch.batch import ScanStats
 from repro.birch.birch import (
     BirchClusterer,
     BirchOptions,
@@ -25,6 +26,7 @@ __all__ = [
     "CF",
     "merged_rms_diameter",
     "ACFTree",
+    "ScanStats",
     "MemoryModel",
     "ThresholdSchedule",
     "OutlierStore",

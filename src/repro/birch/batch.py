@@ -1,0 +1,809 @@
+"""Vectorized batch ingestion for the ACF-tree.
+
+The per-point scan loop of :meth:`repro.birch.tree.ACFTree.insert_point`
+spends nearly all of its time in small Python loops: ``closest_child`` and
+``closest_entry`` walk children/entries one at a time, and every absorbed
+point updates the main CF, every cross CF, the bounding box and each
+ancestor aggregate with separate tiny numpy operations.  This module
+replaces that with a batch engine built on two ideas:
+
+1. **Mirror caches.**  Every node visited during a batch gets a *mirror*: a
+   preallocated ``(capacity, dim)`` matrix of its children's (or entries')
+   counts, linear sums and centroids.  Descent and closest-entry selection
+   become one subtract + one row-wise dot product + one argmin over the
+   mirror instead of a Python loop.  Mirrors are updated incrementally (one
+   row per insertion) and invalidated when a split restructures the node.
+
+2. **Deferred bulk accumulation.**  Absorption decisions only need the main
+   moments ``(n, LS, SS)``, which the mirrors carry.  Everything else —
+   cross moments, bounding boxes, leaf aggregates, ancestor aggregates — is
+   buffered per destination leaf and applied at *flush* time with
+   ``np.add.at`` / ``np.minimum.at`` bulk scatters, grouped by entry.
+
+**Equivalence guarantee.**  The engine makes the *same decision sequence*
+as sequential insertion: points are routed one at a time against mirror
+state that is updated after every point with exactly the arithmetic the
+sequential path uses (same linear-sum accumulation order, same division,
+same tie-breaking — ``argmin`` returns the first minimum just as the
+sequential strict-``<`` scan keeps the first).  Leaf-entry main moments are
+written back *from the mirrors* at flush, so they are identical to the
+sequential result, not merely close; only the deferred payload (cross
+moments, node aggregates) is re-associated by the bulk sums, which changes
+values by at most a few ulps and influences no decision.
+
+Rebuilds use the same engine in *entry mode* (batch of ACF summaries
+instead of raw points); see :meth:`ACFTree.insert_entries`.
+
+:class:`ScanStats` instruments the scan (throughput, absorb rate, splits,
+rebuilds, per-stage wall time) and is threaded through the Phase I driver
+(:mod:`repro.birch.birch`), the streaming miner and the CLI ``--stats``
+flag.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from math import inf, sqrt
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.birch.features import ACF, CF
+from repro.birch.node import InternalNode, LeafNode, Node
+from repro.metrics.cluster import rms_diameter_from_moments
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.birch.tree import ACFTree
+
+__all__ = ["ScanStats", "BatchInserter"]
+
+
+@dataclass
+class ScanStats:
+    """Instrumentation of one or more batch-ingestion scans.
+
+    One object can be threaded through many calls (chunked scans, rebuild
+    replays): every counter accumulates.  ``seconds_scan`` covers routing
+    and absorption decisions, ``seconds_flush`` the deferred bulk moment
+    application, ``seconds_split`` node splits (including the forced
+    flushes they require).
+    """
+
+    points: int = 0
+    """Raw points ingested through the batch path."""
+    entries: int = 0
+    """Whole subcluster summaries ingested (rebuild / replay batches)."""
+    absorbed: int = 0
+    """Items merged into an existing leaf entry."""
+    new_entries: int = 0
+    """Items that started a new leaf entry."""
+    splits: int = 0
+    """Node splits triggered while ingesting."""
+    rebuilds: int = 0
+    """Tree rebuilds the owning scan performed (set by the driver)."""
+    batches: int = 0
+    """Number of ``insert_points`` / ``insert_entries`` calls."""
+    flushes: int = 0
+    """Deferred-buffer flushes (at least one per batch, plus one per split)."""
+    seconds_total: float = 0.0
+    seconds_scan: float = 0.0
+    seconds_flush: float = 0.0
+    seconds_split: float = 0.0
+
+    @property
+    def items(self) -> int:
+        """Points plus entries ingested."""
+        return self.points + self.entries
+
+    @property
+    def absorb_rate(self) -> float:
+        """Fraction of ingested items absorbed into existing entries."""
+        total = self.items
+        return self.absorbed / total if total else 0.0
+
+    @property
+    def points_per_second(self) -> float:
+        """Ingestion throughput over the accumulated wall time."""
+        return self.items / self.seconds_total if self.seconds_total > 0 else 0.0
+
+    def merge(self, other: "ScanStats") -> None:
+        """Accumulate another scan's counters into this one."""
+        self.points += other.points
+        self.entries += other.entries
+        self.absorbed += other.absorbed
+        self.new_entries += other.new_entries
+        self.splits += other.splits
+        self.rebuilds += other.rebuilds
+        self.batches += other.batches
+        self.flushes += other.flushes
+        self.seconds_total += other.seconds_total
+        self.seconds_scan += other.seconds_scan
+        self.seconds_flush += other.seconds_flush
+        self.seconds_split += other.seconds_split
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by the CLI ``--stats``)."""
+        return (
+            f"{self.items} items in {self.seconds_total:.3f}s "
+            f"({self.points_per_second:,.0f}/s), "
+            f"absorb {100.0 * self.absorb_rate:.1f}%, "
+            f"{self.new_entries} new entries, {self.splits} splits, "
+            f"{self.rebuilds} rebuilds "
+            f"[scan {self.seconds_scan:.3f}s flush {self.seconds_flush:.3f}s "
+            f"split {self.seconds_split:.3f}s]"
+        )
+
+
+class _InternalMirror:
+    """Per-child (n, LS, centroid) rows of one internal node."""
+
+    __slots__ = ("count", "n", "ls", "cent", "n_empty")
+
+    def __init__(self, node: InternalNode, dimension: int):
+        capacity = node.branching + 1
+        self.count = len(node.children)
+        self.n = np.zeros(capacity, dtype=np.int64)
+        self.ls = np.zeros((capacity, dimension), dtype=np.float64)
+        self.cent = np.zeros((capacity, dimension), dtype=np.float64)
+        self.n_empty = 0
+        for index, child in enumerate(node.children):
+            cf = child.cf
+            self.n[index] = cf.n
+            self.ls[index] = cf.ls
+            if cf.n:
+                self.cent[index] = cf.ls / cf.n
+            else:
+                self.n_empty += 1
+
+    def route(self, point: np.ndarray) -> int:
+        """Index of the closest non-empty child (first child if all empty).
+
+        Matches :meth:`InternalNode.closest_child` decision-for-decision:
+        the same ``ls / n - point`` arithmetic per row, empty children
+        skipped, and ``argmin`` keeping the first of equal minima exactly
+        as the sequential strict-``<`` scan does.
+        """
+        k = self.count
+        delta = self.cent[:k] - point
+        scores = np.einsum("ij,ij->i", delta, delta)
+        if self.n_empty:
+            if self.n_empty == k:
+                return 0
+            scores[self.n[:k] == 0] = np.inf
+        return int(np.argmin(scores))
+
+    def note(self, index: int, dn: int, dls: np.ndarray) -> None:
+        """Record ``dn`` points with linear sum ``dls`` below child ``index``."""
+        if self.n[index] == 0:
+            self.n_empty -= 1
+        n = self.n[index] + dn
+        self.n[index] = n
+        ls = self.ls[index]
+        ls += dls
+        self.cent[index] = ls / n
+
+
+class _LeafMirror:
+    """Per-entry (n, LS, SS, centroid) rows of one leaf node."""
+
+    __slots__ = ("count", "n", "ls", "ss", "cent", "n_empty")
+
+    def __init__(self, leaf: LeafNode, dimension: int):
+        capacity = leaf.capacity + 1
+        self.count = len(leaf.entries)
+        self.n = np.zeros(capacity, dtype=np.int64)
+        self.ls = np.zeros((capacity, dimension), dtype=np.float64)
+        self.ss = np.zeros((capacity, dimension), dtype=np.float64)
+        self.cent = np.zeros((capacity, dimension), dtype=np.float64)
+        self.n_empty = 0
+        for index, entry in enumerate(leaf.entries):
+            cf = entry.cf
+            self.n[index] = cf.n
+            self.ls[index] = cf.ls
+            self.ss[index] = cf.ss
+            if cf.n:
+                self.cent[index] = cf.ls / cf.n
+            else:
+                self.n_empty += 1
+
+    def closest(self, point: np.ndarray) -> int:
+        """Index of the closest non-empty entry; mirrors ``closest_entry``."""
+        k = self.count
+        delta = self.cent[:k] - point
+        scores = np.einsum("ij,ij->i", delta, delta)
+        if self.n_empty:
+            if self.n_empty == k:
+                raise ValueError("closest_entry on a leaf with only empty entries")
+            scores[self.n[:k] == 0] = np.inf
+        return int(np.argmin(scores))
+
+    def merged_point_rms_diameter(self, index: int, point: np.ndarray) -> float:
+        """Same arithmetic as ``tree._merged_point_rms_diameter``."""
+        n = int(self.n[index]) + 1
+        if n < 2:
+            return 0.0
+        ls = self.ls[index] + point
+        ss = float(self.ss[index].sum()) + float(point @ point)
+        squared = (2.0 * n * ss - 2.0 * float(ls @ ls)) / (n * (n - 1))
+        return float(np.sqrt(max(squared, 0.0)))
+
+    def merged_cf_rms_diameter(self, index: int, cf: CF) -> float:
+        """Same arithmetic as :func:`repro.birch.features.merged_rms_diameter`."""
+        n = int(self.n[index]) + cf.n
+        if n < 2:
+            return 0.0
+        ls = self.ls[index] + cf.ls
+        ss = float(self.ss[index].sum()) + cf.ss_total
+        return rms_diameter_from_moments(n, ls, ss)
+
+    def absorb(self, index: int, dn: int, dls: np.ndarray, dss: np.ndarray) -> None:
+        if self.n[index] == 0:
+            self.n_empty -= 1
+        n = self.n[index] + dn
+        self.n[index] = n
+        ls = self.ls[index]
+        ls += dls
+        self.ss[index] += dss
+        self.cent[index] = ls / n
+
+    def append(self, dn: int, ls: np.ndarray, ss: np.ndarray) -> None:
+        index = self.count
+        self.n[index] = dn
+        self.ls[index] = ls
+        self.ss[index] = ss
+        if dn:
+            self.cent[index] = ls / dn
+        else:
+            self.n_empty += 1
+        self.count += 1
+
+
+class _InternalMirror1D:
+    """Scalar (pure-Python-float) mirror of a 1-dimensional internal node.
+
+    Every arithmetic step is a single IEEE-754 scalar operation, identical
+    to what the numpy path performs elementwise on length-1 arrays, so the
+    routing decisions are bit-for-bit the sequential ones — without any
+    per-point numpy dispatch overhead.
+    """
+
+    __slots__ = ("count", "n", "ls", "cent", "n_empty")
+
+    def __init__(self, node: InternalNode):
+        self.count = len(node.children)
+        self.n: List[int] = []
+        self.ls: List[float] = []
+        self.cent: List[float] = []
+        self.n_empty = 0
+        for child in node.children:
+            cf = child.cf
+            count = cf.n
+            linear = float(cf.ls[0])
+            self.n.append(count)
+            self.ls.append(linear)
+            if count:
+                self.cent.append(linear / count)
+            else:
+                self.cent.append(0.0)
+                self.n_empty += 1
+
+    def route(self, point: float) -> int:
+        best = -1
+        best_squared = inf
+        counts = self.n
+        cent = self.cent
+        for index in range(self.count):
+            if counts[index] == 0:
+                continue
+            delta = cent[index] - point
+            squared = delta * delta
+            if squared < best_squared:
+                best = index
+                best_squared = squared
+        return 0 if best < 0 else best
+
+    def note(self, index: int, dn: int, dls: float) -> None:
+        n = self.n[index]
+        if n == 0:
+            self.n_empty -= 1
+        n += dn
+        self.n[index] = n
+        ls = self.ls[index] + dls
+        self.ls[index] = ls
+        self.cent[index] = ls / n
+
+
+class _LeafMirror1D:
+    """Scalar mirror of a 1-dimensional leaf; see :class:`_InternalMirror1D`."""
+
+    __slots__ = ("count", "n", "ls", "ss", "cent", "n_empty")
+
+    def __init__(self, leaf: LeafNode):
+        self.count = len(leaf.entries)
+        self.n: List[int] = []
+        self.ls: List[float] = []
+        self.ss: List[float] = []
+        self.cent: List[float] = []
+        self.n_empty = 0
+        for entry in leaf.entries:
+            cf = entry.cf
+            count = cf.n
+            linear = float(cf.ls[0])
+            self.n.append(count)
+            self.ls.append(linear)
+            self.ss.append(float(cf.ss[0]))
+            if count:
+                self.cent.append(linear / count)
+            else:
+                self.cent.append(0.0)
+                self.n_empty += 1
+
+    def closest(self, point: float) -> int:
+        best = -1
+        best_squared = inf
+        counts = self.n
+        cent = self.cent
+        for index in range(self.count):
+            if counts[index] == 0:
+                continue
+            delta = cent[index] - point
+            squared = delta * delta
+            if squared < best_squared:
+                best = index
+                best_squared = squared
+        if best < 0:
+            raise ValueError("closest_entry on a leaf with only empty entries")
+        return best
+
+    def absorb(self, index: int, dn: int, dls: float, dss: float) -> None:
+        n = self.n[index]
+        if n == 0:
+            self.n_empty -= 1
+        n += dn
+        self.n[index] = n
+        ls = self.ls[index] + dls
+        self.ls[index] = ls
+        self.ss[index] += dss
+        self.cent[index] = ls / n
+
+    def append(self, dn: int, ls: float, ss: float) -> None:
+        self.n.append(dn)
+        self.ls.append(ls)
+        self.ss.append(ss)
+        if dn:
+            self.cent.append(ls / dn)
+        else:
+            self.cent.append(0.0)
+            self.n_empty += 1
+        self.count += 1
+
+
+class _LeafBuffer:
+    """Deferred updates destined for one leaf (flushed in bulk)."""
+
+    __slots__ = ("absorbed_entry", "absorbed_item", "new_items")
+
+    def __init__(self) -> None:
+        self.absorbed_entry: List[int] = []
+        self.absorbed_item: List[int] = []
+        self.new_items: List[int] = []
+
+
+class _Batch:
+    """Precomputed column-stacked views of one batch of points or entries."""
+
+    __slots__ = ("size", "n", "ls", "ss", "lo", "hi", "cross", "entries")
+
+    def __init__(
+        self,
+        n: np.ndarray,
+        ls: np.ndarray,
+        ss: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        cross: Dict[str, Dict[str, np.ndarray]],
+        entries: Optional[Sequence[ACF]],
+    ):
+        self.size = ls.shape[0]
+        self.n = n          # (B,) int — 1 for raw points
+        self.ls = ls        # (B, dim) — the points themselves in point mode
+        self.ss = ss        # (B, dim) — elementwise squares / entry SS rows
+        self.lo = lo        # (B, dim) bounding-box contribution
+        self.hi = hi
+        self.cross = cross  # name -> {"n": (B,), "ls": (B, dy), "ss": (B, dy)}
+        self.entries = entries  # entry mode only: the source ACFs
+
+    @classmethod
+    def of_points(
+        cls, points: np.ndarray, cross_values: Mapping[str, np.ndarray]
+    ) -> "_Batch":
+        squares = points * points
+        cross: Dict[str, Dict[str, np.ndarray]] = {}
+        for name, matrix in cross_values.items():
+            matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+            cross[name] = {"n": None, "ls": matrix, "ss": matrix * matrix}
+        return cls(
+            n=np.ones(points.shape[0], dtype=np.int64),
+            ls=points,
+            ss=squares,
+            lo=points,
+            hi=points,
+            cross=cross,
+            entries=None,
+        )
+
+    @classmethod
+    def of_entries(cls, entries: Sequence[ACF]) -> "_Batch":
+        n = np.array([entry.n for entry in entries], dtype=np.int64)
+        ls = np.stack([entry.cf.ls for entry in entries])
+        ss = np.stack([entry.cf.ss for entry in entries])
+        lo = np.stack([entry.lo for entry in entries])
+        hi = np.stack([entry.hi for entry in entries])
+        cross: Dict[str, Dict[str, np.ndarray]] = {}
+        for name in entries[0].cross:
+            cross[name] = {
+                "n": np.array([entry.cross[name].n for entry in entries], dtype=np.int64),
+                "ls": np.stack([entry.cross[name].ls for entry in entries]),
+                "ss": np.stack([entry.cross[name].ss for entry in entries]),
+            }
+        return cls(n=n, ls=ls, ss=ss, lo=lo, hi=hi, cross=cross, entries=entries)
+
+
+class BatchInserter:
+    """Reusable batch-ingestion engine bound to one :class:`ACFTree`.
+
+    Owned by the tree (created lazily by ``insert_points`` /
+    ``insert_entries``) and discarded whenever the sequential mutators run,
+    so mirror caches can never go stale.  All buffered updates are flushed
+    before every split and before control returns to the caller, so the
+    tree object graph is always consistent between calls.
+    """
+
+    def __init__(self, tree: "ACFTree"):
+        self.tree = tree
+        # 1-D trees (the paper's single-attribute partitions) use scalar
+        # Python-float mirrors: identical IEEE arithmetic, none of the
+        # per-point numpy dispatch cost.
+        self._scalar = tree.dimension == 1
+        self._mirrors: Dict[Node, object] = {}
+        self._buffers: Dict[LeafNode, _LeafBuffer] = {}
+        self._batch: Optional[_Batch] = None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def run(self, batch: _Batch, stats: ScanStats) -> None:
+        started = time.perf_counter()
+        tree = self.tree
+        splits_before = tree.n_splits
+        self._batch = batch
+        point_mode = batch.entries is None
+
+        if self._scalar:
+            flush_split_seconds = self._scan_scalar(batch, stats)
+        else:
+            flush_split_seconds = self._scan_generic(batch, stats)
+
+        flush_started = time.perf_counter()
+        self.flush(stats)
+        flush_seconds = time.perf_counter() - flush_started
+        stats.seconds_flush += flush_seconds
+
+        if point_mode:
+            stats.points += batch.size
+            tree._n_points += batch.size
+        else:
+            stats.entries += batch.size
+            tree._n_points += int(batch.n.sum())
+        stats.splits += tree.n_splits - splits_before
+        stats.batches += 1
+        elapsed = time.perf_counter() - started
+        stats.seconds_total += elapsed
+        stats.seconds_scan += elapsed - flush_seconds - flush_split_seconds
+        self._batch = None
+
+    def _scan_generic(self, batch: _Batch, stats: ScanStats) -> float:
+        """Route and absorb every batch item via the numpy mirrors."""
+        flush_split_seconds = 0.0
+        tree = self.tree
+        threshold = tree.threshold
+        point_mode = batch.entries is None
+
+        for i in range(batch.size):
+            point = batch.ls[i] if point_mode else batch.entries[i].centroid
+            dn = 1 if point_mode else int(batch.n[i])
+
+            # Descend by closest mirrored centroid.
+            path: List[tuple] = []
+            node = tree._root
+            while not node.is_leaf:
+                mirror = self._internal_mirror(node)
+                child_index = mirror.route(point)
+                path.append((node, mirror, child_index))
+                node = node.children[child_index]  # type: ignore[attr-defined]
+            leaf: LeafNode = node  # type: ignore[assignment]
+            leaf_mirror = self._leaf_mirror(leaf)
+
+            # Absorb into the closest entry if the threshold allows.
+            absorbed = False
+            if leaf_mirror.count:
+                entry_index = leaf_mirror.closest(point)
+                if point_mode:
+                    diameter = leaf_mirror.merged_point_rms_diameter(entry_index, point)
+                else:
+                    diameter = leaf_mirror.merged_cf_rms_diameter(
+                        entry_index, batch.entries[i].cf
+                    )
+                if diameter <= threshold:
+                    leaf_mirror.absorb(entry_index, dn, batch.ls[i], batch.ss[i])
+                    buffer = self._buffer(leaf)
+                    buffer.absorbed_entry.append(entry_index)
+                    buffer.absorbed_item.append(i)
+                    absorbed = True
+            if not absorbed:
+                entry = self._materialize_entry(batch, i)
+                leaf.add_entry(entry)
+                leaf_mirror.append(dn, batch.ls[i], batch.ss[i])
+                self._buffer(leaf).new_items.append(i)
+
+            # Ancestor aggregates, mirrored incrementally (objects deferred).
+            dls = batch.ls[i]
+            for _, mirror, child_index in path:
+                mirror.note(child_index, dn, dls)
+
+            if absorbed:
+                stats.absorbed += 1
+            else:
+                stats.new_entries += 1
+                if leaf.entry_count() > tree.leaf_capacity:
+                    split_started = time.perf_counter()
+                    self.flush(stats)
+                    tree._split_leaf(leaf)
+                    # The split restructured the whole root-to-leaf chain;
+                    # drop exactly those caches (fresh nodes have none).
+                    for path_node, _, _ in path:
+                        self._mirrors.pop(path_node, None)
+                    self._mirrors.pop(leaf, None)
+                    split_seconds = time.perf_counter() - split_started
+                    flush_split_seconds += split_seconds
+                    stats.seconds_split += split_seconds
+        return flush_split_seconds
+
+    def _scan_scalar(self, batch: _Batch, stats: ScanStats) -> float:
+        """Scalar scan loop for 1-dimensional trees.
+
+        Decision-for-decision the same as :meth:`_scan_generic`: for
+        ``dimension == 1`` every numpy elementwise operation is a single
+        scalar IEEE-754 operation, which Python floats reproduce exactly,
+        including the merged-diameter formula and the first-minimum
+        tie-break of the routing scans.
+        """
+        flush_split_seconds = 0.0
+        tree = self.tree
+        threshold = tree.threshold
+        leaf_capacity = tree.leaf_capacity
+        point_mode = batch.entries is None
+        mirrors = self._mirrors
+        buffers = self._buffers
+        xs = batch.ls[:, 0].tolist()
+        qs = batch.ss[:, 0].tolist()
+        ns = None if point_mode else batch.n.tolist()
+        absorbed_count = 0
+        new_count = 0
+
+        for i in range(batch.size):
+            dls = xs[i]
+            dss = qs[i]
+            if point_mode:
+                dn = 1
+                point = dls
+            else:
+                dn = ns[i]
+                point = dls / dn  # the entry's centroid, routed like a point
+
+            path: List[tuple] = []
+            node = tree._root
+            while not node.is_leaf:
+                mirror = mirrors.get(node)
+                if mirror is None:
+                    mirror = _InternalMirror1D(node)  # type: ignore[arg-type]
+                    mirrors[node] = mirror
+                child_index = mirror.route(point)
+                path.append((node, mirror, child_index))
+                node = node.children[child_index]  # type: ignore[attr-defined]
+            leaf: LeafNode = node  # type: ignore[assignment]
+            leaf_mirror = mirrors.get(leaf)
+            if leaf_mirror is None:
+                leaf_mirror = _LeafMirror1D(leaf)
+                mirrors[leaf] = leaf_mirror
+
+            absorbed = False
+            if leaf_mirror.count:
+                entry_index = leaf_mirror.closest(point)
+                merged_n = leaf_mirror.n[entry_index] + dn
+                if merged_n < 2:
+                    diameter = 0.0
+                else:
+                    merged_ls = leaf_mirror.ls[entry_index] + dls
+                    merged_ss = leaf_mirror.ss[entry_index] + dss
+                    squared = (2.0 * merged_n * merged_ss - 2.0 * merged_ls * merged_ls) / (
+                        merged_n * (merged_n - 1)
+                    )
+                    diameter = sqrt(squared) if squared > 0.0 else 0.0
+                if diameter <= threshold:
+                    leaf_mirror.absorb(entry_index, dn, dls, dss)
+                    buffer = buffers.get(leaf)
+                    if buffer is None:
+                        buffer = _LeafBuffer()
+                        buffers[leaf] = buffer
+                    buffer.absorbed_entry.append(entry_index)
+                    buffer.absorbed_item.append(i)
+                    absorbed = True
+            if not absorbed:
+                entry = self._materialize_entry(batch, i)
+                leaf.add_entry(entry)
+                leaf_mirror.append(dn, dls, dss)
+                buffer = buffers.get(leaf)
+                if buffer is None:
+                    buffer = _LeafBuffer()
+                    buffers[leaf] = buffer
+                buffer.new_items.append(i)
+
+            for _, mirror, child_index in path:
+                mirror.note(child_index, dn, dls)
+
+            if absorbed:
+                absorbed_count += 1
+            else:
+                new_count += 1
+                if leaf.entry_count() > leaf_capacity:
+                    split_started = time.perf_counter()
+                    self.flush(stats)
+                    tree._split_leaf(leaf)
+                    # The split restructured the root-to-leaf chain; drop the
+                    # caches of every node on the descent path.
+                    for path_node, _, _ in path:
+                        mirrors.pop(path_node, None)
+                    mirrors.pop(leaf, None)
+                    split_seconds = time.perf_counter() - split_started
+                    flush_split_seconds += split_seconds
+                    stats.seconds_split += split_seconds
+
+        stats.absorbed += absorbed_count
+        stats.new_entries += new_count
+        return flush_split_seconds
+
+    def _buffer(self, leaf: LeafNode) -> _LeafBuffer:
+        buffer = self._buffers.get(leaf)
+        if buffer is None:
+            buffer = _LeafBuffer()
+            self._buffers[leaf] = buffer
+        return buffer
+
+    def _materialize_entry(self, batch: _Batch, i: int) -> ACF:
+        if batch.entries is not None:
+            # The engine takes a copy: absorptions may later merge other
+            # batch items into this object, and callers (rebuilds) still
+            # hold references to the originals.
+            return batch.entries[i].copy()
+        point = batch.ls[i]
+        cross_values = {name: cols["ls"][i] for name, cols in batch.cross.items()}
+        return ACF.of_point(point, cross_values)
+
+    # ------------------------------------------------------------------
+    # Mirrors
+    # ------------------------------------------------------------------
+
+    def _internal_mirror(self, node: InternalNode) -> _InternalMirror:
+        mirror = self._mirrors.get(node)
+        if mirror is None:
+            mirror = _InternalMirror(node, self.tree.dimension)
+            self._mirrors[node] = mirror
+        return mirror  # type: ignore[return-value]
+
+    def _leaf_mirror(self, leaf: LeafNode) -> _LeafMirror:
+        mirror = self._mirrors.get(leaf)
+        if mirror is None:
+            mirror = _LeafMirror(leaf, self.tree.dimension)
+            self._mirrors[leaf] = mirror
+        return mirror  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Flush: deferred bulk application of buffered updates
+    # ------------------------------------------------------------------
+
+    def flush(self, stats: Optional[ScanStats] = None) -> None:
+        """Apply every buffered update to the tree's object graph.
+
+        Main leaf-entry moments are copied from the mirrors (bit-identical
+        to sequential accumulation); cross moments and bounding boxes are
+        scattered with ``np.add.at`` / ``np.minimum.at`` grouped by entry;
+        node aggregates get one summed delta per touched leaf, propagated
+        up the parent chain.
+        """
+        if not self._buffers:
+            return
+        batch = self._batch
+        assert batch is not None
+        for leaf, buffer in self._buffers.items():
+            self._flush_leaf(leaf, buffer, batch)
+        self._buffers.clear()
+        if stats is not None:
+            stats.flushes += 1
+
+    def _flush_leaf(self, leaf: LeafNode, buffer: _LeafBuffer, batch: _Batch) -> None:
+        mirror = self._mirrors.get(leaf)
+        k = len(leaf.entries)
+        dimension = self.tree.dimension
+
+        if buffer.absorbed_item:
+            entry_idx = np.asarray(buffer.absorbed_entry, dtype=np.intp)
+            item_idx = np.asarray(buffer.absorbed_item, dtype=np.intp)
+            touched = np.unique(entry_idx)
+
+            # Main moments: authoritative values live in the mirror, which
+            # accumulated them point-by-point exactly as the sequential
+            # path would have.
+            assert mirror is not None
+            for j in touched:
+                cf = leaf.entries[j].cf
+                cf.n = int(mirror.n[j])
+                cf.ls[...] = mirror.ls[j]
+                cf.ss[...] = mirror.ss[j]
+
+            # Bounding boxes: bulk min/max scatter, then one update per
+            # touched entry.
+            lo = np.full((k, dimension), np.inf)
+            hi = np.full((k, dimension), -np.inf)
+            np.minimum.at(lo, entry_idx, batch.lo[item_idx])
+            np.maximum.at(hi, entry_idx, batch.hi[item_idx])
+            for j in touched:
+                entry = leaf.entries[j]
+                np.minimum(entry.lo, lo[j], out=entry.lo)
+                np.maximum(entry.hi, hi[j], out=entry.hi)
+
+            # Cross moments: one add-scatter per cross partition.
+            counts = np.bincount(entry_idx, minlength=k)
+            item_counts = batch.n[item_idx]
+            for name, cols in batch.cross.items():
+                dy = cols["ls"].shape[1]
+                cross_ls = np.zeros((k, dy))
+                cross_ss = np.zeros((k, dy))
+                np.add.at(cross_ls, entry_idx, cols["ls"][item_idx])
+                np.add.at(cross_ss, entry_idx, cols["ss"][item_idx])
+                if cols["n"] is None:
+                    cross_n = counts
+                else:
+                    cross_n = np.zeros(k, dtype=np.int64)
+                    np.add.at(cross_n, entry_idx, cols["n"][item_idx])
+                for j in touched:
+                    cross_cf = leaf.entries[j].cross[name]
+                    cross_cf.n += int(cross_n[j])
+                    cross_cf.ls += cross_ls[j]
+                    cross_cf.ss += cross_ss[j]
+
+            # Leaf aggregate: one summed delta (new entries were already
+            # merged by ``add_entry``).
+            absorbed_n = int(item_counts.sum())
+            leaf_cf = leaf.cf
+            leaf_cf.n += absorbed_n
+            leaf_cf.ls += batch.ls[item_idx].sum(axis=0)
+            leaf_cf.ss += batch.ss[item_idx].sum(axis=0)
+
+        # Ancestor aggregates: absorbed *and* new items both flowed through
+        # every ancestor of this leaf.
+        all_items = buffer.absorbed_item + buffer.new_items
+        if all_items:
+            idx = np.asarray(all_items, dtype=np.intp)
+            dn = int(batch.n[idx].sum())
+            dls = batch.ls[idx].sum(axis=0)
+            dss = batch.ss[idx].sum(axis=0)
+            ancestor = leaf.parent
+            while ancestor is not None:
+                cf = ancestor.cf
+                cf.n += dn
+                cf.ls += dls
+                cf.ss += dss
+                ancestor = ancestor.parent

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.birch.batch import ScanStats
 from repro.birch.features import ACF
 from repro.birch.memory import MemoryModel, ThresholdSchedule
 from repro.birch.outliers import OutlierStore, ReplayReport
@@ -51,6 +52,9 @@ class BirchOptions:
     threshold_growth: float = 2.0
     max_rebuilds_per_overflow: int = 32
     global_refinement: bool = False
+    batch_insert: bool = True
+    """Scan through :meth:`ACFTree.insert_points` (same clusters, faster);
+    set ``False`` to force the historical per-point loop."""
 
     def __post_init__(self) -> None:
         if not 0.0 < self.frequency_fraction <= 1.0:
@@ -74,6 +78,8 @@ class Phase1Stats:
     seconds: float = 0.0
     final_entry_count: int = 0
     final_tree_bytes: int = 0
+    scan: Optional[ScanStats] = None
+    """Batch-scan instrumentation (``None`` when ``batch_insert`` is off)."""
 
 
 @dataclass
@@ -179,15 +185,39 @@ class BirchClusterer:
         store = OutlierStore(self.memory_model)
         cross_names = list(cross_matrices)
 
-        for i in range(points.shape[0]):
-            cross_values = {name: cross_matrices[name][i] for name in cross_names}
-            tree.insert_point(points[i], cross_values)
-            stats.points_inserted += 1
-            if (
-                self.options.memory_limit_bytes is not None
-                and stats.points_inserted % _MEMORY_CHECK_INTERVAL == 0
-            ):
-                tree = self._enforce_budget(tree, store, stats)
+        if self.options.batch_insert:
+            stats.scan = ScanStats()
+            # Chunk at the memory-check cadence so the budget is probed at
+            # exactly the same points of the scan as the per-point loop
+            # (every ``_MEMORY_CHECK_INTERVAL`` tuples); an unlimited run
+            # ingests the whole scan as one batch.
+            if self.options.memory_limit_bytes is not None:
+                chunk = _MEMORY_CHECK_INTERVAL
+            else:
+                chunk = max(points.shape[0], 1)
+            for start in range(0, points.shape[0], chunk):
+                stop = start + chunk
+                tree.insert_points(
+                    points[start:stop],
+                    {name: cross_matrices[name][start:stop] for name in cross_names},
+                    stats=stats.scan,
+                )
+                stats.points_inserted += min(stop, points.shape[0]) - start
+                if (
+                    self.options.memory_limit_bytes is not None
+                    and stats.points_inserted % _MEMORY_CHECK_INTERVAL == 0
+                ):
+                    tree = self._enforce_budget(tree, store, stats)
+        else:
+            for i in range(points.shape[0]):
+                cross_values = {name: cross_matrices[name][i] for name in cross_names}
+                tree.insert_point(points[i], cross_values)
+                stats.points_inserted += 1
+                if (
+                    self.options.memory_limit_bytes is not None
+                    and stats.points_inserted % _MEMORY_CHECK_INTERVAL == 0
+                ):
+                    tree = self._enforce_budget(tree, store, stats)
 
         if self.options.memory_limit_bytes is not None:
             tree = self._enforce_budget(tree, store, stats)
@@ -245,13 +275,13 @@ class BirchClusterer:
             and attempts < self.options.max_rebuilds_per_overflow
         ):
             new_threshold = self._schedule.next_threshold(tree)
-            tree = rebuild_tree(tree, new_threshold)
+            tree = rebuild_tree(tree, new_threshold, stats=stats.scan)
             stats.rebuilds += 1
             stats.threshold_history.append(new_threshold)
             attempts += 1
             if self._tree_bytes(tree) > budget:
                 bar = self._outlier_bar(stats.points_inserted)
-                tree, outliers = split_off_outlier_entries(tree, bar)
+                tree, outliers = split_off_outlier_entries(tree, bar, stats=stats.scan)
                 if outliers:
                     store.page_out(outliers)
                     stats.pages_out += 1

@@ -221,17 +221,17 @@ class ACF:
 
     def add_point(self, point: np.ndarray, cross_values: Mapping[str, np.ndarray]) -> None:
         point = np.asarray(point, dtype=np.float64)
-        if set(cross_values) != set(self.cross) and self.cf.n > 0:
+        # The check must hold even for an empty ACF: its ``cross`` keys are
+        # the declared layout, and letting the first point redefine it would
+        # silently contradict the owning tree's ``cross_dimensions``.
+        if set(cross_values) != set(self.cross):
             raise ValueError(
                 f"cross partitions {sorted(cross_values)} do not match ACF's "
                 f"{sorted(self.cross)}"
             )
         self.cf.add_point(point)
         for name, values in cross_values.items():
-            if name in self.cross:
-                self.cross[name].add_point(values)
-            else:
-                self.cross[name] = CF.of_point(values)
+            self.cross[name].add_point(values)
         np.minimum(self.lo, point, out=self.lo)
         np.maximum(self.hi, point, out=self.hi)
 

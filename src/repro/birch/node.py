@@ -95,15 +95,22 @@ class LeafNode(Node):
         if not self.entries:
             raise ValueError("closest_entry on an empty leaf")
         point = np.asarray(point, dtype=np.float64)
-        best_index = 0
+        best_index = -1
         best_squared = np.inf
         for index, entry in enumerate(self.entries):
             cf = entry.cf
+            if cf.n == 0:
+                # An n == 0 entry (possible transiently during rebuild
+                # replay) has no centroid; dividing through would produce
+                # NaN distances and nondeterministic routing.
+                continue
             delta = cf.ls / cf.n - point
             squared = float(delta @ delta)
             if squared < best_squared:
                 best_index = index
                 best_squared = squared
+        if best_index < 0:
+            raise ValueError("closest_entry on a leaf with only empty entries")
         return best_index, float(np.sqrt(best_squared))
 
     def add_entry(self, entry: ACF) -> None:

@@ -10,21 +10,25 @@ summary while preserving every moment exactly.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.birch.batch import ScanStats
 from repro.birch.features import ACF
 from repro.birch.tree import ACFTree
 
 __all__ = ["rebuild_tree", "split_off_outlier_entries"]
 
 
-def rebuild_tree(tree: ACFTree, new_threshold: float) -> ACFTree:
+def rebuild_tree(
+    tree: ACFTree, new_threshold: float, stats: Optional[ScanStats] = None
+) -> ACFTree:
     """Re-insert ``tree``'s leaf entries into a fresh tree at ``new_threshold``.
 
     The result summarizes exactly the same tuples (same total count, same
     global moments); only the granularity changes.  Raises ``ValueError``
     if the threshold does not increase, since a rebuild at the same or a
-    smaller threshold cannot shrink the tree.
+    smaller threshold cannot shrink the tree.  ``stats`` (when given)
+    accumulates the replay's scan instrumentation and rebuild count.
     """
     if new_threshold <= tree.threshold and tree.threshold > 0:
         raise ValueError(
@@ -37,16 +41,17 @@ def rebuild_tree(tree: ACFTree, new_threshold: float) -> ACFTree:
         leaf_capacity=tree.leaf_capacity,
         cross_dimensions=tree.cross_dimensions,
     )
-    for entry in tree.entries():
-        # Copy: insertion may merge subsequent entries INTO this object, and
-        # the original tree still references it — rebuilds must not mutate
-        # their input.
-        rebuilt.insert_entry(entry.copy())
+    # Copies: insertion may merge subsequent entries INTO an earlier one,
+    # and the original tree still references them — rebuilds must not
+    # mutate their input.
+    rebuilt.insert_entries([entry.copy() for entry in tree.entries()], stats=stats)
+    if stats is not None:
+        stats.rebuilds += 1
     return rebuilt
 
 
 def split_off_outlier_entries(
-    tree: ACFTree, min_count: int
+    tree: ACFTree, min_count: int, stats: Optional[ScanStats] = None
 ) -> Tuple[ACFTree, List[ACF]]:
     """Rebuild ``tree`` keeping only entries with at least ``min_count`` tuples.
 
@@ -69,6 +74,6 @@ def split_off_outlier_entries(
         leaf_capacity=tree.leaf_capacity,
         cross_dimensions=tree.cross_dimensions,
     )
-    for entry in keep:
-        rebuilt.insert_entry(entry.copy())  # see rebuild_tree on aliasing
+    # see rebuild_tree on why the entries are copied
+    rebuilt.insert_entries([entry.copy() for entry in keep], stats=stats)
     return rebuilt, outliers

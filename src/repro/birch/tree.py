@@ -17,10 +17,11 @@ the data.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.birch.batch import BatchInserter, ScanStats, _Batch
 from repro.birch.features import ACF, CF, merged_rms_diameter
 from repro.birch.node import InternalNode, LeafNode, Node
 
@@ -38,12 +39,44 @@ def _merged_point_rms_diameter(cf: CF, point: np.ndarray) -> float:
     return float(np.sqrt(max(squared, 0.0)))
 
 
-def _farthest_pair(centroids: np.ndarray) -> Tuple[int, int]:
-    """Indices of the two mutually farthest rows (used to seed a split)."""
+def _farthest_pair(centroids: np.ndarray) -> Optional[Tuple[int, int]]:
+    """Indices of the two mutually farthest rows (used to seed a split).
+
+    Returns ``None`` when every centroid coincides: argmax over an all-zero
+    distance matrix would return the diagonal pair ``(0, 0)``, and seeding a
+    split with identical seeds degenerates into a one-vs-rest partition.
+    Callers fall back to an even partition in that case.
+    """
     deltas = centroids[:, None, :] - centroids[None, :, :]
     distances = np.linalg.norm(deltas, axis=-1)
     flat = int(np.argmax(distances))
-    return flat // distances.shape[0], flat % distances.shape[0]
+    seed_a, seed_b = flat // distances.shape[0], flat % distances.shape[0]
+    if seed_a == seed_b:
+        return None
+    return seed_a, seed_b
+
+
+def _split_assignment(centroids: np.ndarray) -> np.ndarray:
+    """Boolean mask sending each row to the left (True) or right half.
+
+    Seeds the two halves with the farthest pair and assigns every row to the
+    closer seed; when all centroids coincide there is no farthest pair, so
+    the rows are divided evenly and deterministically instead (the seed-based
+    rule would send one row left and everything else right, producing a
+    maximally lopsided split that can immediately re-overflow).
+    """
+    pair = _farthest_pair(centroids)
+    if pair is None:
+        go_left = np.zeros(len(centroids), dtype=bool)
+        go_left[: (len(centroids) + 1) // 2] = True
+        return go_left
+    seed_a, seed_b = pair
+    distances_a = np.linalg.norm(centroids - centroids[seed_a], axis=1)
+    distances_b = np.linalg.norm(centroids - centroids[seed_b], axis=1)
+    go_left = distances_a <= distances_b
+    go_left[seed_a] = True
+    go_left[seed_b] = False
+    return go_left
 
 
 class ACFTree:
@@ -86,6 +119,10 @@ class ACFTree:
         self._first_leaf: LeafNode = self._root  # head of the leaf chain
         self._n_points = 0
         self._n_splits = 0
+        # Lazily-created batch engine; its mirror caches survive across
+        # insert_points calls but must be dropped whenever the sequential
+        # mutators touch the tree behind its back.
+        self._batch_engine: Optional[BatchInserter] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -158,6 +195,7 @@ class ACFTree:
                 f"cross values for {sorted(cross_values)} do not match the "
                 f"tree's cross partitions {sorted(self.cross_dimensions)}"
             )
+        self._batch_engine = None  # mirrors would go stale
 
         path: List[InternalNode] = []
         node = self._root
@@ -182,10 +220,88 @@ class ACFTree:
             self._split_leaf(leaf)
         self._n_points += 1
 
+    def insert_points(
+        self,
+        points: np.ndarray,
+        cross_values: Optional[Mapping[str, np.ndarray]] = None,
+        stats: Optional[ScanStats] = None,
+    ) -> ScanStats:
+        """Insert a batch of tuples through the vectorized scan engine.
+
+        ``points`` is ``(n, dimension)``; ``cross_values`` maps each
+        declared cross partition to its ``(n, arity)`` matrix of the same
+        tuples.  The resulting tree has the *same leaf-entry moments* as
+        ``n`` sequential :meth:`insert_point` calls in row order — routing
+        and absorption decisions are made one point at a time against
+        incrementally updated centroid caches, only the bulk moment
+        bookkeeping is deferred and vectorized (see
+        :mod:`repro.birch.batch`).
+
+        Pass an existing :class:`ScanStats` to accumulate instrumentation
+        across batches; one is created (and returned) otherwise.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.ndim != 2 or points.shape[1] != self.dimension:
+            raise ValueError(
+                f"points have shape {points.shape}, tree dimension is {self.dimension}"
+            )
+        cross_values = {
+            name: np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+            for name, matrix in (cross_values or {}).items()
+        }
+        if set(cross_values) != set(self.cross_dimensions):
+            raise ValueError(
+                f"cross values for {sorted(cross_values)} do not match the "
+                f"tree's cross partitions {sorted(self.cross_dimensions)}"
+            )
+        for name, matrix in cross_values.items():
+            if matrix.shape != (points.shape[0], self.cross_dimensions[name]):
+                raise ValueError(
+                    f"cross matrix {name!r} has shape {matrix.shape}, expected "
+                    f"{(points.shape[0], self.cross_dimensions[name])}"
+                )
+        stats = stats if stats is not None else ScanStats()
+        if points.shape[0] == 0:
+            return stats
+        self._engine().run(_Batch.of_points(points, cross_values), stats)
+        return stats
+
+    def insert_entries(
+        self, entries: Sequence[ACF], stats: Optional[ScanStats] = None
+    ) -> ScanStats:
+        """Insert a batch of subcluster summaries through the batch engine.
+
+        The batched twin of :meth:`insert_entry`, used by rebuilds and
+        outlier paging so coarsening re-insertion rides the same vectorized
+        path as the scan.  The engine copies any entry it keeps as a new
+        leaf entry, so callers retain ownership of ``entries``.
+        """
+        entries = list(entries)
+        stats = stats if stats is not None else ScanStats()
+        if not entries:
+            return stats
+        layout = set(self.cross_dimensions)
+        for entry in entries:
+            if entry.cf.dimension != self.dimension:
+                raise ValueError("entry dimension does not match tree dimension")
+            if set(entry.cross) != layout:
+                raise ValueError(
+                    f"entry cross partitions {sorted(entry.cross)} do not match "
+                    f"the tree's {sorted(layout)}"
+                )
+        self._engine().run(_Batch.of_entries(entries), stats)
+        return stats
+
+    def _engine(self) -> BatchInserter:
+        if self._batch_engine is None:
+            self._batch_engine = BatchInserter(self)
+        return self._batch_engine
+
     def insert_entry(self, entry: ACF) -> None:
         """Insert a whole subcluster (used by rebuilds and outlier replay)."""
         if entry.cf.dimension != self.dimension:
             raise ValueError("entry dimension does not match tree dimension")
+        self._batch_engine = None  # mirrors would go stale
         self._insert_entry(entry)
         self._n_points += entry.n
 
@@ -221,12 +337,7 @@ class ACFTree:
         """Split an over-full leaf around its farthest pair of entries."""
         entries = leaf.entries
         centroids = np.stack([entry.centroid for entry in entries])
-        seed_a, seed_b = _farthest_pair(centroids)
-        distances_a = np.linalg.norm(centroids - centroids[seed_a], axis=1)
-        distances_b = np.linalg.norm(centroids - centroids[seed_b], axis=1)
-        go_left = distances_a <= distances_b
-        go_left[seed_a] = True
-        go_left[seed_b] = False
+        go_left = _split_assignment(centroids)
 
         left = LeafNode(self.leaf_capacity, self.dimension)
         right = LeafNode(self.leaf_capacity, self.dimension)
@@ -274,12 +385,7 @@ class ACFTree:
                 for child in children
             ]
         )
-        seed_a, seed_b = _farthest_pair(centroids)
-        distances_a = np.linalg.norm(centroids - centroids[seed_a], axis=1)
-        distances_b = np.linalg.norm(centroids - centroids[seed_b], axis=1)
-        go_left = distances_a <= distances_b
-        go_left[seed_a] = True
-        go_left[seed_b] = False
+        go_left = _split_assignment(centroids)
 
         left = InternalNode(self.branching, self.dimension)
         right = InternalNode(self.branching, self.dimension)

@@ -70,6 +70,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print only the k strongest rules")
     mine.add_argument("--max-degree", type=float, default=None,
                       help="keep rules with degree at most this")
+    mine.add_argument("--stats", action="store_true",
+                      help="print per-partition Phase I scan statistics")
     mine.add_argument("--json", action="store_true",
                       help="emit the full result as JSON (not with --mixed)")
     mine.add_argument("--drop-missing", action="store_true",
@@ -168,6 +170,19 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             f"# partition {name}: d0={result.density_thresholds[name]:.6g} "
             f"D0={result.degree_thresholds[name]:.6g}"
         )
+    if args.stats:
+        phase1 = getattr(result, "phase1", None) or {}
+        for name in sorted(phase1):
+            scan = phase1[name].scan
+            if scan is not None:
+                print(f"# scan {name}: {scan.describe()}")
+        phase2 = getattr(result, "phase2", None)
+        if phase2 is not None:
+            print(
+                f"# phase2: {phase2.n_clusters} clusters "
+                f"({phase2.n_frequent_clusters} frequent), "
+                f"{phase2.n_cliques} cliques in {phase2.seconds:.3f}s"
+            )
     print(f"# rules: {len(rules)}")
     for rule in rules:
         if args.mixed:

@@ -19,6 +19,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from repro.birch.batch import ScanStats
 from repro.birch.birch import BirchClusterer, Phase1Stats, assign_to_centroids
 from repro.birch.features import CF
 from repro.core.cliques import maximal_cliques, non_trivial_cliques
@@ -74,6 +75,21 @@ class DARResult:
             self.rules,
             key=lambda rule: (rule.degree, -(rule.support_count or 0), str(rule)),
         )
+
+    def scan_summary(self) -> Optional[ScanStats]:
+        """All partitions' Phase I scan instrumentation merged into one.
+
+        ``None`` when no partition ran the batch scan path (e.g.
+        ``BirchOptions.batch_insert`` disabled).
+        """
+        merged: Optional[ScanStats] = None
+        for stats in self.phase1.values():
+            if stats.scan is None:
+                continue
+            if merged is None:
+                merged = ScanStats()
+            merged.merge(stats.scan)
+        return merged
 
 
 class DARMiner:

@@ -23,6 +23,8 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.birch.batch import ScanStats
+from repro.birch.birch import Phase1Stats
 from repro.birch.features import CF
 from repro.birch.memory import MemoryModel, ThresholdSchedule
 from repro.birch.rebuild import rebuild_tree
@@ -69,6 +71,9 @@ class StreamingDARMiner:
         self._trees: Dict[str, ACFTree] = {}
         self._schedules: Dict[str, ThresholdSchedule] = {}
         self._memory_models: Dict[str, MemoryModel] = {}
+        self._scan_stats: Dict[str, ScanStats] = {
+            p.name: ScanStats() for p in partition_list
+        }
         self._n_points = 0
 
     # ------------------------------------------------------------------
@@ -77,6 +82,11 @@ class StreamingDARMiner:
     def n_points(self) -> int:
         """Tuples absorbed so far."""
         return self._n_points
+
+    @property
+    def scan_stats(self) -> Dict[str, ScanStats]:
+        """Per-partition batch-scan instrumentation, accumulated over updates."""
+        return dict(self._scan_stats)
 
     @property
     def density_thresholds(self) -> Dict[str, float]:
@@ -114,13 +124,12 @@ class StreamingDARMiner:
         for partition in self.partitions:
             tree = self._trees[partition.name]
             points = np.atleast_2d(np.asarray(matrices[partition.name], float))
-            cross_names = [p.name for p in self.partitions if p.name != partition.name]
             cross = {
-                name: np.atleast_2d(np.asarray(matrices[name], float))
-                for name in cross_names
+                p.name: np.atleast_2d(np.asarray(matrices[p.name], float))
+                for p in self.partitions
+                if p.name != partition.name
             }
-            for i in range(n_rows):
-                tree.insert_point(points[i], {name: cross[name][i] for name in cross_names})
+            tree.insert_points(points, cross, stats=self._scan_stats[partition.name])
             self._enforce_budget(partition.name)
         self._n_points += n_rows
 
@@ -171,7 +180,11 @@ class StreamingDARMiner:
             model.tree_bytes(*tree.summary_counts()) > budget
             and attempts < self.config.birch.max_rebuilds_per_overflow
         ):
-            tree = rebuild_tree(tree, self._schedules[name].next_threshold(tree))
+            tree = rebuild_tree(
+                tree,
+                self._schedules[name].next_threshold(tree),
+                stats=self._scan_stats[name],
+            )
             attempts += 1
         self._trees[name] = tree
 
@@ -240,6 +253,18 @@ class StreamingDARMiner:
         phase2.n_rules = len(rules)
         phase2.seconds = time.perf_counter() - started
 
+        # A streaming run has no single Phase I pass; expose the live
+        # per-partition scan instrumentation in the same slot the batch
+        # miner uses so downstream reporting is uniform.
+        phase1 = {
+            p.name: Phase1Stats(
+                points_inserted=self._n_points,
+                final_entry_count=len(all_clusters[p.name]),
+                scan=self._scan_stats[p.name],
+            )
+            for p in self.partitions
+        }
+
         return DARResult(
             rules=rules,
             frequent_clusters=frequent_clusters,
@@ -249,6 +274,6 @@ class StreamingDARMiner:
             density_thresholds=dict(self._density),
             degree_thresholds=degree,
             frequency_count=frequency_count,
-            phase1={},
+            phase1=phase1,
             phase2=phase2,
         )

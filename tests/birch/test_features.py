@@ -163,6 +163,23 @@ class TestACF:
         with pytest.raises(ValueError):
             acf.add_point(np.array([2.0]), {"z": np.array([1.0])})
 
+    def test_empty_acf_keeps_declared_cross_layout(self):
+        """Regression: an empty ACF silently adopted whatever cross layout
+        the first point carried, even when it contradicted the declared
+        (constructed) layout; the check must hold for n == 0 too."""
+        acf = ACF(CF.zero(1), {"y": CF.zero(2)})
+        with pytest.raises(ValueError, match="cross partitions"):
+            acf.add_point(np.array([1.0]), {"z": np.array([1.0])})
+        assert acf.n == 0  # the rejected point must not be half-applied
+        acf.add_point(np.array([1.0]), {"y": np.array([1.0, 2.0])})
+        assert acf.n == 1
+        assert acf.cross["y"].n == 1
+
+    def test_empty_acf_rejects_extra_cross_partitions(self):
+        acf = ACF(CF.zero(1))  # declared layout: no cross partitions
+        with pytest.raises(ValueError, match="cross partitions"):
+            acf.add_point(np.array([1.0]), {"y": np.array([5.0])})
+
     def test_merge_cross_mismatch_rejected(self):
         a = ACF.of_point(np.array([1.0]), {"y": np.array([10.0])})
         b = ACF.of_point(np.array([2.0]), {"z": np.array([10.0])})

@@ -1,0 +1,63 @@
+"""Tests for ACF-tree nodes, including degenerate-entry routing."""
+
+import numpy as np
+import pytest
+
+from repro.birch.features import ACF, CF
+from repro.birch.node import InternalNode, LeafNode
+
+
+class TestLeafClosestEntry:
+    def test_empty_leaf_raises(self):
+        leaf = LeafNode(capacity=4, dimension=1)
+        with pytest.raises(ValueError, match="empty leaf"):
+            leaf.closest_entry(np.array([0.0]))
+
+    def test_skips_empty_entries(self):
+        """An n == 0 entry must never win routing (NaN centroid distance).
+
+        Regression: the seed code initialized ``best_index = 0`` and never
+        updated it when the first entry's distance was NaN, so an empty
+        entry at position 0 captured every point.
+        """
+        leaf = LeafNode(capacity=4, dimension=1)
+        leaf.add_entry(ACF(CF.zero(1)))
+        leaf.add_entry(ACF.of_point(np.array([2.0]), {}))
+        index, distance = leaf.closest_entry(np.array([2.0]))
+        assert index == 1
+        assert distance == 0.0
+
+    def test_all_entries_empty_raises(self):
+        leaf = LeafNode(capacity=4, dimension=1)
+        leaf.add_entry(ACF(CF.zero(1)))
+        leaf.add_entry(ACF(CF.zero(1)))
+        with pytest.raises(ValueError, match="only empty entries"):
+            leaf.closest_entry(np.array([0.0]))
+
+    def test_distances_are_finite_with_empty_entry_present(self):
+        leaf = LeafNode(capacity=4, dimension=2)
+        leaf.add_entry(ACF.of_point(np.array([0.0, 0.0]), {}))
+        leaf.add_entry(ACF(CF.zero(2)))
+        leaf.add_entry(ACF.of_point(np.array([3.0, 4.0]), {}))
+        index, distance = leaf.closest_entry(np.array([3.0, 4.0]))
+        assert index == 2
+        assert np.isfinite(distance)
+
+
+class TestInternalClosestChild:
+    def test_skips_empty_children(self):
+        node = InternalNode(branching=3, dimension=1)
+        empty = LeafNode(capacity=2, dimension=1)
+        full = LeafNode(capacity=2, dimension=1)
+        full.add_entry(ACF.of_point(np.array([1.0]), {}))
+        node.add_child(empty)
+        node.add_child(full)
+        assert node.closest_child(np.array([1.0])) is full
+
+    def test_all_children_empty_falls_back_to_first(self):
+        node = InternalNode(branching=3, dimension=1)
+        first = LeafNode(capacity=2, dimension=1)
+        second = LeafNode(capacity=2, dimension=1)
+        node.add_child(first)
+        node.add_child(second)
+        assert node.closest_child(np.array([1.0])) is first

@@ -121,6 +121,44 @@ class TestSplitsAndStructure:
         assert np.allclose(ls, points.sum(axis=0))
         assert np.allclose(ss, (points**2).sum(axis=0))
 
+    def test_split_with_coincident_centroids_is_balanced(self):
+        """Regression: when every entry centroid coincides there is no
+        farthest pair, and the seed code split one-entry-vs-rest; the split
+        must fall back to an even partition instead."""
+        tree = make_tree(threshold=0.0, branching=3, leaf_capacity=3)
+        for _ in range(4):
+            # Distinct entries (positive diameter, never absorbed at T=0)
+            # that all share the centroid 0.
+            tree.insert_entry(ACF.of_points(np.array([[-1.0], [1.0]]), {}))
+        sizes = sorted(leaf.entry_count() for leaf in tree.leaves())
+        assert sizes == [2, 2]
+        assert tree.n_points == 8
+
+    def test_split_assignment_even_partition_on_coincident_centroids(self):
+        """With no farthest pair the halves must differ by at most one row."""
+        from repro.birch.tree import _split_assignment
+
+        for size in (3, 4, 5, 8):
+            go_left = _split_assignment(np.zeros((size, 2)))
+            left = int(go_left.sum())
+            assert abs(left - (size - left)) <= 1
+            assert 0 < left < size
+
+    def test_coincident_centroid_splits_respect_capacities(self):
+        """Repeated degenerate splits must never overflow a node."""
+        tree = make_tree(threshold=0.0, branching=3, leaf_capacity=2)
+        for _ in range(12):
+            tree.insert_entry(ACF.of_points(np.array([[-1.0], [1.0]]), {}))
+        assert tree.entry_count() == 12
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert node.entry_count() <= tree.leaf_capacity
+            else:
+                assert 1 <= node.entry_count() <= tree.branching
+                stack.extend(node.children)
+
     def test_node_count_and_summary_counts_agree(self):
         tree = make_tree(threshold=0.0, branching=3, leaf_capacity=3)
         for value in range(60):
