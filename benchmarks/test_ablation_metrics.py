@@ -29,7 +29,7 @@ def run_metric_ablation():
     relation, _ = make_planted_rule_relation(seed=7)
     outcome = {}
     for metric in ("d1", "d2"):
-        config = DARConfig(cluster_metric=metric)
+        config = DARConfig(metric=metric)
         result = DARMiner(config).mine(relation)
         outcome[metric] = {
             "edges": result.phase2.n_edges,

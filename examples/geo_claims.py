@@ -13,7 +13,7 @@ Run:  python examples/geo_claims.py
 
 import numpy as np
 
-from repro import DARConfig, DARMiner
+import repro
 from repro.data import AttributePartition, Relation, Schema
 from repro.report import describe_rule
 
@@ -48,7 +48,9 @@ def main() -> None:
         AttributePartition("geo", ("lat", "lon")),  # one 2-d Euclidean space
         AttributePartition("risk", ("risk",)),
     ]
-    result = DARMiner(DARConfig(count_rule_support=True)).mine(relation, partitions)
+    result = repro.mine(
+        relation, config={"count_rule_support": True}, partitions=partitions
+    )
 
     print("Geographic clusters (2-d bounding boxes):")
     for cluster in result.frequent_clusters["geo"]:

@@ -10,7 +10,8 @@ Srikant-Agrawal quantitative-rule baseline on the same data.
 Run:  python examples/insurance_claims.py
 """
 
-from repro import DARConfig, DARMiner, QARConfig, QARMiner
+import repro
+from repro import QARConfig, QARMiner
 from repro.data import fig5_insurance
 from repro.report import describe_rule
 
@@ -22,8 +23,8 @@ def main() -> None:
     # --- Distance-based association rules -------------------------------
     # density_fraction=0.3 keeps the broad [2, 5]-dependents behaviour mode
     # coherent; support counting gives the classical corroboration.
-    config = DARConfig(density_fraction=0.3, count_rule_support=True)
-    result = DARMiner(config).mine(relation)
+    config = {"density_fraction": 0.3, "count_rule_support": True}
+    result = repro.mine(relation, config=config)
 
     claims_rules = [
         rule

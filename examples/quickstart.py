@@ -7,7 +7,7 @@ prints the discovered clusters and the strongest rules.
 Run:  python examples/quickstart.py
 """
 
-from repro import DARConfig, DARMiner
+import repro
 from repro.data import make_planted_rule_relation
 from repro.report import describe_result, describe_rule
 
@@ -21,8 +21,7 @@ def main() -> None:
 
     # count_rule_support enables the optional post-scan of Section 6.2 so
     # every rule also reports how many tuples classically support it.
-    miner = DARMiner(DARConfig(count_rule_support=True))
-    result = miner.mine(relation)
+    result = repro.mine(relation, config={"count_rule_support": True})
 
     print(describe_result(result))
     print("\nStrongest rules (smallest degree of association):")

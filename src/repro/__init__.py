@@ -8,17 +8,21 @@ generators behind the paper's evaluation.
 
 Quickstart::
 
-    from repro import DARMiner, make_planted_rule_relation
+    import repro
 
-    relation, _ = make_planted_rule_relation(seed=7)
-    result = DARMiner().mine(relation)
+    relation, _ = repro.make_planted_rule_relation(seed=7)
+    result = repro.mine(relation)
     for rule in result.rules_sorted()[:5]:
         print(rule)
 
-See README.md for the architecture overview and EXPERIMENTS.md for the
-paper-versus-measured record of every reproduced table and figure.
+:func:`repro.mine` is the stable facade; :class:`repro.DARMiner` is the
+underlying two-phase engine when you need to hold on to configuration or
+intermediate state.  See README.md for the architecture overview and
+EXPERIMENTS.md for the paper-versus-measured record of every reproduced
+table and figure.
 """
 
+from repro.api import mine
 from repro.core import (
     DARConfig,
     DARMiner,
@@ -49,6 +53,7 @@ from repro.report import describe_result, describe_rule
 __version__ = "1.0.0"
 
 __all__ = [
+    "mine",
     "DARConfig",
     "DARMiner",
     "DARResult",

@@ -1,0 +1,62 @@
+"""The stable high-level entrypoint: :func:`repro.mine`.
+
+One call runs both phases of the paper's algorithm with sensible
+defaults and returns the full :class:`~repro.core.miner.DARResult`.  The
+facade is intentionally tiny — everything it does is also reachable
+through :class:`~repro.core.miner.DARMiner` — but its signature is the
+compatibility contract: scripts, the CLI and the examples all go through
+it, so the deeper modules stay free to refactor.
+
+Quickstart::
+
+    import repro
+
+    relation, _ = repro.make_planted_rule_relation(seed=7)
+    result = repro.mine(relation)
+    for rule in result.rules_sorted()[:5]:
+        print(rule)
+
+``config`` accepts either a :class:`~repro.core.config.DARConfig` or a
+plain mapping of its fields (forwarded to
+:meth:`~repro.core.config.DARConfig.from_mapping`), so JSON/TOML-driven
+runs need no imports beyond ``repro`` itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from repro.core.config import DARConfig
+from repro.core.miner import DARMiner, DARResult
+from repro.data.relation import AttributePartition, Relation
+
+__all__ = ["mine"]
+
+
+def mine(
+    relation: Relation,
+    *,
+    config: Optional[Union[DARConfig, Mapping[str, Any]]] = None,
+    partitions: Optional[Sequence[AttributePartition]] = None,
+    targets: Optional[Sequence[str]] = None,
+) -> DARResult:
+    """Mine distance-based association rules from ``relation``.
+
+    Equivalent to ``DARMiner(config).mine(relation, partitions, targets)``.
+
+    ``config`` — a :class:`DARConfig`, a mapping of its fields, or ``None``
+    for the paper's defaults.  ``partitions`` — the attribute partitioning
+    (default: one partition per interval attribute).  ``targets`` — names
+    of partitions rules may conclude about (the Section 5.2 N:1
+    application); ``None`` mines all consequents.
+    """
+    if config is None:
+        config = DARConfig()
+    elif isinstance(config, Mapping):
+        config = DARConfig.from_mapping(config)
+    elif not isinstance(config, DARConfig):
+        raise TypeError(
+            f"config must be a DARConfig or a mapping of its fields, "
+            f"got {type(config).__name__}"
+        )
+    return DARMiner(config).mine(relation, partitions=partitions, targets=targets)

@@ -26,8 +26,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.api import mine as mine_relation
 from repro.core.config import DARConfig
-from repro.core.miner import DARMiner
 from repro.core.postprocess import filter_by_consequent, prune_redundant, select_rules
 from repro.data.io import load_csv, load_plain_csv, save_csv
 from repro.data.relation import Relation
@@ -58,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="D0 = degree-factor x d0 (default 2.0)")
     mine.add_argument("--metric", choices=("d1", "d2"), default="d2",
                       help="cluster distance for Phase II (default d2)")
+    mine.add_argument("--engine", choices=("auto", "vector", "scalar"),
+                      default="auto",
+                      help="Phase II distance engine (default auto: the "
+                      "vectorized kernel whenever images are CFs)")
     mine.add_argument("--count-support", action="store_true",
                       help="post-scan: count classical support per rule")
     mine.add_argument("--mixed", action="store_true",
@@ -135,8 +139,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         frequency_fraction=args.frequency,
         density_fraction=args.density_fraction,
         degree_factor=args.degree_factor,
-        cluster_metric=args.metric,
+        metric=args.metric,
         count_rule_support=args.count_support,
+        phase2_engine=args.engine,
     )
     targets = args.target.split(",") if args.target else None
     if args.mixed:
@@ -145,7 +150,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         result = MixedDARMiner(MixedDARConfig(base=config)).mine_mixed(relation)
     else:
         # Targets go into the miner itself (skips non-target assoc sets).
-        result = DARMiner(config).mine(relation, targets=targets)
+        result = mine_relation(relation, config=config, targets=targets)
 
     if args.json:
         from repro.report.export import result_to_json
@@ -178,10 +183,20 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 print(f"# scan {name}: {scan.describe()}")
         phase2 = getattr(result, "phase2", None)
         if phase2 is not None:
+            engine = f" engine={phase2.engine}" if phase2.engine else ""
             print(
                 f"# phase2: {phase2.n_clusters} clusters "
                 f"({phase2.n_frequent_clusters} frequent), "
-                f"{phase2.n_cliques} cliques in {phase2.seconds:.3f}s"
+                f"{phase2.n_cliques} cliques in {phase2.seconds:.3f}s{engine}"
+            )
+            breakdown = " ".join(
+                f"{name}={seconds:.3f}s"
+                for name, seconds in phase2.stage_breakdown().items()
+            )
+            print(
+                f"# phase2 stages: {breakdown} "
+                f"({phase2.comparisons} comparisons, "
+                f"{phase2.comparisons_skipped} pruned)"
             )
     print(f"# rules: {len(rules)}")
     for rule in rules:

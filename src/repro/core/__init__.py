@@ -4,7 +4,12 @@ from repro.core.cliques import maximal_cliques, non_trivial_cliques
 from repro.core.cluster import CLUSTER_METRICS, Cluster, image_distance
 from repro.core.config import DARConfig
 from repro.core.gqar import GQARConfig, GQARMiner, GQARResult, GQARRule
-from repro.core.graph import ClusteringGraph, GraphStats, build_clustering_graph
+from repro.core.graph import (
+    GRAPH_ENGINES,
+    ClusteringGraph,
+    GraphStats,
+    build_clustering_graph,
+)
 from repro.core.interest import (
     RuleInterest,
     classical_rule_interest,
@@ -15,6 +20,7 @@ from repro.core.interest import (
     nominal_cluster_diameter,
 )
 from repro.core.miner import DARMiner, DARResult, Phase2Stats
+from repro.core.phase2_kernel import ImageMoments, Phase2Kernel
 from repro.core.postprocess import (
     filter_by_antecedent,
     filter_by_consequent,
@@ -38,7 +44,10 @@ __all__ = [
     "GQARRule",
     "ClusteringGraph",
     "GraphStats",
+    "GRAPH_ENGINES",
     "build_clustering_graph",
+    "ImageMoments",
+    "Phase2Kernel",
     "RuleInterest",
     "classical_rule_interest",
     "confidence_from_degree",

@@ -15,16 +15,35 @@ whole column), and ``D0[Y] = degree_factor x d0[Y]``.  Phase II uses
 ``phase2_leniency x d0`` for graph edges — the paper reports that "using a
 more lenient (higher) threshold in Phase II produces a better set of
 rules" (Section 6.2).
+
+The cluster-distance metric is named ``metric`` everywhere (config field,
+``image_distance``, ``build_clustering_graph``); the former
+``cluster_metric`` spelling survives as a deprecation shim — both the
+constructor keyword and the attribute warn once per process and forward
+to ``metric``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Mapping, Optional
+import math
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping, Optional
 
 from repro.birch.birch import BirchOptions
 
 __all__ = ["DARConfig"]
+
+
+_WARNED_DEPRECATIONS: set = set()
+
+
+def _warn_deprecated(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a DeprecationWarning, once per process per key."""
+    if key in _WARNED_DEPRECATIONS:
+        return
+    _WARNED_DEPRECATIONS.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
 
 
 @dataclass(frozen=True)
@@ -37,7 +56,7 @@ class DARConfig:
     degree_factor: float = 2.0
     degree_thresholds: Mapping[str, float] = field(default_factory=dict)
     phase2_leniency: float = 2.0
-    cluster_metric: str = "d2"
+    metric: str = "d2"
     max_antecedent: int = 3
     max_consequent: int = 2
     max_antecedent_candidates: int = 32
@@ -46,6 +65,7 @@ class DARConfig:
     count_rule_support: bool = False
     rule_support_fraction: Optional[float] = None
     birch: BirchOptions = field(default_factory=BirchOptions)
+    phase2_engine: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.frequency_fraction <= 1.0:
@@ -56,8 +76,8 @@ class DARConfig:
             raise ValueError("degree_factor must be positive")
         if self.phase2_leniency < 1.0:
             raise ValueError("phase2_leniency must be at least 1 (more lenient)")
-        if self.cluster_metric not in ("d1", "d2"):
-            raise ValueError("cluster_metric must be 'd1' or 'd2'")
+        if self.metric not in ("d1", "d2"):
+            raise ValueError("metric must be 'd1' or 'd2'")
         if self.max_antecedent < 1 or self.max_consequent < 1:
             raise ValueError("rule arity bounds must be at least 1")
         if self.max_antecedent_candidates < 1:
@@ -68,6 +88,105 @@ class DARConfig:
             0.0 <= self.rule_support_fraction <= 1.0
         ):
             raise ValueError("rule_support_fraction must be in [0, 1]")
+        if self.phase2_engine not in ("auto", "vector", "scalar"):
+            raise ValueError(
+                f"phase2_engine must be 'auto', 'vector' or 'scalar', "
+                f"got {self.phase2_engine!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "DARConfig":
+        """Build a config from a plain mapping (parsed JSON/TOML/YAML).
+
+        Accepts exactly the constructor's keywords (including the
+        deprecated ``cluster_metric`` alias); ``birch`` may itself be a
+        mapping of :class:`~repro.birch.birch.BirchOptions` fields.
+        Unknown keys raise a ``ValueError`` naming the offending key and
+        the accepted ones, so a typo in a config file fails loudly instead
+        of being silently dropped.
+        """
+        data = dict(mapping)
+        if "cluster_metric" in data:
+            if "metric" in data:
+                raise ValueError(
+                    "pass either 'metric' or the deprecated 'cluster_metric', "
+                    "not both"
+                )
+            _warn_deprecated(
+                "DARConfig.from_mapping:cluster_metric",
+                "the 'cluster_metric' key is deprecated; use 'metric'",
+            )
+            data["metric"] = data.pop("cluster_metric")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown DARConfig key(s) {unknown}; accepted keys: "
+                f"{sorted(known)}"
+            )
+        birch = data.get("birch")
+        if isinstance(birch, Mapping):
+            birch_known = {f.name for f in fields(BirchOptions)}
+            birch_unknown = sorted(set(birch) - birch_known)
+            if birch_unknown:
+                raise ValueError(
+                    f"unknown BirchOptions key(s) {birch_unknown}; accepted "
+                    f"keys: {sorted(birch_known)}"
+                )
+            data["birch"] = BirchOptions(**birch)
+        return cls(**data)
+
+    def with_thresholds(
+        self,
+        *,
+        density: Optional[Mapping[str, float]] = None,
+        degree: Optional[Mapping[str, float]] = None,
+    ) -> "DARConfig":
+        """A copy with explicit per-partition ``d0`` / ``D0`` thresholds.
+
+        New entries are merged over any already-configured ones.  Every
+        value must be a positive finite number; violations name the
+        partition so sweep scripts fail with an actionable message.
+        """
+        def checked(kind: str, mapping: Mapping[str, float]) -> dict:
+            out = {}
+            for name, value in mapping.items():
+                if not isinstance(name, str):
+                    raise ValueError(
+                        f"{kind} threshold keys must be partition names, "
+                        f"got {name!r}"
+                    )
+                number = float(value)
+                if not (number > 0 and math.isfinite(number)):
+                    raise ValueError(
+                        f"{kind} threshold for {name!r} must be a positive "
+                        f"finite number, got {value!r}"
+                    )
+                out[name] = number
+            return out
+
+        updates = {}
+        if density is not None:
+            updates["density_thresholds"] = {
+                **dict(self.density_thresholds),
+                **checked("density", density),
+            }
+        if degree is not None:
+            updates["degree_thresholds"] = {
+                **dict(self.degree_thresholds),
+                **checked("degree", degree),
+            }
+        if not updates:
+            raise ValueError("with_thresholds needs density=... and/or degree=...")
+        return replace(self, **updates)
+
+    # ------------------------------------------------------------------
+    # Threshold resolution
+    # ------------------------------------------------------------------
 
     def density_threshold(self, partition_name: str, derived: float) -> float:
         """``d0`` for a partition: the explicit value, else the derived one."""
@@ -84,3 +203,40 @@ class DARConfig:
     def with_birch(self, birch: BirchOptions) -> "DARConfig":
         """A copy with different Phase I options (convenience for sweeps)."""
         return replace(self, birch=birch)
+
+    # ------------------------------------------------------------------
+    # Deprecated aliases
+    # ------------------------------------------------------------------
+
+    @property
+    def cluster_metric(self) -> str:
+        """Deprecated alias of :attr:`metric` (warns once per process)."""
+        _warn_deprecated(
+            "DARConfig.cluster_metric",
+            "DARConfig.cluster_metric is deprecated; use DARConfig.metric",
+        )
+        return self.metric
+
+
+# ``cluster_metric=`` constructor shim: wrap the dataclass-generated
+# __init__ so the old keyword keeps working (warning once) without
+# disturbing the dataclass machinery (fields, replace, repr).
+_DATACLASS_INIT = DARConfig.__init__
+
+
+def _init_with_aliases(self, *args, **kwargs):  # noqa: ANN001
+    if "cluster_metric" in kwargs:
+        if "metric" in kwargs:
+            raise TypeError(
+                "pass either metric= or the deprecated cluster_metric=, not both"
+            )
+        _warn_deprecated(
+            "DARConfig(cluster_metric=)",
+            "DARConfig(cluster_metric=...) is deprecated; use metric=...",
+        )
+        kwargs["metric"] = kwargs.pop("cluster_metric")
+    _DATACLASS_INIT(self, *args, **kwargs)
+
+
+_init_with_aliases.__wrapped__ = _DATACLASS_INIT
+DARConfig.__init__ = _init_with_aliases

@@ -27,16 +27,22 @@ from typing import Dict, FrozenSet, List, Mapping, Sequence, Set
 
 from repro.core.cluster import Cluster, image_distance
 
-__all__ = ["ClusteringGraph", "GraphStats", "build_clustering_graph"]
+__all__ = ["ClusteringGraph", "GraphStats", "GRAPH_ENGINES", "build_clustering_graph"]
 
 
 @dataclass
 class GraphStats:
-    """Comparison accounting for the §6.2 pruning ablation."""
+    """Comparison accounting for the §6.2 pruning ablation.
+
+    ``engine`` records which builder produced the graph (``"scalar"`` per
+    pair Python calls, ``"vector"`` the blocked numpy kernel); both count
+    comparisons, skips and edges identically.
+    """
 
     comparisons: int = 0
     skipped: int = 0
     edges: int = 0
+    engine: str = "scalar"
 
     @property
     def considered(self) -> int:
@@ -69,19 +75,48 @@ class ClusteringGraph:
         return len(self.adjacency.get(uid, ()))
 
 
+#: Recognized values of ``build_clustering_graph``'s ``engine`` parameter.
+GRAPH_ENGINES = ("auto", "vector", "scalar")
+
+
 def build_clustering_graph(
     clusters: Sequence[Cluster],
     density_thresholds: Mapping[str, float],
     metric: str = "d2",
     use_density_pruning: bool = True,
     pruning_diameter_factor: float = 2.0,
+    engine: str = "auto",
 ) -> ClusteringGraph:
     """Construct the Dfn 6.1 graph over ``clusters``.
 
     ``density_thresholds`` maps partition name to the (Phase II, possibly
     leniency-scaled) ``d0`` used for edge tests.  Every cluster's partition
     must appear in the mapping.
+
+    ``engine`` selects the builder: ``"vector"`` uses the blocked numpy
+    kernel of :mod:`repro.core.phase2_kernel`, ``"scalar"`` the per-pair
+    Python loop, and ``"auto"`` (the default) picks the kernel whenever
+    every cluster carries CF images for every partition present (mixed
+    nominal/interval populations fall back to the scalar path).  Both
+    engines are decision-equivalent: identical edge sets and identical
+    :class:`GraphStats` accounting.
     """
+    from repro.core.phase2_kernel import Phase2Kernel
+
+    if engine not in GRAPH_ENGINES:
+        raise ValueError(
+            f"unknown graph engine {engine!r}; available: {GRAPH_ENGINES}"
+        )
+    if engine == "auto":
+        engine = "vector" if Phase2Kernel.supports(clusters) else "scalar"
+    if engine == "vector":
+        kernel = Phase2Kernel(clusters, metric=metric)
+        return kernel.build_graph(
+            density_thresholds,
+            use_density_pruning=use_density_pruning,
+            pruning_diameter_factor=pruning_diameter_factor,
+        )
+
     by_uid: Dict[int, Cluster] = {}
     for cluster in clusters:
         if cluster.uid in by_uid:

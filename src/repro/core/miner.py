@@ -26,6 +26,7 @@ from repro.core.cliques import maximal_cliques, non_trivial_cliques
 from repro.core.cluster import Cluster, image_distance
 from repro.core.config import DARConfig
 from repro.core.graph import ClusteringGraph, build_clustering_graph
+from repro.core.phase2_kernel import Phase2Kernel
 from repro.core.rules import DistanceRule
 from repro.data.relation import AttributePartition, Relation, default_partitions
 
@@ -34,7 +35,15 @@ __all__ = ["DARMiner", "DARResult", "Phase2Stats"]
 
 @dataclass
 class Phase2Stats:
-    """Diagnostics of the in-memory rule-formation phase."""
+    """Diagnostics of the in-memory rule-formation phase.
+
+    ``engine`` is the resolved distance engine (``"vector"`` for the
+    blocked numpy kernel, ``"scalar"`` for per-pair Python calls, empty
+    when Phase II never ran).  The ``*_seconds`` fields break ``seconds``
+    down by stage: image-moment extraction, clustering-graph build,
+    maximal-clique enumeration and rule emission (assoc sets, antecedent
+    search, degree computation).
+    """
 
     seconds: float = 0.0
     n_clusters: int = 0
@@ -45,6 +54,20 @@ class Phase2Stats:
     comparisons: int = 0
     comparisons_skipped: int = 0
     n_rules: int = 0
+    engine: str = ""
+    extract_seconds: float = 0.0
+    graph_seconds: float = 0.0
+    clique_seconds: float = 0.0
+    rules_seconds: float = 0.0
+
+    def stage_breakdown(self) -> Dict[str, float]:
+        """Stage-name → seconds, in pipeline order (for reports/CLI)."""
+        return {
+            "extract": self.extract_seconds,
+            "graph": self.graph_seconds,
+            "cliques": self.clique_seconds,
+            "rules": self.rules_seconds,
+        }
 
 
 @dataclass
@@ -90,6 +113,23 @@ class DARResult:
                 merged = ScanStats()
             merged.merge(stats.scan)
         return merged
+
+    def to_dict(self) -> Dict:
+        """The run as plain built-in types (see :mod:`repro.report.export`).
+
+        Includes thresholds, frequent clusters, rules, and the Phase I /
+        Phase II stats breakdowns, so runs are machine-comparable across
+        versions.
+        """
+        from repro.report.export import result_to_dict
+
+        return result_to_dict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """``to_dict`` rendered as a JSON string."""
+        from repro.report.export import result_to_json
+
+        return result_to_json(self, indent=indent)
 
 
 class DARMiner:
@@ -196,21 +236,54 @@ class DARMiner:
         cliques: List[FrozenSet[int]] = []
         rules: List[DistanceRule] = []
         if len(frequent_clusters) >= 2:
+            engine = self.config.phase2_engine
+            if engine == "auto":
+                engine = (
+                    "vector" if Phase2Kernel.supports(flat_frequent) else "scalar"
+                )
+            phase2.engine = engine
+
+            # Image-moment extraction: every frequent cluster's (N, LS, SS)
+            # on every partition, stacked once, reused by the graph build
+            # AND the rule-formation stage below.
+            stage = time.perf_counter()
+            kernel: Optional[Phase2Kernel] = None
+            if engine == "vector":
+                kernel = Phase2Kernel(flat_frequent, metric=self.config.metric)
+            phase2.extract_seconds = time.perf_counter() - stage
+
             lenient = {
                 name: self.config.phase2_leniency * threshold
                 for name, threshold in density.items()
             }
-            graph = build_clustering_graph(
-                flat_frequent,
-                lenient,
-                metric=self.config.cluster_metric,
-                use_density_pruning=self.config.use_density_pruning,
-                pruning_diameter_factor=self.config.pruning_diameter_factor,
-            )
+            stage = time.perf_counter()
+            if kernel is not None:
+                graph = kernel.build_graph(
+                    lenient,
+                    use_density_pruning=self.config.use_density_pruning,
+                    pruning_diameter_factor=self.config.pruning_diameter_factor,
+                )
+            else:
+                graph = build_clustering_graph(
+                    flat_frequent,
+                    lenient,
+                    metric=self.config.metric,
+                    use_density_pruning=self.config.use_density_pruning,
+                    pruning_diameter_factor=self.config.pruning_diameter_factor,
+                    engine="scalar",
+                )
+            phase2.graph_seconds = time.perf_counter() - stage
+
+            stage = time.perf_counter()
             cliques = maximal_cliques(graph.adjacency)
+            phase2.clique_seconds = time.perf_counter() - stage
+
+            stage = time.perf_counter()
             rules = self._rules_from_cliques(
-                graph, cliques, degree, targets=target_set
+                graph, cliques, degree, targets=target_set, kernel=kernel
             )
+            phase2.rules_seconds = time.perf_counter() - stage
+
             phase2.n_edges = graph.n_edges
             phase2.comparisons = graph.stats.comparisons
             phase2.comparisons_skipped = graph.stats.skipped
@@ -281,6 +354,7 @@ class DARMiner:
         cliques: Sequence[FrozenSet[int]],
         degree_thresholds: Mapping[str, float],
         targets: Optional[FrozenSet[str]] = None,
+        kernel: Optional[Phase2Kernel] = None,
     ) -> List[DistanceRule]:
         """Section 6.2 rule formation, deduplicated across clique pairs.
 
@@ -292,27 +366,35 @@ class DARMiner:
         pairwise adjacent is exactly equivalent to enumerating subsets of
         all maximal cliques Q1, without visiting the same rule once per
         containing clique.
+
+        With ``kernel`` given, the assoc sets, candidate ranking and rule
+        degrees all read the kernel's cached pairwise-distance matrices
+        instead of re-deriving image CFs per pair.
         """
-        metric = self.config.cluster_metric
+        metric = self.config.metric
         clusters = graph.clusters
+        dist = self._distance_fn(kernel, metric)
 
         # assoc(C_Y) over *all* frequent clusters: antecedent candidates
         # whose image on Y's partition sits within D0 of C_Y (Section 6.2).
         # With targets set, only target-partition clusters can be
         # consequents, so only their assoc sets are ever needed.
-        assoc: Dict[int, Set[int]] = {}
-        for y_uid, y_cluster in clusters.items():
-            y_name = y_cluster.partition.name
-            if targets is not None and y_name not in targets:
-                continue
-            threshold = degree_thresholds[y_name]
-            members: Set[int] = set()
-            for x_uid, x_cluster in clusters.items():
-                if x_cluster.partition.name == y_name:
+        if kernel is not None:
+            assoc = kernel.assoc_sets(degree_thresholds, targets=targets)
+        else:
+            assoc = {}
+            for y_uid, y_cluster in clusters.items():
+                y_name = y_cluster.partition.name
+                if targets is not None and y_name not in targets:
                     continue
-                if image_distance(x_cluster, y_cluster, on=y_name, metric=metric) <= threshold:
-                    members.add(x_uid)
-            assoc[y_uid] = members
+                threshold = degree_thresholds[y_name]
+                members: Set[int] = set()
+                for x_uid, x_cluster in clusters.items():
+                    if x_cluster.partition.name == y_name:
+                        continue
+                    if dist(x_cluster, y_cluster, y_name) <= threshold:
+                        members.add(x_uid)
+                assoc[y_uid] = members
 
         seen: Set[Tuple[frozenset, frozenset]] = set()
         rules: List[DistanceRule] = []
@@ -338,7 +420,7 @@ class DARMiner:
                     if not candidates:
                         continue
                     ranked = self._rank_candidates(
-                        candidates, consequent, clusters, metric
+                        candidates, consequent, clusters, dist
                     )
                     for antecedent_uids in self._antecedent_subsets(ranked, graph):
                         antecedent = tuple(clusters[u] for u in antecedent_uids)
@@ -352,17 +434,26 @@ class DARMiner:
                             continue
                         seen.add(key)
                         rules.append(
-                            self._make_rule(antecedent, consequent, metric)
+                            self._make_rule(antecedent, consequent, dist)
                         )
         rules.sort(key=lambda rule: (rule.degree, str(rule)))
         return rules
+
+    @staticmethod
+    def _distance_fn(kernel: Optional[Phase2Kernel], metric: str):
+        """``dist(x_cluster, y_cluster, on) -> float`` for rule formation:
+        a cached-matrix lookup under the vector engine, a per-pair
+        ``image_distance`` call under the scalar one."""
+        if kernel is not None:
+            return lambda a, b, on: kernel.distance(a.uid, b.uid, on)
+        return lambda a, b, on: image_distance(a, b, on=on, metric=metric)
 
     def _rank_candidates(
         self,
         candidates: Set[int],
         consequent: Tuple[Cluster, ...],
         clusters: Mapping[int, Cluster],
-        metric: str,
+        dist,
     ) -> List[int]:
         """Bound the antecedent search: keep the strongest-associated
         ``max_antecedent_candidates`` clusters (smallest worst-case image
@@ -370,9 +461,7 @@ class DARMiner:
         def strength(uid: int) -> float:
             x_cluster = clusters[uid]
             return max(
-                image_distance(
-                    x_cluster, y_cluster, on=y_cluster.partition.name, metric=metric
-                )
+                dist(x_cluster, y_cluster, y_cluster.partition.name)
                 for y_cluster in consequent
             )
 
@@ -401,7 +490,7 @@ class DARMiner:
     def _make_rule(
         antecedent: Tuple[Cluster, ...],
         consequent: Tuple[Cluster, ...],
-        metric: str,
+        dist,
     ) -> DistanceRule:
         degrees: Dict[int, float] = {}
         worst = 0.0
@@ -409,7 +498,7 @@ class DARMiner:
             y_name = y_cluster.partition.name
             y_worst = 0.0
             for x_cluster in antecedent:
-                distance = image_distance(x_cluster, y_cluster, on=y_name, metric=metric)
+                distance = dist(x_cluster, y_cluster, y_name)
                 y_worst = max(y_worst, distance)
             degrees[y_cluster.uid] = y_worst
             worst = max(worst, y_worst)

@@ -1,0 +1,348 @@
+"""Vectorized Phase II distance kernel.
+
+Phase II never touches raw data (Thm 6.1): every quantity it needs — the
+Dfn 6.1 clustering-graph edge tests, the §6.2 density-pruning mask, the
+``assoc`` sets and degrees of association of §6.2 rule formation — is a
+function of the image CFs ``(N, LS, SS)`` carried by the frequent
+clusters' ACFs.  The scalar path re-derives both image CFs and one
+distance per Python call, which makes graph construction O(k²) slow
+Python work.  :class:`Phase2Kernel` instead extracts every cluster's
+image moments **once** per partition into stacked numpy matrices and
+computes whole pairwise D1 (Eq. 5) / RMS-D2 (Eq. 6) distance matrices
+with blocked array ops.
+
+The kernel is decision-equivalent to the scalar path: it evaluates the
+same formulas (``repro.metrics.cluster``) over the same moments, in the
+same cluster (uid) order, with the same threshold comparisons — the
+equivalence suite in ``tests/core/test_phase2_kernel.py`` pins identical
+edge sets, identical :class:`~repro.core.graph.GraphStats` accounting and
+distances within 1e-9 of the scalar values.
+
+Clusters whose images are not plain CFs (the Section 8 mixed-data
+extension uses value histograms for nominal projections) are outside the
+kernel's domain; :func:`Phase2Kernel.supports` reports that and callers
+fall back to the scalar path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.birch.features import CF
+from repro.core.cluster import CLUSTER_METRICS, Cluster
+
+__all__ = ["ImageMoments", "Phase2Kernel"]
+
+#: Row-block size for pairwise-distance materialization.  D1 needs a
+#: (block, k, dim) intermediate; 256 rows keeps that under a few MB for
+#: realistic dimensions while leaving the inner loops fully vectorized.
+DEFAULT_BLOCK_SIZE = 256
+
+
+@dataclass(frozen=True)
+class ImageMoments:
+    """Stacked image moments of every cluster on one partition.
+
+    Row ``i`` summarizes cluster ``i``'s image (in kernel order): ``n[i]``
+    tuples, linear sum ``ls[i]`` and scalar sum of squared norms
+    ``ss[i]`` — exactly the ``(N, LS, SS)`` of Eq. (3) that Theorem 6.1
+    shows suffice for all Phase II distances.
+    """
+
+    n: np.ndarray  # (k,) float64
+    ls: np.ndarray  # (k, dim) float64
+    ss: np.ndarray  # (k,) float64
+
+    @property
+    def k(self) -> int:
+        return self.n.shape[0]
+
+    @property
+    def centroids(self) -> np.ndarray:
+        return self.ls / self.n[:, None]
+
+    def rms_diameters(self) -> np.ndarray:
+        """Per-row RMS diameter (vectorized ``rms_diameter_from_moments``)."""
+        n = self.n
+        with np.errstate(divide="ignore", invalid="ignore"):
+            squared = (2.0 * n * self.ss - 2.0 * np.einsum("ij,ij->i", self.ls, self.ls)) / (
+                n * (n - 1.0)
+            )
+        return np.where(n < 2, 0.0, np.sqrt(np.maximum(squared, 0.0)))
+
+
+class Phase2Kernel:
+    """Blocked pairwise image distances over one frequent-cluster population.
+
+    The kernel is built once per mining run from the flat list of frequent
+    clusters.  Construction performs the image-moment extraction; distance
+    matrices are materialized lazily, once per partition, and cached — the
+    clustering-graph build, the ``assoc``-set computation and the
+    rule-formation degree lookups all read the same cached matrices.
+    """
+
+    def __init__(
+        self,
+        clusters: Sequence[Cluster],
+        metric: str = "d2",
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ):
+        if metric not in CLUSTER_METRICS:
+            raise KeyError(
+                f"unknown cluster metric {metric!r}; available: "
+                f"{sorted(CLUSTER_METRICS)}"
+            )
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1")
+        self.metric = metric
+        self.block_size = int(block_size)
+
+        ordered = sorted(clusters, key=lambda c: c.uid)
+        self.clusters: Dict[int, Cluster] = {}
+        for cluster in ordered:
+            if cluster.uid in self.clusters:
+                raise ValueError(f"duplicate cluster uid {cluster.uid}")
+            self.clusters[cluster.uid] = cluster
+        self.order: List[Cluster] = ordered
+        self.uids: np.ndarray = np.array([c.uid for c in ordered], dtype=np.int64)
+        self.index: Dict[int, int] = {c.uid: i for i, c in enumerate(ordered)}
+
+        self.partition_names: List[str] = sorted(
+            {c.partition.name for c in ordered}
+        )
+        name_index = {name: i for i, name in enumerate(self.partition_names)}
+        self.partition_of: np.ndarray = np.array(
+            [name_index[c.partition.name] for c in ordered], dtype=np.int64
+        )
+
+        # ---------------- image-moment extraction (once per cluster) ----
+        self._moments: Dict[str, ImageMoments] = {}
+        for name in self.partition_names:
+            images = [c.image(name) for c in ordered]
+            for cluster, image in zip(ordered, images):
+                if not isinstance(image, CF):
+                    raise TypeError(
+                        f"cluster {cluster.uid} has a non-CF image on "
+                        f"{name!r} ({type(image).__name__}); the vectorized "
+                        f"kernel requires CF images — use the scalar path"
+                    )
+            self._moments[name] = ImageMoments(
+                n=np.array([cf.n for cf in images], dtype=np.float64),
+                ls=np.stack([cf.ls for cf in images]) if images else np.zeros((0, 0)),
+                ss=np.array([cf.ss_total for cf in images], dtype=np.float64),
+            )
+
+        self._distances: Dict[str, np.ndarray] = {}
+        self._diameters: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Capability probe
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def supports(clusters: Sequence[Cluster]) -> bool:
+        """Whether every cluster has a CF image on every partition present.
+
+        Mixed-data clusters carry histogram images for nominal partitions
+        and are out of scope; populations with missing cross moments are
+        left to the scalar path so they fail (or succeed) exactly as
+        before.
+        """
+        names = {c.partition.name for c in clusters}
+        try:
+            return all(
+                isinstance(c.image(name), CF) for c in clusters for name in names
+            )
+        except KeyError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Cached matrices
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        return len(self.order)
+
+    def moments_on(self, partition_name: str) -> ImageMoments:
+        """The stacked image moments of every cluster on one partition."""
+        return self._moments[partition_name]
+
+    def image_diameters_on(self, partition_name: str) -> np.ndarray:
+        """RMS diameter of every cluster's image on ``partition_name``
+        (the quantity the §6.2 pre-filter thresholds)."""
+        cached = self._diameters.get(partition_name)
+        if cached is None:
+            cached = self._moments[partition_name].rms_diameters()
+            self._diameters[partition_name] = cached
+        return cached
+
+    def pairwise_on(self, partition_name: str) -> np.ndarray:
+        """The full k x k image-distance matrix on one partition.
+
+        ``result[i, j]`` is ``D(C_i[P], C_j[P])`` under the kernel's
+        metric, rows/columns in kernel (uid-sorted) order.  Computed
+        blocked on first use and cached.
+        """
+        cached = self._distances.get(partition_name)
+        if cached is None:
+            cached = self._compute_pairwise(self._moments[partition_name])
+            self._distances[partition_name] = cached
+        return cached
+
+    def _compute_pairwise(self, moments: ImageMoments) -> np.ndarray:
+        k = moments.k
+        out = np.zeros((k, k), dtype=np.float64)
+        if k == 0:
+            return out
+        if self.metric == "d1":
+            centroids = moments.centroids
+            for start in range(0, k, self.block_size):
+                stop = min(start + self.block_size, k)
+                block = centroids[start:stop]
+                out[start:stop] = np.abs(
+                    block[:, None, :] - centroids[None, :, :]
+                ).sum(axis=2)
+        else:  # d2 — RMS average inter-cluster distance from moments
+            n = moments.n
+            ss_over_n = moments.ss / n
+            for start in range(0, k, self.block_size):
+                stop = min(start + self.block_size, k)
+                # <LS_i, LS_j> / (N_i N_j), the cross term of Eq. (6).
+                cross = (moments.ls[start:stop] @ moments.ls.T) / np.outer(
+                    n[start:stop], n
+                )
+                squared = ss_over_n[start:stop, None] + ss_over_n[None, :] - 2.0 * cross
+                out[start:stop] = np.sqrt(np.maximum(squared, 0.0))
+        return out
+
+    def distance(self, a_uid: int, b_uid: int, on: str) -> float:
+        """``D(a[on], b[on])`` looked up from the cached matrices."""
+        return float(self.pairwise_on(on)[self.index[a_uid], self.index[b_uid]])
+
+    # ------------------------------------------------------------------
+    # Graph build (Dfn 6.1 + §6.2 pruning)
+    # ------------------------------------------------------------------
+
+    def viability_mask(
+        self,
+        density_thresholds: Mapping[str, float],
+        pruning_diameter_factor: float,
+    ) -> np.ndarray:
+        """``mask[i, p]`` — may cluster ``i`` be compared against partition
+        ``p`` (kernel partition order)?  False where the cluster's image on
+        ``p`` has RMS diameter above ``factor x d0_p`` (§6.2); a cluster is
+        always viable against its own partition (never compared anyway).
+        """
+        k, n_parts = self.k, len(self.partition_names)
+        mask = np.ones((k, n_parts), dtype=bool)
+        for p, name in enumerate(self.partition_names):
+            bound = pruning_diameter_factor * density_thresholds[name]
+            viable = self.image_diameters_on(name) <= bound
+            own = self.partition_of == p
+            mask[:, p] = viable | own
+        return mask
+
+    def build_graph(
+        self,
+        density_thresholds: Mapping[str, float],
+        use_density_pruning: bool = True,
+        pruning_diameter_factor: float = 2.0,
+    ):
+        """The Dfn 6.1 clustering graph, identical to the scalar builder.
+
+        Returns a :class:`~repro.core.graph.ClusteringGraph` whose
+        adjacency, edge set and :class:`~repro.core.graph.GraphStats`
+        accounting (comparisons / skipped / edges) match
+        ``build_clustering_graph(engine="scalar")`` exactly.
+        """
+        from repro.core.graph import ClusteringGraph, GraphStats
+
+        for cluster in self.order:
+            if cluster.partition.name not in density_thresholds:
+                raise ValueError(
+                    f"no density threshold for partition "
+                    f"{cluster.partition.name!r}"
+                )
+
+        adjacency: Dict[int, Set[int]] = {uid: set() for uid in self.clusters}
+        stats = GraphStats(engine="vector")
+        names = self.partition_names
+        thresholds = {name: float(density_thresholds[name]) for name in names}
+
+        viable: Optional[np.ndarray] = None
+        if use_density_pruning:
+            viable = self.viability_mask(thresholds, pruning_diameter_factor)
+
+        uids = self.uids
+        for pa in range(len(names)):
+            rows = np.nonzero(self.partition_of == pa)[0]
+            if rows.size == 0:
+                continue
+            for pb in range(pa + 1, len(names)):
+                cols = np.nonzero(self.partition_of == pb)[0]
+                if cols.size == 0:
+                    continue
+                name_a, name_b = names[pa], names[pb]
+                if viable is not None:
+                    # Pair survives the §6.2 pre-filter only if A's image is
+                    # dense on B's partition and vice versa.
+                    pair_ok = viable[rows, pb][:, None] & viable[cols, pa][None, :]
+                    n_ok = int(np.count_nonzero(pair_ok))
+                    stats.skipped += rows.size * cols.size - n_ok
+                    stats.comparisons += n_ok
+                else:
+                    pair_ok = None
+                    stats.comparisons += rows.size * cols.size
+                close = (
+                    self.pairwise_on(name_a)[np.ix_(rows, cols)]
+                    <= thresholds[name_a]
+                ) & (
+                    self.pairwise_on(name_b)[np.ix_(rows, cols)]
+                    <= thresholds[name_b]
+                )
+                if pair_ok is not None:
+                    close &= pair_ok
+                edge_rows, edge_cols = np.nonzero(close)
+                stats.edges += edge_rows.size
+                for i, j in zip(uids[rows[edge_rows]], uids[cols[edge_cols]]):
+                    adjacency[int(i)].add(int(j))
+                    adjacency[int(j)].add(int(i))
+
+        return ClusteringGraph(
+            clusters=dict(self.clusters), adjacency=adjacency, stats=stats
+        )
+
+    # ------------------------------------------------------------------
+    # Rule formation (§6.2) support
+    # ------------------------------------------------------------------
+
+    def assoc_sets(
+        self,
+        degree_thresholds: Mapping[str, float],
+        targets: Optional[frozenset] = None,
+    ) -> Dict[int, Set[int]]:
+        """``assoc(C_Y)`` for every (target) cluster, from cached matrices.
+
+        ``assoc(C_Y)`` is the set of frequent clusters over *other*
+        partitions whose image on Y's partition lies within ``D0_Y`` of
+        ``C_Y`` — the antecedent candidate pool of §6.2 rule formation.
+        """
+        assoc: Dict[int, Set[int]] = {}
+        uids = self.uids
+        for p, name in enumerate(self.partition_names):
+            if targets is not None and name not in targets:
+                continue
+            rows = np.nonzero(self.partition_of == p)[0]
+            if rows.size == 0:
+                continue
+            threshold = float(degree_thresholds[name])
+            others = self.partition_of != p
+            distances = self.pairwise_on(name)
+            for row in rows:
+                members = others & (distances[row] <= threshold)
+                assoc[int(uids[row])] = {int(u) for u in uids[members]}
+        return assoc

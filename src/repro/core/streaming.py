@@ -34,6 +34,7 @@ from repro.core.cluster import Cluster
 from repro.core.config import DARConfig
 from repro.core.graph import build_clustering_graph
 from repro.core.miner import DARMiner, DARResult, Phase2Stats
+from repro.core.phase2_kernel import Phase2Kernel
 from repro.data.relation import AttributePartition, Relation
 
 __all__ = ["StreamingDARMiner"]
@@ -231,20 +232,37 @@ class StreamingDARMiner:
         cliques: List[FrozenSet[int]] = []
         rules = []
         if len(frequent_clusters) >= 2:
+            engine = self.config.phase2_engine
+            if engine == "auto":
+                engine = "vector" if Phase2Kernel.supports(flat) else "scalar"
+            phase2.engine = engine
+            kernel = (
+                Phase2Kernel(flat, metric=self.config.metric)
+                if engine == "vector"
+                else None
+            )
             lenient = {
                 name: self.config.phase2_leniency * threshold
                 for name, threshold in self._density.items()
             }
-            graph = build_clustering_graph(
-                flat,
-                lenient,
-                metric=self.config.cluster_metric,
-                use_density_pruning=self.config.use_density_pruning,
-                pruning_diameter_factor=self.config.pruning_diameter_factor,
-            )
+            if kernel is not None:
+                graph = kernel.build_graph(
+                    lenient,
+                    use_density_pruning=self.config.use_density_pruning,
+                    pruning_diameter_factor=self.config.pruning_diameter_factor,
+                )
+            else:
+                graph = build_clustering_graph(
+                    flat,
+                    lenient,
+                    metric=self.config.metric,
+                    use_density_pruning=self.config.use_density_pruning,
+                    pruning_diameter_factor=self.config.pruning_diameter_factor,
+                    engine="scalar",
+                )
             cliques = maximal_cliques(graph.adjacency)
             helper = DARMiner(self.config)
-            rules = helper._rules_from_cliques(graph, cliques, degree)
+            rules = helper._rules_from_cliques(graph, cliques, degree, kernel=kernel)
             phase2.n_edges = graph.n_edges
             phase2.comparisons = graph.stats.comparisons
             phase2.comparisons_skipped = graph.stats.skipped

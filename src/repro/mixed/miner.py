@@ -273,7 +273,7 @@ class MixedDARMiner(DARMiner):
             graph = build_clustering_graph(
                 flat,
                 lenient,
-                metric=self.config.cluster_metric,
+                metric=self.config.metric,
                 use_density_pruning=self.config.use_density_pruning,
                 pruning_diameter_factor=self.config.pruning_diameter_factor,
             )

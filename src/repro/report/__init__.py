@@ -9,6 +9,8 @@ from repro.report.describe import (
 )
 from repro.report.export import (
     cluster_to_dict,
+    phase1_stats_to_dict,
+    phase2_stats_to_dict,
     result_to_dict,
     result_to_json,
     rule_to_dict,
@@ -23,6 +25,8 @@ __all__ = [
     "describe_rule",
     "format_rules",
     "cluster_to_dict",
+    "phase1_stats_to_dict",
+    "phase2_stats_to_dict",
     "result_to_dict",
     "result_to_json",
     "rule_to_dict",

@@ -12,11 +12,19 @@ from __future__ import annotations
 import json
 from typing import Dict
 
+from repro.birch.birch import Phase1Stats
 from repro.core.cluster import Cluster
-from repro.core.miner import DARResult
+from repro.core.miner import DARResult, Phase2Stats
 from repro.core.rules import DistanceRule
 
-__all__ = ["cluster_to_dict", "rule_to_dict", "result_to_dict", "result_to_json"]
+__all__ = [
+    "cluster_to_dict",
+    "rule_to_dict",
+    "phase1_stats_to_dict",
+    "phase2_stats_to_dict",
+    "result_to_dict",
+    "result_to_json",
+]
 
 
 def cluster_to_dict(cluster: Cluster) -> Dict:
@@ -45,8 +53,54 @@ def rule_to_dict(rule: DistanceRule) -> Dict:
     }
 
 
+def phase1_stats_to_dict(stats: Phase1Stats) -> Dict:
+    """One partition's Phase I diagnostics as built-in types."""
+    out = {
+        "points_inserted": stats.points_inserted,
+        "rebuilds": stats.rebuilds,
+        "threshold_history": [float(t) for t in stats.threshold_history],
+        "pages_out": stats.pages_out,
+        "paged_entries": stats.paged_entries,
+        "seconds": float(stats.seconds),
+        "final_entry_count": stats.final_entry_count,
+        "final_tree_bytes": stats.final_tree_bytes,
+    }
+    if stats.scan is not None:
+        out["scan"] = {
+            "points": stats.scan.points,
+            "entries": stats.scan.entries,
+            "absorbed": stats.scan.absorbed,
+            "new_entries": stats.scan.new_entries,
+            "splits": stats.scan.splits,
+            "rebuilds": stats.scan.rebuilds,
+            "batches": stats.scan.batches,
+            "flushes": stats.scan.flushes,
+            "seconds_total": float(stats.scan.seconds_total),
+        }
+    return out
+
+
+def phase2_stats_to_dict(stats: Phase2Stats) -> Dict:
+    """Phase II diagnostics, including the per-stage timing breakdown."""
+    return {
+        "seconds": float(stats.seconds),
+        "engine": stats.engine,
+        "n_clusters": stats.n_clusters,
+        "n_frequent_clusters": stats.n_frequent_clusters,
+        "n_edges": stats.n_edges,
+        "n_cliques": stats.n_cliques,
+        "n_non_trivial_cliques": stats.n_non_trivial_cliques,
+        "comparisons": stats.comparisons,
+        "comparisons_skipped": stats.comparisons_skipped,
+        "n_rules": stats.n_rules,
+        "stage_seconds": {
+            name: float(value) for name, value in stats.stage_breakdown().items()
+        },
+    }
+
+
 def result_to_dict(result: DARResult) -> Dict:
-    """Whole-run export: thresholds, clusters (by partition), rules."""
+    """Whole-run export: thresholds, clusters (by partition), rules, stats."""
     return {
         "frequency_count": result.frequency_count,
         "density_thresholds": {
@@ -60,13 +114,11 @@ def result_to_dict(result: DARResult) -> Dict:
             for name, clusters in result.frequent_clusters.items()
         },
         "rules": [rule_to_dict(rule) for rule in result.rules_sorted()],
-        "phase2": {
-            "n_edges": result.phase2.n_edges,
-            "n_cliques": result.phase2.n_cliques,
-            "n_non_trivial_cliques": result.phase2.n_non_trivial_cliques,
-            "comparisons": result.phase2.comparisons,
-            "comparisons_skipped": result.phase2.comparisons_skipped,
+        "phase1": {
+            name: phase1_stats_to_dict(stats)
+            for name, stats in result.phase1.items()
         },
+        "phase2": phase2_stats_to_dict(result.phase2),
     }
 
 

@@ -1,9 +1,20 @@
-"""Tests for DARConfig threshold resolution and validation."""
+"""Tests for DARConfig threshold resolution, constructors and shims."""
 
 import pytest
 
 from repro.birch.birch import BirchOptions
+from repro.core import config as config_module
 from repro.core.config import DARConfig
+
+
+@pytest.fixture
+def fresh_deprecations():
+    """Reset the warn-once registry so each test observes its own warning."""
+    saved = set(config_module._WARNED_DEPRECATIONS)
+    config_module._WARNED_DEPRECATIONS.clear()
+    yield
+    config_module._WARNED_DEPRECATIONS.clear()
+    config_module._WARNED_DEPRECATIONS.update(saved)
 
 
 class TestValidation:
@@ -18,7 +29,8 @@ class TestValidation:
             {"density_fraction": 0.0},
             {"degree_factor": 0.0},
             {"phase2_leniency": 0.5},
-            {"cluster_metric": "d3"},
+            {"metric": "d3"},
+            {"phase2_engine": "turbo"},
             {"max_antecedent": 0},
             {"max_consequent": 0},
             {"max_antecedent_candidates": 0},
@@ -53,3 +65,107 @@ class TestThresholdResolution:
         updated = config.with_birch(new_birch)
         assert updated.birch.initial_threshold == 9.0
         assert updated.degree_factor == 5.0
+
+
+class TestFromMapping:
+    def test_round_trips_plain_fields(self):
+        config = DARConfig.from_mapping(
+            {"frequency_fraction": 0.05, "metric": "d1", "phase2_engine": "scalar"}
+        )
+        assert config.frequency_fraction == 0.05
+        assert config.metric == "d1"
+        assert config.phase2_engine == "scalar"
+
+    def test_nested_birch_mapping(self):
+        config = DARConfig.from_mapping(
+            {"birch": {"branching": 4, "leaf_capacity": 16}}
+        )
+        assert config.birch.branching == 4
+        assert config.birch.leaf_capacity == 16
+
+    def test_unknown_key_named_in_error(self):
+        with pytest.raises(ValueError, match="densty_fraction"):
+            DARConfig.from_mapping({"densty_fraction": 0.1})
+
+    def test_unknown_birch_key_named_in_error(self):
+        with pytest.raises(ValueError, match="branchin"):
+            DARConfig.from_mapping({"birch": {"branchin": 4}})
+
+    def test_invalid_value_still_validated(self):
+        with pytest.raises(ValueError, match="frequency_fraction"):
+            DARConfig.from_mapping({"frequency_fraction": 2.0})
+
+    def test_cluster_metric_alias_accepted_with_warning(self, fresh_deprecations):
+        with pytest.warns(DeprecationWarning, match="cluster_metric"):
+            config = DARConfig.from_mapping({"cluster_metric": "d1"})
+        assert config.metric == "d1"
+
+    def test_alias_conflict_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            DARConfig.from_mapping({"cluster_metric": "d1", "metric": "d2"})
+
+
+class TestWithThresholds:
+    def test_sets_density_and_degree(self):
+        config = DARConfig().with_thresholds(
+            density={"x": 2.0}, degree={"y": 0.5}
+        )
+        assert config.density_thresholds == {"x": 2.0}
+        assert config.degree_thresholds == {"y": 0.5}
+
+    def test_merges_over_existing(self):
+        config = DARConfig(density_thresholds={"x": 1.0, "y": 2.0})
+        updated = config.with_thresholds(density={"y": 9.0})
+        assert updated.density_thresholds == {"x": 1.0, "y": 9.0}
+
+    def test_original_unchanged(self):
+        config = DARConfig()
+        config.with_thresholds(density={"x": 1.0})
+        assert config.density_thresholds == {}
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_nonpositive_or_nonfinite_rejected_naming_partition(self, bad):
+        with pytest.raises(ValueError, match="'salary'"):
+            DARConfig().with_thresholds(density={"salary": bad})
+
+    def test_no_arguments_rejected(self):
+        with pytest.raises(ValueError, match="with_thresholds"):
+            DARConfig().with_thresholds()
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(ValueError, match="partition names"):
+            DARConfig().with_thresholds(degree={3: 1.0})
+
+
+class TestClusterMetricShim:
+    def test_constructor_alias_warns_once_and_forwards(self, fresh_deprecations):
+        with pytest.warns(DeprecationWarning, match="cluster_metric"):
+            config = DARConfig(cluster_metric="d1")
+        assert config.metric == "d1"
+        # Second use is silent: the shim warns once per process.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert DARConfig(cluster_metric="d1").metric == "d1"
+
+    def test_property_alias_warns_once_and_forwards(self, fresh_deprecations):
+        config = DARConfig(metric="d1")
+        with pytest.warns(DeprecationWarning, match="cluster_metric"):
+            assert config.cluster_metric == "d1"
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert config.cluster_metric == "d1"
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            DARConfig(metric="d2", cluster_metric="d1")
+
+    def test_dataclass_machinery_unaffected(self, fresh_deprecations):
+        from dataclasses import replace
+
+        with pytest.warns(DeprecationWarning):
+            config = DARConfig(cluster_metric="d1")
+        assert replace(config, degree_factor=3.0).metric == "d1"

@@ -146,7 +146,7 @@ class TestMetricAndPruningOptions:
     @pytest.mark.parametrize("metric", ["d1", "d2"])
     def test_both_metrics_run(self, metric):
         relation, _ = make_planted_rule_relation(seed=7)
-        result = DARMiner(DARConfig(cluster_metric=metric)).mine(relation)
+        result = DARMiner(DARConfig(metric=metric)).mine(relation)
         assert result.phase2.n_clusters > 0
 
     def test_pruning_reduces_comparisons(self):

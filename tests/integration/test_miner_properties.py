@@ -55,7 +55,7 @@ def miner_configs(draw):
         density_fraction=draw(st.sampled_from([0.05, 0.15, 0.4])),
         degree_factor=draw(st.sampled_from([1.0, 2.0, 4.0])),
         phase2_leniency=draw(st.sampled_from([1.0, 2.0])),
-        cluster_metric=draw(st.sampled_from(["d1", "d2"])),
+        metric=draw(st.sampled_from(["d1", "d2"])),
         max_antecedent=draw(st.integers(1, 2)),
         max_consequent=draw(st.integers(1, 2)),
         use_density_pruning=draw(st.booleans()),
