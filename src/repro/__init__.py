@@ -49,6 +49,18 @@ from repro.data import (
 )
 from repro.quantitative import QARConfig, QARMiner
 from repro.report import describe_result, describe_rule
+from repro.resilience import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointVersionError,
+    CorruptResultError,
+    DataError,
+    ErrorBudgetExceeded,
+    IngestError,
+    ReproError,
+    ResourceExhaustedError,
+    ValidationError,
+)
 
 __version__ = "1.0.0"
 
@@ -83,5 +95,15 @@ __all__ = [
     "QARMiner",
     "describe_result",
     "describe_rule",
+    "ReproError",
+    "DataError",
+    "ValidationError",
+    "IngestError",
+    "ErrorBudgetExceeded",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "ResourceExhaustedError",
+    "CorruptResultError",
     "__version__",
 ]

@@ -24,11 +24,14 @@ runs need no imports beyond ``repro`` itself.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence, Union
 
 from repro.core.config import DARConfig
-from repro.core.miner import DARMiner, DARResult
+from repro.core.miner import DARResult
 from repro.data.relation import AttributePartition, Relation
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.resilience.guard import GuardPolicy
 
 __all__ = ["mine"]
 
@@ -39,17 +42,28 @@ def mine(
     config: Optional[Union[DARConfig, Mapping[str, Any]]] = None,
     partitions: Optional[Sequence[AttributePartition]] = None,
     targets: Optional[Sequence[str]] = None,
+    policy: Optional["GuardPolicy"] = None,
 ) -> DARResult:
     """Mine distance-based association rules from ``relation``.
 
-    Equivalent to ``DARMiner(config).mine(relation, partitions, targets)``.
+    Equivalent to ``DARMiner(config).mine(relation, partitions, targets)``
+    on a clean run, but wrapped in the graceful-degradation ladder of
+    :func:`repro.resilience.guard.guarded_mine`: bad input fails fast
+    with a precise :class:`~repro.resilience.errors.ValidationError`,
+    memory exhaustion escalates the density thresholds and retries
+    (recorded in ``result.phase2.events``), a Phase II kernel failure
+    falls back to the scalar engine, and a structurally corrupt result is
+    never returned.
 
     ``config`` — a :class:`DARConfig`, a mapping of its fields, or ``None``
     for the paper's defaults.  ``partitions`` — the attribute partitioning
     (default: one partition per interval attribute).  ``targets`` — names
     of partitions rules may conclude about (the Section 5.2 N:1
-    application); ``None`` mines all consequents.
+    application); ``None`` mines all consequents.  ``policy`` — a
+    :class:`~repro.resilience.guard.GuardPolicy` tuning the ladder.
     """
+    from repro.resilience.guard import guarded_mine
+
     if config is None:
         config = DARConfig()
     elif isinstance(config, Mapping):
@@ -59,4 +73,10 @@ def mine(
             f"config must be a DARConfig or a mapping of its fields, "
             f"got {type(config).__name__}"
         )
-    return DARMiner(config).mine(relation, partitions=partitions, targets=targets)
+    return guarded_mine(
+        relation,
+        config=config,
+        partitions=partitions,
+        targets=targets,
+        policy=policy,
+    )

@@ -43,7 +43,7 @@ flag.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from math import inf, sqrt
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
@@ -121,6 +121,15 @@ class ScanStats:
         self.seconds_scan += other.seconds_scan
         self.seconds_flush += other.seconds_flush
         self.seconds_split += other.seconds_split
+
+    def to_dict(self) -> dict:
+        """Plain-builtin counters for checkpoints and reports."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "ScanStats":
+        names = {f.name for f in fields(cls)}
+        return cls(**{name: value for name, value in state.items() if name in names})
 
     def describe(self) -> str:
         """One-line human-readable summary (used by the CLI ``--stats``)."""

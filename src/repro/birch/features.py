@@ -141,6 +141,27 @@ class CF:
         """Euclidean distance between centroids (BIRCH's D0)."""
         return float(np.linalg.norm(self.centroid - other.centroid))
 
+    # ------------------------------------------------------------------
+    # Checkpoint state (repro.resilience.checkpoint)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Plain-builtin state for checkpoints.
+
+        Floats are emitted as Python floats; their shortest ``repr`` (what
+        JSON writes) round-trips every finite float64 exactly, so a
+        restored CF is bit-identical to the saved one.
+        """
+        return {"n": self.n, "ls": self.ls.tolist(), "ss": self.ss.tolist()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CF":
+        return cls(
+            int(state["n"]),
+            np.asarray(state["ls"], dtype=np.float64),
+            np.asarray(state["ss"], dtype=np.float64),
+        )
+
     def __repr__(self) -> str:
         return f"CF(n={self.n}, centroid={self.ls / self.n if self.n else None})"
 
@@ -285,6 +306,28 @@ class ACF:
                 f"ACF has no cross moments for partition {partition_name!r}; "
                 f"available: {sorted(self.cross)}"
             ) from None
+
+    # ------------------------------------------------------------------
+    # Checkpoint state (repro.resilience.checkpoint)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Plain-builtin state for checkpoints (see :meth:`CF.state_dict`)."""
+        return {
+            "cf": self.cf.state_dict(),
+            "cross": {name: cf.state_dict() for name, cf in self.cross.items()},
+            "lo": self.lo.tolist(),
+            "hi": self.hi.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ACF":
+        return cls(
+            CF.from_state(state["cf"]),
+            {name: CF.from_state(cf) for name, cf in state["cross"].items()},
+            lo=np.asarray(state["lo"], dtype=np.float64),
+            hi=np.asarray(state["hi"], dtype=np.float64),
+        )
 
     def __repr__(self) -> str:
         return f"ACF(n={self.n}, cross={sorted(self.cross)})"

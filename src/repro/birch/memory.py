@@ -85,6 +85,16 @@ class ThresholdSchedule:
         self.growth_factor = growth_factor
         self.initial_step = initial_step
 
+    def state_dict(self) -> dict:
+        return {"growth_factor": self.growth_factor, "initial_step": self.initial_step}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ThresholdSchedule":
+        return cls(
+            growth_factor=float(state["growth_factor"]),
+            initial_step=float(state["initial_step"]),
+        )
+
     def next_threshold(self, tree) -> float:
         """Next threshold for ``tree`` (an :class:`~repro.birch.tree.ACFTree`)."""
         current = tree.threshold

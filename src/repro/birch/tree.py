@@ -437,3 +437,106 @@ class ACFTree:
                 n_internal += 1
                 stack.extend(node.children)  # type: ignore[attr-defined]
         return n_entries, n_leaves, n_internal
+
+    # ------------------------------------------------------------------
+    # Checkpoint state (repro.resilience.checkpoint)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """The complete tree as plain built-in types.
+
+        Serializes the *structure*, not just the leaf entries: every node's
+        aggregate CF, the child order of internal nodes, the entry order of
+        leaves, and the leaf chain.  A tree restored by :meth:`from_state`
+        therefore makes bit-identical routing and absorption decisions on
+        all subsequent insertions — which is what makes resume-then-finish
+        equivalent to an uninterrupted run.
+
+        Calling this quiesces the lazy batch engine (its mirror caches are
+        rebuilt from node state on the next batch), so a checkpointed run
+        and a resumed run see identical engine state from here on.
+        """
+        self._batch_engine = None
+        leaf_ids = {id(leaf): index for index, leaf in enumerate(self.leaves())}
+
+        def encode(node: Node) -> Dict[str, object]:
+            state: Dict[str, object] = {"cf": node.cf.state_dict()}
+            if node.is_leaf:
+                leaf: LeafNode = node  # type: ignore[assignment]
+                if id(leaf) not in leaf_ids:
+                    raise RuntimeError(
+                        "ACF-tree leaf is not on the leaf chain; tree is corrupt"
+                    )
+                state["leaf"] = leaf_ids[id(leaf)]
+                state["entries"] = [entry.state_dict() for entry in leaf.entries]
+            else:
+                state["children"] = [
+                    encode(child)
+                    for child in node.children  # type: ignore[attr-defined]
+                ]
+            return state
+
+        root = encode(self._root)
+        n_leaves = sum(1 for _ in self.leaves())
+        if n_leaves != len(leaf_ids):  # pragma: no cover - defensive
+            raise RuntimeError("leaf chain does not cover the tree")
+        return {
+            "dimension": self.dimension,
+            "threshold": self.threshold,
+            "branching": self.branching,
+            "leaf_capacity": self.leaf_capacity,
+            "cross_dimensions": dict(self.cross_dimensions),
+            "n_points": self._n_points,
+            "n_splits": self._n_splits,
+            "n_leaves": n_leaves,
+            "root": root,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "ACFTree":
+        """Rebuild the exact tree serialized by :meth:`state_dict`."""
+        tree = cls(
+            dimension=int(state["dimension"]),  # type: ignore[arg-type]
+            threshold=float(state["threshold"]),  # type: ignore[arg-type]
+            branching=int(state["branching"]),  # type: ignore[arg-type]
+            leaf_capacity=int(state["leaf_capacity"]),  # type: ignore[arg-type]
+            cross_dimensions={
+                name: int(dim)
+                for name, dim in state["cross_dimensions"].items()  # type: ignore[attr-defined]
+            },
+        )
+        n_leaves = int(state["n_leaves"])  # type: ignore[arg-type]
+        leaves: List[Optional[LeafNode]] = [None] * n_leaves
+
+        def decode(node_state: Mapping[str, object]) -> Node:
+            if "children" in node_state:
+                node: Node = InternalNode(tree.branching, tree.dimension)
+                for child_state in node_state["children"]:  # type: ignore[attr-defined]
+                    node.add_child(decode(child_state))  # type: ignore[attr-defined]
+            else:
+                leaf = LeafNode(tree.leaf_capacity, tree.dimension)
+                leaf.entries = [
+                    ACF.from_state(entry_state)
+                    for entry_state in node_state["entries"]  # type: ignore[attr-defined]
+                ]
+                index = int(node_state["leaf"])  # type: ignore[arg-type]
+                if not 0 <= index < n_leaves or leaves[index] is not None:
+                    raise ValueError(f"invalid or duplicate leaf id {index} in state")
+                leaves[index] = leaf
+                node = leaf
+            # Restore the aggregate exactly as serialized — recomputing it
+            # would re-associate the float sums and perturb routing.
+            node._cf = CF.from_state(node_state["cf"])  # type: ignore[assignment]
+            return node
+
+        tree._root = decode(state["root"])  # type: ignore[arg-type]
+        missing = [index for index, leaf in enumerate(leaves) if leaf is None]
+        if missing:
+            raise ValueError(f"leaf ids {missing} missing from serialized tree")
+        for index in range(n_leaves - 1):
+            leaves[index].next_leaf = leaves[index + 1]  # type: ignore[union-attr]
+            leaves[index + 1].prev_leaf = leaves[index]  # type: ignore[union-attr]
+        tree._first_leaf = leaves[0]  # type: ignore[assignment]
+        tree._n_points = int(state["n_points"])  # type: ignore[arg-type]
+        tree._n_splits = int(state["n_splits"])  # type: ignore[arg-type]
+        return tree

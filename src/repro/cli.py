@@ -12,6 +12,9 @@ Examples::
     python -m repro generate planted /tmp/claims.csv --seed 7
     python -m repro mine /tmp/claims.csv --count-support --top-k 10
     python -m repro mine /tmp/claims.csv --target claims --prune-redundant
+    python -m repro mine /tmp/dirty.csv --lenient --quarantine /tmp/bad.jsonl
+    python -m repro mine /tmp/big.csv --checkpoint /tmp/run.ckpt --checkpoint-every 50000
+    python -m repro mine /tmp/big.csv --resume /tmp/run.ckpt --checkpoint-every 50000
     python -m repro baseline /tmp/claims.csv --min-support 0.15
 
 CSV files use the schema-header format of :mod:`repro.data.io` (written by
@@ -36,6 +39,7 @@ from repro.data.wbcd import make_scaled_wbcd, make_wbcd_like
 from repro.mixed.miner import MixedDARConfig, MixedDARMiner
 from repro.quantitative.qar import QARConfig, QARMiner
 from repro.report.describe import describe_rule
+from repro.resilience.errors import ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -75,13 +79,35 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--max-degree", type=float, default=None,
                       help="keep rules with degree at most this")
     mine.add_argument("--stats", action="store_true",
-                      help="print per-partition Phase I scan statistics")
+                      help="print per-partition Phase I scan statistics, "
+                      "quarantine counts, degradation events and "
+                      "checkpoint timings")
     mine.add_argument("--json", action="store_true",
                       help="emit the full result as JSON (not with --mixed)")
     mine.add_argument("--drop-missing", action="store_true",
                       help="drop tuples with missing values before mining")
     mine.add_argument("--impute-mean", action="store_true",
                       help="replace numeric NaNs with the column mean")
+    mine.add_argument("--lenient", action="store_true",
+                      help="quarantine unparseable/bad rows instead of "
+                      "aborting the load")
+    mine.add_argument("--quarantine", metavar="PATH", default=None,
+                      help="write quarantined rows to this JSONL file "
+                      "(implies --lenient)")
+    mine.add_argument("--max-bad-fraction", type=float, default=0.05,
+                      help="lenient mode: abort once this fraction of rows "
+                      "is bad (default 0.05)")
+    mine.add_argument("--checkpoint", metavar="PATH", default=None,
+                      help="mine via the streaming engine, checkpointing "
+                      "state to PATH every --checkpoint-every rows")
+    mine.add_argument("--checkpoint-every", metavar="N", type=int,
+                      default=10_000,
+                      help="rows per streaming batch/checkpoint "
+                      "(default 10000)")
+    mine.add_argument("--resume", metavar="PATH", default=None,
+                      help="resume a streaming mine from this checkpoint "
+                      "file (continues checkpointing to the same path "
+                      "unless --checkpoint overrides it)")
 
     baseline = commands.add_parser(
         "baseline", help="Srikant-Agrawal quantitative rules (equi-depth)"
@@ -113,18 +139,75 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_relation(path: str) -> Relation:
-    """Load a repro CSV, falling back to plain-CSV schema inference."""
+def _load_relation(path: str, sink=None) -> Relation:
+    """Load a repro CSV, falling back to plain-CSV schema inference.
+
+    ``sink`` (lenient mode) only applies to the schema-header format;
+    plain CSVs load strictly because kind inference over corrupt cells is
+    ill-defined.
+    """
     try:
-        return load_csv(path)
+        return load_csv(path, sink=sink)
     except ValueError as error:
         if "schema header" not in str(error):
             raise
         return load_plain_csv(path)
 
 
+def _mine_streaming(relation: Relation, config: DARConfig, args):
+    """Mine via :class:`StreamingDARMiner` with periodic checkpoints.
+
+    Feeds ``relation`` in ``--checkpoint-every``-row batches, saving a
+    checkpoint after each.  With ``--resume`` the miner state is restored
+    from the checkpoint file and already-absorbed rows are skipped, so a
+    killed run picks up exactly where its last checkpoint left it; the
+    final result is identical to the uninterrupted run's.
+    """
+    from repro.core.streaming import StreamingDARMiner
+    from repro.data.relation import default_partitions
+
+    every = args.checkpoint_every
+    if every < 1:
+        raise ValueError("--checkpoint-every must be at least 1")
+    if args.resume:
+        miner = StreamingDARMiner.from_checkpoint(args.resume)
+    else:
+        miner = StreamingDARMiner(default_partitions(relation.schema), config)
+    path = args.checkpoint or args.resume
+    matrices = {
+        p.name: relation.matrix(p.attributes) for p in miner.partitions
+    }
+    n = len(relation)
+    position = miner.rows_seen
+    if position > n:
+        raise ValueError(
+            f"checkpoint has already seen {position} rows but {args.csv} "
+            f"holds only {n}; did the input file change?"
+        )
+    infos = []
+    while position < n:
+        end = min(position + every, n)
+        miner.update_arrays(
+            {name: matrix[position:end] for name, matrix in matrices.items()}
+        )
+        if path is not None:
+            infos.append(miner.save_checkpoint(path))
+        position = end
+    return miner.rules(), infos
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
-    relation = _load_relation(args.csv)
+    sink = None
+    if args.lenient or args.quarantine is not None:
+        from repro.resilience.sink import ErrorBudget, Quarantine
+
+        sink = Quarantine(
+            path=args.quarantine,
+            budget=ErrorBudget(max_fraction=args.max_bad_fraction),
+        )
+    relation = _load_relation(args.csv, sink=sink)
+    if sink is not None:
+        sink.close()
     if args.drop_missing and args.impute_mean:
         raise ValueError("choose one of --drop-missing / --impute-mean")
     if args.drop_missing:
@@ -144,7 +227,17 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         phase2_engine=args.engine,
     )
     targets = args.target.split(",") if args.target else None
-    if args.mixed:
+    checkpoint_infos = []
+    if args.checkpoint or args.resume:
+        if args.mixed:
+            raise ValueError(
+                "--checkpoint/--resume use the streaming engine, which does "
+                "not support --mixed"
+            )
+        result, checkpoint_infos = _mine_streaming(relation, config, args)
+        if targets:
+            result.rules = filter_by_consequent(result.rules, targets)
+    elif args.mixed:
         if args.json:
             raise ValueError("--json is not supported together with --mixed")
         result = MixedDARMiner(MixedDARConfig(base=config)).mine_mixed(relation)
@@ -197,6 +290,18 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 f"# phase2 stages: {breakdown} "
                 f"({phase2.comparisons} comparisons, "
                 f"{phase2.comparisons_skipped} pruned)"
+            )
+            for event in getattr(phase2, "events", []):
+                print(f"# degradation: {event}")
+        if sink is not None:
+            print(f"# quarantine: {sink.summary()}")
+        if checkpoint_infos:
+            total_bytes = sum(info.n_bytes for info in checkpoint_infos)
+            total_seconds = sum(info.seconds for info in checkpoint_infos)
+            print(
+                f"# checkpoints: {len(checkpoint_infos)} written to "
+                f"{checkpoint_infos[-1].path} "
+                f"({total_bytes} bytes, {total_seconds:.3f}s total)"
             )
     print(f"# rules: {len(rules)}")
     for rule in rules:
@@ -289,7 +394,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (OSError, ValueError) as error:
+    except (OSError, ValueError, ReproError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 import math
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -29,6 +29,8 @@ from repro.core.graph import ClusteringGraph, build_clustering_graph
 from repro.core.phase2_kernel import Phase2Kernel
 from repro.core.rules import DistanceRule
 from repro.data.relation import AttributePartition, Relation, default_partitions
+from repro.resilience import faults
+from repro.resilience.errors import ValidationError
 
 __all__ = ["DARMiner", "DARResult", "Phase2Stats"]
 
@@ -39,10 +41,14 @@ class Phase2Stats:
 
     ``engine`` is the resolved distance engine (``"vector"`` for the
     blocked numpy kernel, ``"scalar"`` for per-pair Python calls, empty
-    when Phase II never ran).  The ``*_seconds`` fields break ``seconds``
-    down by stage: image-moment extraction, clustering-graph build,
-    maximal-clique enumeration and rule emission (assoc sets, antecedent
-    search, degree computation).
+    when Phase II never ran) — resolved *after* any degradation, so it
+    always names the engine that actually produced the graph.  ``events``
+    records graceful degradations in order (e.g. a vector-kernel failure
+    that fell back to the scalar engine, or a guarded retry after memory
+    exhaustion); an empty list means the run was clean.  The
+    ``*_seconds`` fields break ``seconds`` down by stage: image-moment
+    extraction, clustering-graph build, maximal-clique enumeration and
+    rule emission (assoc sets, antecedent search, degree computation).
     """
 
     seconds: float = 0.0
@@ -59,6 +65,7 @@ class Phase2Stats:
     graph_seconds: float = 0.0
     clique_seconds: float = 0.0
     rules_seconds: float = 0.0
+    events: List[str] = field(default_factory=list)
 
     def stage_breakdown(self) -> Dict[str, float]:
         """Stage-name → seconds, in pipeline order (for reports/CLI)."""
@@ -164,7 +171,7 @@ class DARMiner:
         relations, empty partitionings, or unknown target names.
         """
         if len(relation) == 0:
-            raise ValueError("cannot mine an empty relation")
+            raise ValidationError("cannot mine an empty relation")
         partition_list = list(
             partitions if partitions is not None else default_partitions(relation.schema)
         )
@@ -183,6 +190,7 @@ class DARMiner:
                 raise ValueError("targets, when given, must be non-empty")
 
         matrices = {p.name: relation.matrix(p.attributes) for p in partition_list}
+        self._validate_matrices(partition_list, matrices)
         density = self._resolve_density_thresholds(partition_list, matrices)
         degree = {
             p.name: self.config.degree_threshold(p.name, density[p.name])
@@ -241,7 +249,6 @@ class DARMiner:
                 engine = (
                     "vector" if Phase2Kernel.supports(flat_frequent) else "scalar"
                 )
-            phase2.engine = engine
 
             # Image-moment extraction: every frequent cluster's (N, LS, SS)
             # on every partition, stacked once, reused by the graph build
@@ -249,7 +256,16 @@ class DARMiner:
             stage = time.perf_counter()
             kernel: Optional[Phase2Kernel] = None
             if engine == "vector":
-                kernel = Phase2Kernel(flat_frequent, metric=self.config.metric)
+                try:
+                    faults.fire("phase2.kernel")
+                    kernel = Phase2Kernel(flat_frequent, metric=self.config.metric)
+                except Exception as error:
+                    phase2.events.append(
+                        f"vector Phase II kernel failed during moment "
+                        f"extraction ({error}); degraded to the scalar engine"
+                    )
+                    engine = "scalar"
+                    kernel = None
             phase2.extract_seconds = time.perf_counter() - stage
 
             lenient = {
@@ -258,12 +274,21 @@ class DARMiner:
             }
             stage = time.perf_counter()
             if kernel is not None:
-                graph = kernel.build_graph(
-                    lenient,
-                    use_density_pruning=self.config.use_density_pruning,
-                    pruning_diameter_factor=self.config.pruning_diameter_factor,
-                )
-            else:
+                try:
+                    graph = kernel.build_graph(
+                        lenient,
+                        use_density_pruning=self.config.use_density_pruning,
+                        pruning_diameter_factor=self.config.pruning_diameter_factor,
+                    )
+                except Exception as error:
+                    phase2.events.append(
+                        f"vector Phase II kernel failed during graph build "
+                        f"({error}); degraded to the scalar engine"
+                    )
+                    engine = "scalar"
+                    kernel = None
+                    graph = None
+            if kernel is None:
                 graph = build_clustering_graph(
                     flat_frequent,
                     lenient,
@@ -272,6 +297,7 @@ class DARMiner:
                     pruning_diameter_factor=self.config.pruning_diameter_factor,
                     engine="scalar",
                 )
+            phase2.engine = engine
             phase2.graph_seconds = time.perf_counter() - stage
 
             stage = time.perf_counter()
@@ -321,6 +347,42 @@ class DARMiner:
         )
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate_matrices(
+        partitions: Sequence[AttributePartition],
+        matrices: Mapping[str, np.ndarray],
+    ) -> None:
+        """Reject non-finite data up front with an error naming the column.
+
+        NaN/inf would otherwise propagate silently through every moment sum
+        and surface only as nonsense thresholds or empty rule sets.  The
+        message distinguishes an entirely-bad column (drop it) from a few
+        bad rows (clean them, or ingest leniently with a quarantine sink).
+        """
+        for partition in partitions:
+            matrix = np.atleast_2d(np.asarray(matrices[partition.name], float))
+            finite = np.isfinite(matrix)
+            if finite.all():
+                continue
+            for column, attribute in enumerate(partition.attributes):
+                bad = int((~finite[:, column]).sum())
+                if bad == 0:
+                    continue
+                total = matrix.shape[0]
+                if bad == total:
+                    raise ValidationError(
+                        f"attribute {attribute!r} (partition "
+                        f"{partition.name!r}) is entirely non-finite "
+                        f"(all {total} rows are NaN/inf); drop the column "
+                        f"or clean the data before mining"
+                    )
+                raise ValidationError(
+                    f"attribute {attribute!r} (partition {partition.name!r}) "
+                    f"has {bad} non-finite value(s) in {total} rows; clean "
+                    f"the data or load it leniently with a quarantine sink "
+                    f"(load_csv(..., sink=...)) to divert the bad rows"
+                )
 
     def _resolve_density_thresholds(
         self,

@@ -12,6 +12,17 @@ Because density thresholds cannot be derived from data that has not
 arrived yet, they are fixed up front: either explicitly per partition or
 from the first batch (``density_fraction`` of its spread), mirroring how
 the batch miner derives them from the full relation.
+
+Long streams are exactly where crashes land, so the miner is
+checkpointable: :meth:`StreamingDARMiner.save_checkpoint` serializes the
+complete state (every tree's exact node graph, thresholds, scan stats,
+row counters) through :mod:`repro.resilience.checkpoint`, and
+:meth:`StreamingDARMiner.from_checkpoint` restores a miner that absorbs
+the remaining batches with bit-identical results — the ACF Additivity
+Theorem (Eq. 7) is what makes the serialized summaries a *complete*
+checkpoint.  Ingestion can also run leniently: pass a
+:class:`~repro.resilience.sink.RowSink` to :meth:`update` and rows with
+non-finite values are quarantined instead of aborting the stream.
 """
 
 from __future__ import annotations
@@ -19,7 +30,9 @@ from __future__ import annotations
 import itertools
 import math
 import time
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -36,8 +49,12 @@ from repro.core.graph import build_clustering_graph
 from repro.core.miner import DARMiner, DARResult, Phase2Stats
 from repro.core.phase2_kernel import Phase2Kernel
 from repro.data.relation import AttributePartition, Relation
+from repro.resilience import faults
+from repro.resilience.errors import CheckpointCorruptError, ValidationError
 
 __all__ = ["StreamingDARMiner"]
+
+_CHECKPOINT_KIND = "streaming-darminer"
 
 
 class StreamingDARMiner:
@@ -76,6 +93,7 @@ class StreamingDARMiner:
             p.name: ScanStats() for p in partition_list
         }
         self._n_points = 0
+        self._rows_seen = 0
 
     # ------------------------------------------------------------------
 
@@ -83,6 +101,16 @@ class StreamingDARMiner:
     def n_points(self) -> int:
         """Tuples absorbed so far."""
         return self._n_points
+
+    @property
+    def rows_seen(self) -> int:
+        """Rows *offered* so far, including any diverted to a sink.
+
+        This is the stream position — what a resuming driver uses to skip
+        already-processed input — whereas :attr:`n_points` counts only the
+        rows the trees absorbed.
+        """
+        return self._rows_seen
 
     @property
     def scan_stats(self) -> Dict[str, ScanStats]:
@@ -95,44 +123,103 @@ class StreamingDARMiner:
             raise RuntimeError("no data yet: thresholds are fixed by the first batch")
         return dict(self._density)
 
-    def update(self, relation: Relation) -> None:
-        """Absorb one batch of tuples (schema must cover every partition)."""
+    def update(self, relation: Relation, sink=None) -> None:
+        """Absorb one batch of tuples (schema must cover every partition).
+
+        With ``sink`` (a :class:`~repro.resilience.sink.RowSink`), rows
+        containing non-finite values are diverted to it instead of
+        aborting the batch; without one any non-finite value raises.
+        """
         if len(relation) == 0:
             return
         matrices = {
             p.name: relation.matrix(p.attributes) for p in self.partitions
         }
-        self.update_arrays(matrices)
+        self.update_arrays(matrices, sink=sink)
 
-    def update_arrays(self, matrices: Mapping[str, np.ndarray]) -> None:
+    def update_arrays(self, matrices: Mapping[str, np.ndarray], sink=None) -> None:
         """Absorb a batch given as per-partition matrices with equal rows."""
+        faults.fire("streaming.update")
         missing = [p.name for p in self.partitions if p.name not in matrices]
         if missing:
             raise ValueError(f"batch lacks matrices for partitions: {missing}")
-        lengths = {np.atleast_2d(matrices[p.name]).shape[0] for p in self.partitions}
+        arrays = {
+            p.name: np.atleast_2d(np.asarray(matrices[p.name], dtype=np.float64))
+            for p in self.partitions
+        }
+        lengths = {arrays[p.name].shape[0] for p in self.partitions}
         if len(lengths) != 1:
             raise ValueError(f"ragged batch: row counts {sorted(lengths)}")
         (n_rows,) = lengths
         if n_rows == 0:
             return
-        for name, matrix in matrices.items():
-            if not np.all(np.isfinite(np.asarray(matrix, dtype=np.float64))):
-                raise ValueError(f"batch contains non-finite values in {name!r}")
+
+        offered = n_rows
+        if sink is None:
+            for name, matrix in arrays.items():
+                if not np.all(np.isfinite(matrix)):
+                    raise ValidationError(
+                        f"batch contains non-finite values in {name!r}"
+                    )
+        else:
+            arrays, n_rows = self._divert_bad_rows(arrays, n_rows, sink)
+            if n_rows == 0:
+                self._rows_seen += offered
+                return
 
         if self._density is None:
-            self._initialize(matrices)
+            self._initialize(arrays)
 
         for partition in self.partitions:
+            faults.fire("streaming.partition")
             tree = self._trees[partition.name]
-            points = np.atleast_2d(np.asarray(matrices[partition.name], float))
+            points = arrays[partition.name]
             cross = {
-                p.name: np.atleast_2d(np.asarray(matrices[p.name], float))
+                p.name: arrays[p.name]
                 for p in self.partitions
                 if p.name != partition.name
             }
             tree.insert_points(points, cross, stats=self._scan_stats[partition.name])
             self._enforce_budget(partition.name)
         self._n_points += n_rows
+        self._rows_seen += offered
+
+    def _divert_bad_rows(self, arrays, n_rows: int, sink):
+        """Quarantine rows with non-finite values; return the clean rest.
+
+        Row numbers reported to the sink are *stream* positions (offset by
+        :attr:`rows_seen`), so quarantine records stay meaningful across
+        batches.
+        """
+        finite = np.ones(n_rows, dtype=bool)
+        per_partition = {}
+        for partition in self.partitions:
+            ok = np.isfinite(arrays[partition.name]).all(axis=1)
+            per_partition[partition.name] = ok
+            finite &= ok
+        bad_indices = np.flatnonzero(~finite)
+        for index in bad_indices:
+            culprits = [
+                name for name, ok in per_partition.items() if not ok[index]
+            ]
+            values = tuple(
+                value
+                for partition in self.partitions
+                for value in arrays[partition.name][index].tolist()
+            )
+            sink.divert(
+                self._rows_seen + int(index),
+                "non-finite value in partition(s) " + ", ".join(culprits),
+                values,
+            )
+        n_good = int(finite.sum())
+        sink.note_ok(n_good)
+        if n_good == n_rows:
+            return arrays, n_rows
+        return (
+            {name: matrix[finite] for name, matrix in arrays.items()},
+            n_good,
+        )
 
     # ------------------------------------------------------------------
 
@@ -190,6 +277,138 @@ class StreamingDARMiner:
         self._trees[name] = tree
 
     # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """The miner's complete state as plain built-in types.
+
+        Everything needed for an exact resume: config, partition layout,
+        the density thresholds fixed by the first batch, every tree's
+        structural state (see :meth:`ACFTree.state_dict` — this also
+        quiesces the trees' batch engines so the checkpointed run and a
+        resumed run evolve identically from here on), threshold schedules,
+        accumulated scan stats, and the row counters.
+        """
+        return {
+            "kind": _CHECKPOINT_KIND,
+            "config": asdict(self.config),
+            "partitions": [
+                {
+                    "name": p.name,
+                    "attributes": list(p.attributes),
+                    "metric": p.metric,
+                }
+                for p in self.partitions
+            ],
+            "explicit_density": dict(self._explicit_density),
+            "density": dict(self._density) if self._density is not None else None,
+            "trees": {
+                name: tree.state_dict() for name, tree in self._trees.items()
+            },
+            "schedules": {
+                name: schedule.state_dict()
+                for name, schedule in self._schedules.items()
+            },
+            "scan_stats": {
+                name: stats.to_dict() for name, stats in self._scan_stats.items()
+            },
+            "n_points": self._n_points,
+            "rows_seen": self._rows_seen,
+        }
+
+    def save_checkpoint(self, path: Union[str, Path]):
+        """Write the full state to ``path`` atomically.
+
+        Returns a :class:`~repro.resilience.checkpoint.CheckpointInfo`
+        (size and timing, surfaced by the CLI ``--stats``).  A crash
+        mid-save leaves any previous checkpoint at ``path`` intact.
+        """
+        from repro.resilience.checkpoint import write_checkpoint
+
+        return write_checkpoint(self.state_dict(), path)
+
+    @classmethod
+    def from_checkpoint(cls, path: Union[str, Path]) -> "StreamingDARMiner":
+        """Restore a miner from :meth:`save_checkpoint` output.
+
+        The restored miner absorbs subsequent batches with bit-identical
+        results to the original: leaf moments, routing decisions and the
+        eventual rule set all match an uninterrupted run fed the same
+        stream.  Raises the :mod:`repro.resilience.errors` checkpoint
+        errors on damaged or incompatible files.
+        """
+        from repro.resilience.checkpoint import read_checkpoint
+
+        state = read_checkpoint(path)
+        if state.get("kind") != _CHECKPOINT_KIND:
+            raise CheckpointCorruptError(
+                f"{path}: checkpoint holds a {state.get('kind')!r} state, "
+                f"not a {_CHECKPOINT_KIND!r}"
+            )
+        try:
+            miner = cls._from_state(state)
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointCorruptError(
+                f"{path}: checkpoint payload is structurally invalid: {error}"
+            ) from error
+        return miner
+
+    @classmethod
+    def _from_state(cls, state: Mapping[str, object]) -> "StreamingDARMiner":
+        config = DARConfig.from_mapping(state["config"])
+        partitions = [
+            AttributePartition(
+                name=p["name"],
+                attributes=tuple(p["attributes"]),
+                metric=p.get("metric", "euclidean"),
+            )
+            for p in state["partitions"]
+        ]
+        miner = cls(
+            partitions,
+            config,
+            density_thresholds={
+                name: float(value)
+                for name, value in state["explicit_density"].items()
+            },
+        )
+        density = state["density"]
+        if density is not None:
+            miner._density = {name: float(value) for name, value in density.items()}
+            miner._trees = {
+                name: ACFTree.from_state(tree_state)
+                for name, tree_state in state["trees"].items()
+            }
+            miner._schedules = {
+                name: ThresholdSchedule.from_state(schedule_state)
+                for name, schedule_state in state["schedules"].items()
+            }
+            # Memory models carry no evolving state; recreate them exactly
+            # as _initialize does.
+            for partition in miner.partitions:
+                miner._memory_models[partition.name] = MemoryModel(
+                    dimension=partition.dimension,
+                    cross_dimensions={
+                        p.name: p.dimension
+                        for p in miner.partitions
+                        if p.name != partition.name
+                    },
+                    branching=config.birch.branching,
+                    leaf_capacity=config.birch.leaf_capacity,
+                )
+            missing = {p.name for p in miner.partitions} - set(miner._trees)
+            if missing:
+                raise ValueError(f"trees missing for partitions {sorted(missing)}")
+        miner._scan_stats = {
+            name: ScanStats.from_dict(stats_state)
+            for name, stats_state in state["scan_stats"].items()
+        }
+        miner._n_points = int(state["n_points"])
+        miner._rows_seen = int(state["rows_seen"])
+        return miner
+
+    # ------------------------------------------------------------------
 
     def rules(self) -> DARResult:
         """Materialize the current rule set from the live summaries.
@@ -235,23 +454,29 @@ class StreamingDARMiner:
             engine = self.config.phase2_engine
             if engine == "auto":
                 engine = "vector" if Phase2Kernel.supports(flat) else "scalar"
-            phase2.engine = engine
-            kernel = (
-                Phase2Kernel(flat, metric=self.config.metric)
-                if engine == "vector"
-                else None
-            )
             lenient = {
                 name: self.config.phase2_leniency * threshold
                 for name, threshold in self._density.items()
             }
-            if kernel is not None:
-                graph = kernel.build_graph(
-                    lenient,
-                    use_density_pruning=self.config.use_density_pruning,
-                    pruning_diameter_factor=self.config.pruning_diameter_factor,
-                )
-            else:
+            kernel = None
+            if engine == "vector":
+                try:
+                    faults.fire("phase2.kernel")
+                    kernel = Phase2Kernel(flat, metric=self.config.metric)
+                    graph = kernel.build_graph(
+                        lenient,
+                        use_density_pruning=self.config.use_density_pruning,
+                        pruning_diameter_factor=self.config.pruning_diameter_factor,
+                    )
+                except Exception as error:
+                    phase2.events.append(
+                        f"vector Phase II kernel failed ({error}); degraded "
+                        f"to the scalar engine"
+                    )
+                    engine = "scalar"
+                    kernel = None
+                    graph = None
+            if kernel is None:
                 graph = build_clustering_graph(
                     flat,
                     lenient,
@@ -260,6 +485,7 @@ class StreamingDARMiner:
                     pruning_diameter_factor=self.config.pruning_diameter_factor,
                     engine="scalar",
                 )
+            phase2.engine = engine
             cliques = maximal_cliques(graph.adjacency)
             helper = DARMiner(self.config)
             rules = helper._rules_from_cliques(graph, cliques, degree, kernel=kernel)

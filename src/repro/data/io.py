@@ -8,12 +8,14 @@ interval/ordinal columns (repr-precision floats) and nominal strings.
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.data.relation import Attribute, AttributeKind, Relation, Schema
+from repro.resilience.errors import IngestError
 
 __all__ = ["save_csv", "load_csv", "load_plain_csv"]
 
@@ -43,41 +45,120 @@ def _render(value: object) -> str:
     return str(value)
 
 
-def load_csv(path: PathLike) -> Relation:
+def load_csv(path: PathLike, *, sink=None) -> Relation:
     """Read a relation written by :func:`save_csv`.
 
-    Raises ``ValueError`` when the schema header is missing or the column
-    row disagrees with it.
+    Strict by default: a missing or malformed schema header, a column row
+    disagreeing with it, a row with the wrong number of cells, or an
+    unparseable numeric cell all raise an
+    :class:`~repro.resilience.errors.IngestError` (a ``ValueError``)
+    naming the file, line and offending value.
+
+    With ``sink`` (a :class:`~repro.resilience.sink.RowSink`), per-row
+    problems — wrong arity, unparseable numbers, non-finite numeric
+    values — are diverted to the sink instead of aborting, and the
+    relation is built from the remaining clean rows.  File-level problems
+    (missing header, bad schema line) always raise.  Row numbers reported
+    to the sink are 0-based data-row indices (header lines excluded).
     """
     path = Path(path)
     with path.open(newline="") as handle:
         first = handle.readline()
+        if not first:
+            raise IngestError(
+                f"{path}: file is empty — expected a '# name:kind,...' "
+                f"schema header as the first line"
+            )
         if not first.startswith("#"):
-            raise ValueError(f"{path}: missing '# name:kind,...' schema header")
+            raise IngestError(f"{path}: missing '# name:kind,...' schema header")
         attributes = []
         for chunk in first[1:].strip().split(","):
             name, _, kind = chunk.partition(":")
             if not kind:
-                raise ValueError(f"{path}: malformed schema entry {chunk!r}")
-            attributes.append(Attribute(name.strip(), AttributeKind(kind.strip())))
+                raise IngestError(f"{path}: malformed schema entry {chunk!r}")
+            try:
+                parsed_kind = AttributeKind(kind.strip())
+            except ValueError:
+                raise IngestError(
+                    f"{path}: malformed schema entry {chunk!r}: unknown "
+                    f"attribute kind {kind.strip()!r}"
+                ) from None
+            attributes.append(Attribute(name.strip(), parsed_kind))
         schema = Schema(attributes)
 
         reader = csv.reader(handle)
         header = next(reader, None)
-        if header is None or tuple(header) != schema.names:
-            raise ValueError(
+        if header is None:
+            raise IngestError(
+                f"{path}: file ends after the schema line — expected a "
+                f"column header row naming {list(schema.names)}"
+            )
+        if tuple(header) != schema.names:
+            raise IngestError(
                 f"{path}: column header {header} does not match schema {schema.names}"
             )
         rows = []
-        for row in reader:
-            converted = []
-            for attribute, text in zip(schema, row):
-                if attribute.kind.is_numeric:
-                    converted.append(float(text))
-                else:
-                    converted.append(text)
-            rows.append(tuple(converted))
+        data_index = 0
+        for line_number, row in enumerate(reader, start=3):
+            if not row:
+                continue  # blank line
+            try:
+                rows.append(_convert_row(path, schema, row, line_number, sink))
+            except _RowRejected as rejection:
+                sink.divert(data_index, rejection.reason, tuple(row))
+            else:
+                if sink is not None:
+                    sink.note_ok()
+            data_index += 1
     return Relation.from_rows(schema, rows)
+
+
+class _RowRejected(Exception):
+    """Internal: a row failed conversion and a sink will absorb it."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _convert_row(path: Path, schema: Schema, row, line_number: int, sink):
+    """One CSV row → typed tuple; raise precisely on anything wrong.
+
+    Without a sink the error is an :class:`IngestError` naming
+    ``path:line``; with one it is the internal ``_RowRejected`` carrying
+    the same reason, which ``load_csv`` turns into a quarantine record.
+    """
+    def reject(reason: str):
+        if sink is not None:
+            return _RowRejected(reason)
+        return IngestError(f"{path}:{line_number}: {reason}")
+
+    if len(row) != len(schema):
+        raise reject(
+            f"row has {len(row)} cells, schema {tuple(schema.names)} "
+            f"expects {len(schema)}"
+        )
+    converted = []
+    for attribute, text in zip(schema, row):
+        if attribute.kind.is_numeric:
+            try:
+                value = float(text)
+            except ValueError:
+                raise reject(
+                    f"unparseable value {text!r} for "
+                    f"{attribute.kind.value} attribute {attribute.name!r}"
+                ) from None
+            # Strict mode keeps NaN (cleaning may handle it downstream);
+            # lenient mode quarantines it with the other bad rows.
+            if sink is not None and not math.isfinite(value):
+                raise reject(
+                    f"non-finite value {text!r} for "
+                    f"{attribute.kind.value} attribute {attribute.name!r}"
+                )
+            converted.append(value)
+        else:
+            converted.append(text)
+    return tuple(converted)
 
 
 def load_plain_csv(path: PathLike) -> Relation:

@@ -1,0 +1,192 @@
+"""Deterministic fault injection for crash-safety tests.
+
+The production code is instrumented with named *fault points* — cheap
+:func:`fire` calls at the places where a real deployment dies: between
+per-partition tree updates mid-batch, inside the Phase II vector kernel,
+and between a checkpoint's temp-file write and its atomic rename.  With no
+injector installed a fault point is one dict lookup; tests install a
+:class:`FaultInjector` to make a chosen point raise
+:class:`~repro.resilience.errors.InjectedFault` after a chosen number of
+hits, which is how the suite kills scans mid-stream at exact, reproducible
+positions.
+
+Instrumented points:
+
+==========================  ====================================================
+``streaming.update``        start of ``StreamingDARMiner.update_arrays``
+``streaming.partition``     before each per-partition tree insert (mid-batch)
+``phase2.kernel``           start of the Phase II vector-kernel path
+``checkpoint.replace``      after the temp checkpoint is written, before rename
+==========================  ====================================================
+
+The module also carries the file- and row-corruption helpers the
+checkpoint and quarantine tests use: :func:`truncate_file`,
+:func:`flip_byte` and :func:`poison_csv`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Sequence, Union
+
+from repro.resilience.errors import InjectedFault
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "fire",
+    "install",
+    "uninstall",
+    "injected",
+    "truncate_file",
+    "flip_byte",
+    "poison_csv",
+]
+
+PathLike = Union[str, Path]
+
+
+class FaultPlan:
+    """One scheduled failure: trip after ``after`` hits, ``times`` times.
+
+    ``after=0`` trips on the very first hit; ``times=None`` keeps tripping
+    on every hit once armed (a hard outage rather than a transient one).
+    """
+
+    def __init__(self, after: int = 0, times: Optional[int] = 1,
+                 message: str = "injected fault"):
+        if after < 0:
+            raise ValueError("after must be non-negative")
+        if times is not None and times < 1:
+            raise ValueError("times must be positive (or None for 'always')")
+        self.after = after
+        self.times = times
+        self.message = message
+        self.hits = 0
+        self.trips = 0
+
+    def hit(self, point: str) -> None:
+        self.hits += 1
+        if self.hits <= self.after:
+            return
+        if self.times is not None and self.trips >= self.times:
+            return
+        self.trips += 1
+        raise InjectedFault(f"{point}: {self.message} (hit {self.hits})")
+
+
+class FaultInjector:
+    """A set of named fault plans, installed process-wide for a test."""
+
+    def __init__(self) -> None:
+        self._plans: Dict[str, FaultPlan] = {}
+
+    def fail_at(self, point: str, *, after: int = 0, times: Optional[int] = 1,
+                message: str = "injected fault") -> "FaultInjector":
+        """Arm ``point`` to raise after ``after`` prior hits (chainable)."""
+        self._plans[point] = FaultPlan(after=after, times=times, message=message)
+        return self
+
+    def hits(self, point: str) -> int:
+        plan = self._plans.get(point)
+        return plan.hits if plan is not None else 0
+
+    def fire(self, point: str) -> None:
+        plan = self._plans.get(point)
+        if plan is not None:
+            plan.hit(point)
+
+
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def install(injector: FaultInjector) -> None:
+    """Make ``injector`` the process-wide active injector."""
+    global _ACTIVE
+    _ACTIVE = injector
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def fire(point: str) -> None:
+    """Production-side hook: a no-op unless a test installed an injector."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(point)
+
+
+@contextmanager
+def injected(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` for the duration of a ``with`` block."""
+    install(injector)
+    try:
+        yield injector
+    finally:
+        uninstall()
+
+
+# ----------------------------------------------------------------------
+# File and row corruption helpers
+# ----------------------------------------------------------------------
+
+
+def truncate_file(path: PathLike, keep_bytes: int) -> None:
+    """Chop ``path`` down to its first ``keep_bytes`` bytes in place."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: max(keep_bytes, 0)])
+
+
+def flip_byte(path: PathLike, offset: int) -> None:
+    """XOR one byte of ``path`` (negative offsets count from the end)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"{path}: cannot flip a byte of an empty file")
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def poison_csv(
+    path: PathLike,
+    out_path: PathLike,
+    rows: Sequence[int],
+    mode: str = "text",
+) -> None:
+    """Copy a CSV, corrupting the given 0-based *data* rows.
+
+    Data rows are counted after the header lines (the ``#`` schema line,
+    if present, and the column-name row).  Modes: ``"text"`` replaces the
+    first cell with unparseable text, ``"nan"`` with a NaN literal,
+    ``"short"`` drops the row's last cell.
+    """
+    if mode not in ("text", "nan", "short"):
+        raise ValueError(f"unknown poison mode {mode!r}")
+    wanted = set(rows)
+    lines = Path(path).read_text().splitlines(keepends=True)
+    out = []
+    data_index = 0
+    for i, line in enumerate(lines):
+        is_header = line.startswith("#") or (i == 0) or (
+            i == 1 and lines[0].startswith("#")
+        )
+        if is_header or not line.strip():
+            out.append(line)
+            continue
+        if data_index in wanted:
+            ending = "\n" if line.endswith("\n") else ""
+            cells = line.rstrip("\n").split(",")
+            if mode == "text":
+                cells[0] = "<<poisoned>>"
+            elif mode == "nan":
+                cells[0] = "nan"
+            else:  # short
+                cells = cells[:-1]
+            out.append(",".join(cells) + ending)
+        else:
+            out.append(line)
+        data_index += 1
+    Path(out_path).write_text("".join(out))

@@ -1,0 +1,178 @@
+"""The graceful-degradation ladder around the batch miner.
+
+:func:`guarded_mine` wraps :meth:`~repro.core.miner.DARMiner.mine` so a
+mining run degrades in controlled, *recorded* steps instead of dying:
+
+1. **Validation first.**  Empty relations and non-finite columns raise a
+   precise :class:`~repro.resilience.errors.ValidationError` before any
+   clustering starts (this lives in the miner itself; the guard just lets
+   it through untouched).
+2. **Memory exhaustion → coarser clustering.**  A ``MemoryError`` during
+   a run escalates every density threshold by ``escalation_factor`` —
+   coarser clusters mean fewer leaf entries and smaller trees — waits
+   ``backoff_seconds``, and retries, up to ``max_retries`` times.  The
+   hard cap turns persistent exhaustion into
+   :class:`~repro.resilience.errors.ResourceExhaustedError` rather than
+   an infinite ladder.  Every rung is recorded in
+   ``result.phase2.events``.
+3. **Kernel failure → scalar engine.**  Handled inside the miner (the
+   vector Phase II kernel falls back to the scalar distance engine and
+   records the event); the guard surfaces those events unchanged.
+4. **No partially-corrupt results.**  :func:`validate_result` checks the
+   structural invariants of the :class:`~repro.core.miner.DARResult`
+   before it is returned; a violation raises
+   :class:`~repro.resilience.errors.CorruptResultError` instead of
+   handing broken data downstream.
+
+On a clean first attempt the guard is a transparent pass-through: the
+result is exactly what ``DARMiner(config).mine(...)`` returns.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.core.config import DARConfig
+from repro.core.miner import DARMiner, DARResult
+from repro.data.relation import AttributePartition, Relation
+from repro.resilience.errors import CorruptResultError, ResourceExhaustedError
+
+__all__ = ["GuardPolicy", "guarded_mine", "validate_result"]
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """How far the degradation ladder may climb."""
+
+    max_retries: int = 3
+    """Retries after the first attempt before giving up."""
+    escalation_factor: float = 4.0
+    """Density-threshold multiplier applied per memory-exhaustion retry."""
+    backoff_seconds: float = 0.0
+    """Pause before each retry (lets an external memory spike pass)."""
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.escalation_factor <= 1.0:
+            raise ValueError("escalation_factor must exceed 1 for progress")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be non-negative")
+
+
+def _escalated(config: DARConfig, factor: float) -> DARConfig:
+    """``config`` with every density threshold coarsened by ``factor``.
+
+    Both the data-derived path (``density_fraction``) and any explicit
+    per-partition overrides scale, so the escalation bites regardless of
+    how thresholds were specified.
+    """
+    return replace(
+        config,
+        density_fraction=config.density_fraction * factor,
+        density_thresholds={
+            name: value * factor
+            for name, value in config.density_thresholds.items()
+        },
+    )
+
+
+def validate_result(result: DARResult) -> None:
+    """Check a result's structural invariants; raise ``CorruptResultError``.
+
+    A result that fails here must never reach callers: every rule's
+    clusters must exist in the result's cluster sets, every degree must be
+    finite and non-negative, and per-consequent degrees must be consistent
+    with the rule's overall degree.
+    """
+    known_uids = {
+        cluster.uid
+        for clusters in result.all_clusters.values()
+        for cluster in clusters
+    }
+    if result.frequency_count < 1:
+        raise CorruptResultError(
+            f"frequency_count is {result.frequency_count}, must be >= 1"
+        )
+    for name, value in result.density_thresholds.items():
+        if not math.isfinite(value) or value <= 0:
+            raise CorruptResultError(
+                f"density threshold for {name!r} is {value!r}, not a "
+                f"positive finite number"
+            )
+    for rule in result.rules:
+        members = tuple(rule.antecedent) + tuple(rule.consequent)
+        for cluster in members:
+            if cluster.uid not in known_uids:
+                raise CorruptResultError(
+                    f"rule {rule} references cluster uid {cluster.uid} "
+                    f"absent from the result's cluster sets"
+                )
+        if not math.isfinite(rule.degree) or rule.degree < 0:
+            raise CorruptResultError(
+                f"rule {rule} has non-finite or negative degree {rule.degree!r}"
+            )
+        consequent_uids = {cluster.uid for cluster in rule.consequent}
+        if set(rule.degrees) != consequent_uids:
+            raise CorruptResultError(
+                f"rule {rule} has per-consequent degrees for uids "
+                f"{sorted(rule.degrees)} but consequents {sorted(consequent_uids)}"
+            )
+        for uid, degree in rule.degrees.items():
+            if not math.isfinite(degree) or degree < 0:
+                raise CorruptResultError(
+                    f"rule {rule} has non-finite degree {degree!r} for "
+                    f"consequent uid {uid}"
+                )
+            if degree > rule.degree:
+                raise CorruptResultError(
+                    f"rule {rule} has per-consequent degree {degree} above "
+                    f"its overall degree {rule.degree}"
+                )
+
+
+def guarded_mine(
+    relation: Relation,
+    *,
+    config: Optional[DARConfig] = None,
+    partitions: Optional[Sequence[AttributePartition]] = None,
+    targets: Optional[Sequence[str]] = None,
+    policy: Optional[GuardPolicy] = None,
+) -> DARResult:
+    """Mine with the degradation ladder; see the module docstring."""
+    if config is None:
+        config = DARConfig()
+    if policy is None:
+        policy = GuardPolicy()
+
+    events: List[str] = []
+    attempt_config = config
+    for attempt in range(policy.max_retries + 1):
+        try:
+            result = DARMiner(attempt_config).mine(
+                relation, partitions=partitions, targets=targets
+            )
+        except MemoryError as error:
+            if attempt >= policy.max_retries:
+                raise ResourceExhaustedError(
+                    f"mining ran out of memory and stayed exhausted after "
+                    f"{policy.max_retries} density escalation(s) of "
+                    f"x{policy.escalation_factor:g}: {error}"
+                ) from error
+            attempt_config = _escalated(
+                attempt_config, policy.escalation_factor
+            )
+            events.append(
+                f"memory exhausted on attempt {attempt + 1}; escalated "
+                f"density thresholds x{policy.escalation_factor:g} and retried"
+            )
+            if policy.backoff_seconds:
+                time.sleep(policy.backoff_seconds)
+            continue
+        result.phase2.events = events + result.phase2.events
+        validate_result(result)
+        return result
+    raise AssertionError("unreachable")  # pragma: no cover

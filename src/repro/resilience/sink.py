@@ -1,0 +1,169 @@
+"""Quarantined ingestion: divert bad rows instead of aborting the scan.
+
+A :class:`RowSink` receives the rows an ingestion path could not use —
+unparseable cells, wrong arity, non-finite values — together with a
+structured reason, so a long scan survives dirty data without silently
+dropping anything.  :class:`Quarantine` is the standard sink: it keeps
+counts and reasons in memory, optionally appends one JSON line per row to
+a quarantine file (flushed per record, so a crash loses nothing), and
+enforces an :class:`ErrorBudget` — the scan aborts with
+:class:`~repro.resilience.errors.ErrorBudgetExceeded` only once the bad
+fraction of the stream passes a configured bound, never on the first
+stray row.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, List, Optional, Sequence, Union
+
+from repro.resilience.errors import ErrorBudgetExceeded
+
+__all__ = ["RowSink", "QuarantinedRow", "ErrorBudget", "Quarantine"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """One diverted row: where it was, why, and what it contained."""
+
+    row: int
+    reason: str
+    values: tuple = ()
+
+
+class RowSink:
+    """Interface for ingestion paths: where rejected rows go.
+
+    Subclasses implement :meth:`divert`; :meth:`note_ok` lets the sink
+    observe the good rows too, which is what makes a *fractional* error
+    budget possible.
+    """
+
+    def divert(self, row: int, reason: str, values: Sequence = ()) -> None:
+        raise NotImplementedError
+
+    def note_ok(self, count: int = 1) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class ErrorBudget:
+    """Abort-only-past-a-fraction policy for lenient ingestion.
+
+    ``max_fraction`` is the tolerated bad-row fraction of the stream seen
+    so far; ``grace_rows`` suppresses the check until enough rows have
+    arrived for a fraction to be meaningful (otherwise the first row being
+    bad is instantly 100%).  ``max_fraction=None`` disables the budget.
+    """
+
+    def __init__(self, max_fraction: Optional[float] = 0.05, grace_rows: int = 20):
+        if max_fraction is not None and not 0.0 <= max_fraction <= 1.0:
+            raise ValueError("max_fraction must be in [0, 1] (or None to disable)")
+        if grace_rows < 1:
+            raise ValueError("grace_rows must be positive")
+        self.max_fraction = max_fraction
+        self.grace_rows = grace_rows
+        self.good = 0
+        self.bad = 0
+
+    @property
+    def total(self) -> int:
+        return self.good + self.bad
+
+    @property
+    def bad_fraction(self) -> float:
+        return self.bad / self.total if self.total else 0.0
+
+    def record_good(self, count: int = 1) -> None:
+        self.good += count
+
+    def record_bad(self, count: int = 1) -> None:
+        """Count bad rows; raise once the budget is genuinely blown."""
+        self.bad += count
+        if self.max_fraction is None:
+            return
+        if self.total >= self.grace_rows and self.bad_fraction > self.max_fraction:
+            raise ErrorBudgetExceeded(
+                f"error budget exceeded: {self.bad} of {self.total} rows bad "
+                f"({100.0 * self.bad_fraction:.1f}% > "
+                f"{100.0 * self.max_fraction:.1f}% allowed)"
+            )
+
+
+@dataclass
+class Quarantine(RowSink):
+    """The standard row sink: in-memory record + optional JSONL file.
+
+    >>> sink = Quarantine()
+    >>> sink.divert(3, "unparseable value 'oops' for column 'age'", ("oops",))
+    >>> sink.n_quarantined
+    1
+    """
+
+    path: Optional[PathLike] = None
+    budget: Optional[ErrorBudget] = None
+    records: List[QuarantinedRow] = field(default_factory=list)
+    reasons: Counter = field(default_factory=Counter)
+    _handle: Optional[IO[str]] = field(default=None, repr=False)
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.records)
+
+    def divert(self, row: int, reason: str, values: Sequence = ()) -> None:
+        record = QuarantinedRow(row=row, reason=reason, values=tuple(values))
+        self.records.append(record)
+        # Aggregate by the reason's shape, not its row-specific payload.
+        self.reasons[reason.split(":")[0] if ":" in reason else reason] += 1
+        if self.path is not None:
+            if self._handle is None:
+                self._handle = Path(self.path).open("a")
+            self._handle.write(
+                json.dumps(
+                    {
+                        "row": record.row,
+                        "reason": record.reason,
+                        "values": [str(v) for v in record.values],
+                    }
+                )
+                + "\n"
+            )
+            self._handle.flush()
+        if self.budget is not None:
+            try:
+                self.budget.record_bad()
+            except ErrorBudgetExceeded:
+                self.close()
+                raise
+
+    def note_ok(self, count: int = 1) -> None:
+        if self.budget is not None:
+            self.budget.record_good(count)
+
+    def rows(self) -> List[int]:
+        """Quarantined row numbers, in arrival order."""
+        return [record.row for record in self.records]
+
+    def summary(self) -> str:
+        """One line for reports: count plus the leading reasons."""
+        if not self.records:
+            return "0 rows quarantined"
+        top = ", ".join(
+            f"{reason} x{count}" for reason, count in self.reasons.most_common(3)
+        )
+        return f"{self.n_quarantined} rows quarantined ({top})"
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Quarantine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -71,6 +71,53 @@ class TestErrors:
         with pytest.raises(ValueError, match="does not match"):
             load_csv(path)
 
+    def test_empty_file_names_path_and_problem(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="file is empty"):
+            load_csv(path)
+        with pytest.raises(ValueError, match=path.name):
+            load_csv(path)
+
+    def test_schema_only_file_names_missing_header_row(self, tmp_path):
+        path = tmp_path / "schema-only.csv"
+        path.write_text("# a:interval,b:nominal\n")
+        with pytest.raises(ValueError, match="ends after the schema line"):
+            load_csv(path)
+
+    def test_header_only_file_loads_empty_relation(self, tmp_path):
+        path = tmp_path / "header-only.csv"
+        path.write_text("# a:interval\na\n")
+        assert len(load_csv(path)) == 0
+
+    def test_long_row_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "long.csv"
+        path.write_text("# a:interval,b:interval\na,b\n1,2\n3,4,5\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:4: row has 3 cells"):
+            load_csv(path)
+
+    def test_short_row_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("# a:interval,b:interval\na,b\n1\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:3: row has 1 cells"):
+            load_csv(path)
+
+    def test_unparseable_float_names_cell_and_attribute(self, tmp_path):
+        path = tmp_path / "badfloat.csv"
+        path.write_text("# a:interval\na\n1.0\nbogus\n")
+        with pytest.raises(
+            ValueError, match=r":4: unparseable value 'bogus' for .*'a'"
+        ):
+            load_csv(path)
+
+    def test_errors_are_ingest_errors(self, tmp_path):
+        from repro.resilience.errors import IngestError
+
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(IngestError):
+            load_csv(path)
+
 
 class TestLoadPlainCsv:
     def test_kind_inference(self, tmp_path):

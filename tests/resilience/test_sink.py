@@ -1,0 +1,231 @@
+"""Quarantine sink, error budget, and lenient ingestion paths."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingDARMiner
+from repro.data.io import load_csv, save_csv
+from repro.data.relation import AttributePartition, Relation, Schema
+from repro.data.synthetic import make_clustered_relation
+from repro.resilience.errors import ErrorBudgetExceeded, IngestError
+from repro.resilience.sink import ErrorBudget, Quarantine
+
+
+# ----------------------------------------------------------------------
+# ErrorBudget
+# ----------------------------------------------------------------------
+
+
+def test_budget_tolerates_bad_fraction_under_limit():
+    budget = ErrorBudget(max_fraction=0.5, grace_rows=4)
+    for _ in range(10):
+        budget.record_good()
+    for _ in range(5):
+        budget.record_bad()
+    assert budget.bad_fraction == pytest.approx(5 / 15)
+
+
+def test_budget_trips_past_limit():
+    budget = ErrorBudget(max_fraction=0.05, grace_rows=10)
+    for _ in range(50):
+        budget.record_good()
+    budget.record_bad()  # 1/51 ~ 2%
+    budget.record_bad()  # 2/52 ~ 3.8%
+    with pytest.raises(ErrorBudgetExceeded, match="error budget exceeded"):
+        for _ in range(10):
+            budget.record_bad()
+
+
+def test_budget_grace_rows_suppress_early_trip():
+    budget = ErrorBudget(max_fraction=0.05, grace_rows=20)
+    budget.record_bad()  # 1/1 = 100% bad, but within grace
+    assert budget.bad == 1
+
+
+def test_budget_none_disables():
+    budget = ErrorBudget(max_fraction=None, grace_rows=1)
+    for _ in range(100):
+        budget.record_bad()
+    assert budget.bad == 100
+
+
+def test_budget_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ErrorBudget(max_fraction=1.5)
+    with pytest.raises(ValueError):
+        ErrorBudget(grace_rows=0)
+
+
+# ----------------------------------------------------------------------
+# Quarantine
+# ----------------------------------------------------------------------
+
+
+def test_quarantine_records_and_file(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    with Quarantine(path=path) as sink:
+        sink.divert(3, "unparseable value 'x' for column 'a'", ("x", "1.0"))
+        sink.divert(9, "row has 1 cells, schema expects 2", ("only",))
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [line["row"] for line in lines] == [3, 9]
+    assert lines[0]["values"] == ["x", "1.0"]
+    assert sink.rows() == [3, 9]
+    assert "2 rows quarantined" in sink.summary()
+
+
+def test_quarantine_summary_empty():
+    assert Quarantine().summary() == "0 rows quarantined"
+
+
+# ----------------------------------------------------------------------
+# Lenient load_csv
+# ----------------------------------------------------------------------
+
+
+def relation_csv(tmp_path, rows):
+    schema = Schema.of(a="interval", b="interval")
+    relation = Relation(
+        schema,
+        {"a": np.arange(len(rows), dtype=float), "b": np.asarray(rows, float)},
+    )
+    path = tmp_path / "rel.csv"
+    save_csv(relation, path)
+    return path
+
+
+def test_lenient_load_diverts_unparseable(tmp_path):
+    path = relation_csv(tmp_path, [1.0, 2.0, 3.0, 4.0])
+    lines = path.read_text().splitlines()
+    lines[3] = "oops,9.9"  # data row 1
+    path.write_text("\n".join(lines) + "\n")
+    sink = Quarantine()
+    relation = load_csv(path, sink=sink)
+    assert len(relation) == 3
+    assert sink.rows() == [1]
+    assert "unparseable value 'oops'" in sink.records[0].reason
+
+
+def test_lenient_load_diverts_wrong_arity(tmp_path):
+    path = relation_csv(tmp_path, [1.0, 2.0, 3.0])
+    lines = path.read_text().splitlines()
+    lines[4] = lines[4] + ",extra"
+    path.write_text("\n".join(lines) + "\n")
+    sink = Quarantine()
+    relation = load_csv(path, sink=sink)
+    assert len(relation) == 2
+    assert sink.rows() == [2]
+    assert "3 cells" in sink.records[0].reason
+
+
+def test_lenient_load_diverts_non_finite(tmp_path):
+    path = relation_csv(tmp_path, [1.0, float("nan"), 3.0])
+    sink = Quarantine()
+    relation = load_csv(path, sink=sink)
+    assert len(relation) == 2
+    assert sink.rows() == [1]
+    assert "non-finite" in sink.records[0].reason
+
+
+def test_strict_load_keeps_nan(tmp_path):
+    # Strict mode is unchanged: NaN loads (cleaning handles it downstream).
+    path = relation_csv(tmp_path, [1.0, float("nan"), 3.0])
+    relation = load_csv(path)
+    assert len(relation) == 3
+
+
+def test_lenient_load_respects_error_budget(tmp_path):
+    path = relation_csv(tmp_path, list(range(20)))
+    lines = path.read_text().splitlines()
+    for i in range(2, 12):  # poison 10 of 20 data rows
+        lines[i] = "bad,bad"
+    path.write_text("\n".join(lines) + "\n")
+    sink = Quarantine(budget=ErrorBudget(max_fraction=0.05, grace_rows=5))
+    with pytest.raises(ErrorBudgetExceeded):
+        load_csv(path, sink=sink)
+
+
+def test_file_level_errors_raise_even_with_sink(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(IngestError, match="schema header"):
+        load_csv(path, sink=Quarantine())
+
+
+# ----------------------------------------------------------------------
+# Lenient streaming updates
+# ----------------------------------------------------------------------
+
+
+def test_streaming_update_diverts_non_finite_rows():
+    partitions = [AttributePartition("x", ("x",)), AttributePartition("y", ("y",))]
+    miner = StreamingDARMiner(partitions)
+    sink = Quarantine()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(50, 1))
+    y = rng.normal(size=(50, 1))
+    x[7, 0] = np.nan
+    y[33, 0] = np.inf
+    miner.update_arrays({"x": x, "y": y}, sink=sink)
+    assert miner.n_points == 48
+    assert miner.rows_seen == 50
+    assert sink.rows() == [7, 33]
+    assert "partition(s) x" in sink.records[0].reason
+    assert "partition(s) y" in sink.records[1].reason
+
+    # Row numbers continue across batches at stream positions.
+    x2 = rng.normal(size=(10, 1))
+    y2 = rng.normal(size=(10, 1))
+    x2[0, 0] = np.nan
+    miner.update_arrays({"x": x2, "y": y2}, sink=sink)
+    assert sink.rows() == [7, 33, 50]
+    assert miner.rows_seen == 60
+
+
+def test_streaming_update_all_bad_batch_is_skipped():
+    partitions = [AttributePartition("x", ("x",))]
+    miner = StreamingDARMiner(partitions)
+    sink = Quarantine()
+    miner.update_arrays({"x": np.full((5, 1), np.nan)}, sink=sink)
+    assert miner.n_points == 0
+    assert miner.rows_seen == 5
+    assert len(sink.rows()) == 5
+
+
+def test_streaming_strict_update_still_raises():
+    partitions = [AttributePartition("x", ("x",))]
+    miner = StreamingDARMiner(partitions)
+    with pytest.raises(ValueError, match="non-finite"):
+        miner.update_arrays({"x": np.array([[np.nan]])})
+
+
+def test_lenient_relation_update_matches_clean_subset():
+    relation, _ = make_clustered_relation(
+        n_modes=3, points_per_mode=60, n_attributes=2, seed=4
+    )
+    matrix = {
+        name: relation.column(name).reshape(-1, 1).copy()
+        for name in relation.schema.names
+    }
+    first = relation.schema.names[0]
+    matrix[first][[5, 50, 100], 0] = np.nan
+
+    partitions = [
+        AttributePartition(name, (name,)) for name in relation.schema.names
+    ]
+    sink = Quarantine()
+    lenient = StreamingDARMiner(partitions)
+    lenient.update_arrays(matrix, sink=sink)
+
+    clean_mask = np.isfinite(matrix[first][:, 0])
+    clean = StreamingDARMiner(partitions)
+    clean.update_arrays({name: m[clean_mask] for name, m in matrix.items()})
+
+    assert sink.rows() == [5, 50, 100]
+    assert lenient.n_points == clean.n_points
+    assert {
+        name: tree.state_dict() for name, tree in lenient._trees.items()
+    } == {name: tree.state_dict() for name, tree in clean._trees.items()}

@@ -216,3 +216,133 @@ class TestDescribeSketch:
         out = capsys.readouterr().out
         assert "#" in out  # histogram bars
         assert out.count("[") > 3  # bin labels
+
+
+class TestResilienceFlags:
+    @pytest.fixture
+    def clustered_csv(self, tmp_path):
+        path = tmp_path / "clustered.csv"
+        assert main([
+            "generate", "clustered", str(path),
+            "--size", "600", "--modes", "3", "--attributes", "2", "--seed", "5",
+        ]) == 0
+        return str(path)
+
+    @pytest.fixture
+    def poisoned_csv(self, clustered_csv, tmp_path):
+        from pathlib import Path
+
+        lines = Path(clustered_csv).read_text().splitlines()
+        lines[5] = "bogus," + lines[5].split(",", 1)[1]
+        lines[9] = lines[9] + ",extra"
+        path = tmp_path / "poisoned.csv"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_strict_mine_fails_on_poisoned_rows(self, poisoned_csv, capsys):
+        assert main(["mine", poisoned_csv]) == 1
+        err = capsys.readouterr().err
+        assert "unparseable value 'bogus'" in err
+
+    def test_lenient_mine_quarantines_and_mines(self, poisoned_csv, tmp_path, capsys):
+        quarantine = tmp_path / "bad.jsonl"
+        assert main([
+            "mine", poisoned_csv,
+            "--lenient", "--quarantine", str(quarantine), "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "IF " in out
+        assert "# quarantine: 2 rows quarantined" in out
+        assert quarantine.exists()
+        assert len(quarantine.read_text().splitlines()) == 2
+
+    def test_lenient_budget_abort(self, clustered_csv, tmp_path, capsys):
+        from pathlib import Path
+
+        lines = Path(clustered_csv).read_text().splitlines()
+        for i in range(2, 200):
+            lines[i] = "bad,bad"
+        path = tmp_path / "very-poisoned.csv"
+        path.write_text("\n".join(lines) + "\n")
+        assert main([
+            "mine", str(path), "--lenient", "--max-bad-fraction", "0.05",
+        ]) == 1
+        assert "error budget exceeded" in capsys.readouterr().err
+
+    def test_checkpointed_mine_reports_stats(self, clustered_csv, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        assert main([
+            "mine", clustered_csv,
+            "--checkpoint", str(ckpt), "--checkpoint-every", "200", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "IF " in out
+        assert "# checkpoints:" in out
+        assert ckpt.exists()
+
+    def test_resume_matches_uninterrupted_run(self, clustered_csv, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        assert main([
+            "mine", clustered_csv,
+            "--checkpoint", str(ckpt), "--checkpoint-every", "150",
+        ]) == 0
+        full_rules = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("IF ")
+        ]
+
+        # Simulate a kill partway through: rebuild a checkpoint covering
+        # only the first batches, then resume from it.
+        from repro.core.config import DARConfig
+        from repro.core.streaming import StreamingDARMiner
+        from repro.data.relation import default_partitions
+
+        relation = load_csv(clustered_csv)
+        partial = StreamingDARMiner(default_partitions(relation.schema), DARConfig())
+        matrices = {
+            p.name: np.column_stack([relation.column(a) for a in p.attributes])
+            for p in partial.partitions
+        }
+        for start in (0, 150):
+            partial.update_arrays(
+                {name: m[start:start + 150] for name, m in matrices.items()}
+            )
+            partial.save_checkpoint(ckpt)
+
+        assert main([
+            "mine", clustered_csv,
+            "--resume", str(ckpt), "--checkpoint-every", "150",
+        ]) == 0
+        resumed_rules = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("IF ")
+        ]
+        assert resumed_rules == full_rules
+
+    def test_resume_rejects_shrunken_input(self, clustered_csv, tmp_path, capsys):
+        from pathlib import Path
+
+        ckpt = tmp_path / "run.ckpt"
+        assert main([
+            "mine", clustered_csv,
+            "--checkpoint", str(ckpt), "--checkpoint-every", "200",
+        ]) == 0
+        capsys.readouterr()
+        lines = Path(clustered_csv).read_text().splitlines()
+        short = tmp_path / "short.csv"
+        short.write_text("\n".join(lines[:50]) + "\n")
+        assert main(["mine", str(short), "--resume", str(ckpt)]) == 1
+        assert "already seen" in capsys.readouterr().err
+
+    def test_checkpoint_with_mixed_rejected(self, clustered_csv, tmp_path, capsys):
+        assert main([
+            "mine", clustered_csv,
+            "--checkpoint", str(tmp_path / "x.ckpt"), "--mixed",
+        ]) == 1
+        assert "does not support --mixed" in capsys.readouterr().err
+
+    def test_corrupt_checkpoint_reported(self, clustered_csv, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        ckpt.write_bytes(b"not a checkpoint at all, just junk bytes here")
+        assert main(["mine", clustered_csv, "--resume", str(ckpt)]) == 1
+        assert "error:" in capsys.readouterr().err
