@@ -1,0 +1,112 @@
+"""Disabled-mode cost of the observability layer on real workloads.
+
+The contract (`docs/OBSERVABILITY.md`): with ``repro.obs`` off, every
+instrumentation point reduces to one boolean check, so a workload must
+not pay more than ``MAX_OVERHEAD_FRACTION`` for carrying the hooks.
+Measuring "with vs without hooks" directly would need a second copy of
+the library, so the bound is established from the inside:
+
+1. time the workload with observability disabled (best of several runs);
+2. run it once fully instrumented to *count* the events it would emit
+   (spans recorded plus metric-series updates);
+3. time that many disabled-mode ``span()`` / ``inc()`` calls — the
+   exact code path the hooks take when off — and compare.
+
+The enabled run doubles as an artifact source: its Chrome trace and
+metrics table land in ``benchmarks/results/`` so CI uploads a real
+trace of the benchmark workload.
+"""
+
+import time
+
+from repro import obs
+from repro.core.config import DARConfig
+from repro.core.miner import DARMiner
+from repro.data.synthetic import make_planted_rule_relation
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import get_tracer, span
+from repro.report.tables import Table
+
+from conftest import RESULTS_DIR, bench_scale
+
+MAX_OVERHEAD_FRACTION = 0.02
+CONFIG = DARConfig(count_rule_support=True)
+
+
+def build_relation():
+    per_mode = max(int(round(1_500 * bench_scale())), 200)
+    relation, _ = make_planted_rule_relation(seed=11, points_per_mode=per_mode)
+    return relation
+
+
+def run_mine(relation):
+    return DARMiner(CONFIG).mine(relation)
+
+
+def timed(fn, *args):
+    started = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - started
+
+
+def count_events(relation):
+    """One instrumented run: (n_spans, n_metric_updates, artifacts)."""
+    get_tracer().clear()
+    obs.get_registry().reset()
+    obs.enable(trace=True, metrics=True)
+    try:
+        run_mine(relation)
+    finally:
+        spans = get_tracer().spans()
+        table = obs.get_registry().to_table()
+        n_updates = sum(
+            metric.count if metric.kind == "histogram" else 1
+            for metric in obs.get_registry().metrics()
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        get_tracer().to_chrome(RESULTS_DIR / "obs_overhead_trace.json")
+        (RESULTS_DIR / "obs_overhead_metrics.txt").write_text(table + "\n")
+        obs.disable()
+        get_tracer().clear()
+        obs.get_registry().reset()
+    return len(spans), n_updates
+
+
+def time_noop_calls(n_spans, n_updates):
+    """Wall time of the disabled-mode code path, event-for-event."""
+    assert not obs.enabled()
+    started = time.perf_counter()
+    for _ in range(n_spans):
+        with span("noop.bench", attr=1):
+            pass
+    for _ in range(n_updates):
+        obs_metrics.inc("noop_bench_total", 1, help="disabled-mode timing")
+    return time.perf_counter() - started
+
+
+def test_disabled_mode_overhead(benchmark, emit):
+    relation = build_relation()
+    run_mine(relation)  # warm caches before timing anything
+
+    baseline = min(timed(run_mine, relation)[1] for _ in range(3))
+    n_spans, n_updates = count_events(relation)
+    noop_seconds = min(time_noop_calls(n_spans, n_updates) for _ in range(3))
+    fraction = noop_seconds / baseline
+
+    benchmark.pedantic(run_mine, args=(relation,), rounds=1, iterations=1)
+
+    table = Table(
+        "Observability disabled-mode overhead",
+        ["rows", "spans", "metric updates", "workload s", "no-op s", "overhead"],
+    )
+    table.add_row(
+        len(relation), n_spans, n_updates, baseline, noop_seconds,
+        f"{fraction:.3%}",
+    )
+    emit(table, "perf_obs_overhead.txt")
+
+    assert n_spans > 0 and n_updates > 0  # the workload is instrumented
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"disabled-mode hooks cost {fraction:.2%} of the workload "
+        f"(limit {MAX_OVERHEAD_FRACTION:.0%})"
+    )

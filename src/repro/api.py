@@ -20,6 +20,11 @@ Quickstart::
 plain mapping of its fields (forwarded to
 :meth:`~repro.core.config.DARConfig.from_mapping`), so JSON/TOML-driven
 runs need no imports beyond ``repro`` itself.
+
+To watch a mine run, wrap the call with :mod:`repro.obs`
+(``obs.enable()`` / ``obs.get_tracer().to_chrome(...)``) — every phase
+of the pipeline underneath this facade is instrumented; see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations

@@ -52,6 +52,9 @@ import numpy as np
 from repro.birch.features import ACF, CF
 from repro.birch.node import InternalNode, LeafNode, Node
 from repro.metrics.cluster import rms_diameter_from_moments
+from repro.obs import metrics as obs_metrics
+from repro.obs.profile import profiled
+from repro.obs.trace import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.birch.tree import ACFTree
@@ -128,6 +131,7 @@ class ScanStats:
 
     @classmethod
     def from_dict(cls, state: dict) -> "ScanStats":
+        """Rebuild from :meth:`to_dict` output (unknown keys ignored)."""
         names = {f.name for f in fields(cls)}
         return cls(**{name: value for name, value in state.items() if name in names})
 
@@ -142,6 +146,60 @@ class ScanStats:
             f"[scan {self.seconds_scan:.3f}s flush {self.seconds_flush:.3f}s "
             f"split {self.seconds_split:.3f}s]"
         )
+
+    def publish(self, partition: str, since: Optional[dict] = None) -> None:
+        """Emit this scan's counters into the process metrics registry.
+
+        The per-run/per-partition ``ScanStats`` object stays the
+        authoritative record (it is what ``--stats`` prints and what
+        checkpoints serialize); this bridge re-emits the same numbers as
+        ``repro_phase1_*`` metrics labeled by ``partition``, so registry
+        totals always match the stats views.  ``since`` (a prior
+        :meth:`to_dict` snapshot) restricts emission to the delta
+        accumulated after the snapshot — drivers that reuse one stats
+        object across many updates (the streaming miner) use it to avoid
+        double-counting.  No-op while metrics are disabled.
+        """
+        if not obs_metrics.metrics_enabled():
+            return
+        base = since or {}
+
+        def delta(name: str) -> float:
+            return getattr(self, name) - base.get(name, 0)
+
+        for field_name, metric, help_text in _SCAN_METRICS:
+            obs_metrics.inc(
+                metric, delta(field_name), help=help_text, partition=partition
+            )
+
+
+#: ``ScanStats`` field → (metric name, help) for :meth:`ScanStats.publish`.
+_SCAN_METRICS = (
+    ("points", "repro_phase1_points_total",
+     "Raw points ingested through the batch scan path"),
+    ("entries", "repro_phase1_entries_total",
+     "Subcluster summaries re-ingested by rebuilds and replays"),
+    ("absorbed", "repro_phase1_absorbed_total",
+     "Items merged into an existing leaf entry"),
+    ("new_entries", "repro_phase1_new_entries_total",
+     "Items that started a new leaf entry"),
+    ("splits", "repro_phase1_splits_total",
+     "Leaf/internal node splits triggered while ingesting"),
+    ("rebuilds", "repro_phase1_rebuilds_total",
+     "Threshold-escalation tree rebuilds"),
+    ("batches", "repro_phase1_batches_total",
+     "insert_points / insert_entries calls"),
+    ("flushes", "repro_phase1_flushes_total",
+     "Deferred-buffer flushes"),
+    ("seconds_total", "repro_phase1_seconds_total",
+     "Wall seconds spent in batch ingestion"),
+    ("seconds_scan", "repro_phase1_scan_seconds_total",
+     "Wall seconds spent routing and absorbing"),
+    ("seconds_flush", "repro_phase1_flush_seconds_total",
+     "Wall seconds spent applying deferred bulk updates"),
+    ("seconds_split", "repro_phase1_split_seconds_total",
+     "Wall seconds spent splitting nodes"),
+)
 
 
 class _InternalMirror:
@@ -484,34 +542,43 @@ class BatchInserter:
     # ------------------------------------------------------------------
 
     def run(self, batch: _Batch, stats: ScanStats) -> None:
-        started = time.perf_counter()
-        tree = self.tree
-        splits_before = tree.n_splits
-        self._batch = batch
+        """Ingest one prepared batch, updating ``stats`` and the tree."""
         point_mode = batch.entries is None
+        with span(
+            "phase1.insert_batch",
+            size=batch.size,
+            mode="points" if point_mode else "entries",
+        ) as current_span, profiled("phase1.insert_batch"):
+            started = time.perf_counter()
+            tree = self.tree
+            splits_before = tree.n_splits
+            absorbed_before = stats.absorbed
+            self._batch = batch
 
-        if self._scalar:
-            flush_split_seconds = self._scan_scalar(batch, stats)
-        else:
-            flush_split_seconds = self._scan_generic(batch, stats)
+            if self._scalar:
+                flush_split_seconds = self._scan_scalar(batch, stats)
+            else:
+                flush_split_seconds = self._scan_generic(batch, stats)
 
-        flush_started = time.perf_counter()
-        self.flush(stats)
-        flush_seconds = time.perf_counter() - flush_started
-        stats.seconds_flush += flush_seconds
+            flush_started = time.perf_counter()
+            self.flush(stats)
+            flush_seconds = time.perf_counter() - flush_started
+            stats.seconds_flush += flush_seconds
 
-        if point_mode:
-            stats.points += batch.size
-            tree._n_points += batch.size
-        else:
-            stats.entries += batch.size
-            tree._n_points += int(batch.n.sum())
-        stats.splits += tree.n_splits - splits_before
-        stats.batches += 1
-        elapsed = time.perf_counter() - started
-        stats.seconds_total += elapsed
-        stats.seconds_scan += elapsed - flush_seconds - flush_split_seconds
-        self._batch = None
+            if point_mode:
+                stats.points += batch.size
+                tree._n_points += batch.size
+            else:
+                stats.entries += batch.size
+                tree._n_points += int(batch.n.sum())
+            stats.splits += tree.n_splits - splits_before
+            stats.batches += 1
+            elapsed = time.perf_counter() - started
+            stats.seconds_total += elapsed
+            stats.seconds_scan += elapsed - flush_seconds - flush_split_seconds
+            self._batch = None
+            current_span.set("absorbed", stats.absorbed - absorbed_before)
+            current_span.set("splits", tree.n_splits - splits_before)
 
     def _scan_generic(self, batch: _Batch, stats: ScanStats) -> float:
         """Route and absorb every batch item via the numpy mirrors."""

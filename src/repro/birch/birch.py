@@ -28,6 +28,8 @@ from repro.birch.rebuild import rebuild_tree, split_off_outlier_entries
 from repro.birch.refine import refine_entries
 from repro.birch.tree import ACFTree
 from repro.data.relation import AttributePartition, Relation
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 __all__ = ["BirchOptions", "Phase1Stats", "BirchResult", "BirchClusterer", "assign_to_centroids"]
 
@@ -96,6 +98,7 @@ class BirchResult:
         return [cluster for cluster in self.clusters if cluster.n >= min_count]
 
     def centroids(self) -> np.ndarray:
+        """Centroids of all clusters stacked into a ``(k, dim)`` array."""
         if not self.clusters:
             return np.empty((0, self.partition.dimension))
         return np.stack([cluster.centroid for cluster in self.clusters])
@@ -151,6 +154,49 @@ class BirchClusterer:
         self, points: np.ndarray, cross_matrices: Optional[Dict[str, np.ndarray]] = None
     ) -> BirchResult:
         """Scan raw arrays: ``points`` is ``(n, dim)``; cross matrices match rows."""
+        with span(
+            "phase1.fit", partition=self.partition.name
+        ) as fit_span:
+            result = self._fit_arrays(points, cross_matrices)
+            stats = result.stats
+            fit_span.set("points", stats.points_inserted)
+            fit_span.set("entries", stats.final_entry_count)
+            fit_span.set("rebuilds", stats.rebuilds)
+            if stats.scan is not None:
+                stats.scan.publish(self.partition.name)
+            self._publish_summary(result)
+            return result
+
+    def _publish_summary(self, result: BirchResult) -> None:
+        """Point-in-time gauges of the finished Phase I pass (per partition)."""
+        if not obs_metrics.metrics_enabled():
+            return
+        name = self.partition.name
+        stats = result.stats
+        obs_metrics.set_gauge(
+            "repro_phase1_threshold", result.tree.threshold,
+            help="Final density/diameter threshold of the partition's tree",
+            partition=name,
+        )
+        obs_metrics.set_gauge(
+            "repro_phase1_entry_count", stats.final_entry_count,
+            help="Leaf entries (subclusters) after the Phase I pass",
+            partition=name,
+        )
+        obs_metrics.set_gauge(
+            "repro_phase1_tree_bytes", stats.final_tree_bytes,
+            help="Modeled byte size of the partition's final tree",
+            unit="bytes", partition=name,
+        )
+        obs_metrics.inc(
+            "repro_phase1_paged_entries_total", stats.paged_entries,
+            help="Subcluster summaries paged to the outlier store",
+            partition=name,
+        )
+
+    def _fit_arrays(
+        self, points: np.ndarray, cross_matrices: Optional[Dict[str, np.ndarray]] = None
+    ) -> BirchResult:
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         cross_matrices = cross_matrices or {}
         if set(cross_matrices) != set(self._cross_dimensions):

@@ -58,19 +58,23 @@ class CF:
 
     @classmethod
     def zero(cls, dimension: int) -> "CF":
+        """An empty CF of the given dimension."""
         return cls(0, np.zeros(dimension), np.zeros(dimension))
 
     @classmethod
     def of_point(cls, point: np.ndarray) -> "CF":
+        """The CF summarizing a single point."""
         point = np.asarray(point, dtype=np.float64)
         return cls(1, point.copy(), point * point)
 
     @classmethod
     def of_points(cls, points: np.ndarray) -> "CF":
+        """The CF summarizing every row of ``points`` at once."""
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         return cls(points.shape[0], points.sum(axis=0), (points * points).sum(axis=0))
 
     def copy(self) -> "CF":
+        """An independent deep copy."""
         return CF(self.n, self.ls.copy(), self.ss.copy())
 
     # ------------------------------------------------------------------
@@ -78,6 +82,7 @@ class CF:
     # ------------------------------------------------------------------
 
     def add_point(self, point: np.ndarray) -> None:
+        """Absorb one point into the summary, in place."""
         point = np.asarray(point, dtype=np.float64)
         self.n += 1
         self.ls += point
@@ -90,6 +95,7 @@ class CF:
         self.ss += other.ss
 
     def merged(self, other: "CF") -> "CF":
+        """The union of two CFs as a new object (additivity)."""
         return CF(self.n + other.n, self.ls + other.ls, self.ss + other.ss)
 
     # ------------------------------------------------------------------
@@ -98,14 +104,17 @@ class CF:
 
     @property
     def dimension(self) -> int:
+        """Number of attributes summarized."""
         return self.ls.shape[0]
 
     @property
     def ss_total(self) -> float:
+        """Scalar sum of squares over all dimensions."""
         return float(self.ss.sum())
 
     @property
     def centroid(self) -> np.ndarray:
+        """Mean of the summarized points; raises on an empty CF."""
         if self.n == 0:
             raise ValueError("centroid of an empty CF is undefined")
         return self.ls / self.n
@@ -117,6 +126,7 @@ class CF:
 
     @property
     def rms_radius(self) -> float:
+        """BIRCH's R statistic (RMS distance to the centroid)."""
         return rms_radius_from_moments(self.n, self.ls, self.ss_total)
 
     @property
@@ -156,6 +166,7 @@ class CF:
 
     @classmethod
     def from_state(cls, state: dict) -> "CF":
+        """Rebuild from :meth:`state_dict` output, bit-exact."""
         return cls(
             int(state["n"]),
             np.asarray(state["ls"], dtype=np.float64),
@@ -211,6 +222,7 @@ class ACF:
 
     @classmethod
     def of_point(cls, point: np.ndarray, cross_values: Mapping[str, np.ndarray]) -> "ACF":
+        """The ACF of one point plus its cross-partition values."""
         point = np.asarray(point, dtype=np.float64)
         cross = {name: CF.of_point(values) for name, values in cross_values.items()}
         return cls(CF.of_point(point), cross, lo=point.copy(), hi=point.copy())
@@ -219,6 +231,7 @@ class ACF:
     def of_points(
         cls, points: np.ndarray, cross_points: Mapping[str, np.ndarray]
     ) -> "ACF":
+        """The ACF of the rows of ``points`` with their cross values."""
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         cross = {name: CF.of_points(values) for name, values in cross_points.items()}
         return cls(
@@ -229,6 +242,7 @@ class ACF:
         )
 
     def copy(self) -> "ACF":
+        """An independent deep copy (primary, cross CFs and bounds)."""
         return ACF(
             self.cf.copy(),
             {name: cf.copy() for name, cf in self.cross.items()},
@@ -241,6 +255,7 @@ class ACF:
     # ------------------------------------------------------------------
 
     def add_point(self, point: np.ndarray, cross_values: Mapping[str, np.ndarray]) -> None:
+        """Absorb one point and its cross-partition values, in place."""
         point = np.asarray(point, dtype=np.float64)
         # The check must hold even for an empty ACF: its ``cross`` keys are
         # the declared layout, and letting the first point redefine it would
@@ -257,6 +272,7 @@ class ACF:
         np.maximum(self.hi, point, out=self.hi)
 
     def merge(self, other: "ACF") -> None:
+        """In-place union (extended Additivity Theorem, Thm 6.1)."""
         if set(other.cross) != set(self.cross):
             raise ValueError("cannot merge ACFs with different cross partitions")
         self.cf.merge(other.cf)
@@ -266,6 +282,7 @@ class ACF:
         np.maximum(self.hi, other.hi, out=self.hi)
 
     def merged(self, other: "ACF") -> "ACF":
+        """The union of two ACFs as a new object."""
         result = self.copy()
         result.merge(other)
         return result
@@ -276,17 +293,21 @@ class ACF:
 
     @property
     def n(self) -> int:
+        """Number of tuples summarized."""
         return self.cf.n
 
     @property
     def centroid(self) -> np.ndarray:
+        """Centroid on the ACF's own partition."""
         return self.cf.centroid
 
     @property
     def rms_diameter(self) -> float:
+        """RMS diameter on the ACF's own partition."""
         return self.cf.rms_diameter
 
     def bounding_box(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(lo, hi)`` copies of the exact per-dimension bounds."""
         if self.n == 0:
             raise ValueError("bounding box of an empty ACF is undefined")
         return self.lo.copy(), self.hi.copy()
@@ -322,6 +343,7 @@ class ACF:
 
     @classmethod
     def from_state(cls, state: dict) -> "ACF":
+        """Rebuild from :meth:`state_dict` output."""
         return cls(
             CF.from_state(state["cf"]),
             {name: CF.from_state(cf) for name, cf in state["cross"].items()},

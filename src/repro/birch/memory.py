@@ -46,14 +46,17 @@ class MemoryModel:
         return own + cross
 
     def bytes_per_leaf_node(self) -> int:
+        """Fixed cost of a leaf node, excluding its entries."""
         return _NODE_OVERHEAD_BYTES + _POINTER_BYTES * (self.leaf_capacity + 2)
 
     def bytes_per_internal_node(self) -> int:
         # Each child slot holds a pointer plus the child's aggregate CF.
+        """Fixed cost of an internal node and its child slots."""
         per_slot = _POINTER_BYTES + _FLOAT_BYTES * (1 + 2 * self.dimension)
         return _NODE_OVERHEAD_BYTES + per_slot * self.branching
 
     def tree_bytes(self, n_entries: int, n_leaves: int, n_internal: int) -> int:
+        """Estimated bytes for a tree of the given shape."""
         return (
             n_entries * self.bytes_per_leaf_entry()
             + n_leaves * self.bytes_per_leaf_node()
@@ -86,10 +89,12 @@ class ThresholdSchedule:
         self.initial_step = initial_step
 
     def state_dict(self) -> dict:
+        """Plain-builtin form for checkpoints."""
         return {"growth_factor": self.growth_factor, "initial_step": self.initial_step}
 
     @classmethod
     def from_state(cls, state: dict) -> "ThresholdSchedule":
+        """Rebuild from :meth:`state_dict` output."""
         return cls(
             growth_factor=float(state["growth_factor"]),
             initial_step=float(state["initial_step"]),

@@ -42,12 +42,15 @@ class Node:
 
     @property
     def is_leaf(self) -> bool:  # pragma: no cover - abstract
+        """Whether this node holds entries rather than children."""
         raise NotImplementedError
 
     def entry_count(self) -> int:  # pragma: no cover - abstract
+        """Number of entries (leaf) or children (internal)."""
         raise NotImplementedError
 
     def recompute_cf(self) -> None:  # pragma: no cover - abstract
+        """Rebuild the aggregate CF from scratch (after splits)."""
         raise NotImplementedError
 
 
@@ -71,16 +74,20 @@ class LeafNode(Node):
 
     @property
     def is_leaf(self) -> bool:
+        """Always ``True``."""
         return True
 
     @property
     def is_full(self) -> bool:
+        """Whether the leaf is at entry capacity."""
         return len(self.entries) >= self.capacity
 
     def entry_count(self) -> int:
+        """Number of ACF entries stored."""
         return len(self.entries)
 
     def recompute_cf(self) -> None:
+        """Re-aggregate the node CF from its entries."""
         cf = CF.zero(self._cf.dimension)
         for entry in self.entries:
             cf.merge(entry.cf)
@@ -114,6 +121,7 @@ class LeafNode(Node):
         return best_index, float(np.sqrt(best_squared))
 
     def add_entry(self, entry: ACF) -> None:
+        """Append ``entry`` and fold it into the node CF."""
         self.entries.append(entry)
         self._cf.merge(entry.cf)
 
@@ -132,22 +140,27 @@ class InternalNode(Node):
 
     @property
     def is_leaf(self) -> bool:
+        """Always ``False``."""
         return False
 
     @property
     def is_full(self) -> bool:
+        """Whether the node is at branching capacity."""
         return len(self.children) >= self.branching
 
     def entry_count(self) -> int:
+        """Number of child subtrees."""
         return len(self.children)
 
     def recompute_cf(self) -> None:
+        """Re-aggregate the node CF from its children."""
         cf = CF.zero(self._cf.dimension)
         for child in self.children:
             cf.merge(child.cf)
         self._cf = cf
 
     def add_child(self, child: Node) -> None:
+        """Attach ``child`` and take ownership (sets its parent)."""
         self.children.append(child)
         child.parent = self
 

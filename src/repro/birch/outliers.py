@@ -34,10 +34,12 @@ class ReplayReport:
 
     @property
     def confirmed_count(self) -> int:
+        """Number of confirmed outlier subclusters."""
         return len(self.confirmed_outliers)
 
     @property
     def outlier_tuples(self) -> int:
+        """Total tuples across confirmed outlier subclusters."""
         return sum(entry.n for entry in self.confirmed_outliers)
 
 
@@ -53,16 +55,20 @@ class OutlierStore:
 
     @property
     def entries(self) -> Tuple[ACF, ...]:
+        """The stored subclusters, as an immutable snapshot."""
         return tuple(self._entries)
 
     @property
     def tuple_count(self) -> int:
+        """Total tuples across all stored subclusters."""
         return sum(entry.n for entry in self._entries)
 
     def bytes_used(self) -> int:
+        """Memory charged to the store under the tree's cost model."""
         return len(self._entries) * self._memory_model.bytes_per_leaf_entry()
 
     def page_out(self, entries: List[ACF]) -> None:
+        """Take ownership of entries evicted from the tree."""
         self._entries.extend(entries)
 
     def replay_into(self, tree: ACFTree, min_count: int) -> ReplayReport:

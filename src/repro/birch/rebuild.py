@@ -15,6 +15,8 @@ from typing import List, Optional, Tuple
 from repro.birch.batch import ScanStats
 from repro.birch.features import ACF
 from repro.birch.tree import ACFTree
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 __all__ = ["rebuild_tree", "split_off_outlier_entries"]
 
@@ -34,20 +36,30 @@ def rebuild_tree(
         raise ValueError(
             f"rebuild threshold {new_threshold} must exceed current {tree.threshold}"
         )
-    rebuilt = ACFTree(
-        dimension=tree.dimension,
-        threshold=new_threshold,
-        branching=tree.branching,
-        leaf_capacity=tree.leaf_capacity,
-        cross_dimensions=tree.cross_dimensions,
-    )
-    # Copies: insertion may merge subsequent entries INTO an earlier one,
-    # and the original tree still references them — rebuilds must not
-    # mutate their input.
-    rebuilt.insert_entries([entry.copy() for entry in tree.entries()], stats=stats)
-    if stats is not None:
-        stats.rebuilds += 1
-    return rebuilt
+    with span(
+        "phase1.rebuild",
+        old_threshold=tree.threshold,
+        new_threshold=new_threshold,
+    ) as rebuild_span:
+        rebuilt = ACFTree(
+            dimension=tree.dimension,
+            threshold=new_threshold,
+            branching=tree.branching,
+            leaf_capacity=tree.leaf_capacity,
+            cross_dimensions=tree.cross_dimensions,
+        )
+        # Copies: insertion may merge subsequent entries INTO an earlier one,
+        # and the original tree still references them — rebuilds must not
+        # mutate their input.
+        rebuilt.insert_entries([entry.copy() for entry in tree.entries()], stats=stats)
+        if stats is not None:
+            stats.rebuilds += 1
+        rebuild_span.set("entries", rebuilt.summary_counts()[0])
+        obs_metrics.inc(
+            "repro_threshold_escalations_total",
+            help="Diameter-threshold escalations (memory-pressure rebuilds)",
+        )
+        return rebuilt
 
 
 def split_off_outlier_entries(

@@ -135,10 +135,12 @@ class ACFTree:
 
     @property
     def n_splits(self) -> int:
+        """Number of node splits performed so far."""
         return self._n_splits
 
     @property
     def height(self) -> int:
+        """Levels from root to leaf (a lone root counts as 1)."""
         height = 1
         node = self._root
         while not node.is_leaf:
@@ -147,6 +149,7 @@ class ACFTree:
         return height
 
     def leaves(self) -> Iterator[LeafNode]:
+        """Iterate leaves left-to-right along the leaf chain."""
         leaf: Optional[LeafNode] = self._first_leaf
         while leaf is not None:
             yield leaf
@@ -158,9 +161,11 @@ class ACFTree:
             yield from leaf.entries
 
     def entry_count(self) -> int:
+        """Total ACF entries across all leaves."""
         return sum(leaf.entry_count() for leaf in self.leaves())
 
     def node_count(self) -> int:
+        """Total nodes (leaves plus internal) in the tree."""
         count = 0
         stack = [self._root]
         while stack:

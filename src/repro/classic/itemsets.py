@@ -34,15 +34,18 @@ class FrequentItemsets:
     min_count: int
 
     def support(self, itemset: Itemset) -> float:
+        """Fractional support of ``itemset`` (0 with no transactions)."""
         if self.n_transactions == 0:
             return 0.0
         return self.counts[itemset] / self.n_transactions
 
     def by_size(self, size: int) -> List[Itemset]:
+        """All frequent itemsets with exactly ``size`` items."""
         return [itemset for itemset in self.counts if len(itemset) == size]
 
     @property
     def max_size(self) -> int:
+        """Size of the largest frequent itemset (0 if none)."""
         return max((len(itemset) for itemset in self.counts), default=0)
 
     def __len__(self) -> int:

@@ -40,10 +40,12 @@ class RuleMeasures:
 
     @property
     def support(self) -> float:
+        """The rule's fractional support (pass-through)."""
         return self.rule.support
 
     @property
     def confidence(self) -> float:
+        """The rule's confidence (pass-through)."""
         return self.rule.confidence
 
 

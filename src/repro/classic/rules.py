@@ -36,6 +36,7 @@ class ClassicalRule:
 
     @property
     def items(self) -> FrozenSet[Item]:
+        """Antecedent and consequent items as one set."""
         return self.antecedent | self.consequent
 
     def __str__(self) -> str:

@@ -79,6 +79,7 @@ class Taxonomy:
         return cls(parents)
 
     def parent(self, value: Hashable) -> Optional[Hashable]:
+        """Immediate parent of ``value`` (``None`` for roots/unknown)."""
         return self._parents.get(value)
 
     def ancestors(self, value: Hashable) -> Tuple[Hashable, ...]:
@@ -91,13 +92,16 @@ class Taxonomy:
         return tuple(chain)
 
     def is_ancestor(self, ancestor: Hashable, value: Hashable) -> bool:
+        """Whether ``ancestor`` appears anywhere above ``value``."""
         return ancestor in self.ancestors(value)
 
     def roots(self) -> FrozenSet[Hashable]:
+        """Values that have children but no parent."""
         values = set(self._parents) | set(self._parents.values())
         return frozenset(v for v in values if v not in self._parents)
 
     def depth(self, value: Hashable) -> int:
+        """Number of ancestors above ``value`` (0 for roots)."""
         return len(self.ancestors(value))
 
     def __contains__(self, value: object) -> bool:

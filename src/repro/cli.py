@@ -37,6 +37,7 @@ from repro.data.relation import Relation
 from repro.data.synthetic import make_clustered_relation, make_planted_rule_relation
 from repro.data.wbcd import make_scaled_wbcd, make_wbcd_like
 from repro.mixed.miner import MixedDARConfig, MixedDARMiner
+from repro.obs.trace import span
 from repro.quantitative.qar import QARConfig, QARMiner
 from repro.report.describe import describe_rule
 from repro.resilience.errors import ReproError
@@ -45,6 +46,7 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs and tests)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Distance-based association rules over interval data "
@@ -108,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="resume a streaming mine from this checkpoint "
                       "file (continues checkpointing to the same path "
                       "unless --checkpoint overrides it)")
+    mine.add_argument("--trace", metavar="PATH", default=None,
+                      help="record spans for the whole run and write them "
+                      "to PATH (.jsonl for JSON lines, anything else for "
+                      "Chrome chrome://tracing JSON)")
+    mine.add_argument("--metrics", action="store_true",
+                      help="record counters/gauges/histograms and print "
+                      "the metrics table after the rules")
+    mine.add_argument("--profile", action="store_true",
+                      help="sample per-stage numpy call counts and "
+                      "allocations (adds overhead; implies a report "
+                      "after the rules)")
 
     baseline = commands.add_parser(
         "baseline", help="Srikant-Agrawal quantitative rules (equi-depth)"
@@ -197,6 +210,49 @@ def _mine_streaming(relation: Relation, config: DARConfig, args):
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
+    """Run ``mine``, wiring up observability when any of its flags are set.
+
+    ``--trace``/``--metrics``/``--profile`` reset the corresponding
+    recorders first, so repeated in-process invocations (tests, notebooks)
+    start from a clean slate and the exported numbers describe exactly
+    this run.
+    """
+    if not (args.trace or args.metrics or args.profile):
+        return _run_mine(args)
+
+    from repro import obs
+
+    tracer = obs.get_tracer()
+    tracer.clear()
+    obs.get_registry().reset()
+    obs.reset_profiles()
+    obs.enable(
+        trace=bool(args.trace), metrics=args.metrics, profile=args.profile
+    )
+    try:
+        with span("cli.mine", csv=args.csv):
+            status = _run_mine(args)
+    finally:
+        obs.disable()
+    # Diagnostics go to stderr (like the trace confirmation) so that
+    # ``--json`` stdout stays machine-parseable under ``--metrics``.
+    if args.metrics:
+        print("\n# metrics", file=sys.stderr)
+        print(obs.get_registry().to_table(), file=sys.stderr)
+    if args.profile:
+        print("\n# profile", file=sys.stderr)
+        print(obs.profile_report(), file=sys.stderr)
+    if args.trace:
+        if str(args.trace).endswith(".jsonl"):
+            tracer.to_jsonl(args.trace)
+            n_spans = len(tracer.spans())
+        else:
+            n_spans = tracer.to_chrome(args.trace)
+        print(f"# trace: {n_spans} spans written to {args.trace}", file=sys.stderr)
+    return status
+
+
+def _run_mine(args: argparse.Namespace) -> int:
     sink = None
     if args.lenient or args.quarantine is not None:
         from repro.resilience.sink import ErrorBudget, Quarantine

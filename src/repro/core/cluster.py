@@ -44,6 +44,7 @@ class Cluster:
 
     @property
     def centroid(self) -> np.ndarray:
+        """Centroid of the cluster's own-partition summary."""
         return self.acf.centroid
 
     @property

@@ -76,6 +76,7 @@ class GQARRule:
 
 @dataclass
 class GQARResult:
+    """Clusters, per-partition labels and the rules mined from them."""
     rules: List[GQARRule]
     clusters: Dict[str, List[Cluster]]
     labels: Dict[str, np.ndarray]
@@ -92,6 +93,7 @@ class GQARMiner:
         relation: Relation,
         partitions: Optional[Sequence[AttributePartition]] = None,
     ) -> GQARResult:
+        """Cluster each partition, then Apriori over cluster memberships."""
         if len(relation) == 0:
             raise ValueError("cannot mine an empty relation")
         partition_list = list(

@@ -46,6 +46,7 @@ class GraphStats:
 
     @property
     def considered(self) -> int:
+        """Total pairs examined (computed plus pruned)."""
         return self.comparisons + self.skipped
 
 
@@ -59,19 +60,24 @@ class ClusteringGraph:
 
     @property
     def n_nodes(self) -> int:
+        """Number of clusters in the graph."""
         return len(self.clusters)
 
     @property
     def n_edges(self) -> int:
+        """Number of undirected edges."""
         return sum(len(neighbors) for neighbors in self.adjacency.values()) // 2
 
     def neighbors(self, uid: int) -> FrozenSet[int]:
+        """Uids adjacent to ``uid`` (empty if absent)."""
         return frozenset(self.adjacency.get(uid, ()))
 
     def has_edge(self, a: int, b: int) -> bool:
+        """Whether clusters ``a`` and ``b`` are connected."""
         return b in self.adjacency.get(a, ())
 
     def degree(self, uid: int) -> int:
+        """Number of neighbors of ``uid``."""
         return len(self.adjacency.get(uid, ()))
 
 

@@ -29,6 +29,8 @@ from repro.core.graph import ClusteringGraph, build_clustering_graph
 from repro.core.phase2_kernel import Phase2Kernel
 from repro.core.rules import DistanceRule
 from repro.data.relation import AttributePartition, Relation, default_partitions
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.resilience import faults
 from repro.resilience.errors import ValidationError
 
@@ -76,6 +78,70 @@ class Phase2Stats:
             "rules": self.rules_seconds,
         }
 
+    def publish(self) -> None:
+        """Emit this run's Phase II numbers into the metrics registry.
+
+        The stats object remains the per-run record (``--stats``, JSON
+        export); this bridge mirrors the same values as ``repro_phase2_*``
+        metrics so the registry — what ``--metrics`` and the Prometheus
+        dump read — always agrees with the stats views.  Point-in-time
+        quantities (cluster/clique/edge/rule counts) land in gauges
+        reflecting the latest run; cumulative work (runs, comparisons,
+        degradation events, seconds) lands in counters/histograms.
+        No-op while metrics are disabled.
+        """
+        if not obs_metrics.metrics_enabled():
+            return
+        obs_metrics.inc(
+            "repro_phase2_runs_total", help="Phase II (rule formation) executions"
+        )
+        obs_metrics.set_gauge(
+            "repro_phase2_clusters", self.n_clusters,
+            help="Clusters found by Phase I in the latest run",
+        )
+        obs_metrics.set_gauge(
+            "repro_phase2_frequent_clusters", self.n_frequent_clusters,
+            help="Clusters meeting the frequency threshold in the latest run",
+        )
+        obs_metrics.set_gauge(
+            "repro_phase2_cliques", self.n_cliques,
+            help="Maximal cliques of the clustering graph in the latest run",
+        )
+        obs_metrics.set_gauge(
+            "repro_phase2_edges", self.n_edges,
+            help="Clustering-graph edges in the latest run",
+        )
+        obs_metrics.set_gauge(
+            "repro_phase2_rules", self.n_rules,
+            help="Rules emitted by the latest run",
+        )
+        obs_metrics.inc(
+            "repro_phase2_comparisons_total", self.comparisons,
+            help="Cluster-pair distance comparisons performed",
+        )
+        obs_metrics.inc(
+            "repro_phase2_comparisons_skipped_total", self.comparisons_skipped,
+            help="Cluster-pair comparisons pruned by the density pre-filter",
+        )
+        obs_metrics.observe(
+            "repro_phase2_seconds", self.seconds,
+            help="Phase II wall time per run", unit="seconds",
+        )
+        for stage, seconds in self.stage_breakdown().items():
+            obs_metrics.inc(
+                "repro_phase2_stage_seconds_total", seconds,
+                help="Phase II wall seconds by pipeline stage",
+                unit="seconds", stage=stage,
+            )
+        for event in self.events:
+            kind = "memory_escalation" if "memory" in event else (
+                "kernel_fallback" if "kernel" in event else "other"
+            )
+            obs_metrics.inc(
+                "repro_degradation_events_total",
+                help="Graceful-degradation events, by kind", kind=kind,
+            )
+
 
 @dataclass
 class DARResult:
@@ -93,6 +159,7 @@ class DARResult:
     phase2: Phase2Stats
 
     def cluster_by_uid(self, uid: int) -> Cluster:
+        """Look up a cluster by uid across all partitions."""
         for clusters in self.all_clusters.values():
             for cluster in clusters:
                 if cluster.uid == uid:
@@ -205,29 +272,30 @@ class DARMiner:
         frequency_count = max(1, math.ceil(self.config.frequency_fraction * n))
         uid = itertools.count()
 
-        for partition in partition_list:
-            others = [p for p in partition_list if p.name != partition.name]
-            options = replace(
-                self.config.birch,
-                initial_threshold=density[partition.name],
-                frequency_fraction=self.config.frequency_fraction,
-            )
-            clusterer = BirchClusterer(partition, others, options)
-            result = clusterer.fit_arrays(
-                matrices[partition.name],
-                {p.name: matrices[p.name] for p in others},
-            )
-            phase1_stats[partition.name] = result.stats
-            clusters = [
-                Cluster(uid=next(uid), partition=partition, acf=acf)
-                for acf in result.clusters
-            ]
-            all_clusters[partition.name] = clusters
-            frequent = [c for c in clusters if c.n >= frequency_count]
-            # "If for some X_i there are no frequent clusters, we omit X_i
-            # from consideration in Phase II."
-            if frequent:
-                frequent_clusters[partition.name] = frequent
+        with span("phase1", partitions=len(partition_list), rows=n):
+            for partition in partition_list:
+                others = [p for p in partition_list if p.name != partition.name]
+                options = replace(
+                    self.config.birch,
+                    initial_threshold=density[partition.name],
+                    frequency_fraction=self.config.frequency_fraction,
+                )
+                clusterer = BirchClusterer(partition, others, options)
+                result = clusterer.fit_arrays(
+                    matrices[partition.name],
+                    {p.name: matrices[p.name] for p in others},
+                )
+                phase1_stats[partition.name] = result.stats
+                clusters = [
+                    Cluster(uid=next(uid), partition=partition, acf=acf)
+                    for acf in result.clusters
+                ]
+                all_clusters[partition.name] = clusters
+                frequent = [c for c in clusters if c.n >= frequency_count]
+                # "If for some X_i there are no frequent clusters, we omit X_i
+                # from consideration in Phase II."
+                if frequent:
+                    frequent_clusters[partition.name] = frequent
 
         # ------------------------------ Phase II -----------------------
         phase2 = Phase2Stats()
@@ -243,95 +311,119 @@ class DARMiner:
         graph: Optional[ClusteringGraph] = None
         cliques: List[FrozenSet[int]] = []
         rules: List[DistanceRule] = []
-        if len(frequent_clusters) >= 2:
-            engine = self.config.phase2_engine
-            if engine == "auto":
-                engine = (
-                    "vector" if Phase2Kernel.supports(flat_frequent) else "scalar"
-                )
-
-            # Image-moment extraction: every frequent cluster's (N, LS, SS)
-            # on every partition, stacked once, reused by the graph build
-            # AND the rule-formation stage below.
-            stage = time.perf_counter()
-            kernel: Optional[Phase2Kernel] = None
-            if engine == "vector":
-                try:
-                    faults.fire("phase2.kernel")
-                    kernel = Phase2Kernel(flat_frequent, metric=self.config.metric)
-                except Exception as error:
-                    phase2.events.append(
-                        f"vector Phase II kernel failed during moment "
-                        f"extraction ({error}); degraded to the scalar engine"
+        with span(
+            "phase2", frequent_clusters=len(flat_frequent)
+        ) as phase2_span:
+            if len(frequent_clusters) >= 2:
+                engine = self.config.phase2_engine
+                if engine == "auto":
+                    engine = (
+                        "vector"
+                        if Phase2Kernel.supports(flat_frequent)
+                        else "scalar"
                     )
-                    engine = "scalar"
-                    kernel = None
-            phase2.extract_seconds = time.perf_counter() - stage
 
-            lenient = {
-                name: self.config.phase2_leniency * threshold
-                for name, threshold in density.items()
-            }
-            stage = time.perf_counter()
-            if kernel is not None:
-                try:
-                    graph = kernel.build_graph(
-                        lenient,
-                        use_density_pruning=self.config.use_density_pruning,
-                        pruning_diameter_factor=self.config.pruning_diameter_factor,
+                # Image-moment extraction: every frequent cluster's
+                # (N, LS, SS) on every partition, stacked once, reused by
+                # the graph build AND the rule-formation stage below.
+                stage = time.perf_counter()
+                kernel: Optional[Phase2Kernel] = None
+                if engine == "vector":
+                    with span("phase2.extract", clusters=len(flat_frequent)):
+                        try:
+                            faults.fire("phase2.kernel")
+                            kernel = Phase2Kernel(
+                                flat_frequent, metric=self.config.metric
+                            )
+                        except Exception as error:
+                            phase2.events.append(
+                                f"vector Phase II kernel failed during moment "
+                                f"extraction ({error}); degraded to the "
+                                f"scalar engine"
+                            )
+                            engine = "scalar"
+                            kernel = None
+                phase2.extract_seconds = time.perf_counter() - stage
+
+                lenient = {
+                    name: self.config.phase2_leniency * threshold
+                    for name, threshold in density.items()
+                }
+                stage = time.perf_counter()
+                with span("phase2.graph") as graph_span:
+                    if kernel is not None:
+                        try:
+                            graph = kernel.build_graph(
+                                lenient,
+                                use_density_pruning=self.config.use_density_pruning,
+                                pruning_diameter_factor=self.config.pruning_diameter_factor,
+                            )
+                        except Exception as error:
+                            phase2.events.append(
+                                f"vector Phase II kernel failed during graph "
+                                f"build ({error}); degraded to the scalar "
+                                f"engine"
+                            )
+                            engine = "scalar"
+                            kernel = None
+                            graph = None
+                    if kernel is None:
+                        graph = build_clustering_graph(
+                            flat_frequent,
+                            lenient,
+                            metric=self.config.metric,
+                            use_density_pruning=self.config.use_density_pruning,
+                            pruning_diameter_factor=self.config.pruning_diameter_factor,
+                            engine="scalar",
+                        )
+                    graph_span.set("engine", engine)
+                    graph_span.set("edges", graph.n_edges)
+                phase2.engine = engine
+                phase2.graph_seconds = time.perf_counter() - stage
+
+                stage = time.perf_counter()
+                with span("phase2.cliques") as clique_span:
+                    cliques = maximal_cliques(graph.adjacency)
+                    clique_span.set("cliques", len(cliques))
+                phase2.clique_seconds = time.perf_counter() - stage
+
+                stage = time.perf_counter()
+                with span("phase2.rules") as rules_span:
+                    rules = self._rules_from_cliques(
+                        graph, cliques, degree, targets=target_set, kernel=kernel
                     )
-                except Exception as error:
-                    phase2.events.append(
-                        f"vector Phase II kernel failed during graph build "
-                        f"({error}); degraded to the scalar engine"
-                    )
-                    engine = "scalar"
-                    kernel = None
-                    graph = None
-            if kernel is None:
-                graph = build_clustering_graph(
-                    flat_frequent,
-                    lenient,
-                    metric=self.config.metric,
-                    use_density_pruning=self.config.use_density_pruning,
-                    pruning_diameter_factor=self.config.pruning_diameter_factor,
-                    engine="scalar",
-                )
-            phase2.engine = engine
-            phase2.graph_seconds = time.perf_counter() - stage
+                    rules_span.set("rules", len(rules))
+                phase2.rules_seconds = time.perf_counter() - stage
 
-            stage = time.perf_counter()
-            cliques = maximal_cliques(graph.adjacency)
-            phase2.clique_seconds = time.perf_counter() - stage
+                phase2.n_edges = graph.n_edges
+                phase2.comparisons = graph.stats.comparisons
+                phase2.comparisons_skipped = graph.stats.skipped
+            phase2.n_cliques = len(cliques)
+            phase2.n_non_trivial_cliques = len(non_trivial_cliques(cliques))
 
-            stage = time.perf_counter()
-            rules = self._rules_from_cliques(
-                graph, cliques, degree, targets=target_set, kernel=kernel
+            wants_counts = (
+                self.config.count_rule_support
+                or self.config.rule_support_fraction is not None
             )
-            phase2.rules_seconds = time.perf_counter() - stage
-
-            phase2.n_edges = graph.n_edges
-            phase2.comparisons = graph.stats.comparisons
-            phase2.comparisons_skipped = graph.stats.skipped
-        phase2.n_cliques = len(cliques)
-        phase2.n_non_trivial_cliques = len(non_trivial_cliques(cliques))
-
-        wants_counts = (
-            self.config.count_rule_support
-            or self.config.rule_support_fraction is not None
-        )
-        if wants_counts and rules:
-            rules = self._count_support(rules, frequent_clusters, matrices)
-            if self.config.rule_support_fraction is not None:
-                # Section 6.2 post-processing: "these rules are only
-                # candidate rules ... we can rescan the data (once) and
-                # count the frequency of all candidate rules."
-                bar = math.ceil(self.config.rule_support_fraction * n)
-                rules = [
-                    rule for rule in rules if (rule.support_count or 0) >= bar
-                ]
-        phase2.n_rules = len(rules)
+            if wants_counts and rules:
+                with span("phase2.postscan", candidates=len(rules)):
+                    rules = self._count_support(
+                        rules, frequent_clusters, matrices
+                    )
+                    if self.config.rule_support_fraction is not None:
+                        # Section 6.2 post-processing: "these rules are only
+                        # candidate rules ... we can rescan the data (once)
+                        # and count the frequency of all candidate rules."
+                        bar = math.ceil(self.config.rule_support_fraction * n)
+                        rules = [
+                            rule
+                            for rule in rules
+                            if (rule.support_count or 0) >= bar
+                        ]
+            phase2.n_rules = len(rules)
+            phase2_span.set("rules", len(rules))
         phase2.seconds = time.perf_counter() - started
+        phase2.publish()
 
         return DARResult(
             rules=rules,

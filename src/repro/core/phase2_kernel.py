@@ -33,6 +33,9 @@ import numpy as np
 
 from repro.birch.features import CF
 from repro.core.cluster import CLUSTER_METRICS, Cluster
+from repro.obs import metrics as obs_metrics
+from repro.obs.profile import profiled
+from repro.obs.trace import span
 
 __all__ = ["ImageMoments", "Phase2Kernel"]
 
@@ -58,10 +61,12 @@ class ImageMoments:
 
     @property
     def k(self) -> int:
+        """Number of clusters (rows) in the stack."""
         return self.n.shape[0]
 
     @property
     def centroids(self) -> np.ndarray:
+        """Per-cluster centroids, ``(k, dim)``."""
         return self.ls / self.n[:, None]
 
     def rms_diameters(self) -> np.ndarray:
@@ -165,6 +170,7 @@ class Phase2Kernel:
 
     @property
     def k(self) -> int:
+        """Number of clusters the kernel was built over."""
         return len(self.order)
 
     def moments_on(self, partition_name: str) -> ImageMoments:
@@ -194,6 +200,26 @@ class Phase2Kernel:
         return cached
 
     def _compute_pairwise(self, moments: ImageMoments) -> np.ndarray:
+        k = moments.k
+        n_blocks = -(-k // self.block_size) if k else 0
+        with span(
+            "phase2.kernel.pairwise", k=k, blocks=n_blocks
+        ), profiled("phase2.kernel.pairwise"):
+            if obs_metrics.metrics_enabled():
+                obs_metrics.set_gauge(
+                    "repro_kernel_block_size",
+                    self.block_size,
+                    help="Row-block size of the Phase II pairwise kernel",
+                )
+                obs_metrics.inc(
+                    "repro_kernel_blocks_total",
+                    n_blocks,
+                    help="Row blocks materialized by the pairwise kernel",
+                )
+            return self._pairwise_blocked(moments)
+
+    def _pairwise_blocked(self, moments: ImageMoments) -> np.ndarray:
+        """The blocked distance-matrix computation behind ``pairwise_on``."""
         k = moments.k
         out = np.zeros((k, k), dtype=np.float64)
         if k == 0:

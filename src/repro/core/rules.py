@@ -65,14 +65,17 @@ class DistanceRule:
 
     @property
     def is_one_to_one(self) -> bool:
+        """Whether the rule has exactly one cluster on each side."""
         return self.arity == (1, 1)
 
     @property
     def antecedent_uids(self) -> frozenset:
+        """Uids of the antecedent clusters."""
         return frozenset(cluster.uid for cluster in self.antecedent)
 
     @property
     def consequent_uids(self) -> frozenset:
+        """Uids of the consequent clusters."""
         return frozenset(cluster.uid for cluster in self.consequent)
 
     def key(self) -> Tuple[frozenset, frozenset]:

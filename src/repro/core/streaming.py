@@ -49,6 +49,8 @@ from repro.core.graph import build_clustering_graph
 from repro.core.miner import DARMiner, DARResult, Phase2Stats
 from repro.core.phase2_kernel import Phase2Kernel
 from repro.data.relation import AttributePartition, Relation
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.resilience import faults
 from repro.resilience.errors import CheckpointCorruptError, ValidationError
 
@@ -119,6 +121,7 @@ class StreamingDARMiner:
 
     @property
     def density_thresholds(self) -> Dict[str, float]:
+        """Per-partition ``d0`` fixed by the first batch; raises before data."""
         if self._density is None:
             raise RuntimeError("no data yet: thresholds are fixed by the first batch")
         return dict(self._density)
@@ -138,7 +141,26 @@ class StreamingDARMiner:
         self.update_arrays(matrices, sink=sink)
 
     def update_arrays(self, matrices: Mapping[str, np.ndarray], sink=None) -> None:
-        """Absorb a batch given as per-partition matrices with equal rows."""
+        """Absorb a batch given as per-partition matrices with equal rows.
+
+        When observability is enabled the update is traced as a
+        ``streaming.update`` span and the per-partition scan deltas are
+        published to the metrics registry (see ``docs/OBSERVABILITY.md``).
+        """
+        before = (
+            {name: stats.to_dict() for name, stats in self._scan_stats.items()}
+            if obs_metrics.metrics_enabled()
+            else None
+        )
+        with span("streaming.update") as update_span:
+            self._update_arrays(matrices, sink=sink)
+            update_span.set("rows_seen", self._rows_seen)
+            update_span.set("points", self._n_points)
+        if before is not None:
+            for name, stats in self._scan_stats.items():
+                stats.publish(name, since=before[name])
+
+    def _update_arrays(self, matrices: Mapping[str, np.ndarray], sink=None) -> None:
         faults.fire("streaming.update")
         missing = [p.name for p in self.partitions if p.name not in matrices]
         if missing:
@@ -450,52 +472,72 @@ class StreamingDARMiner:
         graph = None
         cliques: List[FrozenSet[int]] = []
         rules = []
-        if len(frequent_clusters) >= 2:
-            engine = self.config.phase2_engine
-            if engine == "auto":
-                engine = "vector" if Phase2Kernel.supports(flat) else "scalar"
-            lenient = {
-                name: self.config.phase2_leniency * threshold
-                for name, threshold in self._density.items()
-            }
-            kernel = None
-            if engine == "vector":
-                try:
-                    faults.fire("phase2.kernel")
-                    kernel = Phase2Kernel(flat, metric=self.config.metric)
-                    graph = kernel.build_graph(
-                        lenient,
-                        use_density_pruning=self.config.use_density_pruning,
-                        pruning_diameter_factor=self.config.pruning_diameter_factor,
+        with span("phase2", frequent_clusters=len(flat), streaming=True):
+            if len(frequent_clusters) >= 2:
+                engine = self.config.phase2_engine
+                if engine == "auto":
+                    engine = "vector" if Phase2Kernel.supports(flat) else "scalar"
+                lenient = {
+                    name: self.config.phase2_leniency * threshold
+                    for name, threshold in self._density.items()
+                }
+                kernel = None
+                stage = time.perf_counter()
+                with span("phase2.graph") as graph_span:
+                    if engine == "vector":
+                        try:
+                            faults.fire("phase2.kernel")
+                            kernel = Phase2Kernel(flat, metric=self.config.metric)
+                            graph = kernel.build_graph(
+                                lenient,
+                                use_density_pruning=self.config.use_density_pruning,
+                                pruning_diameter_factor=self.config.pruning_diameter_factor,
+                            )
+                        except Exception as error:
+                            phase2.events.append(
+                                f"vector Phase II kernel failed ({error}); "
+                                f"degraded to the scalar engine"
+                            )
+                            engine = "scalar"
+                            kernel = None
+                            graph = None
+                    if kernel is None:
+                        graph = build_clustering_graph(
+                            flat,
+                            lenient,
+                            metric=self.config.metric,
+                            use_density_pruning=self.config.use_density_pruning,
+                            pruning_diameter_factor=self.config.pruning_diameter_factor,
+                            engine="scalar",
+                        )
+                    graph_span.set("engine", engine)
+                    graph_span.set("edges", graph.n_edges)
+                phase2.engine = engine
+                phase2.graph_seconds = time.perf_counter() - stage
+
+                stage = time.perf_counter()
+                with span("phase2.cliques") as clique_span:
+                    cliques = maximal_cliques(graph.adjacency)
+                    clique_span.set("cliques", len(cliques))
+                phase2.clique_seconds = time.perf_counter() - stage
+
+                stage = time.perf_counter()
+                with span("phase2.rules") as rules_span:
+                    helper = DARMiner(self.config)
+                    rules = helper._rules_from_cliques(
+                        graph, cliques, degree, kernel=kernel
                     )
-                except Exception as error:
-                    phase2.events.append(
-                        f"vector Phase II kernel failed ({error}); degraded "
-                        f"to the scalar engine"
-                    )
-                    engine = "scalar"
-                    kernel = None
-                    graph = None
-            if kernel is None:
-                graph = build_clustering_graph(
-                    flat,
-                    lenient,
-                    metric=self.config.metric,
-                    use_density_pruning=self.config.use_density_pruning,
-                    pruning_diameter_factor=self.config.pruning_diameter_factor,
-                    engine="scalar",
-                )
-            phase2.engine = engine
-            cliques = maximal_cliques(graph.adjacency)
-            helper = DARMiner(self.config)
-            rules = helper._rules_from_cliques(graph, cliques, degree, kernel=kernel)
-            phase2.n_edges = graph.n_edges
-            phase2.comparisons = graph.stats.comparisons
-            phase2.comparisons_skipped = graph.stats.skipped
-        phase2.n_cliques = len(cliques)
-        phase2.n_non_trivial_cliques = len(non_trivial_cliques(cliques))
-        phase2.n_rules = len(rules)
+                    rules_span.set("rules", len(rules))
+                phase2.rules_seconds = time.perf_counter() - stage
+
+                phase2.n_edges = graph.n_edges
+                phase2.comparisons = graph.stats.comparisons
+                phase2.comparisons_skipped = graph.stats.skipped
+            phase2.n_cliques = len(cliques)
+            phase2.n_non_trivial_cliques = len(non_trivial_cliques(cliques))
+            phase2.n_rules = len(rules)
         phase2.seconds = time.perf_counter() - started
+        phase2.publish()
 
         # A streaming run has no single Phase I pass; expose the live
         # per-partition scan instrumentation in the same slot the batch

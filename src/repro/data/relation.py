@@ -40,6 +40,7 @@ class AttributeKind(enum.Enum):
 
     @property
     def is_numeric(self) -> bool:
+        """Ordinal and interval attributes order and subtract."""
         return self in (AttributeKind.ORDINAL, AttributeKind.INTERVAL)
 
 
@@ -77,10 +78,12 @@ class Schema:
 
     @property
     def attributes(self) -> Tuple[Attribute, ...]:
+        """The attributes, in declaration order."""
         return self._attributes
 
     @property
     def names(self) -> Tuple[str, ...]:
+        """Attribute names, in declaration order."""
         return tuple(attribute.name for attribute in self._attributes)
 
     def __len__(self) -> int:
@@ -115,12 +118,15 @@ class Schema:
         return Schema(self[name] for name in names)
 
     def numeric_names(self) -> Tuple[str, ...]:
+        """Names of ordinal and interval attributes."""
         return tuple(a.name for a in self._attributes if a.kind.is_numeric)
 
     def interval_names(self) -> Tuple[str, ...]:
+        """Names of interval attributes."""
         return tuple(a.name for a in self._attributes if a.kind is AttributeKind.INTERVAL)
 
     def nominal_names(self) -> Tuple[str, ...]:
+        """Names of nominal attributes."""
         return tuple(a.name for a in self._attributes if a.kind is AttributeKind.NOMINAL)
 
 
@@ -178,6 +184,7 @@ class Relation:
 
     @classmethod
     def empty(cls, schema: Schema) -> "Relation":
+        """A zero-row relation over ``schema``."""
         return cls(schema, {name: [] for name in schema.names})
 
     # ------------------------------------------------------------------
@@ -186,10 +193,12 @@ class Relation:
 
     @property
     def schema(self) -> Schema:
+        """The relation's schema."""
         return self._schema
 
     @property
     def arity(self) -> int:
+        """Number of attributes."""
         return len(self._schema)
 
     def __len__(self) -> int:
@@ -210,6 +219,7 @@ class Relation:
             yield tuple(column[i] for column in columns)
 
     def row(self, index: int) -> Tuple:
+        """One tuple by position, in schema order."""
         return tuple(self._columns[name][index] for name in self._schema.names)
 
     def matrix(self, names: Sequence[str]) -> np.ndarray:
@@ -308,6 +318,7 @@ class AttributePartition:
 
     @property
     def dimension(self) -> int:
+        """Number of attributes in the partition."""
         return len(self.attributes)
 
 

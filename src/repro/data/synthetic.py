@@ -45,9 +45,11 @@ class PlantedStructure:
 
     @property
     def n_modes(self) -> int:
+        """Number of planted modes."""
         return self.centers.shape[0]
 
     def mode_indices(self, mode: int) -> np.ndarray:
+        """Row indices drawn from planted ``mode``."""
         return np.flatnonzero(self.labels == mode)
 
 

@@ -25,6 +25,7 @@ class LinearFit:
     r_squared: float
 
     def predict(self, x: float) -> float:
+        """The fitted line evaluated at ``x``."""
         return self.slope * x + self.intercept
 
 

@@ -92,6 +92,7 @@ def get_metric(name: str) -> Metric:
 
 
 def available_metrics() -> tuple:
+    """Names of all registered point metrics, sorted."""
     return tuple(sorted(_REGISTRY))
 
 

@@ -51,14 +51,17 @@ class MixedCluster:
 
     @property
     def is_nominal(self) -> bool:
+        """Whether the cluster summarizes a nominal partition."""
         return self.value is not None
 
     @property
     def n(self) -> int:
+        """Number of tuples in the cluster."""
         return self.images[self.partition.name].n
 
     @property
     def dimension(self) -> int:
+        """Dimension of the cluster's own partition."""
         return self.partition.dimension
 
     @property
@@ -72,12 +75,14 @@ class MixedCluster:
 
     @property
     def centroid(self) -> np.ndarray:
+        """Centroid for interval clusters; raises for nominal ones."""
         own = self.images[self.partition.name]
         if isinstance(own, NominalFeature):
             raise TypeError("a nominal cluster has a mode, not a centroid")
         return own.centroid
 
     def image(self, partition_name: str) -> Image:
+        """The cluster's image on ``partition_name`` (raises if absent)."""
         try:
             return self.images[partition_name]
         except KeyError:
@@ -87,6 +92,7 @@ class MixedCluster:
             ) from None
 
     def image_diameter(self, partition_name: str) -> float:
+        """Image diameter: 0/1-metric for nominal, RMS otherwise."""
         image = self.image(partition_name)
         if isinstance(image, NominalFeature):
             return image.diameter

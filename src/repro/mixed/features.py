@@ -46,16 +46,19 @@ class NominalFeature:
 
     @classmethod
     def of_value(cls, value: Hashable) -> "NominalFeature":
+        """The feature counting a single value."""
         return cls({value: 1})
 
     @classmethod
     def of_values(cls, values: Iterable[Hashable]) -> "NominalFeature":
+        """The feature counting every value in ``values``."""
         counts: Dict[Hashable, int] = {}
         for value in values:
             counts[value] = counts.get(value, 0) + 1
         return cls(counts)
 
     def copy(self) -> "NominalFeature":
+        """An independent copy of the counts."""
         return NominalFeature(self.counts)
 
     # ------------------------------------------------------------------
@@ -63,15 +66,18 @@ class NominalFeature:
     # ------------------------------------------------------------------
 
     def add_value(self, value: Hashable) -> None:
+        """Count one more occurrence of ``value``, in place."""
         self.counts[value] = self.counts.get(value, 0) + 1
         self.n += 1
 
     def merge(self, other: "NominalFeature") -> None:
+        """In-place union of value counts."""
         for value, count in other.counts.items():
             self.counts[value] = self.counts.get(value, 0) + count
         self.n += other.n
 
     def merged(self, other: "NominalFeature") -> "NominalFeature":
+        """The union of two features as a new object."""
         result = self.copy()
         result.merge(other)
         return result

@@ -80,6 +80,7 @@ class MixedDARResult:
     phase2: Phase2Stats
 
     def rules_sorted(self) -> List[DistanceRule]:
+        """Rules ordered by degree (ties broken textually)."""
         return sorted(self.rules, key=lambda rule: (rule.degree, str(rule)))
 
 

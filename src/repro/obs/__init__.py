@@ -1,0 +1,129 @@
+"""repro.obs — zero-dependency observability: tracing, metrics, profiling.
+
+Three independent, individually-switchable layers, all off by default and
+all designed so the *disabled* cost at an instrumentation site is a
+single boolean check (gated below 2% of the hot-path benchmarks by
+``benchmarks/test_perf_obs_overhead.py``):
+
+* :mod:`repro.obs.trace` — hierarchical spans over the pipeline stages
+  (``phase1.insert_batch``, ``phase2.graph``, ``checkpoint.save``, ...)
+  recorded to a ring buffer, exportable as JSONL or Chrome
+  ``chrome://tracing`` trace-event JSON.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and histograms (rows ingested, splits, rebuilds, quarantined rows,
+  clique counts, checkpoint bytes/seconds, ...), renderable as a
+  Prometheus text exposition or a human table.
+* :mod:`repro.obs.profile` — opt-in allocation and call-count sampling
+  of the numpy kernels (batch insert, Phase II distances).
+
+Quickstart::
+
+    from repro import obs
+
+    obs.enable()                       # tracing + metrics
+    result = repro.mine(relation)
+    print(obs.get_registry().to_table())
+    obs.get_tracer().to_chrome("trace.json")   # open in chrome://tracing
+    obs.disable()
+
+The CLI exposes the same switches: ``repro mine data.csv --trace
+trace.json --metrics --profile``.  See ``docs/OBSERVABILITY.md`` for the
+span taxonomy and the full metric catalog.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    inc,
+    metrics_enabled,
+    observe,
+    set_gauge,
+)
+from repro.obs.profile import (
+    StageProfile,
+    disable_profiling,
+    enable_profiling,
+    profile_report,
+    profiled,
+    profiles,
+    profiling_enabled,
+    reset_profiles,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    # trace
+    "Span",
+    "Tracer",
+    "span",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "inc",
+    "set_gauge",
+    "observe",
+    # profiling
+    "StageProfile",
+    "profiled",
+    "profiles",
+    "profile_report",
+    "enable_profiling",
+    "disable_profiling",
+    "profiling_enabled",
+    "reset_profiles",
+]
+
+
+def enable(*, trace: bool = True, metrics: bool = True, profile: bool = False) -> None:
+    """Switch observability layers on (tracing and metrics by default).
+
+    Profiling is a separate opt-in because its samplers (tracemalloc,
+    ``sys.setprofile``) carry real overhead; tracing and metrics are
+    cheap enough to leave on for whole production mines.
+    """
+    if trace:
+        enable_tracing()
+    if metrics:
+        enable_metrics()
+    if profile:
+        enable_profiling()
+
+
+def disable() -> None:
+    """Switch every observability layer off (recorded data is kept)."""
+    disable_tracing()
+    disable_metrics()
+    disable_profiling()
+
+
+def enabled() -> bool:
+    """Whether any observability layer is currently recording."""
+    return tracing_enabled() or metrics_enabled() or profiling_enabled()

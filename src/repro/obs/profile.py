@@ -1,0 +1,236 @@
+"""Opt-in stage profiling: allocation and call-count sampling.
+
+Tracing (:mod:`repro.obs.trace`) answers *where the time went*; this
+module answers the follow-up — *what a stage did to get there* — for the
+two numpy-heavy kernels: batch insertion (``phase1.insert_batch``) and
+the Phase II distance kernel.  For each profiled stage it samples:
+
+* **allocation** via :mod:`tracemalloc` — net allocated bytes over the
+  stage and the peak traced size reached inside it;
+* **call counts** via a :func:`sys.setprofile` hook — Python calls,
+  C calls, and the subset of C calls landing in numpy (ufuncs and
+  ``numpy.*`` builtins, identified by their ``__module__``).
+
+Both samplers carry real overhead (tracemalloc typically 2-4x on
+allocation-heavy code), which is exactly why profiling is a separate
+opt-in from tracing/metrics: :func:`profiled` is a no-op until
+:func:`enable_profiling` is called, and nothing here runs in production
+mines.  Stages aggregate by name across calls; :func:`profile_report`
+renders the accumulated table (CLI: ``mine --profile``).
+
+Limitations, by design: the ``sys.setprofile`` hook observes only the
+calling thread, and nested :func:`profiled` stages suspend the outer
+stage's call counting while the inner one runs (allocation deltas still
+nest correctly).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "StageProfile",
+    "profiled",
+    "enable_profiling",
+    "disable_profiling",
+    "profiling_enabled",
+    "reset_profiles",
+    "profiles",
+    "profile_report",
+]
+
+
+@dataclass
+class StageProfile:
+    """Accumulated samples of one named stage across all its runs."""
+
+    name: str
+    calls: int = 0
+    """Times the stage ran."""
+    py_calls: int = 0
+    """Python-level function calls observed inside the stage."""
+    c_calls: int = 0
+    """C-level (builtin/extension) calls observed inside the stage."""
+    numpy_calls: int = 0
+    """C calls whose callee lives in a ``numpy`` module (ufuncs etc.)."""
+    alloc_bytes: int = 0
+    """Net traced allocation delta summed over runs (can be negative)."""
+    peak_bytes: int = 0
+    """Largest traced-memory peak reached inside any single run."""
+    seconds: float = 0.0
+    """Wall time spent inside the stage (includes sampler overhead)."""
+
+    def merge_run(
+        self,
+        py_calls: int,
+        c_calls: int,
+        numpy_calls: int,
+        alloc_bytes: int,
+        peak_bytes: int,
+        seconds: float,
+    ) -> None:
+        """Fold one run's samples into the aggregate."""
+        self.calls += 1
+        self.py_calls += py_calls
+        self.c_calls += c_calls
+        self.numpy_calls += numpy_calls
+        self.alloc_bytes += alloc_bytes
+        self.peak_bytes = max(self.peak_bytes, peak_bytes)
+        self.seconds += seconds
+
+
+_enabled = False
+_started_tracemalloc = False
+_lock = threading.Lock()
+_profiles: Dict[str, StageProfile] = {}
+
+
+def profiling_enabled() -> bool:
+    """Whether :func:`profiled` currently samples anything."""
+    return _enabled
+
+
+def enable_profiling() -> None:
+    """Turn stage profiling on (starts :mod:`tracemalloc` if needed)."""
+    global _enabled, _started_tracemalloc
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+        _started_tracemalloc = True
+    _enabled = True
+
+
+def disable_profiling() -> None:
+    """Turn profiling off; stops tracemalloc if this module started it."""
+    global _enabled, _started_tracemalloc
+    _enabled = False
+    if _started_tracemalloc and tracemalloc.is_tracing():
+        tracemalloc.stop()
+        _started_tracemalloc = False
+
+
+def reset_profiles() -> None:
+    """Forget every accumulated stage profile."""
+    with _lock:
+        _profiles.clear()
+
+
+def profiles() -> Dict[str, StageProfile]:
+    """A snapshot copy of the accumulated per-stage profiles."""
+    with _lock:
+        return dict(_profiles)
+
+
+class _CallCounter:
+    """``sys.setprofile`` hook counting Python/C/numpy calls."""
+
+    __slots__ = ("py_calls", "c_calls", "numpy_calls")
+
+    def __init__(self) -> None:
+        self.py_calls = 0
+        self.c_calls = 0
+        self.numpy_calls = 0
+
+    def __call__(self, frame, event: str, arg) -> None:
+        if event == "c_call":
+            self.c_calls += 1
+            module = getattr(arg, "__module__", None)
+            if module and "numpy" in module:
+                self.numpy_calls += 1
+        elif event == "call":
+            self.py_calls += 1
+
+
+@contextmanager
+def profiled(name: str) -> Iterator[Optional[StageProfile]]:
+    """Sample the enclosed block as one run of stage ``name``.
+
+    Yields the (shared, accumulated) :class:`StageProfile` for the stage,
+    or ``None`` when profiling is disabled — callers never need to check
+    the flag themselves.
+    """
+    if not _enabled:
+        yield None
+        return
+    with _lock:
+        stage = _profiles.get(name)
+        if stage is None:
+            stage = StageProfile(name)
+            _profiles[name] = stage
+    if hasattr(tracemalloc, "reset_peak"):
+        tracemalloc.reset_peak()
+    alloc_before, _ = tracemalloc.get_traced_memory()
+    counter = _CallCounter()
+    previous_hook = sys.getprofile()
+    started = time.perf_counter()
+    sys.setprofile(counter)
+    try:
+        yield stage
+    finally:
+        sys.setprofile(previous_hook)
+        seconds = time.perf_counter() - started
+        alloc_after, peak = tracemalloc.get_traced_memory()
+        with _lock:
+            stage.merge_run(
+                py_calls=counter.py_calls,
+                c_calls=counter.c_calls,
+                numpy_calls=counter.numpy_calls,
+                alloc_bytes=alloc_after - alloc_before,
+                peak_bytes=peak,
+                seconds=seconds,
+            )
+
+
+def profile_report() -> str:
+    """The accumulated stage profiles as an aligned table."""
+    snapshot = sorted(profiles().values(), key=lambda stage: -stage.seconds)
+    if not snapshot:
+        return "(no stages profiled)"
+    header = (
+        "stage", "runs", "seconds", "py calls", "c calls", "numpy calls",
+        "alloc", "peak",
+    )
+    rows: List[tuple] = [header]
+    for stage in snapshot:
+        rows.append(
+            (
+                stage.name,
+                str(stage.calls),
+                f"{stage.seconds:.3f}",
+                str(stage.py_calls),
+                str(stage.c_calls),
+                str(stage.numpy_calls),
+                _human_bytes(stage.alloc_bytes),
+                _human_bytes(stage.peak_bytes),
+            )
+        )
+    widths = [max(len(str(row[i])) for row in rows) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(
+                f"{cell:<{widths[i]}}" if i == 0 else f"{cell:>{widths[i]}}"
+                for i, cell in enumerate(row)
+            )
+        )
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _human_bytes(n: int) -> str:
+    """``1536`` → ``1.5KB`` (sign-preserving)."""
+    sign = "-" if n < 0 else ""
+    size = float(abs(n))
+    for suffix in ("B", "KB", "MB", "GB"):
+        if size < 1024.0 or suffix == "GB":
+            if suffix == "B":
+                return f"{sign}{int(size)}B"
+            return f"{sign}{size:.1f}{suffix}"
+        size /= 1024.0
+    return f"{sign}{size:.1f}GB"  # pragma: no cover - unreachable

@@ -40,10 +40,12 @@ class Interval:
             raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
 
     def contains(self, value: float) -> bool:
+        """Whether ``value`` lies in the closed interval."""
         return self.lo <= value <= self.hi
 
     @property
     def width(self) -> float:
+        """``hi - lo``."""
         return self.hi - self.lo
 
     def __str__(self) -> str:

@@ -28,6 +28,7 @@ __all__ = [
 
 
 def cluster_to_dict(cluster: Cluster) -> Dict:
+    """JSON-ready dict describing one cluster."""
     lo, hi = cluster.bounding_box()
     return {
         "uid": cluster.uid,
@@ -44,6 +45,7 @@ def cluster_to_dict(cluster: Cluster) -> Dict:
 
 
 def rule_to_dict(rule: DistanceRule) -> Dict:
+    """JSON-ready dict describing one rule (clusters by uid)."""
     return {
         "antecedent": [cluster.uid for cluster in rule.antecedent],
         "consequent": [cluster.uid for cluster in rule.consequent],

@@ -22,6 +22,7 @@ class Table:
         self.rows: List[List[str]] = []
 
     def add_row(self, *cells: object) -> None:
+        """Append a row; cell count must match the headers."""
         if len(cells) != len(self.headers):
             raise ValueError(
                 f"row has {len(cells)} cells, table has {len(self.headers)} columns"
@@ -35,6 +36,7 @@ class Table:
         return str(cell)
 
     def render(self) -> str:
+        """The table as an aligned multi-line string."""
         widths = [len(header) for header in self.headers]
         for row in self.rows:
             for i, cell in enumerate(row):
@@ -50,6 +52,7 @@ class Table:
         return "\n".join([self.title, underline] + body)
 
     def print(self) -> None:
+        """Render to stdout, padded with blank lines."""
         print()
         print(self.render())
         print()

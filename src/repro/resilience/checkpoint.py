@@ -32,6 +32,8 @@ import zlib
 from pathlib import Path
 from typing import Any, Dict, Union
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.resilience import faults
 from repro.resilience.errors import (
     CheckpointCorruptError,
@@ -77,26 +79,44 @@ def write_checkpoint(state: Dict[str, Any], path: PathLike) -> CheckpointInfo:
 
     started = time.perf_counter()
     path = Path(path)
-    try:
-        payload = json.dumps(state, separators=(",", ":")).encode("utf-8")
-    except (TypeError, ValueError) as error:
-        raise CheckpointError(f"checkpoint state is not serializable: {error}") from error
-    header = _HEADER.pack(MAGIC, FORMAT_VERSION, zlib.crc32(payload), len(payload))
-    tmp = path.with_name(path.name + ".tmp")
-    with tmp.open("wb") as handle:
-        handle.write(header)
-        handle.write(payload)
-        handle.flush()
-        os.fsync(handle.fileno())
-    # A crash between here and the rename leaves the previous checkpoint
-    # untouched — that is the whole point of the temp-file dance.
-    faults.fire("checkpoint.replace")
-    os.replace(tmp, path)
-    return CheckpointInfo(
-        path=path,
-        n_bytes=len(header) + len(payload),
-        seconds=time.perf_counter() - started,
-    )
+    with span("checkpoint.save") as save_span:
+        try:
+            payload = json.dumps(state, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"checkpoint state is not serializable: {error}"
+            ) from error
+        header = _HEADER.pack(MAGIC, FORMAT_VERSION, zlib.crc32(payload), len(payload))
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("wb") as handle:
+            handle.write(header)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # A crash between here and the rename leaves the previous checkpoint
+        # untouched — that is the whole point of the temp-file dance.
+        faults.fire("checkpoint.replace")
+        os.replace(tmp, path)
+        n_bytes = len(header) + len(payload)
+        seconds = time.perf_counter() - started
+        save_span.set("bytes", n_bytes)
+        if obs_metrics.metrics_enabled():
+            obs_metrics.inc(
+                "repro_checkpoint_writes_total", help="Checkpoints written"
+            )
+            obs_metrics.inc(
+                "repro_checkpoint_bytes_total",
+                n_bytes,
+                help="Total checkpoint bytes written",
+                unit="bytes",
+            )
+            obs_metrics.inc(
+                "repro_checkpoint_seconds_total",
+                seconds,
+                help="Wall seconds spent writing checkpoints",
+                unit="seconds",
+            )
+        return CheckpointInfo(path=path, n_bytes=n_bytes, seconds=seconds)
 
 
 def read_checkpoint(path: PathLike) -> Dict[str, Any]:
@@ -107,10 +127,20 @@ def read_checkpoint(path: PathLike) -> Dict[str, Any]:
     :class:`CheckpointVersionError` on an unknown format version.
     """
     path = Path(path)
+    with span("checkpoint.load") as load_span:
+        state = _read_verified(path, load_span)
+    if obs_metrics.metrics_enabled():
+        obs_metrics.inc("repro_checkpoint_reads_total", help="Checkpoints read")
+    return state
+
+
+def _read_verified(path: Path, load_span) -> Dict[str, Any]:
+    """The body of :func:`read_checkpoint` (split out for span wrapping)."""
     try:
         blob = path.read_bytes()
     except OSError as error:
         raise CheckpointError(f"{path}: cannot read checkpoint: {error}") from error
+    load_span.set("bytes", len(blob))
     if len(blob) < _HEADER.size:
         raise CheckpointCorruptError(
             f"{path}: file is {len(blob)} bytes, smaller than the "

@@ -67,6 +67,7 @@ class FaultPlan:
         self.trips = 0
 
     def hit(self, point: str) -> None:
+        """Register a hit at ``point``; raise when the plan says so."""
         self.hits += 1
         if self.hits <= self.after:
             return
@@ -89,10 +90,12 @@ class FaultInjector:
         return self
 
     def hits(self, point: str) -> int:
+        """Hits recorded at ``point`` (0 if unarmed)."""
         plan = self._plans.get(point)
         return plan.hits if plan is not None else 0
 
     def fire(self, point: str) -> None:
+        """Trigger the plan armed at ``point``, if any."""
         plan = self._plans.get(point)
         if plan is not None:
             plan.hit(point)
@@ -108,6 +111,7 @@ def install(injector: FaultInjector) -> None:
 
 
 def uninstall() -> None:
+    """Clear the process-wide active injector."""
     global _ACTIVE
     _ACTIVE = None
 

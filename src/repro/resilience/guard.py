@@ -38,6 +38,8 @@ from typing import List, Optional, Sequence
 from repro.core.config import DARConfig
 from repro.core.miner import DARMiner, DARResult
 from repro.data.relation import AttributePartition, Relation
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.resilience.errors import CorruptResultError, ResourceExhaustedError
 
 __all__ = ["GuardPolicy", "guarded_mine", "validate_result"]
@@ -150,29 +152,38 @@ def guarded_mine(
 
     events: List[str] = []
     attempt_config = config
-    for attempt in range(policy.max_retries + 1):
-        try:
-            result = DARMiner(attempt_config).mine(
-                relation, partitions=partitions, targets=targets
-            )
-        except MemoryError as error:
-            if attempt >= policy.max_retries:
-                raise ResourceExhaustedError(
-                    f"mining ran out of memory and stayed exhausted after "
-                    f"{policy.max_retries} density escalation(s) of "
-                    f"x{policy.escalation_factor:g}: {error}"
-                ) from error
-            attempt_config = _escalated(
-                attempt_config, policy.escalation_factor
-            )
-            events.append(
-                f"memory exhausted on attempt {attempt + 1}; escalated "
-                f"density thresholds x{policy.escalation_factor:g} and retried"
-            )
-            if policy.backoff_seconds:
-                time.sleep(policy.backoff_seconds)
-            continue
-        result.phase2.events = events + result.phase2.events
-        validate_result(result)
-        return result
+    with span("mine", rows=len(relation)) as mine_span:
+        for attempt in range(policy.max_retries + 1):
+            try:
+                with span("mine.attempt", attempt=attempt + 1):
+                    result = DARMiner(attempt_config).mine(
+                        relation, partitions=partitions, targets=targets
+                    )
+            except MemoryError as error:
+                obs_metrics.inc(
+                    "repro_degradation_events_total",
+                    help="Degradation-ladder events by kind",
+                    kind="memory_escalation",
+                )
+                if attempt >= policy.max_retries:
+                    raise ResourceExhaustedError(
+                        f"mining ran out of memory and stayed exhausted after "
+                        f"{policy.max_retries} density escalation(s) of "
+                        f"x{policy.escalation_factor:g}: {error}"
+                    ) from error
+                attempt_config = _escalated(
+                    attempt_config, policy.escalation_factor
+                )
+                events.append(
+                    f"memory exhausted on attempt {attempt + 1}; escalated "
+                    f"density thresholds x{policy.escalation_factor:g} and retried"
+                )
+                if policy.backoff_seconds:
+                    time.sleep(policy.backoff_seconds)
+                continue
+            result.phase2.events = events + result.phase2.events
+            validate_result(result)
+            mine_span.set("attempts", attempt + 1)
+            mine_span.set("rules", len(result.rules))
+            return result
     raise AssertionError("unreachable")  # pragma: no cover

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, List, Optional, Sequence, Union
 
+from repro.obs import metrics as obs_metrics
 from repro.resilience.errors import ErrorBudgetExceeded
 
 __all__ = ["RowSink", "QuarantinedRow", "ErrorBudget", "Quarantine"]
@@ -45,9 +46,11 @@ class RowSink:
     """
 
     def divert(self, row: int, reason: str, values: Sequence = ()) -> None:
+        """Record one bad row (abstract)."""
         raise NotImplementedError
 
     def note_ok(self, count: int = 1) -> None:  # pragma: no cover - trivial default
+        """Record ``count`` good rows (default: ignore)."""
         pass
 
 
@@ -72,13 +75,16 @@ class ErrorBudget:
 
     @property
     def total(self) -> int:
+        """Rows seen so far, good and bad."""
         return self.good + self.bad
 
     @property
     def bad_fraction(self) -> float:
+        """Bad rows as a fraction of rows seen (0 when empty)."""
         return self.bad / self.total if self.total else 0.0
 
     def record_good(self, count: int = 1) -> None:
+        """Count good rows."""
         self.good += count
 
     def record_bad(self, count: int = 1) -> None:
@@ -112,11 +118,16 @@ class Quarantine(RowSink):
 
     @property
     def n_quarantined(self) -> int:
+        """Number of rows quarantined so far."""
         return len(self.records)
 
     def divert(self, row: int, reason: str, values: Sequence = ()) -> None:
+        """Record, persist and meter one bad row; may blow the budget."""
         record = QuarantinedRow(row=row, reason=reason, values=tuple(values))
         self.records.append(record)
+        obs_metrics.inc(
+            "repro_quarantined_rows_total", help="Rows diverted to quarantine"
+        )
         # Aggregate by the reason's shape, not its row-specific payload.
         self.reasons[reason.split(":")[0] if ":" in reason else reason] += 1
         if self.path is not None:
@@ -141,6 +152,10 @@ class Quarantine(RowSink):
                 raise
 
     def note_ok(self, count: int = 1) -> None:
+        """Meter good rows and feed the error budget."""
+        obs_metrics.inc(
+            "repro_rows_ok_total", count, help="Rows accepted by lenient ingestion"
+        )
         if self.budget is not None:
             self.budget.record_good(count)
 
@@ -158,6 +173,7 @@ class Quarantine(RowSink):
         return f"{self.n_quarantined} rows quarantined ({top})"
 
     def close(self) -> None:
+        """Flush and close the JSONL sidecar, if open."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None

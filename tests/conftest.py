@@ -9,6 +9,23 @@ from repro.data.relation import AttributePartition, Relation, Schema
 from repro.data.synthetic import make_clustered_relation, make_planted_rule_relation
 
 
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Keep observability state from leaking between tests.
+
+    Any test may enable tracing/metrics/profiling; this disables all
+    three and clears their recorders afterwards so ordering never
+    matters.
+    """
+    yield
+    from repro import obs
+
+    obs.disable()
+    obs.get_registry().reset()
+    obs.get_tracer().clear()
+    obs.reset_profiles()
+
+
 @pytest.fixture
 def tiny_relation() -> Relation:
     """Three numeric columns, eight tuples, no special structure."""

@@ -1,0 +1,139 @@
+"""Tests for repro.obs.metrics: registry semantics, exports, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    """A fresh enabled registry (module state restored by _reset_obs)."""
+    metrics.enable_metrics()
+    metrics.get_registry().reset()
+    yield metrics.get_registry()
+
+
+class TestDisabledMode:
+    def test_helpers_record_nothing(self):
+        assert not metrics.metrics_enabled()
+        metrics.inc("repro_test_total", 5)
+        metrics.set_gauge("repro_test_gauge", 1.0)
+        metrics.observe("repro_test_hist", 0.5)
+        assert len(metrics.get_registry()) == 0
+
+    def test_registry_readable_while_disabled(self):
+        assert metrics.get_registry().to_table() == "(no metrics recorded)"
+
+
+class TestCounters:
+    def test_inc_accumulates(self, registry):
+        metrics.inc("repro_rows_total", 3)
+        metrics.inc("repro_rows_total", 2)
+        assert registry.value("repro_rows_total") == 5
+
+    def test_labels_separate_series(self, registry):
+        metrics.inc("repro_points_total", 1, partition="x")
+        metrics.inc("repro_points_total", 9, partition="y")
+        assert registry.value("repro_points_total", partition="x") == 1
+        assert registry.value("repro_points_total", partition="y") == 9
+
+    def test_counter_rejects_negative(self, registry):
+        counter = registry.counter("repro_bad_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_object(self, registry):
+        assert registry.counter("repro_a_total") is registry.counter("repro_a_total")
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_set_and_add(self, registry):
+        metrics.set_gauge("repro_threshold", 2.5)
+        registry.gauge("repro_threshold").add(-0.5)
+        assert registry.value("repro_threshold") == 2.0
+
+    def test_histogram_summary(self, registry):
+        for value in (0.001, 0.01, 0.1):
+            metrics.observe("repro_seconds", value)
+        hist = registry.get("repro_seconds")
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(0.111)
+        assert hist.value["mean"] == pytest.approx(0.037)
+
+    def test_histogram_cumulative_buckets_end_at_inf(self, registry):
+        metrics.observe("repro_seconds", 1e12)  # beyond every bound
+        rows = registry.get("repro_seconds").cumulative_buckets()
+        assert rows[-1] == (float("inf"), 1)
+        assert all(count == 0 for _, count in rows[:-1])
+
+
+class TestRegistrySemantics:
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("repro_thing_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_thing_total")
+
+    def test_kind_conflict_across_label_sets(self, registry):
+        registry.counter("repro_thing_total", partition="x")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_thing_total", partition="y")
+
+    def test_reset_forgets_everything(self, registry):
+        metrics.inc("repro_rows_total")
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.value("repro_rows_total", default=-1) == -1
+
+    def test_snapshot_keys_include_labels(self, registry):
+        metrics.inc("repro_rows_total", 2, partition="x")
+        assert registry.snapshot() == {'repro_rows_total{partition="x"}': 2}
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self, registry):
+        n_threads, per_thread = 8, 2000
+
+        def worker():
+            for _ in range(per_thread):
+                metrics.inc("repro_contended_total", partition="shared")
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = registry.value("repro_contended_total", partition="shared")
+        assert total == n_threads * per_thread
+
+
+class TestExports:
+    def test_prometheus_format(self, registry):
+        metrics.inc("repro_rows_total", 7, help="Rows ingested", partition="x")
+        metrics.set_gauge("repro_threshold", 1.5)
+        metrics.observe("repro_seconds", 0.02)
+        text = registry.to_prometheus()
+        assert "# HELP repro_rows_total Rows ingested" in text
+        assert "# TYPE repro_rows_total counter" in text
+        assert 'repro_rows_total{partition="x"} 7' in text
+        assert "# TYPE repro_threshold gauge" in text
+        assert "repro_threshold 1.5" in text
+        assert "# TYPE repro_seconds histogram" in text
+        assert 'repro_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_table_is_aligned_and_sorted(self, registry):
+        metrics.inc("repro_b_total")
+        metrics.inc("repro_a_total")
+        lines = registry.to_table().splitlines()
+        assert lines[0].startswith("repro_a_total")
+        assert lines[1].startswith("repro_b_total")
+        assert lines[0].index("counter") == lines[1].index("counter")
+
+    def test_fresh_registry_renders_empty(self):
+        registry = MetricsRegistry()
+        assert registry.to_prometheus() == ""
+        assert registry.to_table() == "(no metrics recorded)"

@@ -1,0 +1,101 @@
+"""Tests for repro.obs.profile: stage sampling and the report table."""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.obs import profile
+from repro.obs.profile import profiled
+
+
+@pytest.fixture
+def profiling():
+    """Profiling switched on (module state restored by _reset_obs)."""
+    profile.reset_profiles()
+    profile.enable_profiling()
+    yield
+
+
+class TestDisabledMode:
+    def test_profiled_yields_none_and_records_nothing(self):
+        assert not profile.profiling_enabled()
+        with profiled("stage") as stage:
+            assert stage is None
+        assert profile.profiles() == {}
+
+    def test_report_placeholder(self):
+        assert profile.profile_report() == "(no stages profiled)"
+
+
+class TestSampling:
+    def test_counts_python_and_numpy_calls(self, profiling):
+        def helper():
+            return np.sum(np.arange(100))
+
+        with profiled("work") as stage:
+            helper()
+        assert stage is profile.profiles()["work"]
+        assert stage.calls == 1
+        assert stage.py_calls >= 1
+        assert stage.numpy_calls >= 1
+        assert stage.c_calls >= stage.numpy_calls
+        assert stage.seconds > 0
+
+    def test_allocation_delta_observed(self, profiling):
+        keep = []
+        with profiled("alloc"):
+            keep.append(bytearray(512 * 1024))
+        stage = profile.profiles()["alloc"]
+        assert stage.alloc_bytes >= 512 * 1024
+        assert stage.peak_bytes >= 512 * 1024
+        del keep
+
+    def test_runs_aggregate_by_name(self, profiling):
+        for _ in range(3):
+            with profiled("repeat"):
+                pass
+        assert profile.profiles()["repeat"].calls == 3
+
+    def test_previous_profile_hook_restored(self, profiling):
+        events = []
+
+        def outer_hook(frame, event, arg):
+            events.append(event)
+
+        sys.setprofile(outer_hook)
+        try:
+            with profiled("inner"):
+                pass
+            assert sys.getprofile() is outer_hook
+        finally:
+            sys.setprofile(None)
+
+    def test_exception_still_records_the_run(self, profiling):
+        with pytest.raises(RuntimeError):
+            with profiled("explodes"):
+                raise RuntimeError("boom")
+        assert profile.profiles()["explodes"].calls == 1
+        assert sys.getprofile() is None
+
+    def test_reset_forgets(self, profiling):
+        with profiled("x"):
+            pass
+        profile.reset_profiles()
+        assert profile.profiles() == {}
+
+
+class TestReport:
+    def test_table_contains_stage_rows(self, profiling):
+        with profiled("phase1.insert_batch"):
+            np.zeros(1000)
+        report = profile.profile_report()
+        lines = report.splitlines()
+        assert lines[0].startswith("stage")
+        assert any("phase1.insert_batch" in line for line in lines[2:])
+
+    def test_human_bytes(self):
+        assert profile._human_bytes(0) == "0B"
+        assert profile._human_bytes(512) == "512B"
+        assert profile._human_bytes(1536) == "1.5KB"
+        assert profile._human_bytes(-2 * 1024 * 1024) == "-2.0MB"

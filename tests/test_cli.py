@@ -346,3 +346,110 @@ class TestResilienceFlags:
         ckpt.write_bytes(b"not a checkpoint at all, just junk bytes here")
         assert main(["mine", clustered_csv, "--resume", str(ckpt)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    @pytest.fixture
+    def clustered_csv(self, tmp_path):
+        path = tmp_path / "clustered.csv"
+        assert main([
+            "generate", "clustered", str(path),
+            "--size", "600", "--modes", "3", "--attributes", "2", "--seed", "5",
+        ]) == 0
+        return str(path)
+
+    def test_metrics_table_matches_stats(self, clustered_csv, capsys):
+        assert main(["mine", clustered_csv, "--stats", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        out = captured.out
+        assert "# metrics" in captured.err  # diagnostics stay off stdout
+        from repro import obs
+
+        registry = obs.get_registry()
+        # The registry survives the run (disabled but readable) and its
+        # counts equal the authoritative --stats numbers printed above.
+        import re
+
+        stats_line = next(
+            line for line in out.splitlines() if line.startswith("# phase2:")
+        )
+        n_cliques = int(re.search(r"(\d+) cliques", stats_line).group(1))
+        n_clusters = int(re.search(r"(\d+) clusters", stats_line).group(1))
+        assert registry.value("repro_phase2_cliques") == n_cliques
+        assert registry.value("repro_phase2_clusters") == n_clusters
+        scan_line = next(
+            line for line in out.splitlines() if line.startswith("# scan a0:")
+        )
+        points = int(
+            re.search(r"([\d,]+) items", scan_line).group(1).replace(",", "")
+        )
+        assert registry.value(
+            "repro_phase1_points_total", partition="a0"
+        ) == points
+
+    def test_trace_chrome_round_trip(self, clustered_csv, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["mine", clustered_csv, "--trace", str(trace_path)]) == 0
+        err = capsys.readouterr().err
+        assert "spans written" in err
+        document = json.loads(trace_path.read_text())
+        names = {event["name"] for event in document["traceEvents"]}
+        assert {"cli.mine", "mine", "phase1", "phase2"} <= names
+        assert all(event["ph"] == "X" for event in document["traceEvents"])
+
+    def test_trace_jsonl_variant(self, clustered_csv, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["mine", clustered_csv, "--trace", str(trace_path)]) == 0
+        rows = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        assert any(row["name"] == "cli.mine" for row in rows)
+
+    def test_profile_report_printed(self, clustered_csv, capsys):
+        assert main(["mine", clustered_csv, "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "# profile" in err
+        assert "phase1.insert_batch" in err
+
+    def test_json_stays_parseable_with_metrics(self, clustered_csv, capsys):
+        import json
+
+        assert main(["mine", clustered_csv, "--json", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        decoded = json.loads(captured.out)  # metrics table must not pollute
+        assert decoded["rules"] is not None
+        assert "# metrics" in captured.err
+
+    def test_repeat_runs_do_not_accumulate(self, clustered_csv, capsys):
+        from repro import obs
+
+        assert main(["mine", clustered_csv, "--metrics"]) == 0
+        capsys.readouterr()
+        first = obs.get_registry().value("repro_phase2_runs_total")
+        assert main(["mine", clustered_csv, "--metrics"]) == 0
+        capsys.readouterr()
+        assert obs.get_registry().value("repro_phase2_runs_total") == first == 1
+
+    def test_obs_disabled_after_run(self, clustered_csv, capsys):
+        from repro import obs
+
+        assert main(["mine", clustered_csv, "--metrics"]) == 0
+        capsys.readouterr()
+        assert not obs.enabled()
+
+    def test_streaming_mine_with_metrics(self, clustered_csv, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        assert main([
+            "mine", clustered_csv,
+            "--checkpoint", str(ckpt), "--checkpoint-every", "200",
+            "--metrics", "--stats",
+        ]) == 0
+        assert "repro_checkpoint_writes_total" in capsys.readouterr().err
+        from repro import obs
+
+        writes = obs.get_registry().value("repro_checkpoint_writes_total")
+        assert writes >= 3  # 600 rows / 200 per checkpoint

