@@ -6,16 +6,23 @@ Subcommands:
 * ``baseline``  — the Srikant–Agrawal quantitative-rule baseline
 * ``generate``  — write a synthetic workload to CSV
 * ``describe``  — schema and per-column statistics of a relation
+* ``bench``     — benchmark telemetry: record trajectories, gate
+  regressions, render the HTML dashboard
 
 Examples::
 
     python -m repro generate planted /tmp/claims.csv --seed 7
     python -m repro mine /tmp/claims.csv --count-support --top-k 10
     python -m repro mine /tmp/claims.csv --target claims --prune-redundant
+    python -m repro mine /tmp/claims.csv --report /tmp/run.html
+    python -m repro mine /tmp/claims.csv --metrics-out /tmp/metrics.prom
     python -m repro mine /tmp/dirty.csv --lenient --quarantine /tmp/bad.jsonl
     python -m repro mine /tmp/big.csv --checkpoint /tmp/run.ckpt --checkpoint-every 50000
     python -m repro mine /tmp/big.csv --resume /tmp/run.ckpt --checkpoint-every 50000
     python -m repro baseline /tmp/claims.csv --min-support 0.15
+    python -m repro bench run --scenario phase1_scaling
+    python -m repro bench compare --strict
+    python -m repro bench report --out bench_report.html
 
 CSV files use the schema-header format of :mod:`repro.data.io` (written by
 ``generate`` and by :func:`repro.data.io.save_csv`).
@@ -121,6 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="sample per-stage numpy call counts and "
                       "allocations (adds overhead; implies a report "
                       "after the rules)")
+    mine.add_argument("--report", metavar="PATH", default=None,
+                      help="write a self-contained HTML run report "
+                      "(span waterfall, metrics, health) to PATH; "
+                      "implies tracing and metrics for the run")
+    mine.add_argument("--metrics-out", metavar="PATH", default=None,
+                      help="write the run's metrics as Prometheus text "
+                      "exposition to PATH (implies --metrics recording; "
+                      "the stderr table still needs --metrics)")
 
     baseline = commands.add_parser(
         "baseline", help="Srikant-Agrawal quantitative rules (equi-depth)"
@@ -149,6 +164,65 @@ def build_parser() -> argparse.ArgumentParser:
     describe.add_argument("--sketch", action="store_true",
                           help="print a text histogram per numeric column")
 
+    bench = commands.add_parser(
+        "bench",
+        help="benchmark telemetry: record BENCH_*.json trajectories, "
+        "gate regressions, render the HTML dashboard",
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_commands.add_parser(
+        "run", help="execute a built-in scenario and append its record"
+    )
+    bench_run.add_argument("--scenario", required=True,
+                           help="scenario name (see repro.obs.bench.SCENARIOS: "
+                           "phase1_scaling, phase2_graph, streaming_update, "
+                           "mine_smoke)")
+    bench_run.add_argument("--scale", type=float, default=1.0,
+                           help="stretch/shrink the scenario's data sizes "
+                           "(default 1.0)")
+    bench_run.add_argument("--repeat", type=int, default=1,
+                           help="record this many back-to-back runs "
+                           "(default 1)")
+    bench_run.add_argument("--trace-malloc", action="store_true",
+                           help="also sample the tracemalloc peak (slows "
+                           "allocation-heavy scenarios)")
+    bench_run.add_argument("--root", default=None,
+                           help="directory holding BENCH_*.json files "
+                           "(default: the repo root)")
+
+    bench_compare = bench_commands.add_parser(
+        "compare", help="classify the newest record against the baseline"
+    )
+    bench_compare.add_argument("--scenario", action="append", default=None,
+                               help="scenario to compare (repeatable; "
+                               "default: every BENCH_*.json found)")
+    bench_compare.add_argument("--tolerance", type=float, default=0.10,
+                               help="fractional wall-time band treated as "
+                               "noise (default 0.10)")
+    bench_compare.add_argument("--rss-tolerance", type=float, default=0.25,
+                               help="fractional peak-RSS band treated as "
+                               "noise (default 0.25)")
+    bench_compare.add_argument("--window", type=int, default=5,
+                               help="prior records feeding the median "
+                               "baseline (default 5)")
+    bench_compare.add_argument("--strict", action="store_true",
+                               help="exit 1 when any quantity regressed "
+                               "(the blocking CI gate mode)")
+    bench_compare.add_argument("--root", default=None,
+                               help="directory holding BENCH_*.json files "
+                               "(default: the repo root)")
+
+    bench_report = bench_commands.add_parser(
+        "report", help="render the trajectory dashboard as one HTML file"
+    )
+    bench_report.add_argument("--out", default="bench_report.html",
+                              help="output HTML path "
+                              "(default bench_report.html)")
+    bench_report.add_argument("--root", default=None,
+                              help="directory holding BENCH_*.json files "
+                              "(default: the repo root)")
+
     return parser
 
 
@@ -174,7 +248,10 @@ def _mine_streaming(relation: Relation, config: DARConfig, args):
     checkpoint after each.  With ``--resume`` the miner state is restored
     from the checkpoint file and already-absorbed rows are skipped, so a
     killed run picks up exactly where its last checkpoint left it; the
-    final result is identical to the uninterrupted run's.
+    final result is identical to the uninterrupted run's.  Returns the
+    result, the checkpoint infos, and the miner itself (whose
+    :meth:`~repro.core.streaming.StreamingDARMiner.health` report feeds
+    ``--stats`` and ``--report``).
     """
     from repro.core.streaming import StreamingDARMiner
     from repro.data.relation import default_partitions
@@ -206,7 +283,7 @@ def _mine_streaming(relation: Relation, config: DARConfig, args):
         if path is not None:
             infos.append(miner.save_checkpoint(path))
         position = end
-    return miner.rules(), infos
+    return miner.rules(), infos, miner
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -215,9 +292,14 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     ``--trace``/``--metrics``/``--profile`` reset the corresponding
     recorders first, so repeated in-process invocations (tests, notebooks)
     start from a clean slate and the exported numbers describe exactly
-    this run.
+    this run.  ``--report`` implies tracing + metrics (the dashboard needs
+    both) and ``--metrics-out`` implies metrics recording.
     """
-    if not (args.trace or args.metrics or args.profile):
+    wants_obs = (
+        args.trace or args.metrics or args.profile
+        or args.report or args.metrics_out
+    )
+    if not wants_obs:
         return _run_mine(args)
 
     from repro import obs
@@ -227,11 +309,14 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     obs.get_registry().reset()
     obs.reset_profiles()
     obs.enable(
-        trace=bool(args.trace), metrics=args.metrics, profile=args.profile
+        trace=bool(args.trace or args.report),
+        metrics=bool(args.metrics or args.report or args.metrics_out),
+        profile=args.profile,
     )
+    capture: dict = {}
     try:
         with span("cli.mine", csv=args.csv):
-            status = _run_mine(args)
+            status = _run_mine(args, capture=capture)
     finally:
         obs.disable()
     # Diagnostics go to stderr (like the trace confirmation) so that
@@ -249,10 +334,59 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         else:
             n_spans = tracer.to_chrome(args.trace)
         print(f"# trace: {n_spans} spans written to {args.trace}", file=sys.stderr)
+    if args.metrics_out:
+        from pathlib import Path
+
+        Path(args.metrics_out).write_text(obs.get_registry().to_prometheus())
+        print(f"# metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.report:
+        from repro.report.dashboard import render_run_report, write_report
+
+        health = capture.get("health")
+        document = render_run_report(
+            title=f"repro mine — {args.csv}",
+            result=capture.get("result"),
+            spans=tracer.spans(),
+            metrics=obs.get_registry().snapshot(),
+            health=health.to_dict() if health is not None else None,
+            metadata={"input": args.csv},
+        )
+        write_report(document, args.report)
+        print(f"# report written to {args.report}", file=sys.stderr)
     return status
 
 
-def _run_mine(args: argparse.Namespace) -> int:
+def _result_health(result, n_rows: int, sink):
+    """A :class:`~repro.obs.health.HealthReport` for a finished batch mine.
+
+    Batch mines have no live miner to interrogate, so the report is
+    reconstructed from the result's Phase I diagnostics: leaf entries and
+    rebuilds per partition, threshold inflation from each partition's
+    escalation history, and the quarantine rate from the load sink.
+    """
+    from repro.obs.health import HealthMonitor
+
+    phase1 = getattr(result, "phase1", None) or {}
+    leaf_entries = {
+        name: stats.final_entry_count for name, stats in phase1.items()
+    }
+    inflation = {}
+    for name, stats in phase1.items():
+        history = getattr(stats, "threshold_history", None) or []
+        if len(history) >= 2 and history[0] > 0:
+            inflation[name] = history[-1] / history[0]
+    rebuilds = {name: stats.rebuilds for name, stats in phase1.items()}
+    quarantined = sink.n_quarantined if sink is not None else 0
+    return HealthMonitor().evaluate(
+        leaf_entries=leaf_entries,
+        threshold_inflation=inflation,
+        rebuilds=rebuilds,
+        rows_seen=n_rows + quarantined,
+        rows_quarantined=quarantined,
+    )
+
+
+def _run_mine(args: argparse.Namespace, capture: Optional[dict] = None) -> int:
     sink = None
     if args.lenient or args.quarantine is not None:
         from repro.resilience.sink import ErrorBudget, Quarantine
@@ -284,13 +418,16 @@ def _run_mine(args: argparse.Namespace) -> int:
     )
     targets = args.target.split(",") if args.target else None
     checkpoint_infos = []
+    stream_miner = None
     if args.checkpoint or args.resume:
         if args.mixed:
             raise ValueError(
                 "--checkpoint/--resume use the streaming engine, which does "
                 "not support --mixed"
             )
-        result, checkpoint_infos = _mine_streaming(relation, config, args)
+        result, checkpoint_infos, stream_miner = _mine_streaming(
+            relation, config, args
+        )
         if targets:
             result.rules = filter_by_consequent(result.rules, targets)
     elif args.mixed:
@@ -300,6 +437,19 @@ def _run_mine(args: argparse.Namespace) -> int:
     else:
         # Targets go into the miner itself (skips non-target assoc sets).
         result = mine_relation(relation, config=config, targets=targets)
+
+    health = None
+    try:
+        health = (
+            stream_miner.health()
+            if stream_miner is not None
+            else _result_health(result, len(relation), sink)
+        )
+    except Exception:  # health is advisory — never fail the mine over it
+        health = None
+    if capture is not None:
+        capture["result"] = result
+        capture["health"] = health
 
     if args.json:
         from repro.report.export import result_to_json
@@ -351,6 +501,9 @@ def _run_mine(args: argparse.Namespace) -> int:
                 print(f"# degradation: {event}")
         if sink is not None:
             print(f"# quarantine: {sink.summary()}")
+        if health is not None:
+            for line in health.describe().splitlines():
+                print(f"# {line}")
         if checkpoint_infos:
             total_bytes = sum(info.n_bytes for info in checkpoint_infos)
             total_seconds = sum(info.seconds for info in checkpoint_infos)
@@ -436,11 +589,80 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Dispatch ``bench run|compare|report`` (benchmark telemetry)."""
+    from repro.obs import bench as obs_bench
+    from repro.obs import regress as obs_regress
+
+    if args.bench_command == "run":
+        if args.repeat < 1:
+            raise ValueError("--repeat must be at least 1")
+        for _ in range(args.repeat):
+            record, path = obs_bench.run_scenario(
+                args.scenario,
+                scale=args.scale,
+                root=args.root,
+                trace_malloc=args.trace_malloc,
+            )
+            rss = (
+                f", peak rss {record.peak_rss_bytes / 2**20:.1f}MB"
+                if record.peak_rss_bytes
+                else ""
+            )
+            traced = (
+                f", tracemalloc peak {record.tracemalloc_peak_bytes / 2**20:.1f}MB"
+                if record.tracemalloc_peak_bytes
+                else ""
+            )
+            print(
+                f"# {args.scenario}: {record.wall_seconds:.3f}s{rss}{traced} "
+                f"@ {record.git_sha[:12]}{'*' if record.git_dirty else ''}"
+            )
+            print(f"# appended to {path}")
+        return 0
+
+    if args.bench_command == "compare":
+        policy = obs_regress.RegressionPolicy(
+            tolerance=args.tolerance,
+            rss_tolerance=args.rss_tolerance,
+            window=args.window,
+        )
+        scenarios = args.scenario or obs_bench.list_scenarios(args.root)
+        if not scenarios:
+            print("# no BENCH_*.json trajectories found; run `repro bench run` first")
+            return 0
+        failed = False
+        for name in scenarios:
+            comparison = obs_regress.compare_scenario(name, args.root, policy)
+            print(comparison.describe())
+            failed = failed or comparison.has_regression
+        if failed and args.strict:
+            print("# regression detected (strict mode)", file=sys.stderr)
+            return 1
+        return 0
+
+    # report
+    from repro.report.dashboard import render_bench_report, write_report
+
+    scenarios = obs_bench.list_scenarios(args.root)
+    trajectories = {
+        name: obs_bench.load_trajectory(name, args.root) for name in scenarios
+    }
+    comparisons = {
+        name: obs_regress.compare_scenario(name, args.root) for name in scenarios
+    }
+    document = render_bench_report(trajectories, comparisons)
+    write_report(document, args.out)
+    print(f"# dashboard: {len(scenarios)} scenario(s) written to {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "mine": _cmd_mine,
     "baseline": _cmd_baseline,
     "generate": _cmd_generate,
     "describe": _cmd_describe,
+    "bench": _cmd_bench,
 }
 
 

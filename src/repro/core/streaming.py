@@ -50,6 +50,7 @@ from repro.core.miner import DARMiner, DARResult, Phase2Stats
 from repro.core.phase2_kernel import Phase2Kernel
 from repro.data.relation import AttributePartition, Relation
 from repro.obs import metrics as obs_metrics
+from repro.obs.health import HealthMonitor, HealthReport, HealthThresholds
 from repro.obs.trace import span
 from repro.resilience import faults
 from repro.resilience.errors import CheckpointCorruptError, ValidationError
@@ -96,6 +97,7 @@ class StreamingDARMiner:
         }
         self._n_points = 0
         self._rows_seen = 0
+        self._last_checkpoint_monotonic: Optional[float] = None
 
     # ------------------------------------------------------------------
 
@@ -159,6 +161,8 @@ class StreamingDARMiner:
         if before is not None:
             for name, stats in self._scan_stats.items():
                 stats.publish(name, since=before[name])
+            if self._density is not None:
+                self.health().publish()
 
     def _update_arrays(self, matrices: Mapping[str, np.ndarray], sink=None) -> None:
         faults.fire("streaming.update")
@@ -348,7 +352,9 @@ class StreamingDARMiner:
         """
         from repro.resilience.checkpoint import write_checkpoint
 
-        return write_checkpoint(self.state_dict(), path)
+        info = write_checkpoint(self.state_dict(), path)
+        self._last_checkpoint_monotonic = time.monotonic()
+        return info
 
     @classmethod
     def from_checkpoint(cls, path: Union[str, Path]) -> "StreamingDARMiner":
@@ -428,9 +434,53 @@ class StreamingDARMiner:
         }
         miner._n_points = int(state["n_points"])
         miner._rows_seen = int(state["rows_seen"])
+        # The checkpoint we just read is, by definition, current.
+        miner._last_checkpoint_monotonic = time.monotonic()
         return miner
 
     # ------------------------------------------------------------------
+
+    def health(
+        self, thresholds: Optional[HealthThresholds] = None
+    ) -> HealthReport:
+        """Grade the miner's live state as ``ok`` / ``warn`` / ``crit``.
+
+        Monitors the slow failure modes of a long stream: total leaf
+        entries across trees, density-threshold inflation relative to the
+        first batch (memory-pressure escalations coarsen summaries), the
+        accumulated rebuild count, the quarantine rate (rows offered but
+        not absorbed), and — once checkpointing has started — the age of
+        the last successful checkpoint.  See
+        :class:`repro.obs.health.HealthThresholds` for the trip points.
+        """
+        if self._density is None:
+            raise RuntimeError("no data yet: health is defined after the first batch")
+        leaf_entries = {
+            name: tree.summary_counts()[0] for name, tree in self._trees.items()
+        }
+        inflation = {
+            name: (tree.threshold / self._density[name])
+            if self._density[name] > 0
+            else 1.0
+            for name, tree in self._trees.items()
+        }
+        rebuilds = {
+            name: stats.rebuilds for name, stats in self._scan_stats.items()
+        }
+        age = (
+            time.monotonic() - self._last_checkpoint_monotonic
+            if self._last_checkpoint_monotonic is not None
+            else None
+        )
+        return HealthMonitor(thresholds).evaluate(
+            leaf_entries=leaf_entries,
+            threshold_inflation=inflation,
+            rebuilds=rebuilds,
+            rows_seen=self._rows_seen,
+            rows_quarantined=self._rows_seen - self._n_points,
+            checkpoint_age_seconds=age,
+            checkpointing=self._last_checkpoint_monotonic is not None,
+        )
 
     def rules(self) -> DARResult:
         """Materialize the current rule set from the live summaries.

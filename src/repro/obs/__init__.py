@@ -33,6 +33,19 @@ span taxonomy and the full metric catalog.
 
 from __future__ import annotations
 
+from repro.obs.bench import (
+    BenchRecord,
+    BenchRun,
+    append_record,
+    load_trajectory,
+    run_scenario,
+)
+from repro.obs.health import (
+    HealthCheck,
+    HealthMonitor,
+    HealthReport,
+    HealthThresholds,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -56,6 +69,12 @@ from repro.obs.profile import (
     profiling_enabled,
     reset_profiles,
 )
+from repro.obs.regress import (
+    Comparison,
+    RegressionPolicy,
+    compare_all,
+    compare_scenario,
+)
 from repro.obs.trace import (
     Span,
     Tracer,
@@ -70,6 +89,22 @@ __all__ = [
     "enable",
     "disable",
     "enabled",
+    # benchmark telemetry
+    "BenchRecord",
+    "BenchRun",
+    "append_record",
+    "load_trajectory",
+    "run_scenario",
+    # regression gates
+    "Comparison",
+    "RegressionPolicy",
+    "compare_all",
+    "compare_scenario",
+    # health
+    "HealthCheck",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthThresholds",
     # trace
     "Span",
     "Tracer",

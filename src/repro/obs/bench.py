@@ -1,0 +1,549 @@
+"""Benchmark telemetry: recorded runs and ``BENCH_<scenario>.json`` trajectories.
+
+PR 4 gave the miner spans, metrics and profiles; this module is the first
+*consumer* — it turns one benchmark execution into a structured,
+versioned :class:`BenchRecord` (wall time, peak RSS, optional tracemalloc
+peak, a snapshot of the metrics registry, git SHA and environment
+metadata) and appends it to a per-scenario trajectory file at the repo
+root, so performance becomes a recorded series instead of a one-off
+claim.  :mod:`repro.obs.regress` reads those trajectories back and
+classifies the newest run against the baseline.
+
+Two producers write records:
+
+* ``benchmarks/conftest.py`` wraps every pytest benchmark in a
+  :class:`BenchRun`, so the 23 figure/ablation/perf benchmarks each keep
+  a ``BENCH_<name>.json`` trajectory alongside their human ``.txt``
+  tables; and
+* ``python -m repro bench run --scenario NAME`` executes one of the
+  small self-contained :data:`SCENARIOS` below (seconds-scale versions
+  of the paper's workloads) — the CI-friendly path that needs no pytest.
+
+Trajectory file layout (see ``docs/OBSERVABILITY.md`` for the full
+field-by-field schema)::
+
+    {
+      "schema_version": 1,
+      "scenario": "phase1_scaling",
+      "records": [ {BenchRecord.to_dict()}, ... ]   # append-only, oldest first
+    }
+
+Everything here is stdlib + numpy only, like the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchRecord",
+    "BenchRun",
+    "find_repo_root",
+    "trajectory_path",
+    "append_record",
+    "load_trajectory",
+    "list_scenarios",
+    "Scenario",
+    "SCENARIOS",
+    "run_scenario",
+]
+
+#: Version stamped into every record and trajectory document; bump when a
+#: field changes meaning so readers can adapt.
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _git(args: List[str], cwd: Optional[Path]) -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip()
+
+
+def describe_environment() -> Dict[str, str]:
+    """Interpreter/library/platform identity stored with every record."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unknown"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def describe_git(root: Optional[PathLike] = None) -> Dict[str, Any]:
+    """``{"sha": ..., "dirty": ...}`` for the repo at ``root`` (or cwd).
+
+    Outside a git checkout (an installed wheel, a tarball) the SHA is
+    ``"unknown"`` and ``dirty`` is ``False`` — records stay writable.
+    """
+    cwd = Path(root) if root is not None else None
+    sha = _git(["rev-parse", "HEAD"], cwd)
+    if sha is None:
+        return {"sha": "unknown", "dirty": False}
+    status = _git(["status", "--porcelain"], cwd)
+    return {"sha": sha, "dirty": bool(status)}
+
+
+def _peak_rss_bytes() -> Optional[int]:
+    """The process high-water RSS in bytes, or ``None`` where unreadable."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce a metric/attribute value into JSON-serializable built-ins."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark execution, as it lands in a trajectory file.
+
+    ``peak_rss_bytes`` is the *process* high-water mark at the end of the
+    run (``ru_maxrss`` never decreases), so it upper-bounds the run's own
+    peak; ``tracemalloc_peak_bytes`` — when sampling was on — is the
+    run-scoped python-allocation peak.  ``metrics`` is the
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` taken when the
+    run stopped, and ``tables`` carries any
+    :class:`~repro.report.tables.Table` the benchmark emitted, as
+    ``{"title", "headers", "rows"}`` dicts.
+    """
+
+    scenario: str
+    started_at: str = field(default_factory=_utc_now)
+    wall_seconds: float = 0.0
+    peak_rss_bytes: Optional[int] = None
+    tracemalloc_peak_bytes: Optional[int] = None
+    git_sha: str = "unknown"
+    git_dirty: bool = False
+    params: Dict[str, Any] = field(default_factory=dict)
+    environment: Dict[str, str] = field(default_factory=describe_environment)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    tables: List[Dict[str, Any]] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The record as plain built-ins (the trajectory-file row)."""
+        return {
+            "schema_version": self.schema_version,
+            "scenario": self.scenario,
+            "started_at": self.started_at,
+            "wall_seconds": self.wall_seconds,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "tracemalloc_peak_bytes": self.tracemalloc_peak_bytes,
+            "git_sha": self.git_sha,
+            "git_dirty": self.git_dirty,
+            "params": _json_safe(self.params),
+            "environment": dict(self.environment),
+            "metrics": _json_safe(self.metrics),
+            "tables": _json_safe(self.tables),
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "BenchRecord":
+        """Rebuild a record from :meth:`to_dict` output (tolerant of extras)."""
+        return cls(
+            scenario=str(state.get("scenario", "unknown")),
+            started_at=str(state.get("started_at", "")),
+            wall_seconds=float(state.get("wall_seconds", 0.0)),
+            peak_rss_bytes=state.get("peak_rss_bytes"),
+            tracemalloc_peak_bytes=state.get("tracemalloc_peak_bytes"),
+            git_sha=str(state.get("git_sha", "unknown")),
+            git_dirty=bool(state.get("git_dirty", False)),
+            params=dict(state.get("params", {})),
+            environment=dict(state.get("environment", {})),
+            metrics=dict(state.get("metrics", {})),
+            tables=list(state.get("tables", [])),
+            schema_version=int(state.get("schema_version", SCHEMA_VERSION)),
+        )
+
+
+class BenchRun:
+    """Context-manager recorder producing one :class:`BenchRecord`.
+
+    Usage::
+
+        run = BenchRun("phase1_scaling", params={"sizes": sizes})
+        with run:
+            workload()
+        append_record(run.record)
+
+    Captures on exit: wall-clock seconds, the process peak RSS, the
+    tracemalloc run peak (only when ``trace_malloc=True`` — the sampler
+    slows allocation-heavy code, so timing-gated benchmarks leave it
+    off), and a snapshot of whatever the metrics registry holds.  The
+    recorder never enables or disables observability itself; drivers
+    that want a per-run metrics snapshot reset/enable the registry
+    around the ``with`` block (as :func:`run_scenario` does).
+    """
+
+    def __init__(
+        self,
+        scenario: str,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        trace_malloc: bool = False,
+        root: Optional[PathLike] = None,
+    ):
+        if not scenario:
+            raise ValueError("a benchmark run needs a scenario name")
+        self.scenario = scenario
+        self.params: Dict[str, Any] = dict(params or {})
+        self.trace_malloc = trace_malloc
+        self.root = Path(root) if root is not None else None
+        self.tables: List[Dict[str, Any]] = []
+        self._started: Optional[float] = None
+        self._own_tracemalloc = False
+        self._record: Optional[BenchRecord] = None
+
+    @property
+    def record(self) -> BenchRecord:
+        """The finished record; raises until the ``with`` block exits."""
+        if self._record is None:
+            raise RuntimeError("benchmark run has not finished yet")
+        return self._record
+
+    def set_param(self, key: str, value: Any) -> "BenchRun":
+        """Attach (or overwrite) one scenario parameter; chainable."""
+        self.params[key] = value
+        return self
+
+    def add_table(self, table: Any) -> "BenchRun":
+        """Attach a :class:`~repro.report.tables.Table` as structured rows."""
+        self.tables.append(
+            {
+                "title": table.title,
+                "headers": list(table.headers),
+                "rows": [list(row) for row in table.rows],
+            }
+        )
+        return self
+
+    def __enter__(self) -> "BenchRun":
+        if self.trace_malloc and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._own_tracemalloc = True
+        elif self.trace_malloc:
+            tracemalloc.reset_peak()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._started is not None
+        wall = time.perf_counter() - self._started
+        peak_traced: Optional[int] = None
+        if self.trace_malloc and tracemalloc.is_tracing():
+            peak_traced = tracemalloc.get_traced_memory()[1]
+            if self._own_tracemalloc:
+                tracemalloc.stop()
+        git = describe_git(self.root)
+        if git["sha"] == "unknown":
+            # The trajectory root may be a scratch directory; the record
+            # should still identify the code that ran, so fall back to
+            # the checkout this module was imported from.
+            git = describe_git(Path(__file__).resolve().parent)
+        self._record = BenchRecord(
+            scenario=self.scenario,
+            wall_seconds=wall,
+            peak_rss_bytes=_peak_rss_bytes(),
+            tracemalloc_peak_bytes=peak_traced,
+            git_sha=git["sha"],
+            git_dirty=git["dirty"],
+            params=dict(self.params),
+            metrics=obs_metrics.get_registry().snapshot(),
+            tables=list(self.tables),
+        )
+        return False
+
+
+# ----------------------------------------------------------------------
+# Trajectory files
+# ----------------------------------------------------------------------
+
+
+def find_repo_root(start: Optional[PathLike] = None) -> Path:
+    """The nearest ancestor of ``start`` (default: cwd) that looks like a
+    repo root (holds ``.git`` or ``pyproject.toml``); falls back to
+    ``start`` itself so trajectory writes never fail on layout."""
+    origin = Path(start) if start is not None else Path.cwd()
+    origin = origin.resolve()
+    for candidate in (origin, *origin.parents):
+        if (candidate / ".git").exists() or (candidate / "pyproject.toml").exists():
+            return candidate
+    return origin
+
+
+def trajectory_path(scenario: str, root: Optional[PathLike] = None) -> Path:
+    """``<root>/BENCH_<scenario>.json`` (root defaults to the repo root)."""
+    base = Path(root) if root is not None else find_repo_root()
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in scenario)
+    return base / f"BENCH_{safe}.json"
+
+
+def append_record(record: BenchRecord, root: Optional[PathLike] = None) -> Path:
+    """Append ``record`` to its scenario's trajectory file, atomically.
+
+    Creates the file with the versioned document wrapper on first use;
+    an unreadable/corrupt existing file is replaced rather than crashing
+    the benchmark that produced the record (the old content is saved to
+    ``<path>.corrupt`` for inspection).  Returns the trajectory path.
+    """
+    path = trajectory_path(record.scenario, root)
+    document: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": record.scenario,
+        "records": [],
+    }
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded.get("records"), list):
+                document = loaded
+        except (ValueError, OSError):
+            try:
+                path.replace(path.with_suffix(".json.corrupt"))
+            except OSError:
+                pass
+    document["records"].append(record.to_dict())
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_trajectory(
+    scenario: str, root: Optional[PathLike] = None
+) -> List[BenchRecord]:
+    """All recorded runs of ``scenario``, oldest first ([] when absent)."""
+    path = trajectory_path(scenario, root)
+    if not path.exists():
+        return []
+    try:
+        document = json.loads(path.read_text())
+    except ValueError as error:
+        raise ValueError(f"{path}: trajectory file is not valid JSON: {error}")
+    records = document.get("records")
+    if not isinstance(records, list):
+        raise ValueError(f"{path}: trajectory file lacks a 'records' list")
+    return [BenchRecord.from_dict(entry) for entry in records]
+
+
+def list_scenarios(root: Optional[PathLike] = None) -> List[str]:
+    """Scenario names with a ``BENCH_*.json`` trajectory under ``root``."""
+    base = Path(root) if root is not None else find_repo_root()
+    names = []
+    for path in sorted(base.glob("BENCH_*.json")):
+        names.append(path.name[len("BENCH_"):-len(".json")])
+    return names
+
+
+# ----------------------------------------------------------------------
+# Self-contained CLI scenarios
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named ``repro bench run`` workload.
+
+    ``build(scale)`` does all data preparation and returns
+    ``(params, workload)``; only ``workload()`` is timed, so trajectory
+    numbers measure the miner, not the synthetic-data generator.
+    """
+
+    name: str
+    description: str
+    build: Callable[[float], Tuple[Dict[str, Any], Callable[[], Any]]]
+
+
+def _build_phase1_scaling(scale: float):
+    from repro.data.wbcd import make_scaled_wbcd, make_wbcd_like
+    from repro.evaluation import measure_phase1
+
+    sizes = [max(int(round(n * scale)), 500) for n in (5_000, 10_000, 20_000)]
+    base = make_wbcd_like(seed=42)
+    names = list(base.schema.names[:4])
+    relations = [
+        make_scaled_wbcd(size, outlier_fraction=0.05, seed=42, base=base)
+        for size in sizes
+    ]
+
+    def workload():
+        for relation in relations:
+            measure_phase1(relation, names, frequency_fraction=0.03)
+
+    return {"sizes": sizes, "attributes": len(names)}, workload
+
+
+def _build_phase2_graph(scale: float):
+    from repro.core.config import DARConfig
+    from repro.core.miner import DARMiner
+    from repro.data.synthetic import make_planted_rule_relation
+
+    per_mode = max(int(round(1_000 * scale)), 100)
+    relation, _ = make_planted_rule_relation(seed=11, points_per_mode=per_mode)
+    config = DARConfig(phase2_engine="auto")
+
+    def workload():
+        return DARMiner(config).mine(relation)
+
+    return {"rows": len(relation), "engine": "auto"}, workload
+
+
+def _build_streaming_update(scale: float):
+    from repro.core.config import DARConfig
+    from repro.core.streaming import StreamingDARMiner
+    from repro.data.relation import default_partitions
+    from repro.data.synthetic import make_clustered_relation
+
+    per_mode = max(int(round(600 * scale)), 60)
+    relation, _ = make_clustered_relation(
+        n_modes=4, points_per_mode=per_mode, n_attributes=3, seed=5
+    )
+    partitions = default_partitions(relation.schema)
+    matrices = {p.name: relation.matrix(p.attributes) for p in partitions}
+    n = len(relation)
+    batch = max(n // 8, 1)
+
+    def workload():
+        miner = StreamingDARMiner(partitions, DARConfig())
+        position = 0
+        while position < n:
+            end = min(position + batch, n)
+            miner.update_arrays(
+                {name: matrix[position:end] for name, matrix in matrices.items()}
+            )
+            position = end
+        return miner.rules()
+
+    return {"rows": n, "batches": -(-n // batch)}, workload
+
+
+def _build_mine_smoke(scale: float):
+    from repro.api import mine
+    from repro.data.synthetic import make_planted_rule_relation
+
+    per_mode = max(int(round(200 * scale)), 40)
+    relation, _ = make_planted_rule_relation(seed=3, points_per_mode=per_mode)
+
+    def workload():
+        return mine(relation)
+
+    return {"rows": len(relation)}, workload
+
+
+#: The built-in ``repro bench run`` scenarios: small, deterministic,
+#: seconds-scale versions of the paper's workloads.  ``--scale`` stretches
+#: or shrinks data sizes, exactly like ``REPRO_BENCH_SCALE`` does for the
+#: pytest benchmarks.
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "phase1_scaling",
+            "Phase I (BIRCH) ingestion over 5K-20K scaled-WBCD tuples",
+            _build_phase1_scaling,
+        ),
+        Scenario(
+            "phase2_graph",
+            "full mine of the planted-rule workload (vector Phase II)",
+            _build_phase2_graph,
+        ),
+        Scenario(
+            "streaming_update",
+            "StreamingDARMiner batch absorption plus an anytime rules() snapshot",
+            _build_streaming_update,
+        ),
+        Scenario(
+            "mine_smoke",
+            "tiny end-to-end mine (CI smoke scenario)",
+            _build_mine_smoke,
+        ),
+    )
+}
+
+
+def run_scenario(
+    name: str,
+    *,
+    scale: float = 1.0,
+    root: Optional[PathLike] = None,
+    trace_malloc: bool = False,
+    append: bool = True,
+) -> Tuple[BenchRecord, Optional[Path]]:
+    """Execute one built-in scenario and (by default) append its record.
+
+    The metrics registry is reset and enabled for the duration of the
+    workload so the record's ``metrics`` snapshot describes exactly this
+    run; the caller's previous enable/disable state is restored after.
+    Returns ``(record, trajectory_path_or_None)``.
+    """
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r} (known: {known})")
+    if scale <= 0:
+        raise ValueError("--scale must be positive")
+    params, workload = scenario.build(scale)
+    params = {"scale": scale, **params}
+
+    was_enabled = obs_metrics.metrics_enabled()
+    registry = obs_metrics.get_registry()
+    registry.reset()
+    obs_metrics.enable_metrics()
+    run = BenchRun(name, params, trace_malloc=trace_malloc, root=root)
+    try:
+        with run:
+            workload()
+    finally:
+        if not was_enabled:
+            obs_metrics.disable_metrics()
+    path = append_record(run.record, root) if append else None
+    return run.record, path

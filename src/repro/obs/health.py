@@ -1,0 +1,256 @@
+"""Streaming tree-health monitoring with thresholded WARN/CRIT status.
+
+A long-running :class:`~repro.core.streaming.StreamingDARMiner` can decay
+in ways no single exception reports: summaries ballooning past the point
+where Phase II stays cheap, repeated memory-pressure rebuilds coarsening
+the density threshold until clusters smear together, a quarantine rate
+creeping toward the error budget, or a checkpoint that has silently not
+been written for an hour.  This module turns those slow failures into a
+green/amber/red answer.
+
+:class:`HealthMonitor` evaluates raw readings against
+:class:`HealthThresholds` and produces a :class:`HealthReport` — a list
+of named :class:`HealthCheck` rows, each ``ok`` / ``warn`` / ``crit``,
+plus the worst overall status.  ``StreamingDARMiner.health()`` feeds it
+the live tree state; the CLI surfaces the report under ``--stats`` and
+the HTML dashboard (:mod:`repro.report.dashboard`) renders it as the
+status banner.  When metrics are enabled the report also publishes
+``repro_health_level{check=...}`` gauges (0=ok, 1=warn, 2=crit) so a
+scraper can alert on the same signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = [
+    "OK",
+    "WARN",
+    "CRIT",
+    "HealthThresholds",
+    "HealthCheck",
+    "HealthReport",
+    "HealthMonitor",
+]
+
+#: Status labels, ordered by severity (their index is the gauge level).
+OK = "ok"
+WARN = "warn"
+CRIT = "crit"
+
+_LEVELS = {OK: 0, WARN: 1, CRIT: 2}
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """WARN/CRIT trip points for every monitored signal.
+
+    Defaults suit the library's own workloads: trees under memory budgets
+    hold hundreds-to-thousands of leaf entries, the quarantine bands
+    match the CLI's default 5% error budget, and the checkpoint-age bands
+    assume a checkpoint cadence of minutes, not hours.
+    """
+
+    leaf_entries_warn: int = 10_000
+    leaf_entries_crit: int = 50_000
+    threshold_inflation_warn: float = 4.0
+    threshold_inflation_crit: float = 32.0
+    rebuilds_warn: int = 5
+    rebuilds_crit: int = 25
+    quarantine_rate_warn: float = 0.01
+    quarantine_rate_crit: float = 0.05
+    checkpoint_age_warn_seconds: float = 300.0
+    checkpoint_age_crit_seconds: float = 1800.0
+
+
+@dataclass(frozen=True)
+class HealthCheck:
+    """One named signal's reading and classification."""
+
+    name: str
+    status: str
+    value: float
+    detail: str = ""
+
+    @property
+    def level(self) -> int:
+        """Numeric severity: 0=ok, 1=warn, 2=crit (the exported gauge)."""
+        return _LEVELS[self.status]
+
+    def describe(self) -> str:
+        """One report line, e.g. ``quarantine_rate: WARN (0.02) ...``."""
+        text = f"{self.name}: {self.status.upper()} ({self.value:.6g})"
+        return f"{text} — {self.detail}" if self.detail else text
+
+
+@dataclass
+class HealthReport:
+    """All checks from one evaluation, plus the worst overall status."""
+
+    checks: List[HealthCheck] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        """Worst status across checks (``ok`` for an empty report)."""
+        worst = OK
+        for check in self.checks:
+            if check.level > _LEVELS[worst]:
+                worst = check.status
+        return worst
+
+    @property
+    def problems(self) -> List[HealthCheck]:
+        """The non-``ok`` checks, worst first."""
+        flagged = [c for c in self.checks if c.status != OK]
+        return sorted(flagged, key=lambda c: -c.level)
+
+    def describe(self) -> str:
+        """Multi-line report: overall status, then one line per check."""
+        lines = [f"health: {self.status.upper()}"]
+        lines.extend(f"  {check.describe()}" for check in self.checks)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain built-ins for JSON export and the dashboard."""
+        return {
+            "status": self.status,
+            "checks": [
+                {
+                    "name": c.name,
+                    "status": c.status,
+                    "level": c.level,
+                    "value": c.value,
+                    "detail": c.detail,
+                }
+                for c in self.checks
+            ],
+        }
+
+    def publish(self) -> None:
+        """Export every check as a ``repro_health_level{check=}`` gauge.
+
+        No-op while metrics are disabled, like every emission helper.
+        """
+        for check in self.checks:
+            obs_metrics.set_gauge(
+                "repro_health_level",
+                check.level,
+                help="Health check severity (0=ok, 1=warn, 2=crit)",
+                check=check.name,
+            )
+        worst = self.status
+        obs_metrics.set_gauge(
+            "repro_health_worst_level",
+            _LEVELS[worst],
+            help="Worst health check severity (0=ok, 1=warn, 2=crit)",
+        )
+
+
+class HealthMonitor:
+    """Classifies raw streaming readings against :class:`HealthThresholds`.
+
+    Stateless apart from its thresholds — callers gather the readings
+    (see :meth:`repro.core.streaming.StreamingDARMiner.health`) and this
+    object only decides what they mean, so it is trivially testable and
+    reusable for non-streaming drivers.
+    """
+
+    def __init__(self, thresholds: Optional[HealthThresholds] = None):
+        self.thresholds = thresholds or HealthThresholds()
+
+    @staticmethod
+    def _grade(value: float, warn: float, crit: float) -> str:
+        if value >= crit:
+            return CRIT
+        if value >= warn:
+            return WARN
+        return OK
+
+    def evaluate(
+        self,
+        *,
+        leaf_entries: Mapping[str, int],
+        threshold_inflation: Optional[Mapping[str, float]] = None,
+        rebuilds: Optional[Mapping[str, int]] = None,
+        rows_seen: int = 0,
+        rows_quarantined: int = 0,
+        checkpoint_age_seconds: Optional[float] = None,
+        checkpointing: bool = False,
+    ) -> HealthReport:
+        """Build a :class:`HealthReport` from raw per-partition readings.
+
+        ``threshold_inflation`` is each tree's current density threshold
+        divided by its initial one (1.0 = never escalated);
+        ``checkpoint_age_seconds`` is seconds since the last successful
+        checkpoint, meaningful only when ``checkpointing`` is on — a run
+        that never checkpoints skips that check instead of paging anyone.
+        """
+        t = self.thresholds
+        report = HealthReport()
+
+        total_entries = sum(leaf_entries.values())
+        busiest = max(leaf_entries, key=leaf_entries.get) if leaf_entries else ""
+        report.checks.append(
+            HealthCheck(
+                "leaf_entries",
+                self._grade(total_entries, t.leaf_entries_warn, t.leaf_entries_crit),
+                float(total_entries),
+                f"largest partition: {busiest} "
+                f"({leaf_entries.get(busiest, 0)} entries)" if busiest else "",
+            )
+        )
+
+        inflation = dict(threshold_inflation or {})
+        worst_inflation = max(inflation.values(), default=1.0)
+        report.checks.append(
+            HealthCheck(
+                "threshold_escalation",
+                self._grade(
+                    worst_inflation,
+                    t.threshold_inflation_warn,
+                    t.threshold_inflation_crit,
+                ),
+                float(worst_inflation),
+                "density threshold inflation vs the first batch "
+                "(memory-pressure rebuilds coarsen summaries)",
+            )
+        )
+
+        n_rebuilds = sum((rebuilds or {}).values())
+        report.checks.append(
+            HealthCheck(
+                "rebuilds",
+                self._grade(n_rebuilds, t.rebuilds_warn, t.rebuilds_crit),
+                float(n_rebuilds),
+                "tree rebuilds across partitions",
+            )
+        )
+
+        rate = rows_quarantined / rows_seen if rows_seen else 0.0
+        report.checks.append(
+            HealthCheck(
+                "quarantine_rate",
+                self._grade(rate, t.quarantine_rate_warn, t.quarantine_rate_crit),
+                rate,
+                f"{rows_quarantined} of {rows_seen} rows quarantined",
+            )
+        )
+
+        if checkpointing:
+            age = checkpoint_age_seconds if checkpoint_age_seconds is not None else 0.0
+            report.checks.append(
+                HealthCheck(
+                    "checkpoint_age",
+                    self._grade(
+                        age,
+                        t.checkpoint_age_warn_seconds,
+                        t.checkpoint_age_crit_seconds,
+                    ),
+                    age,
+                    "seconds since the last successful checkpoint",
+                )
+            )
+        return report

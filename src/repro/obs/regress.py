@@ -1,0 +1,237 @@
+"""Regression gates over ``BENCH_*.json`` trajectories.
+
+:mod:`repro.obs.bench` records every benchmark run; this module reads a
+scenario's trajectory back and answers the CI question: *did the newest
+run get slower (or hungrier) than it used to be?*
+
+The baseline is the **median of the last ``window`` records before the
+current one** — medians shrug off a single noisy run, and a sliding
+window tracks genuine trend shifts instead of punishing a repo forever
+for one fast week.  Each monitored quantity (wall seconds, peak RSS) is
+classified independently:
+
+* ``regression``  — current > baseline × (1 + tolerance)
+* ``improvement`` — current < baseline × (1 − tolerance)
+* ``noise``       — inside the tolerance band
+* ``no-baseline`` — fewer than ``min_records`` prior records (or the
+  quantity was never measured), so nothing can be said yet
+
+CLI: ``python -m repro bench compare`` renders these verdicts as a
+table; ``--strict`` turns any ``regression`` into exit code 1 (the
+blocking-gate mode CI uses for the obs-overhead scenario, while the
+hardware-sensitive perf scenarios stay advisory).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.bench import BenchRecord, list_scenarios, load_trajectory
+
+__all__ = [
+    "IMPROVEMENT",
+    "NOISE",
+    "REGRESSION",
+    "NO_BASELINE",
+    "RegressionPolicy",
+    "QuantityVerdict",
+    "Comparison",
+    "classify",
+    "compare_records",
+    "compare_scenario",
+    "compare_all",
+]
+
+#: Classification labels, exported so callers never string-match typos.
+IMPROVEMENT = "improvement"
+NOISE = "noise"
+REGRESSION = "regression"
+NO_BASELINE = "no-baseline"
+
+
+@dataclass(frozen=True)
+class RegressionPolicy:
+    """Knobs of the gate.
+
+    ``tolerance`` is the fractional wall-time band treated as noise
+    (0.10 → a 10% slowdown is still noise); ``rss_tolerance`` is the
+    wider band for peak RSS, which jitters with allocator behaviour;
+    ``window`` is how many prior records feed the median baseline;
+    ``min_records`` is the fewest prior records worth comparing against
+    (1 by default, so the second run of a scenario is already gated).
+    """
+
+    tolerance: float = 0.10
+    rss_tolerance: float = 0.25
+    window: int = 5
+    min_records: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0 or self.rss_tolerance < 0:
+            raise ValueError("tolerances must be non-negative")
+        if self.window < 1:
+            raise ValueError("window must be at least 1")
+        if self.min_records < 1:
+            raise ValueError("min_records must be at least 1")
+
+
+@dataclass(frozen=True)
+class QuantityVerdict:
+    """One monitored quantity's classification for one scenario."""
+
+    quantity: str
+    classification: str
+    current: Optional[float] = None
+    baseline: Optional[float] = None
+    tolerance: float = 0.0
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """current / baseline, or ``None`` without a usable baseline."""
+        if self.baseline is None or self.current is None or self.baseline <= 0:
+            return None
+        return self.current / self.baseline
+
+    def describe(self) -> str:
+        """One aligned report line (``bench compare`` output row)."""
+        if self.classification == NO_BASELINE:
+            return f"{self.quantity}: no baseline yet"
+        ratio = self.ratio
+        assert self.current is not None and self.baseline is not None
+        return (
+            f"{self.quantity}: {self.classification} "
+            f"(current {self.current:.6g}, baseline {self.baseline:.6g}, "
+            f"{(ratio - 1) * 100:+.1f}% vs ±{self.tolerance * 100:.0f}% band)"
+        )
+
+
+@dataclass
+class Comparison:
+    """The newest record of one scenario judged against its baseline."""
+
+    scenario: str
+    n_records: int
+    verdicts: List[QuantityVerdict] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        """Worst classification across quantities (regression dominates)."""
+        order = (REGRESSION, IMPROVEMENT, NOISE, NO_BASELINE)
+        present = {v.classification for v in self.verdicts}
+        for label in order:
+            if label in present:
+                return label
+        return NO_BASELINE
+
+    @property
+    def has_regression(self) -> bool:
+        """Whether any monitored quantity regressed."""
+        return any(v.classification == REGRESSION for v in self.verdicts)
+
+    def describe(self) -> str:
+        """Multi-line human report for this scenario."""
+        lines = [f"{self.scenario} ({self.n_records} recorded runs): {self.status}"]
+        lines.extend(f"  {verdict.describe()}" for verdict in self.verdicts)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain built-ins (dashboard + JSON output)."""
+        return {
+            "scenario": self.scenario,
+            "n_records": self.n_records,
+            "status": self.status,
+            "verdicts": [
+                {
+                    "quantity": v.quantity,
+                    "classification": v.classification,
+                    "current": v.current,
+                    "baseline": v.baseline,
+                    "ratio": v.ratio,
+                    "tolerance": v.tolerance,
+                }
+                for v in self.verdicts
+            ],
+        }
+
+
+def classify(current: float, baseline: float, tolerance: float) -> str:
+    """Label ``current`` against ``baseline`` with a symmetric band."""
+    if baseline <= 0:
+        return NO_BASELINE
+    ratio = current / baseline
+    if ratio > 1.0 + tolerance:
+        return REGRESSION
+    if ratio < 1.0 - tolerance:
+        return IMPROVEMENT
+    return NOISE
+
+
+def _values(records: Sequence[BenchRecord], quantity: str) -> List[float]:
+    out = []
+    for record in records:
+        value = getattr(record, quantity, None)
+        if value is not None and value > 0:
+            out.append(float(value))
+    return out
+
+
+def _judge(
+    history: Sequence[BenchRecord],
+    current: BenchRecord,
+    quantity: str,
+    tolerance: float,
+    policy: RegressionPolicy,
+) -> QuantityVerdict:
+    current_value = getattr(current, quantity, None)
+    baseline_values = _values(history, quantity)[-policy.window:]
+    if current_value is None or current_value <= 0 or (
+        len(baseline_values) < policy.min_records
+    ):
+        return QuantityVerdict(quantity, NO_BASELINE, tolerance=tolerance)
+    baseline = statistics.median(baseline_values)
+    return QuantityVerdict(
+        quantity,
+        classify(float(current_value), baseline, tolerance),
+        current=float(current_value),
+        baseline=baseline,
+        tolerance=tolerance,
+    )
+
+
+def compare_records(
+    scenario: str,
+    records: Sequence[BenchRecord],
+    policy: RegressionPolicy = RegressionPolicy(),
+) -> Comparison:
+    """Judge the last of ``records`` against the median of those before it."""
+    comparison = Comparison(scenario=scenario, n_records=len(records))
+    if not records:
+        return comparison
+    current, history = records[-1], records[:-1]
+    comparison.verdicts.append(
+        _judge(history, current, "wall_seconds", policy.tolerance, policy)
+    )
+    comparison.verdicts.append(
+        _judge(history, current, "peak_rss_bytes", policy.rss_tolerance, policy)
+    )
+    return comparison
+
+
+def compare_scenario(
+    scenario: str,
+    root=None,
+    policy: RegressionPolicy = RegressionPolicy(),
+) -> Comparison:
+    """Load ``BENCH_<scenario>.json`` under ``root`` and judge its tail."""
+    return compare_records(scenario, load_trajectory(scenario, root), policy)
+
+
+def compare_all(
+    root=None, policy: RegressionPolicy = RegressionPolicy()
+) -> List[Comparison]:
+    """One :class:`Comparison` per trajectory file found under ``root``."""
+    return [
+        compare_scenario(name, root, policy) for name in list_scenarios(root)
+    ]

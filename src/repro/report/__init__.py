@@ -1,6 +1,11 @@
-"""Rendering: cluster/rule descriptions and fixed-width result tables."""
+"""Rendering: descriptions, result tables, and self-contained HTML reports."""
 
 from repro.report.ascii import cluster_strip, histogram
+from repro.report.dashboard import (
+    render_bench_report,
+    render_run_report,
+    write_report,
+)
 from repro.report.describe import (
     describe_cluster,
     describe_result,
@@ -31,4 +36,7 @@ __all__ = [
     "result_to_json",
     "rule_to_dict",
     "Table",
+    "render_bench_report",
+    "render_run_report",
+    "write_report",
 ]

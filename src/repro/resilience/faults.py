@@ -26,6 +26,7 @@ checkpoint and quarantine tests use: :func:`truncate_file`,
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Sequence, Union
@@ -52,28 +53,38 @@ class FaultPlan:
 
     ``after=0`` trips on the very first hit; ``times=None`` keeps tripping
     on every hit once armed (a hard outage rather than a transient one).
+    A plan with ``delay_seconds > 0`` models a *slowdown* instead of a
+    crash: each trip sleeps rather than raising — the tool the regression
+    tests use to make a scenario measurably slower on demand.
     """
 
     def __init__(self, after: int = 0, times: Optional[int] = 1,
-                 message: str = "injected fault"):
+                 message: str = "injected fault",
+                 delay_seconds: float = 0.0):
         if after < 0:
             raise ValueError("after must be non-negative")
         if times is not None and times < 1:
             raise ValueError("times must be positive (or None for 'always')")
+        if delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
         self.after = after
         self.times = times
         self.message = message
+        self.delay_seconds = delay_seconds
         self.hits = 0
         self.trips = 0
 
     def hit(self, point: str) -> None:
-        """Register a hit at ``point``; raise when the plan says so."""
+        """Register a hit at ``point``; raise (or sleep) when armed."""
         self.hits += 1
         if self.hits <= self.after:
             return
         if self.times is not None and self.trips >= self.times:
             return
         self.trips += 1
+        if self.delay_seconds > 0:
+            time.sleep(self.delay_seconds)
+            return
         raise InjectedFault(f"{point}: {self.message} (hit {self.hits})")
 
 
@@ -87,6 +98,20 @@ class FaultInjector:
                 message: str = "injected fault") -> "FaultInjector":
         """Arm ``point`` to raise after ``after`` prior hits (chainable)."""
         self._plans[point] = FaultPlan(after=after, times=times, message=message)
+        return self
+
+    def slow_at(self, point: str, seconds: float, *, after: int = 0,
+                times: Optional[int] = None) -> "FaultInjector":
+        """Arm ``point`` to sleep ``seconds`` per hit instead of raising.
+
+        ``times=None`` (the default) slows *every* hit once armed — the
+        shape of a genuine performance regression, which is what the
+        ``repro bench compare`` tests inject to prove the gate trips.
+        """
+        self._plans[point] = FaultPlan(
+            after=after, times=times, delay_seconds=seconds,
+            message=f"injected delay of {seconds}s",
+        )
         return self
 
     def hits(self, point: str) -> int:

@@ -19,9 +19,14 @@ def _reset_obs():
     """
     yield
     from repro import obs
+    from repro.obs import trace
 
     obs.disable()
     obs.get_registry().reset()
+    if obs.get_tracer().capacity != trace.DEFAULT_CAPACITY:
+        # A test shrank the ring buffer; later tests expect the default.
+        trace.enable_tracing(capacity=trace.DEFAULT_CAPACITY)
+        trace.disable_tracing()
     obs.get_tracer().clear()
     obs.reset_profiles()
 

@@ -1,0 +1,156 @@
+"""Tests for repro.obs.bench: records, trajectories, CLI scenarios."""
+
+import json
+
+import pytest
+
+from repro.obs import bench
+from repro.obs.bench import (
+    SCENARIOS,
+    BenchRecord,
+    BenchRun,
+    append_record,
+    list_scenarios,
+    load_trajectory,
+    run_scenario,
+    trajectory_path,
+)
+from repro.report.tables import Table
+
+
+class TestBenchRun:
+    def test_records_wall_and_rss(self, tmp_path):
+        run = BenchRun("unit_scenario", params={"n": 3}, root=tmp_path)
+        with run:
+            sum(range(10_000))
+        record = run.record
+        assert record.scenario == "unit_scenario"
+        assert record.wall_seconds > 0
+        assert record.peak_rss_bytes is not None and record.peak_rss_bytes > 0
+        assert record.params == {"n": 3}
+        assert record.environment["python"]
+        assert record.environment["numpy"]
+
+    def test_record_unavailable_before_exit(self):
+        run = BenchRun("unit_scenario")
+        with pytest.raises(RuntimeError):
+            run.record
+
+    def test_requires_scenario_name(self):
+        with pytest.raises(ValueError):
+            BenchRun("")
+
+    def test_tracemalloc_peak_opt_in(self, tmp_path):
+        run = BenchRun("unit_scenario", trace_malloc=True, root=tmp_path)
+        with run:
+            data = [bytes(1024) for _ in range(100)]
+            del data
+        assert run.record.tracemalloc_peak_bytes > 0
+        off = BenchRun("unit_scenario", root=tmp_path)
+        with off:
+            pass
+        assert off.record.tracemalloc_peak_bytes is None
+
+    def test_set_param_and_add_table(self, tmp_path):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        run = BenchRun("unit_scenario", root=tmp_path)
+        run.set_param("size", 7).add_table(table)
+        with run:
+            pass
+        record = run.record
+        assert record.params["size"] == 7
+        assert record.tables == [
+            {"title": "t", "headers": ["a", "b"], "rows": [["1", "2"]]}
+        ]
+
+    def test_git_metadata_from_repo_root(self):
+        run = BenchRun("unit_scenario", root=bench.find_repo_root(__file__))
+        with run:
+            pass
+        assert len(run.record.git_sha) == 40
+
+
+class TestRecordSerialization:
+    def test_round_trip(self):
+        record = BenchRecord(
+            scenario="s", wall_seconds=1.5, peak_rss_bytes=2048,
+            params={"k": 1}, metrics={"m": 2},
+        )
+        rebuilt = BenchRecord.from_dict(record.to_dict())
+        assert rebuilt.to_dict() == record.to_dict()
+
+    def test_from_dict_tolerates_extras_and_gaps(self):
+        rebuilt = BenchRecord.from_dict({"scenario": "s", "future_field": 9})
+        assert rebuilt.scenario == "s"
+        assert rebuilt.wall_seconds == 0.0
+        assert rebuilt.peak_rss_bytes is None
+
+
+class TestTrajectoryFiles:
+    def test_path_is_sanitized(self, tmp_path):
+        path = trajectory_path("weird name/../x", tmp_path)
+        assert path.parent == tmp_path
+        assert path.name == "BENCH_weird_name_.._x.json"
+
+    def test_append_and_load(self, tmp_path):
+        for wall in (1.0, 2.0):
+            append_record(BenchRecord(scenario="s", wall_seconds=wall), tmp_path)
+        records = load_trajectory("s", tmp_path)
+        assert [r.wall_seconds for r in records] == [1.0, 2.0]
+        document = json.loads(trajectory_path("s", tmp_path).read_text())
+        assert document["schema_version"] == bench.SCHEMA_VERSION
+        assert document["scenario"] == "s"
+
+    def test_load_missing_is_empty(self, tmp_path):
+        assert load_trajectory("absent", tmp_path) == []
+
+    def test_corrupt_file_is_replaced_not_fatal(self, tmp_path):
+        path = trajectory_path("s", tmp_path)
+        path.write_text("{not json")
+        append_record(BenchRecord(scenario="s", wall_seconds=1.0), tmp_path)
+        assert len(load_trajectory("s", tmp_path)) == 1
+        assert path.with_suffix(".json.corrupt").exists()
+
+    def test_list_scenarios(self, tmp_path):
+        append_record(BenchRecord(scenario="beta"), tmp_path)
+        append_record(BenchRecord(scenario="alpha"), tmp_path)
+        assert list_scenarios(tmp_path) == ["alpha", "beta"]
+
+
+class TestRunScenario:
+    def test_unknown_scenario(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_scenario("nope", root=tmp_path)
+
+    def test_bad_scale(self, tmp_path):
+        with pytest.raises(ValueError, match="scale"):
+            run_scenario("mine_smoke", scale=0, root=tmp_path)
+
+    def test_mine_smoke_appends_record(self, tmp_path):
+        record, path = run_scenario("mine_smoke", scale=0.25, root=tmp_path)
+        assert path == trajectory_path("mine_smoke", tmp_path)
+        assert path.exists()
+        assert record.wall_seconds > 0
+        assert record.params["scale"] == 0.25
+        assert record.params["rows"] > 0
+        # The workload ran with metrics on, so the snapshot is non-trivial.
+        assert any(name.startswith("repro_") for name in record.metrics)
+        # ... and the caller's disabled state was restored afterwards.
+        from repro.obs import metrics as obs_metrics
+
+        assert not obs_metrics.metrics_enabled()
+
+    def test_append_false_writes_nothing(self, tmp_path):
+        record, path = run_scenario("mine_smoke", scale=0.25, root=tmp_path,
+                                    append=False)
+        assert path is None
+        assert not trajectory_path("mine_smoke", tmp_path).exists()
+        assert record.scenario == "mine_smoke"
+
+    def test_all_scenarios_build(self):
+        # build() must prepare params + a callable without running anything.
+        for scenario in SCENARIOS.values():
+            params, workload = scenario.build(0.01)
+            assert isinstance(params, dict)
+            assert callable(workload)

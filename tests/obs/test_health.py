@@ -1,0 +1,181 @@
+"""Tests for repro.obs.health: grading, reports, gauges, live miner wiring."""
+
+import pytest
+
+from repro import obs
+from repro.core.config import DARConfig
+from repro.core.streaming import StreamingDARMiner
+from repro.data.relation import default_partitions
+from repro.data.synthetic import make_clustered_relation
+from repro.obs.health import (
+    CRIT,
+    OK,
+    WARN,
+    HealthCheck,
+    HealthMonitor,
+    HealthReport,
+    HealthThresholds,
+)
+
+
+def healthy_readings(**overrides):
+    readings = dict(
+        leaf_entries={"a": 100, "b": 50},
+        threshold_inflation={"a": 1.0, "b": 1.5},
+        rebuilds={"a": 0, "b": 0},
+        rows_seen=1_000,
+        rows_quarantined=0,
+    )
+    readings.update(overrides)
+    return readings
+
+
+class TestGrading:
+    def test_all_green(self):
+        report = HealthMonitor().evaluate(**healthy_readings())
+        assert report.status == OK
+        assert report.problems == []
+        assert [c.name for c in report.checks] == [
+            "leaf_entries",
+            "threshold_escalation",
+            "rebuilds",
+            "quarantine_rate",
+        ]
+
+    def test_leaf_entries_sum_across_partitions(self):
+        report = HealthMonitor().evaluate(
+            **healthy_readings(leaf_entries={"a": 6_000, "b": 6_000})
+        )
+        check = report.checks[0]
+        assert check.status == WARN
+        assert check.value == 12_000
+        assert "largest partition" in check.detail
+
+    def test_threshold_escalation_uses_worst_partition(self):
+        report = HealthMonitor().evaluate(
+            **healthy_readings(threshold_inflation={"a": 1.0, "b": 40.0})
+        )
+        assert report.checks[1].status == CRIT
+
+    def test_quarantine_rate_bands(self):
+        monitor = HealthMonitor()
+        warn = monitor.evaluate(
+            **healthy_readings(rows_seen=1_000, rows_quarantined=20)
+        )
+        assert warn.checks[3].status == WARN
+        crit = monitor.evaluate(
+            **healthy_readings(rows_seen=1_000, rows_quarantined=60)
+        )
+        assert crit.checks[3].status == CRIT
+
+    def test_zero_rows_seen_is_ok(self):
+        report = HealthMonitor().evaluate(
+            **healthy_readings(rows_seen=0, rows_quarantined=0)
+        )
+        assert report.checks[3].status == OK
+
+    def test_checkpoint_age_only_when_checkpointing(self):
+        off = HealthMonitor().evaluate(**healthy_readings())
+        assert all(c.name != "checkpoint_age" for c in off.checks)
+        on = HealthMonitor().evaluate(
+            **healthy_readings(),
+            checkpointing=True,
+            checkpoint_age_seconds=2_000.0,
+        )
+        assert on.checks[-1].name == "checkpoint_age"
+        assert on.checks[-1].status == CRIT
+
+    def test_custom_thresholds(self):
+        tight = HealthThresholds(rebuilds_warn=1, rebuilds_crit=2)
+        report = HealthMonitor(tight).evaluate(
+            **healthy_readings(rebuilds={"a": 1})
+        )
+        assert report.checks[2].status == WARN
+
+
+class TestReport:
+    def test_status_is_worst_and_problems_sorted(self):
+        report = HealthReport(checks=[
+            HealthCheck("a", OK, 0.0),
+            HealthCheck("b", WARN, 1.0),
+            HealthCheck("c", CRIT, 2.0),
+        ])
+        assert report.status == CRIT
+        assert [c.name for c in report.problems] == ["c", "b"]
+
+    def test_empty_report_is_ok(self):
+        assert HealthReport().status == OK
+
+    def test_describe_and_to_dict(self):
+        report = HealthMonitor().evaluate(**healthy_readings())
+        text = report.describe()
+        assert text.startswith("health: OK")
+        assert "quarantine_rate" in text
+        state = report.to_dict()
+        assert state["status"] == OK
+        assert state["checks"][0]["level"] == 0
+
+    def test_publish_exports_gauges(self):
+        obs.enable(trace=False, metrics=True)
+        report = HealthMonitor().evaluate(
+            **healthy_readings(rows_seen=1_000, rows_quarantined=60)
+        )
+        report.publish()
+        registry = obs.get_registry()
+        assert registry.value("repro_health_level", check="quarantine_rate") == 2
+        assert registry.value("repro_health_level", check="rebuilds") == 0
+        assert registry.value("repro_health_worst_level") == 2
+
+    def test_publish_is_noop_when_disabled(self):
+        report = HealthMonitor().evaluate(**healthy_readings())
+        report.publish()
+        assert len(obs.get_registry()) == 0
+
+
+class TestStreamingMinerHealth:
+    def build_miner(self):
+        relation, _ = make_clustered_relation(
+            n_modes=3, points_per_mode=60, n_attributes=2, seed=7
+        )
+        partitions = default_partitions(relation.schema)
+        miner = StreamingDARMiner(partitions, DARConfig())
+        miner.update_arrays(
+            {p.name: relation.matrix(p.attributes) for p in partitions}
+        )
+        return miner
+
+    def test_health_before_first_batch_raises(self):
+        relation, _ = make_clustered_relation(
+            n_modes=2, points_per_mode=30, n_attributes=2, seed=7
+        )
+        partitions = default_partitions(relation.schema)
+        miner = StreamingDARMiner(partitions, DARConfig())
+        with pytest.raises(RuntimeError):
+            miner.health()
+
+    def test_live_health_is_ok_for_small_run(self):
+        report = self.build_miner().health()
+        assert report.status == OK
+        names = [c.name for c in report.checks]
+        assert "leaf_entries" in names
+        assert "checkpoint_age" not in names  # not checkpointing
+
+    def test_checkpointing_miner_reports_fresh_checkpoint(self, tmp_path):
+        miner = self.build_miner()
+        miner.save_checkpoint(tmp_path / "ckpt.npz")
+        report = miner.health()
+        ages = [c for c in report.checks if c.name == "checkpoint_age"]
+        assert len(ages) == 1
+        assert ages[0].status == OK
+        assert ages[0].value < 60
+
+    def test_custom_thresholds_flow_through(self):
+        tight = HealthThresholds(leaf_entries_warn=1, leaf_entries_crit=2)
+        report = self.build_miner().health(tight)
+        assert report.checks[0].status == CRIT
+
+    def test_update_publishes_health_gauges(self):
+        obs.enable(trace=False, metrics=True)
+        self.build_miner()
+        registry = obs.get_registry()
+        assert registry.get("repro_health_worst_level") is not None

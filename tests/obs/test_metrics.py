@@ -137,3 +137,52 @@ class TestExports:
         registry = MetricsRegistry()
         assert registry.to_prometheus() == ""
         assert registry.to_table() == "(no metrics recorded)"
+
+
+class TestHistogramBucketMonotonicity:
+    def test_cumulative_counts_never_decrease(self, registry):
+        histogram = registry.histogram("repro_h", buckets=(0.1, 1.0, 10.0))
+        # Boundary hits, interior values, and overflow past the last bound.
+        for value in (0.1, 0.1, 0.5, 1.0, 10.0, 99.0, 1e6):
+            histogram.observe(value)
+        rows = histogram.cumulative_buckets()
+        counts = [count for _, count in rows]
+        assert counts == sorted(counts)
+        assert rows[-1][0] == float("inf")
+        assert rows[-1][1] == histogram.count == 7
+
+    def test_boundary_samples_land_in_their_bucket(self, registry):
+        histogram = registry.histogram("repro_h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # `le` semantics: 1.0 belongs to the 1.0 bucket
+        histogram.observe(2.0)
+        assert histogram.cumulative_buckets() == [
+            (1.0, 1), (2.0, 2), (float("inf"), 2),
+        ]
+
+    def test_empty_histogram_is_all_zero(self, registry):
+        histogram = registry.histogram("repro_h", buckets=(1.0,))
+        assert histogram.cumulative_buckets() == [(1.0, 0), (float("inf"), 0)]
+
+
+class TestSnapshotResetRoundTrip:
+    def populate(self):
+        metrics.inc("repro_rows_total", 5, partition="x")
+        metrics.set_gauge("repro_threshold", 1.25)
+        metrics.observe("repro_seconds", 0.5)
+
+    def test_same_activity_reproduces_the_snapshot(self, registry):
+        self.populate()
+        before = registry.snapshot()
+        assert before  # the registry actually recorded something
+        registry.reset()
+        assert registry.snapshot() == {}
+        assert len(registry) == 0
+        self.populate()
+        assert registry.snapshot() == before
+
+    def test_snapshot_is_detached_from_live_metrics(self, registry):
+        metrics.inc("repro_rows_total", 1)
+        frozen = registry.snapshot()
+        metrics.inc("repro_rows_total", 1)
+        assert frozen["repro_rows_total"] == 1
+        assert registry.snapshot()["repro_rows_total"] == 2

@@ -165,3 +165,38 @@ class TestTracerValidation:
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             Tracer(capacity=0)
+
+
+class TestRingBufferParentage:
+    def test_overflow_keeps_parentage_consistent(self):
+        # Far more parent+child pairs than the buffer holds: eviction must
+        # drop oldest-first and never corrupt the surviving links.
+        tracer = trace.enable_tracing(capacity=8)
+        for i in range(50):
+            with span(f"parent{i}"):
+                with span(f"child{i}"):
+                    pass
+        survivors = tracer.spans()
+        assert len(survivors) == 8
+        assert tracer.n_dropped == 100 - 8
+        ids = [s.span_id for s in survivors]
+        assert len(set(ids)) == len(ids)  # ids are never reused
+        buffered = set(ids)
+        oldest = min(ids)
+        for record in survivors:
+            if record.parent_id == 0:
+                continue  # a root span
+            # A surviving child links either to a surviving parent or to
+            # one that was evicted earlier — never to a newer span.
+            assert record.parent_id < record.span_id
+            assert record.parent_id in buffered or record.parent_id < oldest
+
+    def test_surviving_pairs_still_nest(self):
+        tracer = trace.enable_tracing(capacity=4)
+        for i in range(20):
+            with span(f"parent{i}"):
+                with span(f"child{i}"):
+                    pass
+        survivors = {s.name: s for s in tracer.spans()}
+        # The newest parent+child pair always survives intact.
+        assert survivors["child19"].parent_id == survivors["parent19"].span_id

@@ -453,3 +453,114 @@ class TestObservabilityFlags:
 
         writes = obs.get_registry().value("repro_checkpoint_writes_total")
         assert writes >= 3  # 600 rows / 200 per checkpoint
+
+
+class TestRunReportAndMetricsOut:
+    @pytest.fixture
+    def clustered_csv(self, tmp_path):
+        path = tmp_path / "clustered.csv"
+        assert main([
+            "generate", "clustered", str(path),
+            "--size", "400", "--modes", "3", "--attributes", "2", "--seed", "5",
+        ]) == 0
+        return str(path)
+
+    def test_mine_report_writes_self_contained_html(
+        self, clustered_csv, tmp_path, capsys
+    ):
+        out = tmp_path / "run.html"
+        assert main(["mine", clustered_csv, "--report", str(out)]) == 0
+        assert "report written" in capsys.readouterr().err
+        document = out.read_text()
+        assert document.lstrip().startswith("<!DOCTYPE html>")
+        assert "<svg" in document           # span waterfall rendered
+        assert "Span waterfall" in document
+        assert "<table" in document         # metric table rendered
+        assert "health" in document.lower()  # health banner rendered
+        assert "http://" not in document and "https://" not in document
+        assert "<script" not in document
+
+    def test_metrics_out_writes_prometheus_text(
+        self, clustered_csv, tmp_path, capsys
+    ):
+        out = tmp_path / "metrics.prom"
+        assert main(["mine", clustered_csv, "--metrics-out", str(out)]) == 0
+        assert "metrics written" in capsys.readouterr().err
+        text = out.read_text()
+        assert "# TYPE repro_phase2_runs_total counter" in text
+        assert "repro_phase1_points_total" in text
+        assert text.endswith("\n")
+
+    def test_stats_prints_health_lines(self, clustered_csv, capsys):
+        assert main(["mine", clustered_csv, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "# health: OK" in out
+        assert "quarantine_rate" in out
+
+
+class TestBenchCommands:
+    def test_run_appends_trajectory_with_metadata(self, tmp_path, capsys):
+        assert main([
+            "bench", "run", "--scenario", "mine_smoke",
+            "--scale", "0.25", "--root", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mine_smoke" in out and "appended" in out
+        import json
+
+        document = json.loads((tmp_path / "BENCH_mine_smoke.json").read_text())
+        (record,) = document["records"]
+        assert record["wall_seconds"] > 0
+        assert record["git_sha"]
+        assert record["environment"]["python"]
+        assert record["params"]["scale"] == 0.25
+
+    def test_unknown_scenario_fails_loudly(self, tmp_path, capsys):
+        assert main([
+            "bench", "run", "--scenario", "nope", "--root", str(tmp_path),
+        ]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_second_run_is_classified_and_strict_gates(self, tmp_path, capsys):
+        for _ in range(2):
+            assert main([
+                "bench", "run", "--scenario", "mine_smoke",
+                "--scale", "0.25", "--root", str(tmp_path),
+            ]) == 0
+        assert main(["bench", "compare", "--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mine_smoke (2 recorded runs)" in out
+        assert "wall_seconds" in out
+        assert "no baseline" not in out.splitlines()[1]  # wall got a verdict
+
+        # Force an unmissable regression record, then gate on it.
+        from repro.obs.bench import BenchRecord, append_record, load_trajectory
+
+        slow = BenchRecord.from_dict(
+            load_trajectory("mine_smoke", tmp_path)[-1].to_dict()
+        )
+        slow.wall_seconds *= 100
+        append_record(slow, tmp_path)
+        capsys.readouterr()
+        assert main([
+            "bench", "compare", "--root", str(tmp_path), "--strict",
+        ]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_compare_without_trajectories(self, tmp_path, capsys):
+        assert main(["bench", "compare", "--root", str(tmp_path)]) == 0
+        assert "no BENCH_*.json trajectories" in capsys.readouterr().out
+
+    def test_report_renders_dashboard(self, tmp_path, capsys):
+        assert main([
+            "bench", "run", "--scenario", "mine_smoke",
+            "--scale", "0.25", "--root", str(tmp_path),
+        ]) == 0
+        out = tmp_path / "bench.html"
+        assert main([
+            "bench", "report", "--root", str(tmp_path), "--out", str(out),
+        ]) == 0
+        document = out.read_text()
+        assert "mine_smoke" in document
+        assert "<svg" in document
+        assert "http://" not in document and "https://" not in document
