@@ -48,6 +48,8 @@ def mine(
     partitions: Optional[Sequence[AttributePartition]] = None,
     targets: Optional[Sequence[str]] = None,
     policy: Optional["GuardPolicy"] = None,
+    engine: str = "serial",
+    workers: Optional[int] = None,
 ) -> DARResult:
     """Mine distance-based association rules from ``relation``.
 
@@ -66,6 +68,13 @@ def mine(
     of partitions rules may conclude about (the Section 5.2 N:1
     application); ``None`` mines all consequents.  ``policy`` — a
     :class:`~repro.resilience.guard.GuardPolicy` tuning the ladder.
+
+    ``engine="parallel"`` fans Phase I partitions and Phase II row blocks
+    out over ``workers`` processes (default: the machine's core count)
+    via :class:`repro.parallel.ParallelDARMiner`; results are
+    bit-identical to the serial engine, and a worker-pool failure
+    degrades to serial with the event recorded in
+    ``result.phase2.events``.
     """
     from repro.resilience.guard import guarded_mine
 
@@ -84,4 +93,6 @@ def mine(
         partitions=partitions,
         targets=targets,
         policy=policy,
+        engine=engine,
+        workers=workers,
     )

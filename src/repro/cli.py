@@ -75,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
                       default="auto",
                       help="Phase II distance engine (default auto: the "
                       "vectorized kernel whenever images are CFs)")
+    mine.add_argument("--workers", type=int, default=1, metavar="N",
+                      help="mine with N worker processes (default 1: "
+                      "serial); falls back to serial automatically if "
+                      "the pool fails, and is not supported together "
+                      "with --mixed or --checkpoint/--resume")
     mine.add_argument("--count-support", action="store_true",
                       help="post-scan: count classical support per rule")
     mine.add_argument("--mixed", action="store_true",
@@ -226,6 +231,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via temp file + rename.
+
+    Output artifacts (traces, metrics dumps) must never exist half
+    written: an interrupt between open and close would otherwise leave a
+    truncated file that looks like a complete export.
+    """
+    import os
+    from pathlib import Path
+
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, target)
+
+
 def _load_relation(path: str, sink=None) -> Relation:
     """Load a repro CSV, falling back to plain-CSV schema inference.
 
@@ -329,15 +350,17 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         print(obs.profile_report(), file=sys.stderr)
     if args.trace:
         if str(args.trace).endswith(".jsonl"):
-            tracer.to_jsonl(args.trace)
+            _atomic_write_text(args.trace, tracer.to_jsonl())
             n_spans = len(tracer.spans())
         else:
-            n_spans = tracer.to_chrome(args.trace)
+            import json
+
+            document = tracer.chrome_trace()
+            _atomic_write_text(args.trace, json.dumps(document))
+            n_spans = len(document["traceEvents"])
         print(f"# trace: {n_spans} spans written to {args.trace}", file=sys.stderr)
     if args.metrics_out:
-        from pathlib import Path
-
-        Path(args.metrics_out).write_text(obs.get_registry().to_prometheus())
+        _atomic_write_text(args.metrics_out, obs.get_registry().to_prometheus())
         print(f"# metrics written to {args.metrics_out}", file=sys.stderr)
     if args.report:
         from repro.report.dashboard import render_run_report, write_report
@@ -417,6 +440,11 @@ def _run_mine(args: argparse.Namespace, capture: Optional[dict] = None) -> int:
         phase2_engine=args.engine,
     )
     targets = args.target.split(",") if args.target else None
+    workers = getattr(args, "workers", 1)
+    if workers is None:
+        workers = 1
+    if workers < 1:
+        raise ValueError("--workers must be at least 1")
     checkpoint_infos = []
     stream_miner = None
     if args.checkpoint or args.resume:
@@ -424,6 +452,11 @@ def _run_mine(args: argparse.Namespace, capture: Optional[dict] = None) -> int:
             raise ValueError(
                 "--checkpoint/--resume use the streaming engine, which does "
                 "not support --mixed"
+            )
+        if workers > 1:
+            raise ValueError(
+                "--workers is not supported together with "
+                "--checkpoint/--resume (the streaming engine is serial)"
             )
         result, checkpoint_infos, stream_miner = _mine_streaming(
             relation, config, args
@@ -433,10 +466,22 @@ def _run_mine(args: argparse.Namespace, capture: Optional[dict] = None) -> int:
     elif args.mixed:
         if args.json:
             raise ValueError("--json is not supported together with --mixed")
+        if workers > 1:
+            raise ValueError(
+                "--workers is not supported together with --mixed (nominal "
+                "images are outside the parallel engine's domain); drop "
+                "--workers to mine mixed data serially"
+            )
         result = MixedDARMiner(MixedDARConfig(base=config)).mine_mixed(relation)
     else:
         # Targets go into the miner itself (skips non-target assoc sets).
-        result = mine_relation(relation, config=config, targets=targets)
+        result = mine_relation(
+            relation,
+            config=config,
+            targets=targets,
+            engine="parallel" if workers > 1 else "serial",
+            workers=workers,
+        )
 
     health = None
     try:
@@ -675,6 +720,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (OSError, ValueError, ReproError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # Worker pools and shared-memory segments are owned by context
+        # managers inside the miner, so they are already released by the
+        # time the interrupt unwinds to here; output files are written
+        # atomically, so none is left half-finished.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -265,37 +265,13 @@ class DARMiner:
         }
 
         # ------------------------------ Phase I ------------------------
-        phase1_stats: Dict[str, Phase1Stats] = {}
-        all_clusters: Dict[str, List[Cluster]] = {}
-        frequent_clusters: Dict[str, List[Cluster]] = {}
         n = len(relation)
         frequency_count = max(1, math.ceil(self.config.frequency_fraction * n))
-        uid = itertools.count()
 
         with span("phase1", partitions=len(partition_list), rows=n):
-            for partition in partition_list:
-                others = [p for p in partition_list if p.name != partition.name]
-                options = replace(
-                    self.config.birch,
-                    initial_threshold=density[partition.name],
-                    frequency_fraction=self.config.frequency_fraction,
-                )
-                clusterer = BirchClusterer(partition, others, options)
-                result = clusterer.fit_arrays(
-                    matrices[partition.name],
-                    {p.name: matrices[p.name] for p in others},
-                )
-                phase1_stats[partition.name] = result.stats
-                clusters = [
-                    Cluster(uid=next(uid), partition=partition, acf=acf)
-                    for acf in result.clusters
-                ]
-                all_clusters[partition.name] = clusters
-                frequent = [c for c in clusters if c.n >= frequency_count]
-                # "If for some X_i there are no frequent clusters, we omit X_i
-                # from consideration in Phase II."
-                if frequent:
-                    frequent_clusters[partition.name] = frequent
+            phase1_stats, all_clusters, frequent_clusters = self._run_phase1(
+                partition_list, matrices, density, frequency_count
+            )
 
         # ------------------------------ Phase II -----------------------
         phase2 = Phase2Stats()
@@ -332,9 +308,7 @@ class DARMiner:
                     with span("phase2.extract", clusters=len(flat_frequent)):
                         try:
                             faults.fire("phase2.kernel")
-                            kernel = Phase2Kernel(
-                                flat_frequent, metric=self.config.metric
-                            )
+                            kernel = self._make_kernel(flat_frequent)
                         except Exception as error:
                             phase2.events.append(
                                 f"vector Phase II kernel failed during moment "
@@ -437,6 +411,70 @@ class DARMiner:
             phase1=phase1_stats,
             phase2=phase2,
         )
+
+    # ------------------------------------------------------------------
+    # Phase hooks — the seams the parallel engine overrides
+    # ------------------------------------------------------------------
+
+    def _run_phase1(
+        self,
+        partition_list: Sequence[AttributePartition],
+        matrices: Mapping[str, np.ndarray],
+        density: Mapping[str, float],
+        frequency_count: int,
+    ) -> Tuple[
+        Dict[str, Phase1Stats],
+        Dict[str, List[Cluster]],
+        Dict[str, List[Cluster]],
+    ]:
+        """Cluster every partition; returns (stats, all, frequent) by name.
+
+        This is the "what to compute" of Phase I: one independent
+        clustering task per attribute partition, executed here serially in
+        ``partition_list`` order.  :class:`repro.parallel.ParallelDARMiner`
+        overrides only this method (and :meth:`_make_kernel`) to fan the
+        same tasks out over a worker pool — cluster uids are assigned from
+        a fresh counter in ``partition_list`` order either way, so the two
+        paths produce identical cluster populations.
+        """
+        phase1_stats: Dict[str, Phase1Stats] = {}
+        all_clusters: Dict[str, List[Cluster]] = {}
+        frequent_clusters: Dict[str, List[Cluster]] = {}
+        uid = itertools.count()
+        for partition in partition_list:
+            others = [p for p in partition_list if p.name != partition.name]
+            options = replace(
+                self.config.birch,
+                initial_threshold=density[partition.name],
+                frequency_fraction=self.config.frequency_fraction,
+            )
+            clusterer = BirchClusterer(partition, others, options)
+            result = clusterer.fit_arrays(
+                matrices[partition.name],
+                {p.name: matrices[p.name] for p in others},
+            )
+            phase1_stats[partition.name] = result.stats
+            clusters = [
+                Cluster(uid=next(uid), partition=partition, acf=acf)
+                for acf in result.clusters
+            ]
+            all_clusters[partition.name] = clusters
+            frequent = [c for c in clusters if c.n >= frequency_count]
+            # "If for some X_i there are no frequent clusters, we omit X_i
+            # from consideration in Phase II."
+            if frequent:
+                frequent_clusters[partition.name] = frequent
+        return phase1_stats, all_clusters, frequent_clusters
+
+    def _make_kernel(self, flat_frequent: Sequence[Cluster]) -> Phase2Kernel:
+        """Construct the vector Phase II kernel over the frequent clusters.
+
+        The parallel miner overrides this to return a kernel whose blocked
+        pairwise computation is tiled across the worker pool; everything
+        downstream (graph build, assoc sets, rule degrees) reads the same
+        cached matrices either way.
+        """
+        return Phase2Kernel(flat_frequent, metric=self.config.metric)
 
     # ------------------------------------------------------------------
 

@@ -37,7 +37,57 @@ from repro.obs import metrics as obs_metrics
 from repro.obs.profile import profiled
 from repro.obs.trace import span
 
-__all__ = ["ImageMoments", "Phase2Kernel"]
+__all__ = ["ImageMoments", "Phase2Kernel", "pairwise_block", "require_finite"]
+
+
+def pairwise_block(
+    metric: str,
+    n: np.ndarray,
+    ls: np.ndarray,
+    ss: np.ndarray,
+    start: int,
+    stop: int,
+) -> np.ndarray:
+    """Rows ``[start, stop)`` of the pairwise image-distance matrix.
+
+    This is the unit of work of the blocked computation — the serial
+    kernel loops over it and the parallel kernel ships one call per
+    worker task.  Both paths evaluate this exact function on the same
+    float64 moments, so a distance matrix assembled from worker tiles is
+    bit-identical to the serially computed one (same expressions, same
+    operand shapes, same BLAS calls).
+    """
+    if metric == "d1":
+        centroids = ls / n[:, None]
+        return np.abs(
+            centroids[start:stop, None, :] - centroids[None, :, :]
+        ).sum(axis=2)
+    # d2 — RMS average inter-cluster distance from moments
+    ss_over_n = ss / n
+    # <LS_i, LS_j> / (N_i N_j), the cross term of Eq. (6).
+    cross = (ls[start:stop] @ ls.T) / np.outer(n[start:stop], n)
+    squared = ss_over_n[start:stop, None] + ss_over_n[None, :] - 2.0 * cross
+    return np.sqrt(np.maximum(squared, 0.0))
+
+
+def require_finite(array: np.ndarray, what: str, partition_name: str) -> None:
+    """Post-condition: every entry of ``array`` is finite.
+
+    Phase II math is closed over finite moments, so a NaN/inf here means
+    the input moments were already degenerate (non-finite data values, a
+    corrupted checkpoint, a bad merge) — raise a clear error naming the
+    partition instead of letting NaN propagate silently through the
+    threshold comparisons, where it would compare false and quietly drop
+    edges.
+    """
+    if np.isfinite(array).all():
+        return
+    bad = int(np.count_nonzero(~np.isfinite(array)))
+    raise ValueError(
+        f"partition {partition_name!r}: {what} has {bad} non-finite "
+        f"entr{'y' if bad == 1 else 'ies'} — the cluster moments feeding "
+        f"Phase II are degenerate (non-finite input values?)"
+    )
 
 #: Row-block size for pairwise-distance materialization.  D1 needs a
 #: (block, k, dim) intermediate; 256 rows keeps that under a few MB for
@@ -70,13 +120,21 @@ class ImageMoments:
         return self.ls / self.n[:, None]
 
     def rms_diameters(self) -> np.ndarray:
-        """Per-row RMS diameter (vectorized ``rms_diameter_from_moments``)."""
+        """Per-row RMS diameter (vectorized ``rms_diameter_from_moments``).
+
+        Singleton images (``n < 2``) have diameter 0 by definition; they
+        are routed around the division explicitly rather than computing
+        ``0/0`` under a suppressed-warning block, so any *other* division
+        problem (corrupt moments, non-finite sums) still surfaces as a
+        real floating-point warning instead of being masked.
+        """
         n = self.n
-        with np.errstate(divide="ignore", invalid="ignore"):
-            squared = (2.0 * n * self.ss - 2.0 * np.einsum("ij,ij->i", self.ls, self.ls)) / (
-                n * (n - 1.0)
-            )
-        return np.where(n < 2, 0.0, np.sqrt(np.maximum(squared, 0.0)))
+        singleton = n < 2.0
+        denominator = np.where(singleton, 1.0, n * (n - 1.0))
+        squared = (
+            2.0 * n * self.ss - 2.0 * np.einsum("ij,ij->i", self.ls, self.ls)
+        ) / denominator
+        return np.where(singleton, 0.0, np.sqrt(np.maximum(squared, 0.0)))
 
 
 class Phase2Kernel:
@@ -183,6 +241,7 @@ class Phase2Kernel:
         cached = self._diameters.get(partition_name)
         if cached is None:
             cached = self._moments[partition_name].rms_diameters()
+            require_finite(cached, "image RMS diameters", partition_name)
             self._diameters[partition_name] = cached
         return cached
 
@@ -196,6 +255,7 @@ class Phase2Kernel:
         cached = self._distances.get(partition_name)
         if cached is None:
             cached = self._compute_pairwise(self._moments[partition_name])
+            require_finite(cached, "pairwise image distances", partition_name)
             self._distances[partition_name] = cached
         return cached
 
@@ -219,30 +279,20 @@ class Phase2Kernel:
             return self._pairwise_blocked(moments)
 
     def _pairwise_blocked(self, moments: ImageMoments) -> np.ndarray:
-        """The blocked distance-matrix computation behind ``pairwise_on``."""
+        """The blocked distance-matrix computation behind ``pairwise_on``.
+
+        The parallel kernel overrides this to run the same
+        :func:`pairwise_block` calls on a worker pool and reassemble the
+        tiles; everything else (caching, graph build, assoc sets) is
+        shared.
+        """
         k = moments.k
         out = np.zeros((k, k), dtype=np.float64)
-        if k == 0:
-            return out
-        if self.metric == "d1":
-            centroids = moments.centroids
-            for start in range(0, k, self.block_size):
-                stop = min(start + self.block_size, k)
-                block = centroids[start:stop]
-                out[start:stop] = np.abs(
-                    block[:, None, :] - centroids[None, :, :]
-                ).sum(axis=2)
-        else:  # d2 — RMS average inter-cluster distance from moments
-            n = moments.n
-            ss_over_n = moments.ss / n
-            for start in range(0, k, self.block_size):
-                stop = min(start + self.block_size, k)
-                # <LS_i, LS_j> / (N_i N_j), the cross term of Eq. (6).
-                cross = (moments.ls[start:stop] @ moments.ls.T) / np.outer(
-                    n[start:stop], n
-                )
-                squared = ss_over_n[start:stop, None] + ss_over_n[None, :] - 2.0 * cross
-                out[start:stop] = np.sqrt(np.maximum(squared, 0.0))
+        for start in range(0, k, self.block_size):
+            stop = min(start + self.block_size, k)
+            out[start:stop] = pairwise_block(
+                self.metric, moments.n, moments.ls, moments.ss, start, stop
+            )
         return out
 
     def distance(self, a_uid: int, b_uid: int, on: str) -> float:

@@ -351,6 +351,7 @@ def append_record(record: BenchRecord, root: Optional[PathLike] = None) -> Path:
             except OSError:
                 pass
     document["records"].append(record.to_dict())
+    path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     os.replace(tmp, path)
@@ -465,6 +466,33 @@ def _build_streaming_update(scale: float):
     return {"rows": n, "batches": -(-n // batch)}, workload
 
 
+def _build_parallel_scaling(scale: float):
+    from repro.core.config import DARConfig
+    from repro.parallel.miner import ParallelDARMiner
+    from repro.data.synthetic import make_clustered_relation
+
+    per_mode = max(int(round(400 * scale)), 50)
+    relation, _ = make_clustered_relation(
+        n_modes=4, points_per_mode=per_mode, n_attributes=6, seed=29
+    )
+    config = DARConfig()
+    worker_counts = (1, 2, 4)
+
+    def workload():
+        results = []
+        for workers in worker_counts:
+            results.append(
+                ParallelDARMiner(config, workers=workers).mine(relation)
+            )
+        return results
+
+    return {
+        "rows": len(relation),
+        "partitions": relation.arity,
+        "workers": list(worker_counts),
+    }, workload
+
+
 def _build_mine_smoke(scale: float):
     from repro.api import mine
     from repro.data.synthetic import make_planted_rule_relation
@@ -499,6 +527,11 @@ SCENARIOS: Dict[str, Scenario] = {
             "streaming_update",
             "StreamingDARMiner batch absorption plus an anytime rules() snapshot",
             _build_streaming_update,
+        ),
+        Scenario(
+            "parallel_scaling",
+            "full mine at 1/2/4 workers over a 6-partition clustered relation",
+            _build_parallel_scaling,
         ),
         Scenario(
             "mine_smoke",

@@ -104,8 +104,9 @@ class Counter(_Metric):
 
     @property
     def value(self) -> Number:
-        """Current monotone total."""
-        return self._value
+        """Current monotone total (read under the metric's lock)."""
+        with self._lock:
+            return self._value
 
 
 class Gauge(_Metric):
@@ -129,8 +130,9 @@ class Gauge(_Metric):
 
     @property
     def value(self) -> Number:
-        """Current value."""
-        return self._value
+        """Current value (read under the metric's lock)."""
+        with self._lock:
+            return self._value
 
 
 class Histogram(_Metric):
@@ -169,33 +171,62 @@ class Histogram(_Metric):
 
     @property
     def count(self) -> int:
-        """Number of samples observed."""
-        return self._count
+        """Number of samples observed (read under the metric's lock)."""
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
-        """Sum of all observed samples."""
-        return self._sum
+        """Sum of all observed samples (read under the metric's lock)."""
+        with self._lock:
+            return self._sum
 
     @property
     def value(self) -> Dict[str, float]:
-        """Snapshot summary used by tables: count, sum, mean."""
-        count = self._count
+        """Snapshot summary used by tables: count, sum, mean.
+
+        Count and sum are read under one lock acquisition so the mean is
+        always computed from a consistent pair, even while other threads
+        are observing samples.
+        """
+        with self._lock:
+            count = self._count
+            total = self._sum
         return {
             "count": count,
-            "sum": self._sum,
-            "mean": self._sum / count if count else 0.0,
+            "sum": total,
+            "mean": total / count if count else 0.0,
         }
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` rows, ending at ``+inf``."""
+        with self._lock:
+            counts = list(self._bucket_counts)
         rows: List[Tuple[float, int]] = []
         running = 0
-        for bound, bucket_count in zip(self.bounds, self._bucket_counts):
+        for bound, bucket_count in zip(self.bounds, counts):
             running += bucket_count
             rows.append((bound, running))
-        rows.append((float("inf"), running + self._bucket_counts[-1]))
+        rows.append((float("inf"), running + counts[-1]))
         return rows
+
+    def merge_state(self, bucket_counts: Sequence[int], count: int, total: float) -> None:
+        """Fold another histogram's raw state into this one.
+
+        The incoming state must come from a histogram with the same
+        bucket bounds (``len(bucket_counts) == len(bounds) + 1``); this is
+        how per-worker distributions are combined after a parallel run.
+        """
+        if len(bucket_counts) != len(self._bucket_counts):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge {len(bucket_counts)} bucket "
+                f"counts into {len(self._bucket_counts)} buckets (bounds differ)"
+            )
+        with self._lock:
+            for index, bucket_count in enumerate(bucket_counts):
+                self._bucket_counts[index] += bucket_count
+            self._count += count
+            self._sum += total
 
 
 class MetricsRegistry:
@@ -260,7 +291,8 @@ class MetricsRegistry:
 
     def get(self, name: str, **labels: str) -> Optional[_Metric]:
         """The metric registered under ``name`` + ``labels``, or ``None``."""
-        return self._metrics.get((name, tuple(sorted(labels.items()))))
+        with self._lock:
+            return self._metrics.get((name, tuple(sorted(labels.items()))))
 
     def value(self, name: str, default: Number = 0, **labels: str) -> Any:
         """Shortcut: the metric's value, or ``default`` if unregistered."""
@@ -271,6 +303,67 @@ class MetricsRegistry:
         """``full_name -> value`` for every registered metric."""
         return {metric.full_name: metric.value for metric in self.metrics()}
 
+    def export_state(self) -> Dict[str, Any]:
+        """A picklable/JSON-safe dump of every metric's raw state.
+
+        This is the wire format a parallel worker ships back to the
+        coordinator: enough to re-register each metric (name, labels,
+        help, unit, kind) plus the raw values :meth:`merge` folds in.
+        """
+        entries: List[Dict[str, Any]] = []
+        for metric in self.metrics():
+            entry: Dict[str, Any] = {
+                "kind": metric.kind,
+                "name": metric.name,
+                "labels": dict(metric.labels),
+                "help": metric.help,
+                "unit": metric.unit,
+            }
+            if isinstance(metric, Histogram):
+                with metric._lock:
+                    entry["bounds"] = list(metric.bounds)
+                    entry["bucket_counts"] = list(metric._bucket_counts)
+                    entry["count"] = metric._count
+                    entry["sum"] = metric._sum
+            else:
+                entry["value"] = metric.value
+            entries.append(entry)
+        return {"metrics": entries}
+
+    def merge(self, state: Mapping[str, Any]) -> None:
+        """Fold an :meth:`export_state` dump into this registry.
+
+        Counters and histograms are additive (per the same reasoning as
+        the ACF Additivity Theorem: each worker observed a disjoint slice
+        of the work), so their values/bucket counts add.  Gauges are
+        point-in-time readings, so the incoming value wins — callers that
+        need per-worker gauges should label them (e.g. ``worker="3"``).
+        """
+        for entry in state.get("metrics", []):
+            kind = entry["kind"]
+            name = entry["name"]
+            labels = dict(entry.get("labels", {}))
+            help = entry.get("help", "")
+            unit = entry.get("unit", "")
+            if kind == "counter":
+                self.counter(name, help, unit, **labels).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name, help, unit, **labels).set(entry["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    name, help, unit, buckets=entry["bounds"], **labels
+                )
+                if list(histogram.bounds) != [float(b) for b in entry["bounds"]]:
+                    raise ValueError(
+                        f"histogram {name!r}: incoming bucket bounds differ from "
+                        f"the registered ones"
+                    )
+                histogram.merge_state(
+                    entry["bucket_counts"], entry["count"], entry["sum"]
+                )
+            else:
+                raise ValueError(f"cannot merge unknown metric kind {kind!r}")
+
     def reset(self) -> None:
         """Forget every metric (tests and fresh CLI runs)."""
         with self._lock:
@@ -278,7 +371,8 @@ class MetricsRegistry:
             self._kinds.clear()
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     # -- rendering ------------------------------------------------------
 

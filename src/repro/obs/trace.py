@@ -230,6 +230,54 @@ class Tracer:
                 self._dropped += 1
             self._buffer.append(record)
 
+    def ingest(
+        self,
+        records: List[Dict[str, Any]],
+        parent_id: int = 0,
+        epoch: Optional[float] = None,
+        base: Optional[float] = None,
+    ) -> int:
+        """Merge foreign (worker-exported) span rows into this tracer.
+
+        ``records`` are :meth:`Span.to_dict` rows exported by another
+        process's tracer.  Span ids are only unique per tracer, so each
+        row gets a fresh id here; parent links *within* the batch are
+        remapped to the new ids, and roots are re-parented under
+        ``parent_id`` (typically the coordinator span that dispatched the
+        worker).  Timestamps are rebased when ``epoch`` — the foreign
+        tracer's epoch — is given: a foreign perf-counter value ``t``
+        becomes ``base + (t - epoch)``, where ``base`` defaults to this
+        tracer's epoch and is normally the local perf-counter reading
+        taken when the worker was dispatched.  Returns the number of
+        spans ingested.
+        """
+        if base is None:
+            base = self.epoch
+        rows = [dict(row) for row in records]
+        id_map = {
+            int(row["span_id"]): next(self._ids)
+            for row in rows
+            if "span_id" in row
+        }
+        for row in rows:
+            start = float(row.get("start", 0.0))
+            end = float(row.get("end", 0.0))
+            if epoch is not None:
+                start = base + (start - epoch)
+                if end:
+                    end = base + (end - epoch)
+            record = Span(
+                name=str(row.get("name", "?")),
+                span_id=id_map.get(int(row.get("span_id", 0)), next(self._ids)),
+                parent_id=id_map.get(int(row.get("parent_id", 0)), parent_id),
+                thread_id=int(row.get("thread_id", 0)),
+                start=start,
+                attributes=dict(row.get("attributes", {})),
+            )
+            record.end = end
+            self._append(record)
+        return len(rows)
+
     # -- inspection -----------------------------------------------------
 
     @property

@@ -1,0 +1,148 @@
+"""Executor backends: *where* parallel tasks run.
+
+The task layer (:mod:`repro.parallel.tasks`) describes *what* to compute;
+this module supplies the interchangeable "where": :class:`SerialBackend`
+runs tasks inline in submission order (the ``workers=1`` degenerate case
+— and the proof that the task model adds nothing to the math), and
+:class:`ProcessPoolBackend` fans them out over a
+``concurrent.futures.ProcessPoolExecutor``.  Both present one method,
+:meth:`ExecutorBackend.map_tasks`, which preserves input order in its
+results — the coordinator's merge logic is therefore identical under
+either backend, and a future distributed backend only has to honor the
+same contract.
+
+Failure semantics: infrastructure failures (a worker process dying →
+``BrokenProcessPool``, the pool failing to start, a shared-memory attach
+error) surface as :class:`~repro.resilience.errors.WorkerPoolError`, the
+class the degradation ladder catches to retry serially.  Errors raised
+*by the task itself* (``ValidationError`` on bad data, for instance)
+propagate unchanged — they would recur on the serial engine, so masking
+them as pool trouble would send the ladder down a pointless rung.
+
+Fault points: ``parallel.pool`` fires when the process pool is created
+and ``parallel.worker`` fires at each worker-task entry (see
+:mod:`repro.resilience.faults`); both convert an
+:class:`~repro.resilience.errors.InjectedFault` into
+:class:`WorkerPoolError` so crash tests exercise the same recovery path
+as real worker death.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.resilience import faults
+from repro.resilience.errors import InjectedFault, ReproError, WorkerPoolError
+
+__all__ = ["ExecutorBackend", "SerialBackend", "ProcessPoolBackend"]
+
+
+class ExecutorBackend:
+    """The contract both backends implement (context manager + map)."""
+
+    #: Number of workers the backend fans out to (1 for serial).
+    n_workers: int = 1
+
+    def map_tasks(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+    ) -> List[Any]:
+        """Run ``fn`` over every task; results in task order."""
+        raise NotImplementedError
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class SerialBackend(ExecutorBackend):
+    """Run every task inline, in order — the ``workers=1`` backend."""
+
+    n_workers = 1
+
+    def map_tasks(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+    ) -> List[Any]:
+        """Apply ``fn`` to each task in submission order."""
+        return [fn(task) for task in tasks]
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Fan tasks out over a ``ProcessPoolExecutor``.
+
+    The executor is created lazily on ``__enter__`` and shut down with
+    ``cancel_futures=True`` on ``__exit__``, so an interrupt (or any
+    exception unwinding through the ``with`` block) cannot leave orphan
+    worker processes or queued tasks behind.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 2:
+            raise ValueError(
+                "ProcessPoolBackend needs at least 2 workers; use "
+                "SerialBackend for single-worker runs"
+            )
+        self.n_workers = workers
+        self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        try:
+            faults.fire("parallel.pool")
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.n_workers
+            )
+        except InjectedFault as error:
+            raise WorkerPoolError(f"worker pool failed to start: {error}") from error
+        except OSError as error:
+            raise WorkerPoolError(
+                f"could not start {self.n_workers} worker processes: {error}"
+            ) from error
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop the pool, cancelling anything still queued (idempotent)."""
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def map_tasks(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+    ) -> List[Any]:
+        """Submit every task; gather results in submission order.
+
+        A dead worker (``BrokenProcessPool``) or an injected
+        ``parallel.*`` fault raises :class:`WorkerPoolError`; other
+        :class:`~repro.resilience.errors.ReproError` subclasses (data
+        errors raised inside the task) propagate as themselves.
+        """
+        if self._executor is None:
+            raise WorkerPoolError(
+                "worker pool is not running (use the backend as a context "
+                "manager)"
+            )
+        futures = [self._executor.submit(fn, task) for task in tasks]
+        results: List[Any] = []
+        try:
+            for future in futures:
+                results.append(future.result())
+        except InjectedFault as error:
+            raise WorkerPoolError(f"worker task failed: {error}") from error
+        except ReproError:
+            raise
+        except BrokenProcessPool as error:
+            raise WorkerPoolError(
+                f"a worker process died mid-task: {error}"
+            ) from error
+        except OSError as error:
+            raise WorkerPoolError(f"worker pool I/O failure: {error}") from error
+        finally:
+            for future in futures:
+                future.cancel()
+        return results

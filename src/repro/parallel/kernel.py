@@ -1,0 +1,73 @@
+"""Phase II kernel that tiles the blocked pairwise computation.
+
+:class:`ParallelPhase2Kernel` is a :class:`~repro.core.phase2_kernel.Phase2Kernel`
+whose ``_pairwise_blocked`` seam ships one :class:`~repro.parallel.tasks.Phase2Tile`
+per row block to the executor backend and reassembles the returned tiles
+into the full matrix.  The tiles use exactly the serial kernel's block
+boundaries and evaluate the same :func:`~repro.core.phase2_kernel.pairwise_block`
+function, so the assembled matrix — and therefore the viability mask, the
+edge set, and every rule degree derived from it — is bit-identical to the
+serial result.
+
+Small populations (one block or fewer) and serial backends short-circuit
+to the inherited in-process loop: shipping a single tile would pay the
+pickling cost for nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.cluster import Cluster
+from repro.core.phase2_kernel import (
+    DEFAULT_BLOCK_SIZE,
+    ImageMoments,
+    Phase2Kernel,
+)
+from repro.obs.trace import span
+from repro.parallel.executor import ExecutorBackend
+from repro.parallel.tasks import Phase2Tile, run_phase2_tile
+
+__all__ = ["ParallelPhase2Kernel"]
+
+
+class ParallelPhase2Kernel(Phase2Kernel):
+    """A Phase II kernel whose row blocks compute on a worker pool."""
+
+    def __init__(
+        self,
+        clusters: Sequence[Cluster],
+        metric: str = "d2",
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        backend: Optional[ExecutorBackend] = None,
+    ):
+        super().__init__(clusters, metric=metric, block_size=block_size)
+        self._backend = backend
+
+    def _pairwise_blocked(self, moments: ImageMoments) -> np.ndarray:
+        """Distribute the serial block loop over the executor backend."""
+        backend = self._backend
+        k = moments.k
+        if backend is None or backend.n_workers <= 1 or k <= self.block_size:
+            return super()._pairwise_blocked(moments)
+        tiles = [
+            Phase2Tile(
+                metric=self.metric,
+                n=moments.n,
+                ls=moments.ls,
+                ss=moments.ss,
+                start=start,
+                stop=min(start + self.block_size, k),
+            )
+            for start in range(0, k, self.block_size)
+        ]
+        with span(
+            "phase2.kernel.scatter", tiles=len(tiles), workers=backend.n_workers
+        ):
+            blocks = backend.map_tasks(run_phase2_tile, tiles)
+        out = np.zeros((k, k), dtype=np.float64)
+        for tile, block in zip(tiles, blocks):
+            out[tile.start : tile.stop] = block
+        return out

@@ -1,0 +1,164 @@
+"""Shared-memory transport for the per-partition data matrices.
+
+Phase I workers need read access to the relation's column matrices, but
+pickling megabytes of row data into every worker would erase the point of
+parallelizing the scan.  :class:`SharedMatrixStore` publishes each
+partition's ``(n, dim)`` float64 matrix into one
+:mod:`multiprocessing.shared_memory` segment; workers receive only the
+tiny :class:`SharedMatrixHandle` descriptors (segment name + shape) and
+map zero-copy numpy views with :func:`attach_matrices`.
+
+Lifecycle: the coordinator owns the segments — it creates them, hands out
+descriptors, and unlinks on context-manager exit (including on
+``KeyboardInterrupt``, which is why the CLI runs the whole parallel mine
+inside the store's ``with`` block).  Workers only ever ``close()`` their
+attachments; they never unlink.  Worker-side attachments are
+deregistered from :mod:`multiprocessing.resource_tracker` because the
+tracker would otherwise unlink coordinator-owned segments when the first
+worker exits (the well-known CPython issue with cross-process
+``SharedMemory`` ownership, bpo-39959).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+import numpy as np
+
+__all__ = ["SharedMatrixHandle", "SharedMatrixStore", "attach_matrices"]
+
+
+@dataclass(frozen=True)
+class SharedMatrixHandle:
+    """Everything a worker needs to map one shared matrix: name + shape."""
+
+    segment: str
+    shape: Tuple[int, ...]
+
+    @property
+    def n_bytes(self) -> int:
+        """Size of the float64 matrix the handle describes."""
+        size = 8
+        for extent in self.shape:
+            size *= extent
+        return size
+
+
+class SharedMatrixStore:
+    """Coordinator-side owner of the shared per-partition matrices.
+
+    Use as a context manager::
+
+        with SharedMatrixStore() as store:
+            store.put("age", matrix)
+            descriptor = store.descriptor()   # ship to workers
+            ...                               # run the pool
+        # segments closed and unlinked here, even on error/interrupt
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._handles: Dict[str, SharedMatrixHandle] = {}
+
+    def put(self, name: str, matrix: np.ndarray) -> SharedMatrixHandle:
+        """Copy ``matrix`` (as C-contiguous float64) into a new segment."""
+        if name in self._segments:
+            raise ValueError(f"matrix {name!r} is already published")
+        source = np.ascontiguousarray(matrix, dtype=np.float64)
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(source.nbytes, 1)
+        )
+        view = np.ndarray(source.shape, dtype=np.float64, buffer=segment.buf)
+        view[...] = source
+        self._segments[name] = segment
+        handle = SharedMatrixHandle(segment=segment.name, shape=source.shape)
+        self._handles[name] = handle
+        return handle
+
+    def put_all(self, matrices: Mapping[str, np.ndarray]) -> None:
+        """Publish every matrix of ``matrices`` (sorted-name order)."""
+        for name in sorted(matrices):
+            self.put(name, matrices[name])
+
+    def descriptor(self) -> Dict[str, SharedMatrixHandle]:
+        """The picklable name → handle map shipped to workers."""
+        return dict(self._handles)
+
+    @property
+    def n_bytes(self) -> int:
+        """Total bytes published across all segments."""
+        return sum(handle.n_bytes for handle in self._handles.values())
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except OSError:
+                pass
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+        self._segments.clear()
+        self._handles.clear()
+
+    def __enter__(self) -> "SharedMatrixStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    The tracker treats every attachment as ownership and would unlink the
+    segment when the attaching process exits (or, under ``fork``'s shared
+    tracker daemon, double-unregister it noisily) — but these segments
+    belong to the coordinator.  Python 3.13+ has ``track=False`` for
+    exactly this; on older versions the tracker's ``register`` is
+    no-opped for the duration of the attach, which is the established
+    workaround for the same CPython issue (bpo-39959).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@contextmanager
+def attach_matrices(
+    descriptor: Mapping[str, SharedMatrixHandle],
+) -> Iterator[Dict[str, np.ndarray]]:
+    """Worker-side: map every handle as a zero-copy numpy view.
+
+    Yields ``name -> (n, dim) float64 view``; the views are only valid
+    inside the ``with`` block (the attachments close on exit, the
+    coordinator unlinks later).
+    """
+    attached: List[shared_memory.SharedMemory] = []
+    try:
+        views: Dict[str, np.ndarray] = {}
+        for name, handle in descriptor.items():
+            segment = _attach_untracked(handle.segment)
+            attached.append(segment)
+            views[name] = np.ndarray(
+                handle.shape, dtype=np.float64, buffer=segment.buf
+            )
+        yield views
+    finally:
+        for segment in attached:
+            try:
+                segment.close()
+            except OSError:
+                pass

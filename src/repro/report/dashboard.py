@@ -556,7 +556,15 @@ def render_bench_report(
 
 
 def write_report(document: str, path: Union[str, Path]) -> Path:
-    """Write an HTML document produced by the renderers above to ``path``."""
+    """Write an HTML document produced by the renderers above to ``path``.
+
+    The write is atomic (temp file + rename) so an interrupt mid-write
+    never leaves a truncated report behind.
+    """
+    import os
+
     target = Path(path)
-    target.write_text(document)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(document)
+    os.replace(tmp, target)
     return target

@@ -73,6 +73,28 @@ class CheckpointInfo:
         )
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Flush a rename to disk by fsyncing the containing directory.
+
+    ``os.replace`` makes the swap atomic against concurrent readers, but
+    the *rename itself* lives in the directory inode — until that is
+    synced, a power loss can roll the directory back and lose a
+    checkpoint the caller was told succeeded.  Directory fds are a POSIX
+    notion; on platforms where opening a directory fails (Windows) the
+    rename is already durable-enough by local convention and we skip.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def write_checkpoint(state: Dict[str, Any], path: PathLike) -> CheckpointInfo:
     """Serialize ``state`` to ``path`` atomically; returns size and timing."""
     import time
@@ -97,6 +119,7 @@ def write_checkpoint(state: Dict[str, Any], path: PathLike) -> CheckpointInfo:
         # untouched — that is the whole point of the temp-file dance.
         faults.fire("checkpoint.replace")
         os.replace(tmp, path)
+        _fsync_directory(path.parent)
         n_bytes = len(header) + len(payload)
         seconds = time.perf_counter() - started
         save_span.set("bytes", n_bytes)

@@ -18,6 +18,7 @@ Taxonomy::
     │   ├── CheckpointCorruptError   — truncated payload / CRC mismatch
     │   └── CheckpointVersionError   — format version is not understood
     ├── ResourceExhaustedError       — degradation ladder ran out of rungs
+    ├── WorkerPoolError              — the parallel worker pool died or jammed
     ├── CorruptResultError           — a result failed its integrity check
     └── InjectedFault                — raised by the fault-injection harness
 """
@@ -34,6 +35,7 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointVersionError",
     "ResourceExhaustedError",
+    "WorkerPoolError",
     "CorruptResultError",
     "InjectedFault",
 ]
@@ -73,6 +75,18 @@ class CheckpointVersionError(CheckpointError):
 
 class ResourceExhaustedError(ReproError):
     """The memory degradation ladder retried up to its cap and still failed."""
+
+
+class WorkerPoolError(ReproError):
+    """The parallel worker pool failed as *infrastructure*.
+
+    Raised when a worker process dies (``BrokenProcessPool``), the pool
+    cannot be created, or a shared-memory segment cannot be attached.
+    Data-shaped errors raised *inside* a worker (``ValidationError`` and
+    friends) propagate as themselves — retrying them on the serial engine
+    would fail identically, so the degradation ladder only catches this
+    class.
+    """
 
 
 class CorruptResultError(ReproError):

@@ -17,6 +17,10 @@ Instrumented points:
 ``streaming.partition``     before each per-partition tree insert (mid-batch)
 ``phase2.kernel``           start of the Phase II vector-kernel path
 ``checkpoint.replace``      after the temp checkpoint is written, before rename
+``parallel.pool``           worker-pool creation in the parallel coordinator
+``parallel.worker``         entry of each parallel worker task (inherited
+                            across ``fork``, so the fault fires inside the
+                            worker process)
 ==========================  ====================================================
 
 The module also carries the file- and row-corruption helpers the

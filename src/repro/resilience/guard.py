@@ -7,7 +7,15 @@ mining run degrades in controlled, *recorded* steps instead of dying:
    precise :class:`~repro.resilience.errors.ValidationError` before any
    clustering starts (this lives in the miner itself; the guard just lets
    it through untouched).
-2. **Memory exhaustion → coarser clustering.**  A ``MemoryError`` during
+2. **Worker-pool failure → serial engine.**  With ``engine="parallel"``
+   a dead worker process, a pool that cannot start, or a shared-memory
+   failure raises
+   :class:`~repro.resilience.errors.WorkerPoolError`; the guard retries
+   the same attempt on the serial :class:`~repro.core.miner.DARMiner`
+   (which is decision-identical, just slower) and records the rung.
+   Data errors raised *inside* a worker propagate unchanged — they would
+   recur serially.
+3. **Memory exhaustion → coarser clustering.**  A ``MemoryError`` during
    a run escalates every density threshold by ``escalation_factor`` —
    coarser clusters mean fewer leaf entries and smaller trees — waits
    ``backoff_seconds``, and retries, up to ``max_retries`` times.  The
@@ -15,10 +23,10 @@ mining run degrades in controlled, *recorded* steps instead of dying:
    :class:`~repro.resilience.errors.ResourceExhaustedError` rather than
    an infinite ladder.  Every rung is recorded in
    ``result.phase2.events``.
-3. **Kernel failure → scalar engine.**  Handled inside the miner (the
+4. **Kernel failure → scalar engine.**  Handled inside the miner (the
    vector Phase II kernel falls back to the scalar distance engine and
    records the event); the guard surfaces those events unchanged.
-4. **No partially-corrupt results.**  :func:`validate_result` checks the
+5. **No partially-corrupt results.**  :func:`validate_result` checks the
    structural invariants of the :class:`~repro.core.miner.DARResult`
    before it is returned; a violation raises
    :class:`~repro.resilience.errors.CorruptResultError` instead of
@@ -31,6 +39,7 @@ result is exactly what ``DARMiner(config).mine(...)`` returns.
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
@@ -40,7 +49,11 @@ from repro.core.miner import DARMiner, DARResult
 from repro.data.relation import AttributePartition, Relation
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
-from repro.resilience.errors import CorruptResultError, ResourceExhaustedError
+from repro.resilience.errors import (
+    CorruptResultError,
+    ResourceExhaustedError,
+    WorkerPoolError,
+)
 
 __all__ = ["GuardPolicy", "guarded_mine", "validate_result"]
 
@@ -136,6 +149,20 @@ def validate_result(result: DARResult) -> None:
                 )
 
 
+def _make_miner(config: DARConfig, engine: str, workers: Optional[int]) -> DARMiner:
+    """The miner for one attempt: serial, or the parallel coordinator."""
+    if engine == "serial":
+        return DARMiner(config)
+    if engine == "parallel":
+        from repro.parallel.miner import ParallelDARMiner
+
+        resolved = workers if workers is not None else (os.cpu_count() or 1)
+        return ParallelDARMiner(config, workers=max(resolved, 1))
+    raise ValueError(
+        f"unknown mining engine {engine!r}; expected 'serial' or 'parallel'"
+    )
+
+
 def guarded_mine(
     relation: Relation,
     *,
@@ -143,22 +170,52 @@ def guarded_mine(
     partitions: Optional[Sequence[AttributePartition]] = None,
     targets: Optional[Sequence[str]] = None,
     policy: Optional[GuardPolicy] = None,
+    engine: str = "serial",
+    workers: Optional[int] = None,
 ) -> DARResult:
-    """Mine with the degradation ladder; see the module docstring."""
+    """Mine with the degradation ladder; see the module docstring.
+
+    ``engine="parallel"`` runs :class:`repro.parallel.ParallelDARMiner`
+    with ``workers`` processes (default: the machine's core count); a
+    :class:`~repro.resilience.errors.WorkerPoolError` drops the run to
+    the serial engine and records the event.
+    """
     if config is None:
         config = DARConfig()
     if policy is None:
         policy = GuardPolicy()
+    if engine not in ("serial", "parallel"):
+        raise ValueError(
+            f"unknown mining engine {engine!r}; expected 'serial' or 'parallel'"
+        )
 
     events: List[str] = []
     attempt_config = config
-    with span("mine", rows=len(relation)) as mine_span:
+    attempt_engine = engine
+    with span("mine", rows=len(relation), engine=engine) as mine_span:
         for attempt in range(policy.max_retries + 1):
             try:
-                with span("mine.attempt", attempt=attempt + 1):
-                    result = DARMiner(attempt_config).mine(
-                        relation, partitions=partitions, targets=targets
-                    )
+                with span(
+                    "mine.attempt", attempt=attempt + 1, engine=attempt_engine
+                ):
+                    try:
+                        result = _make_miner(
+                            attempt_config, attempt_engine, workers
+                        ).mine(relation, partitions=partitions, targets=targets)
+                    except WorkerPoolError as error:
+                        obs_metrics.inc(
+                            "repro_degradation_events_total",
+                            help="Degradation-ladder events by kind",
+                            kind="worker_pool_failure",
+                        )
+                        attempt_engine = "serial"
+                        events.append(
+                            f"parallel worker pool failed ({error}); "
+                            f"degraded to the serial engine"
+                        )
+                        result = DARMiner(attempt_config).mine(
+                            relation, partitions=partitions, targets=targets
+                        )
             except MemoryError as error:
                 obs_metrics.inc(
                     "repro_degradation_events_total",

@@ -289,3 +289,47 @@ class TestMinerEquivalence:
             relation, targets=[target]
         )
         assert [r.key() for r in scalar.rules] == [r.key() for r in vector.rules]
+
+
+class TestDegenerateRouting:
+    """Satellite of the errstate removal: singletons are routed
+    explicitly, so the kernel runs clean under raise-on-everything, and
+    genuinely degenerate moments fail loudly via require_finite."""
+
+    def test_singletons_clean_under_seterr_raise(self):
+        from repro.core.phase2_kernel import ImageMoments
+
+        moments = ImageMoments(
+            n=np.array([1.0, 1.0, 3.0]),
+            ls=np.array([[2.0], [-1.0], [6.0]]),
+            ss=np.array([4.0, 1.0, 12.5]),
+        )
+        with np.errstate(all="raise"):
+            diameters = moments.rms_diameters()
+        assert diameters[0] == 0.0
+        assert diameters[1] == 0.0
+        assert diameters[2] > 0.0
+
+    def test_all_singleton_population_mines_clean(self):
+        clusters = random_population(17, n_clusters=6)
+        with np.errstate(all="raise"):
+            kernel = Phase2Kernel(clusters, metric="d2")
+            for name in ("x", "y", "z"):
+                kernel.pairwise_on(name)
+                kernel.image_diameters_on(name)
+
+    def test_require_finite_names_partition_and_counts(self):
+        from repro.core.phase2_kernel import require_finite
+
+        require_finite(np.ones((2, 2)), "pairwise image distances", "x")
+        bad = np.array([np.nan, 1.0, np.inf])
+        with pytest.raises(ValueError, match=r"'age'.*2 non-finite"):
+            require_finite(bad, "image RMS diameters", "age")
+
+    def test_kernel_rejects_nonfinite_moments(self):
+        clusters = random_population(23, n_clusters=5)
+        kernel = Phase2Kernel(clusters, metric="d2")
+        name = clusters[0].partition.name
+        kernel._moments[name].ss[0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            kernel.pairwise_on(name)

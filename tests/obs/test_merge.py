@@ -1,0 +1,166 @@
+"""Worker-snapshot merging and thread-safety of the obs layer.
+
+The parallel coordinator merges each worker's metrics snapshot
+(``MetricsRegistry.export_state`` / ``merge``) and span batch
+(``Tracer.ingest``) into the parent's recorders.  These tests pin the
+round-trip exactly, the merge arithmetic (counters/histograms add,
+gauges last-write-wins), and the lock discipline: concurrent increments
+from many threads must never lose an update.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("jobs_total", help="jobs").inc(7)
+    registry.counter("jobs_total", help="jobs", kind="batch").inc(3)
+    registry.gauge("depth", help="tree depth").set(4.5)
+    histogram = registry.histogram(
+        "latency_seconds", buckets=(0.1, 1.0, 10.0), help="latency"
+    )
+    for value in (0.05, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestExportMerge:
+    def test_round_trip_is_exact(self):
+        source = populated_registry()
+        target = MetricsRegistry()
+        target.merge(source.export_state())
+        assert target.to_prometheus() == source.to_prometheus()
+
+    def test_merge_adds_counters_and_histograms(self):
+        target = populated_registry()
+        target.merge(populated_registry().export_state())
+        assert target.counter("jobs_total", help="jobs").value == 14
+        histogram = target.histogram(
+            "latency_seconds", buckets=(0.1, 1.0, 10.0), help="latency"
+        )
+        assert histogram.count == 8
+        assert histogram.sum == pytest.approx(2 * (0.05 + 0.5 + 5.0 + 50.0))
+
+    def test_merge_gauges_last_write_wins(self):
+        target = MetricsRegistry()
+        target.gauge("depth").set(1.0)
+        source = MetricsRegistry()
+        source.gauge("depth").set(9.0)
+        target.merge(source.export_state())
+        assert target.gauge("depth").value == 9.0
+
+    def test_merge_into_empty_creates_metrics(self):
+        target = MetricsRegistry()
+        target.merge(populated_registry().export_state())
+        assert target.counter("jobs_total", help="jobs").value == 7
+        assert target.gauge("depth").value == 4.5
+
+    def test_merge_rejects_unknown_kind(self):
+        target = MetricsRegistry()
+        with pytest.raises(ValueError, match="kind"):
+            target.merge({"metrics": [{"kind": "summary", "name": "x"}]})
+
+    def test_merge_rejects_mismatched_buckets(self):
+        target = MetricsRegistry()
+        target.histogram("latency_seconds", buckets=(0.1, 1.0))
+        source = MetricsRegistry()
+        source.histogram("latency_seconds", buckets=(0.5, 5.0)).observe(1.0)
+        with pytest.raises(ValueError):
+            target.merge(source.export_state())
+
+    def test_merge_state_validates_length(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            histogram.merge_state([1, 2], count=3, total=3.0)
+
+
+class TestConcurrency:
+    def test_concurrent_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        n_threads, per_thread = 8, 5_000
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == n_threads * per_thread
+
+    def test_concurrent_histogram_observations_are_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.5,))
+        n_threads, per_thread = 8, 2_000
+
+        def hammer():
+            for _ in range(per_thread):
+                histogram.observe(1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == n_threads * per_thread
+        assert histogram.sum == pytest.approx(n_threads * per_thread * 1.0)
+        bound, cumulative = histogram.cumulative_buckets()[-1]
+        assert bound == float("inf")
+        assert cumulative == n_threads * per_thread
+
+
+class TestTracerIngest:
+    def worker_spans(self):
+        """Spans recorded the way a worker exports them."""
+        tracer = Tracer()
+        outer = tracer.start_span("phase1.fit", {"partition": "x"})
+        inner = tracer.start_span("phase1.insert_batch")
+        tracer.end_span(inner)
+        outer.set("clusters", 3)
+        tracer.end_span(outer)
+        return tracer, [record.to_dict() for record in tracer.spans()]
+
+    def test_ingest_remaps_ids_and_parents(self):
+        worker, records = self.worker_spans()
+        parent = Tracer()
+        scatter = parent.start_span("phase1.scatter")
+        count = parent.ingest(
+            records, parent_id=scatter.span_id, epoch=worker.epoch, base=0.0
+        )
+        parent.end_span(scatter)
+        assert count == 2
+        by_name = {record.name: record for record in parent.spans()}
+        fit = by_name["phase1.fit"]
+        insert = by_name["phase1.insert_batch"]
+        scatter_record = by_name["phase1.scatter"]
+        assert fit.parent_id == scatter_record.span_id
+        assert insert.parent_id == fit.span_id
+        ids = [record.span_id for record in parent.spans()]
+        assert len(ids) == len(set(ids))
+
+    def test_ingest_rebases_timestamps(self):
+        worker, records = self.worker_spans()
+        parent = Tracer()
+        parent.ingest(records, epoch=worker.epoch, base=100.0)
+        for record in parent.spans():
+            assert record.start >= 100.0
+            assert record.end >= record.start
+
+    def test_ingest_preserves_attributes(self):
+        _, records = self.worker_spans()
+        parent = Tracer()
+        parent.ingest(records)
+        fit = next(r for r in parent.spans() if r.name == "phase1.fit")
+        assert fit.attributes["partition"] == "x"
+        assert fit.attributes["clusters"] == 3

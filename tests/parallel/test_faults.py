@@ -1,0 +1,113 @@
+"""Parallel-engine fault injection (``pytest -m faults``).
+
+Kills worker processes, fails pool creation, and raises inside workers —
+and verifies the failure taxonomy: infrastructure faults surface as
+:class:`WorkerPoolError`, the guard ladder degrades to the serial engine
+with the rung recorded, and data errors raised inside a worker propagate
+unchanged (they would recur serially, so retrying is pointless).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DARConfig
+from repro.core.miner import DARMiner
+from repro.data.synthetic import make_planted_rule_relation
+from repro.parallel import KILL_WORKER_ENV, ParallelDARMiner, ProcessPoolBackend
+from repro.resilience import faults
+from repro.resilience.errors import WorkerPoolError
+from repro.resilience.guard import guarded_mine
+
+from tests.parallel.test_equivalence import rule_signature
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture
+def planted():
+    relation, _ = make_planted_rule_relation(seed=7)
+    return relation
+
+
+class TestWorkerDeath:
+    def test_killed_worker_raises_worker_pool_error(self, planted, monkeypatch):
+        monkeypatch.setenv(KILL_WORKER_ENV, "age")
+        with pytest.raises(WorkerPoolError, match="worker"):
+            ParallelDARMiner(DARConfig(), workers=2).mine(planted)
+
+    def test_guard_degrades_killed_worker_to_serial(self, planted, monkeypatch):
+        serial = DARMiner(DARConfig()).mine(planted)
+        monkeypatch.setenv(KILL_WORKER_ENV, "age")
+        result = guarded_mine(
+            planted, config=DARConfig(), engine="parallel", workers=2
+        )
+        assert rule_signature(result) == rule_signature(serial)
+        assert any("worker pool failed" in event for event in result.phase2.events)
+        assert any("serial" in event for event in result.phase2.events)
+
+
+class TestInjectedFaults:
+    def test_pool_creation_fault_raises_worker_pool_error(self, planted):
+        with faults.injected(faults.FaultInjector().fail_at("parallel.pool")):
+            with pytest.raises(WorkerPoolError):
+                ParallelDARMiner(DARConfig(), workers=2).mine(planted)
+
+    def test_pool_creation_fault_degrades_to_serial(self, planted):
+        serial = DARMiner(DARConfig()).mine(planted)
+        with faults.injected(faults.FaultInjector().fail_at("parallel.pool")):
+            result = guarded_mine(
+                planted, config=DARConfig(), engine="parallel", workers=2
+            )
+        assert rule_signature(result) == rule_signature(serial)
+        assert any("worker pool failed" in event for event in result.phase2.events)
+
+    def test_worker_fault_fires_inside_forked_worker(self, planted):
+        # The injector is installed in the parent and inherited across
+        # fork, so the fault raises *inside* the worker process; the
+        # backend wraps the pickled InjectedFault as infrastructure.
+        injector = faults.FaultInjector().fail_at("parallel.worker", times=None)
+        with faults.injected(injector):
+            with pytest.raises(WorkerPoolError):
+                ParallelDARMiner(DARConfig(), workers=2).mine(planted)
+
+    def test_worker_fault_degrades_to_serial(self, planted):
+        serial = DARMiner(DARConfig()).mine(planted)
+        injector = faults.FaultInjector().fail_at("parallel.worker", times=None)
+        with faults.injected(injector):
+            result = guarded_mine(
+                planted, config=DARConfig(), engine="parallel", workers=2
+            )
+        assert rule_signature(result) == rule_signature(serial)
+        assert any("worker pool failed" in event for event in result.phase2.events)
+
+    def test_backend_wraps_broken_pool(self):
+        with ProcessPoolBackend(workers=2) as backend:
+            with pytest.raises(WorkerPoolError):
+                backend.map_tasks(_exit_hard, [1, 2])
+
+    def test_serial_engine_unaffected_by_parallel_faults(self, planted):
+        with faults.injected(faults.FaultInjector().fail_at("parallel.pool")):
+            result = guarded_mine(planted, config=DARConfig(), engine="serial")
+        assert result.rules
+        assert not result.phase2.events
+
+
+def _exit_hard(_):
+    import os
+
+    os._exit(1)
+
+
+class TestFaultPointsUnarmed:
+    def test_unarmed_points_are_noops(self, planted):
+        faults.fire("parallel.pool")
+        faults.fire("parallel.worker")
+        result = ParallelDARMiner(DARConfig(), workers=2).mine(planted)
+        assert result.rules

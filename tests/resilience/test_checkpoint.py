@@ -234,3 +234,35 @@ def test_resume_preserves_scan_stats_and_counters(tmp_path):
     assert resumed.density_thresholds == miner.density_thresholds
     for name in ("x", "y"):
         assert resumed.scan_stats[name].to_dict() == miner.scan_stats[name].to_dict()
+
+
+def test_directory_fsynced_after_replace(tmp_path, monkeypatch):
+    # The rename alone does not make a checkpoint durable: the directory
+    # entry must also reach disk, so write_checkpoint fsyncs the parent
+    # directory after os.replace — and only after, never on the crashed
+    # path where the rename did not happen.
+    from repro.resilience import checkpoint as checkpoint_module
+
+    synced = []
+    monkeypatch.setattr(
+        checkpoint_module,
+        "_fsync_directory",
+        lambda directory: synced.append(directory),
+    )
+    path = tmp_path / "state.ckpt"
+    write_checkpoint({"generation": 1}, path)
+    assert synced == [tmp_path]
+
+    synced.clear()
+    with faults.injected(faults.FaultInjector().fail_at("checkpoint.replace")):
+        with pytest.raises(faults.InjectedFault):
+            write_checkpoint({"generation": 2}, path)
+    assert synced == []
+    assert read_checkpoint(path)["generation"] == 1
+
+
+def test_fsync_directory_tolerates_unsyncable_paths(tmp_path):
+    from repro.resilience.checkpoint import _fsync_directory
+
+    _fsync_directory(tmp_path)  # a real directory: must not raise
+    _fsync_directory(tmp_path / "does-not-exist")  # open fails: swallowed

@@ -564,3 +564,60 @@ class TestBenchCommands:
         assert "mine_smoke" in document
         assert "<svg" in document
         assert "http://" not in document and "https://" not in document
+
+
+class TestWorkers:
+    def test_parallel_rules_match_serial(self, planted_csv, capsys):
+        assert main(["mine", planted_csv]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["mine", planted_csv, "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        serial_rules = [l for l in serial_out.splitlines() if l.startswith("IF")]
+        parallel_rules = [l for l in parallel_out.splitlines() if l.startswith("IF")]
+        assert parallel_rules == serial_rules
+        assert serial_rules
+
+    def test_workers_zero_rejected(self, planted_csv, capsys):
+        assert main(["mine", planted_csv, "--workers", "0"]) == 1
+        assert "--workers must be at least 1" in capsys.readouterr().err
+
+    def test_workers_incompatible_with_mixed(self, planted_csv, capsys):
+        assert main(["mine", planted_csv, "--workers", "2", "--mixed"]) == 1
+        assert "--mixed" in capsys.readouterr().err
+
+    def test_workers_incompatible_with_checkpoint(
+        self, planted_csv, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "state.ckpt")
+        assert main(
+            ["mine", planted_csv, "--workers", "2", "--checkpoint", ckpt]
+        ) == 1
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_parallel_trace_and_metrics_outputs(
+        self, planted_csv, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "m.prom"
+        assert main([
+            "mine", planted_csv, "--workers", "2",
+            "--trace", str(trace), "--metrics", "--metrics-out", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        import json
+
+        names = [json.loads(line)["name"] for line in trace.read_text().splitlines()]
+        assert "phase1.scatter" in names
+        assert "repro_parallel_workers 2" in metrics.read_text()
+        assert not trace.with_name(trace.name + ".tmp").exists()
+        assert not metrics.with_name(metrics.name + ".tmp").exists()
+
+    def test_interrupt_returns_130(self, planted_csv, capsys, monkeypatch):
+        from repro import cli as cli_module
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli_module._COMMANDS, "mine", boom)
+        assert main(["mine", planted_csv]) == 130
+        assert "interrupted" in capsys.readouterr().err
