@@ -61,6 +61,8 @@ from repro.resilience import (
     ResourceExhaustedError,
     ValidationError,
 )
+from repro import serve
+from repro.serve import RuleQuery, RuleSnapshot
 
 __version__ = "1.0.0"
 
@@ -105,5 +107,8 @@ __all__ = [
     "CheckpointVersionError",
     "ResourceExhaustedError",
     "CorruptResultError",
+    "serve",
+    "RuleQuery",
+    "RuleSnapshot",
     "__version__",
 ]

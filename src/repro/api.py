@@ -70,11 +70,15 @@ def mine(
     :class:`~repro.resilience.guard.GuardPolicy` tuning the ladder.
 
     ``engine="parallel"`` fans Phase I partitions and Phase II row blocks
-    out over ``workers`` processes (default: the machine's core count)
-    via :class:`repro.parallel.ParallelDARMiner`; results are
-    bit-identical to the serial engine, and a worker-pool failure
-    degrades to serial with the event recorded in
-    ``result.phase2.events``.
+    out over ``workers`` processes via
+    :class:`repro.parallel.ParallelDARMiner`; results are bit-identical
+    to the serial engine, and a worker-pool failure degrades to serial
+    with the event recorded in ``result.phase2.events``.  The worker
+    count resolves in a fixed order (see
+    :func:`repro.parallel.executor.resolve_workers`): an explicit
+    positive ``workers`` wins; ``None`` or 0 means *auto* — the
+    ``REPRO_WORKERS`` environment variable when set, else
+    ``os.cpu_count()``, else 1.
     """
     from repro.resilience.guard import guarded_mine
 

@@ -6,6 +6,9 @@ Subcommands:
 * ``baseline``  — the Srikant–Agrawal quantitative-rule baseline
 * ``generate``  — write a synthetic workload to CSV
 * ``describe``  — schema and per-column statistics of a relation
+* ``snapshot``  — compile a versioned, queryable rule snapshot
+* ``serve``     — serve a rule snapshot over HTTP (``/rules``,
+  ``/healthz``, ``/metrics``)
 * ``bench``     — benchmark telemetry: record trajectories, gate
   regressions, render the HTML dashboard
 
@@ -20,6 +23,8 @@ Examples::
     python -m repro mine /tmp/big.csv --checkpoint /tmp/run.ckpt --checkpoint-every 50000
     python -m repro mine /tmp/big.csv --resume /tmp/run.ckpt --checkpoint-every 50000
     python -m repro baseline /tmp/claims.csv --min-support 0.15
+    python -m repro snapshot /tmp/claims.csv --out /tmp/rules.snap
+    python -m repro serve --snapshot /tmp/rules.snap --port 8765
     python -m repro bench run --scenario phase1_scaling
     python -m repro bench compare --strict
     python -m repro bench report --out bench_report.html
@@ -38,7 +43,6 @@ import numpy as np
 
 from repro.api import mine as mine_relation
 from repro.core.config import DARConfig
-from repro.core.postprocess import filter_by_consequent, prune_redundant, select_rules
 from repro.data.io import load_csv, load_plain_csv, save_csv
 from repro.data.relation import Relation
 from repro.data.synthetic import make_clustered_relation, make_planted_rule_relation
@@ -48,6 +52,7 @@ from repro.obs.trace import span
 from repro.quantitative.qar import QARConfig, QARMiner
 from repro.report.describe import describe_rule
 from repro.resilience.errors import ReproError
+from repro.serve.query import RuleQuery, apply_query
 
 __all__ = ["main", "build_parser"]
 
@@ -77,9 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
                       "vectorized kernel whenever images are CFs)")
     mine.add_argument("--workers", type=int, default=1, metavar="N",
                       help="mine with N worker processes (default 1: "
-                      "serial); falls back to serial automatically if "
-                      "the pool fails, and is not supported together "
-                      "with --mixed or --checkpoint/--resume")
+                      "serial; 0 = auto, resolving REPRO_WORKERS then "
+                      "the machine's core count); falls back to serial "
+                      "automatically if the pool fails, and is not "
+                      "supported together with --mixed or "
+                      "--checkpoint/--resume")
     mine.add_argument("--count-support", action="store_true",
                       help="post-scan: count classical support per rule")
     mine.add_argument("--mixed", action="store_true",
@@ -169,6 +176,52 @@ def build_parser() -> argparse.ArgumentParser:
     describe.add_argument("--sketch", action="store_true",
                           help="print a text histogram per numeric column")
 
+    snapshot = commands.add_parser(
+        "snapshot", help="compile a versioned, queryable rule snapshot"
+    )
+    snapshot.add_argument("source",
+                          help="relation CSV (mined with the flags below), "
+                          "a streaming checkpoint, or an existing "
+                          "rule-snapshot file")
+    snapshot.add_argument("--out", required=True, metavar="PATH",
+                          help="snapshot output path (versioned, "
+                          "CRC-checked container)")
+    snapshot.add_argument("--frequency", type=float, default=0.03,
+                          help="frequency threshold s0 as a fraction "
+                          "(default 0.03; CSV sources only)")
+    snapshot.add_argument("--density-fraction", type=float, default=0.15,
+                          help="d0 as a fraction of each column's spread "
+                          "(default 0.15; CSV sources only)")
+    snapshot.add_argument("--degree-factor", type=float, default=2.0,
+                          help="D0 = degree-factor x d0 (default 2.0; "
+                          "CSV sources only)")
+    snapshot.add_argument("--metric", choices=("d1", "d2"), default="d2",
+                          help="cluster distance for Phase II (default d2; "
+                          "CSV sources only)")
+    snapshot.add_argument("--count-support", action="store_true",
+                          help="count classical support per rule so "
+                          "min_support queries work (CSV sources only)")
+    snapshot.add_argument("--target", default=None,
+                          help="comma-separated consequent partitions to "
+                          "mine toward (CSV sources only)")
+
+    serve = commands.add_parser(
+        "serve", help="serve a rule snapshot over HTTP "
+        "(/rules, /healthz, /metrics)"
+    )
+    serve.add_argument("--snapshot", required=True, metavar="PATH",
+                       help="rule-snapshot file (repro snapshot), a "
+                       "streaming checkpoint, or a relation CSV to mine "
+                       "with default thresholds")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (default 8765; 0 binds an ephemeral "
+                       "port, printed in the startup banner)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="query answers kept in the LRU cache "
+                       "(default 256)")
+
     bench = commands.add_parser(
         "bench",
         help="benchmark telemetry: record BENCH_*.json trajectories, "
@@ -182,7 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_run.add_argument("--scenario", required=True,
                            help="scenario name (see repro.obs.bench.SCENARIOS: "
                            "phase1_scaling, phase2_graph, streaming_update, "
-                           "mine_smoke)")
+                           "mine_smoke, serve_qps)")
     bench_run.add_argument("--scale", type=float, default=1.0,
                            help="stretch/shrink the scenario's data sizes "
                            "(default 1.0)")
@@ -443,8 +496,12 @@ def _run_mine(args: argparse.Namespace, capture: Optional[dict] = None) -> int:
     workers = getattr(args, "workers", 1)
     if workers is None:
         workers = 1
-    if workers < 1:
-        raise ValueError("--workers must be at least 1")
+    if workers < 0:
+        raise ValueError("--workers must be non-negative (0 = auto)")
+    if workers == 0:
+        from repro.parallel.executor import resolve_workers
+
+        workers = resolve_workers(0)
     checkpoint_infos = []
     stream_miner = None
     if args.checkpoint or args.resume:
@@ -462,7 +519,7 @@ def _run_mine(args: argparse.Namespace, capture: Optional[dict] = None) -> int:
             relation, config, args
         )
         if targets:
-            result.rules = filter_by_consequent(result.rules, targets)
+            result.rules = result.rules(RuleQuery(targets=tuple(targets)))
     elif args.mixed:
         if args.json:
             raise ValueError("--json is not supported together with --mixed")
@@ -502,15 +559,17 @@ def _run_mine(args: argparse.Namespace, capture: Optional[dict] = None) -> int:
         print(result_to_json(result))
         return 0
 
-    rules = list(result.rules)
-    if args.mixed and targets:
-        rules = filter_by_consequent(rules, targets)
-    if args.prune_redundant:
-        rules = prune_redundant(rules)
-    rules = select_rules(
-        rules,
-        max_degree=args.max_degree,
-        top_k=args.top_k,
+    # One query object drives all display-side filtering; targets are
+    # already applied inside the (non-mixed) miner, so they only appear
+    # here for the mixed path.
+    rules = apply_query(
+        list(result.rules),
+        RuleQuery(
+            targets=tuple(targets) if (args.mixed and targets) else None,
+            prune_redundant=args.prune_redundant,
+            max_degree=args.max_degree,
+            top_k=args.top_k,
+        ),
     )
 
     print(f"# {len(relation)} tuples, frequency bar {result.frequency_count}")
@@ -634,6 +693,96 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _is_checkpoint_file(path: str) -> bool:
+    """Whether ``path`` starts with the repro checkpoint magic bytes."""
+    from repro.resilience.checkpoint import MAGIC
+
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def _snapshot_source(path: str, config: Optional[DARConfig] = None,
+                     targets: Optional[Sequence[str]] = None):
+    """Resolve a ``snapshot``/``serve`` source argument.
+
+    A checkpoint file (rule snapshot or streaming miner state) passes
+    through as its path for :func:`repro.serve.compile_snapshot` to
+    dispatch on; anything else is loaded as a relation CSV and mined.
+    """
+    if _is_checkpoint_file(path):
+        return path
+    relation = _load_relation(path)
+    return mine_relation(relation, config=config, targets=targets)
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """Compile ``source`` into a versioned rule snapshot at ``--out``."""
+    from repro.serve import compile_snapshot
+
+    config = DARConfig(
+        frequency_fraction=args.frequency,
+        density_fraction=args.density_fraction,
+        degree_factor=args.degree_factor,
+        metric=args.metric,
+        count_rule_support=args.count_support,
+    )
+    targets = args.target.split(",") if args.target else None
+    snapshot = compile_snapshot(
+        _snapshot_source(args.source, config=config, targets=targets)
+    )
+    info = snapshot.save(args.out)
+    print(
+        f"# snapshot v{snapshot.version}: {snapshot.n_rules} rules over "
+        f"{len(snapshot.partitions)} partition(s) -> {args.out} "
+        f"({info.n_bytes} bytes)"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve ``--snapshot`` over HTTP until SIGINT/SIGTERM.
+
+    Metrics recording is enabled for the process so ``/metrics`` exports
+    live ``repro_serve_*`` series.  The startup banner (flushed, on
+    stdout) names the bound address — under ``--port 0`` it is the only
+    way for a supervisor to learn the real port.  SIGINT/SIGTERM set a
+    stop event; the server thread is then shut down and joined, so a
+    signalled process exits 0 with the listening socket closed.
+    """
+    import signal
+    import threading
+
+    from repro.obs.metrics import enable_metrics, get_registry
+    from repro.serve import RuleServer, SnapshotPublisher
+
+    if args.cache_size < 1:
+        raise ValueError("--cache-size must be at least 1")
+    get_registry().reset()
+    enable_metrics()
+    publisher = SnapshotPublisher(
+        _snapshot_source(args.snapshot), cache_size=args.cache_size
+    )
+    with RuleServer(publisher, host=args.host, port=args.port) as server:
+        server.start()
+        host, port = server.address
+        print(
+            f"# serving {publisher.snapshot.n_rules} rules "
+            f"(snapshot v{publisher.version}) on http://{host}:{port}",
+            flush=True,
+        )
+        print("# endpoints: /rules /healthz /metrics", flush=True)
+        stop = threading.Event()
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                signal.signal(signum, lambda *_: stop.set())
+        stop.wait()
+    print("# shut down cleanly", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Dispatch ``bench run|compare|report`` (benchmark telemetry)."""
     from repro.obs import bench as obs_bench
@@ -672,6 +821,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             rss_tolerance=args.rss_tolerance,
             window=args.window,
         )
+        # Explicitly-requested scenarios must have usable trajectories:
+        # a missing, empty, or corrupt file exits 3 with a rerun hint
+        # instead of a traceback (or a silently-green "no-baseline").
+        for name in args.scenario or ():
+            try:
+                records = obs_bench.load_trajectory(name, args.root)
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                print(
+                    f"hint: re-record it with "
+                    f"`repro bench run --scenario {name}`",
+                    file=sys.stderr,
+                )
+                return 3
+            if not records:
+                print(
+                    f"error: no benchmark records for scenario {name!r}",
+                    file=sys.stderr,
+                )
+                print(
+                    f"hint: record some with "
+                    f"`repro bench run --scenario {name}`",
+                    file=sys.stderr,
+                )
+                return 3
         scenarios = args.scenario or obs_bench.list_scenarios(args.root)
         if not scenarios:
             print("# no BENCH_*.json trajectories found; run `repro bench run` first")
@@ -707,6 +881,8 @@ _COMMANDS = {
     "baseline": _cmd_baseline,
     "generate": _cmd_generate,
     "describe": _cmd_describe,
+    "snapshot": _cmd_snapshot,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
 }
 

@@ -26,6 +26,7 @@ to ``metric``.
 from __future__ import annotations
 
 import math
+import os
 import warnings
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping, Optional
@@ -37,9 +38,27 @@ __all__ = ["DARConfig"]
 
 _WARNED_DEPRECATIONS: set = set()
 
+#: Environment flag turning every deprecation shim into a hard error.
+#: CI's deprecation job sets it so deprecated spellings cannot creep back
+#: into the codebase; local runs keep the friendly warn-once behavior.
+STRICT_DEPRECATIONS_ENV = "REPRO_STRICT_DEPRECATIONS"
+
+
+def _strict_deprecations() -> bool:
+    """Whether deprecated spellings should raise instead of warn."""
+    value = os.environ.get(STRICT_DEPRECATIONS_ENV, "").strip().lower()
+    return value in ("1", "true", "yes", "on")
+
 
 def _warn_deprecated(key: str, message: str, stacklevel: int = 3) -> None:
-    """Emit ``message`` as a DeprecationWarning, once per process per key."""
+    """Emit ``message`` as a DeprecationWarning, once per process per key.
+
+    Under ``REPRO_STRICT_DEPRECATIONS`` the warning is raised as an
+    exception instead (every time, not once) — the strict mode the CI
+    deprecation job runs in.
+    """
+    if _strict_deprecations():
+        raise DeprecationWarning(message)
     if key in _WARNED_DEPRECATIONS:
         return
     _WARNED_DEPRECATIONS.add(key)

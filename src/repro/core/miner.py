@@ -27,7 +27,7 @@ from repro.core.cluster import Cluster, image_distance
 from repro.core.config import DARConfig
 from repro.core.graph import ClusteringGraph, build_clustering_graph
 from repro.core.phase2_kernel import Phase2Kernel
-from repro.core.rules import DistanceRule
+from repro.core.rules import DistanceRule, RuleList
 from repro.data.relation import AttributePartition, Relation, default_partitions
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
@@ -145,7 +145,13 @@ class Phase2Stats:
 
 @dataclass
 class DARResult:
-    """Everything a mining run produced, summaries included."""
+    """Everything a mining run produced, summaries included.
+
+    ``rules`` is a :class:`~repro.core.rules.RuleList` — a plain list
+    that is also callable with a :class:`~repro.serve.query.RuleQuery`
+    (or its keyword fields), the same unified query surface the serving
+    layer answers: ``result.rules(targets="claims", top_k=5)``.
+    """
 
     rules: List[DistanceRule]
     frequent_clusters: Dict[str, List[Cluster]]
@@ -157,6 +163,10 @@ class DARResult:
     frequency_count: int
     phase1: Dict[str, Phase1Stats]
     phase2: Phase2Stats
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rules, RuleList):
+            self.rules = RuleList(self.rules)
 
     def cluster_by_uid(self, uid: int) -> Cluster:
         """Look up a cluster by uid across all partitions."""

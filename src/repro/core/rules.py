@@ -18,7 +18,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.cluster import Cluster
 
-__all__ = ["DistanceRule", "validate_rule_partitions"]
+__all__ = ["DistanceRule", "RuleList", "validate_rule_partitions"]
 
 
 def validate_rule_partitions(
@@ -97,3 +97,26 @@ class DistanceRule:
 
     def __hash__(self) -> int:
         return hash(self.key())
+
+
+class RuleList(list):
+    """A rule list that is also the unified query surface.
+
+    ``DARResult.rules`` is one of these: it behaves exactly like the
+    plain list it always was (iteration, indexing, ``len``), and calling
+    it filters through :func:`repro.serve.query.apply_query` — the same
+    semantics the snapshot query engine and the HTTP endpoint use::
+
+        result.rules(RuleQuery(targets=("claims",), top_k=5))
+        result.rules(targets="claims", top_k=5)       # keyword form
+
+    The deprecated ad-hoc keywords (``target=``, ``partition_names=``)
+    keep working through the warn-once shim in
+    :meth:`~repro.serve.query.RuleQuery.coerce`.
+    """
+
+    def __call__(self, query=None, **kwargs) -> "RuleList":
+        """Filter and rank per a :class:`~repro.serve.query.RuleQuery`."""
+        from repro.serve.query import apply_query
+
+        return RuleList(apply_query(self, query, **kwargs))

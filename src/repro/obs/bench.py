@@ -493,6 +493,67 @@ def _build_parallel_scaling(scale: float):
     }, workload
 
 
+def _build_serve_qps(scale: float):
+    import math
+
+    from repro.api import mine
+    from repro.data.synthetic import make_planted_rule_relation
+    from repro.serve import RuleQuery, SnapshotPublisher
+
+    per_mode = max(int(round(300 * scale)), 50)
+    relation, _ = make_planted_rule_relation(seed=13, points_per_mode=per_mode)
+    publisher = SnapshotPublisher(mine(relation))
+    # A representative query mix: broad scans, tight top-k cuts, pruning,
+    # and one per-partition target filter.  Cycling the same variants
+    # exercises both the cold (miss) and warm (LRU hit) answer paths.
+    variants = [
+        RuleQuery(),
+        RuleQuery(top_k=5),
+        RuleQuery(min_degree=0.0),
+        RuleQuery(prune_redundant=True),
+    ]
+    variants.extend(
+        RuleQuery(targets=(name,)) for name in publisher.snapshot.partitions
+    )
+    n_queries = max(int(round(2_000 * scale)), 200)
+
+    def workload():
+        latencies = []
+        for index in range(n_queries):
+            begin = time.perf_counter()
+            publisher.query(variants[index % len(variants)])
+            latencies.append(time.perf_counter() - begin)
+        latencies.sort()
+
+        def nearest_rank(quantile: float) -> float:
+            position = math.ceil(quantile * len(latencies)) - 1
+            return latencies[min(len(latencies) - 1, max(0, position))]
+
+        busy = sum(latencies)
+        obs_metrics.set_gauge(
+            "repro_serve_query_p50_seconds",
+            nearest_rank(0.50),
+            help="Median query latency of the last serve_qps bench run",
+        )
+        obs_metrics.set_gauge(
+            "repro_serve_query_p99_seconds",
+            nearest_rank(0.99),
+            help="p99 query latency of the last serve_qps bench run",
+        )
+        obs_metrics.set_gauge(
+            "repro_serve_qps",
+            n_queries / busy if busy > 0 else 0.0,
+            help="Queries per second of the last serve_qps bench run",
+        )
+
+    return {
+        "rows": len(relation),
+        "rules": publisher.snapshot.n_rules,
+        "queries": n_queries,
+        "variants": len(variants),
+    }, workload
+
+
 def _build_mine_smoke(scale: float):
     from repro.api import mine
     from repro.data.synthetic import make_planted_rule_relation
@@ -532,6 +593,12 @@ SCENARIOS: Dict[str, Scenario] = {
             "parallel_scaling",
             "full mine at 1/2/4 workers over a 6-partition clustered relation",
             _build_parallel_scaling,
+        ),
+        Scenario(
+            "serve_qps",
+            "query-engine throughput over a published rule snapshot "
+            "(records p50/p99 latency and QPS gauges)",
+            _build_serve_qps,
         ),
         Scenario(
             "mine_smoke",

@@ -30,13 +30,62 @@ as real worker death.
 from __future__ import annotations
 
 import concurrent.futures
+import os
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.resilience import faults
 from repro.resilience.errors import InjectedFault, ReproError, WorkerPoolError
 
-__all__ = ["ExecutorBackend", "SerialBackend", "ProcessPoolBackend"]
+__all__ = [
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_workers",
+]
+
+#: Environment override for the automatic worker count (a positive int).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker-count request to a concrete positive integer.
+
+    Resolution order (first match wins):
+
+    1. an explicit positive ``workers`` argument is used as-is;
+    2. ``workers=None`` or ``workers=0`` means *auto*: the
+       ``REPRO_WORKERS`` environment variable, when set, must be a
+       positive integer and wins;
+    3. otherwise ``os.cpu_count()`` (falling back to 1 where the
+       interpreter cannot tell).
+
+    Negative requests and malformed ``REPRO_WORKERS`` values raise
+    ``ValueError`` — silently mining serially when the caller asked for
+    parallelism would hide a configuration bug.
+    """
+    if workers is not None:
+        workers = int(workers)
+        if workers < 0:
+            raise ValueError(
+                f"workers must be non-negative (0 = auto), got {workers}"
+            )
+        if workers > 0:
+            return workers
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be a positive integer, got {env!r}"
+            )
+        if value < 1:
+            raise ValueError(
+                f"{WORKERS_ENV} must be a positive integer, got {env!r}"
+            )
+        return value
+    return os.cpu_count() or 1
 
 
 class ExecutorBackend:

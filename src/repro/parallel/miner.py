@@ -58,6 +58,7 @@ from repro.parallel.executor import (
     ExecutorBackend,
     ProcessPoolBackend,
     SerialBackend,
+    resolve_workers,
 )
 from repro.parallel.kernel import ParallelPhase2Kernel
 from repro.parallel.shared import SharedMatrixStore
@@ -69,6 +70,10 @@ __all__ = ["ParallelDARMiner"]
 class ParallelDARMiner(DARMiner):
     """Mines with Phase I/II fanned out over a process pool.
 
+    ``workers=None`` (or 0) resolves automatically — ``REPRO_WORKERS``
+    when set, else ``os.cpu_count()`` (see
+    :func:`~repro.parallel.executor.resolve_workers`).
+
     >>> from repro.data.synthetic import make_planted_rule_relation
     >>> relation, _ = make_planted_rule_relation(seed=7)
     >>> result = ParallelDARMiner(workers=2).mine(relation)
@@ -76,11 +81,11 @@ class ParallelDARMiner(DARMiner):
     True
     """
 
-    def __init__(self, config: DARConfig = DARConfig(), workers: int = 2):
+    def __init__(
+        self, config: DARConfig = DARConfig(), workers: Optional[int] = None
+    ):
         super().__init__(config)
-        if workers < 1:
-            raise ValueError("workers must be at least 1")
-        self.workers = workers
+        self.workers = resolve_workers(workers)
         self._backend: Optional[ExecutorBackend] = None
 
     # ------------------------------------------------------------------

@@ -14,6 +14,9 @@ Two entry points:
 * :func:`render_bench_report` — the perf trajectory dashboard (``repro
   bench report``): per-scenario wall-time sparklines, regression
   verdicts, and the recent-record table from every ``BENCH_*.json``.
+* :func:`render_serve_page` — the rule server's landing page (``GET /``
+  on ``repro serve``): published-snapshot status, health checks, and the
+  live ``repro_serve_*`` metric table.
 
 Charts follow fixed mark specs (2px lines, thin rounded bars, hairline
 grid, muted ink for text; series colors never carry text) with a
@@ -33,6 +36,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 __all__ = [
     "render_run_report",
     "render_bench_report",
+    "render_serve_page",
     "write_report",
 ]
 
@@ -550,6 +554,59 @@ def render_bench_report(
     return _page(
         title,
         f"generated {generated} · {len(trajectories)} scenario(s) · "
+        "self-contained, no external assets",
+        sections,
+    )
+
+
+def render_serve_page(
+    *,
+    status: Mapping[str, Any],
+    metrics: Optional[Mapping[str, Any]] = None,
+    uptime_seconds: float = 0.0,
+    title: str = "repro rule server",
+) -> str:
+    """The rule server's ``GET /`` landing page as a self-contained document.
+
+    ``status`` is a :meth:`~repro.serve.publisher.SnapshotPublisher.to_dict`
+    (snapshot version, rule count, created-at, partitions, health report);
+    ``metrics`` a registry snapshot filtered to whatever the caller wants
+    shown (the server passes the full snapshot).  Renders the same
+    light/dark, zero-asset HTML as the run and bench reports, so the page
+    works from an air-gapped box with nothing but a browser.
+    """
+    generated = datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M:%SZ")
+    version = status.get("version", 0)
+    n_rules = status.get("n_rules", 0)
+    partitions = status.get("partitions") or ()
+    meta: Dict[str, Any] = {
+        "snapshot version": version if version else "(none published)",
+        "rules": n_rules,
+        "uptime": _fmt_seconds(max(float(uptime_seconds), 0.0)),
+    }
+    if status.get("created_at"):
+        meta["compiled at"] = status["created_at"]
+    if partitions:
+        meta["partitions"] = ", ".join(str(p) for p in partitions)
+    sections = [_meta_section(meta, str(n_rules))]
+    health = status.get("health")
+    if health is not None:
+        sections.append(_health_section(health))
+    serve_metrics = {
+        name: value
+        for name, value in (metrics or {}).items()
+        if str(name).startswith("repro_serve_")
+    } or dict(metrics or {})
+    sections.append(_metrics_section(serve_metrics))
+    sections.append(
+        '<section class="card"><h2>Endpoints</h2><p class="kv">'
+        "<code>GET /rules?targets=...&amp;min_degree=...</code> — query the "
+        "published snapshot · <code>GET /healthz</code> — health JSON · "
+        "<code>GET /metrics</code> — Prometheus text format</p></section>"
+    )
+    return _page(
+        title,
+        f"generated {generated} · snapshot v{version} · "
         "self-contained, no external assets",
         sections,
     )

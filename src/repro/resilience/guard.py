@@ -39,7 +39,6 @@ result is exactly what ``DARMiner(config).mine(...)`` returns.
 from __future__ import annotations
 
 import math
-import os
 import time
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
@@ -154,10 +153,12 @@ def _make_miner(config: DARConfig, engine: str, workers: Optional[int]) -> DARMi
     if engine == "serial":
         return DARMiner(config)
     if engine == "parallel":
+        from repro.parallel.executor import resolve_workers
         from repro.parallel.miner import ParallelDARMiner
 
-        resolved = workers if workers is not None else (os.cpu_count() or 1)
-        return ParallelDARMiner(config, workers=max(resolved, 1))
+        # workers=None/0 → REPRO_WORKERS, else os.cpu_count() (see
+        # resolve_workers for the full resolution order).
+        return ParallelDARMiner(config, workers=resolve_workers(workers))
     raise ValueError(
         f"unknown mining engine {engine!r}; expected 'serial' or 'parallel'"
     )

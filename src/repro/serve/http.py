@@ -1,0 +1,243 @@
+"""A zero-dependency stdlib HTTP endpoint over a snapshot publisher.
+
+:class:`RuleServer` wraps :class:`http.server.ThreadingHTTPServer` around
+a :class:`~repro.serve.publisher.SnapshotPublisher` with four routes:
+
+* ``GET /rules``    — answer a :class:`~repro.serve.query.RuleQuery`
+  parsed from the query string; JSON response with snapshot version,
+  counts and the matching rules (``400`` on a malformed query, ``503``
+  before the first publish);
+* ``GET /healthz``  — the publisher's health report as JSON (``503``
+  when any check is CRIT, i.e. nothing is published);
+* ``GET /metrics``  — the process metrics registry in Prometheus text
+  exposition format;
+* ``GET /``         — a human status page rendered by the dashboard
+  module (version, health, metrics).
+
+Request handling is threaded, so a slow reader never blocks ``/healthz``;
+every request increments ``repro_serve_http_requests_total`` by route and
+status.  Start with :meth:`RuleServer.start` (background thread, used by
+the library facade) or :meth:`RuleServer.serve_forever` (blocking, used
+by the CLI); ``port=0`` binds an ephemeral port exposed via
+:attr:`RuleServer.address`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.obs import metrics as obs_metrics
+from repro.serve.publisher import SnapshotPublisher
+
+__all__ = ["RuleServer"]
+
+
+class RuleServer:
+    """An HTTP server answering rule queries from a publisher's snapshot.
+
+    The server never owns mining: someone else publishes snapshots into
+    ``publisher`` (possibly while the server runs — readers pick up the
+    swap on their next request).  Usable as a context manager; exit shuts
+    the listener down and joins the serving thread.
+    """
+
+    def __init__(
+        self,
+        publisher: SnapshotPublisher,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+    ):
+        self.publisher = publisher
+        self.started_at = time.time()
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — port is the real one under ``port=0``."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """The server's base URL, e.g. ``http://127.0.0.1:8765``."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "RuleServer":
+        """Serve from a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` is called."""
+        self._httpd.serve_forever(poll_interval=0.05)
+
+    def shutdown(self) -> None:
+        """Stop accepting requests, close the socket, join the thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "RuleServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+
+def _make_handler(server: RuleServer):
+    """Build the request-handler class bound to one :class:`RuleServer`."""
+
+    class _Handler(BaseHTTPRequestHandler):
+        """Routes GET requests; everything else is 405."""
+
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve"
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+            """Dispatch one GET to its route handler."""
+            parsed = urlsplit(self.path)
+            route = parsed.path.rstrip("/") or "/"
+            try:
+                if route == "/rules":
+                    self._handle_rules(parsed.query)
+                elif route == "/healthz":
+                    self._handle_healthz()
+                elif route == "/metrics":
+                    self._handle_metrics()
+                elif route == "/":
+                    self._handle_index()
+                else:
+                    self._send_json(
+                        404,
+                        {"error": f"unknown path {parsed.path!r}",
+                         "paths": ["/rules", "/healthz", "/metrics", "/"]},
+                        route="<unknown>",
+                    )
+            except BrokenPipeError:  # client went away mid-response
+                pass
+            except Exception as error:  # never kill the serving thread
+                try:
+                    self._send_json(
+                        500, {"error": str(error)}, route=route
+                    )
+                except Exception:
+                    pass
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+            """The API is read-only; mutation happens through the publisher."""
+            self._send_json(
+                405, {"error": "the serving API is read-only (GET only)"},
+                route="<method>",
+            )
+
+        # ------------------------------------------------------------------
+
+        def _handle_rules(self, query_string: str) -> None:
+            from repro.serve.query import RuleQuery
+
+            try:
+                query = RuleQuery.from_query_string(query_string)
+            except (ValueError, DeprecationWarning) as error:
+                self._send_json(400, {"error": str(error)}, route="/rules")
+                return
+            try:
+                answer = server.publisher.query(query)
+            except RuntimeError as error:
+                self._send_json(503, {"error": str(error)}, route="/rules")
+                return
+            except ValueError as error:
+                self._send_json(400, {"error": str(error)}, route="/rules")
+                return
+            self._send_json(
+                200,
+                {
+                    "snapshot_version": answer.version,
+                    "total_rules": answer.total_rules,
+                    "count": len(answer),
+                    "cached": answer.cached,
+                    "query": query.to_dict(),
+                    "rules": answer.to_dicts(),
+                },
+                route="/rules",
+            )
+
+        def _handle_healthz(self) -> None:
+            report = server.publisher.health()
+            report.publish()
+            payload = server.publisher.to_dict()
+            payload["uptime_seconds"] = time.time() - server.started_at
+            status = 503 if report.status == "crit" else 200
+            self._send_json(status, payload, route="/healthz")
+
+        def _handle_metrics(self) -> None:
+            body = obs_metrics.get_registry().to_prometheus().encode("utf-8")
+            self._send_bytes(
+                200, body, "text/plain; version=0.0.4; charset=utf-8",
+                route="/metrics",
+            )
+
+        def _handle_index(self) -> None:
+            from repro.report.dashboard import render_serve_page
+
+            document = render_serve_page(
+                status=server.publisher.to_dict(),
+                metrics=obs_metrics.get_registry().snapshot(),
+                uptime_seconds=time.time() - server.started_at,
+            )
+            self._send_bytes(
+                200, document.encode("utf-8"), "text/html; charset=utf-8",
+                route="/",
+            )
+
+        # ------------------------------------------------------------------
+
+        def _send_json(self, status: int, payload: dict, *, route: str) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self._send_bytes(
+                status, body, "application/json; charset=utf-8", route=route
+            )
+
+        def _send_bytes(
+            self, status: int, body: bytes, content_type: str, *, route: str
+        ) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            if obs_metrics.metrics_enabled():
+                obs_metrics.inc(
+                    "repro_serve_http_requests_total",
+                    help="HTTP requests served, by route and status",
+                    route=route,
+                    status=str(status),
+                )
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            """Silence the default per-request stderr chatter; metrics
+            carry the request counts instead."""
+
+    return _Handler

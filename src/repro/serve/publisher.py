@@ -1,0 +1,194 @@
+"""Atomic snapshot publication for non-blocking readers.
+
+A :class:`SnapshotPublisher` owns the *current* query engine.  Publishing
+compiles the new snapshot and engine completely off to the side and then
+installs them with a single attribute store — the only write readers can
+observe.  Readers grab that reference once per query, so a query started
+against version N finishes against version N even if version N+1 lands
+mid-flight; there are no locks on the read path and no torn states.
+
+Feed it from a live :class:`~repro.core.streaming.StreamingDARMiner` via
+:meth:`refresh` (absorb a batch, re-publish), from batch mining results,
+or from checkpoint files — anything :func:`~repro.serve.snapshot.compile_snapshot`
+accepts.  Versions are assigned monotonically by the publisher, and every
+swap updates the ``repro_serve_snapshot_*`` gauges.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.health import CRIT, OK, HealthCheck, HealthReport
+from repro.serve.query import QueryAnswer, QueryEngine, RuleQuery
+from repro.serve.snapshot import RuleSnapshot, compile_snapshot
+
+__all__ = ["SnapshotPublisher"]
+
+
+class SnapshotPublisher:
+    """Serves queries against an atomically swappable rule snapshot.
+
+    ``source`` (optional) is published immediately; otherwise the
+    publisher starts empty and :meth:`query` raises until the first
+    :meth:`publish`.  A lock serializes concurrent *publishers* (version
+    assignment stays monotone); readers never take it.
+    """
+
+    def __init__(self, source: Any = None, *, cache_size: int = 256):
+        self.cache_size = cache_size
+        self._engine: Optional[QueryEngine] = None
+        self._publish_lock = threading.Lock()
+        self._versions = itertools.count(1)
+        self._published_at: Optional[float] = None
+        if source is not None:
+            self.publish(source)
+
+    # ------------------------------------------------------------------
+    # Read path — lock-free
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> Optional[QueryEngine]:
+        """The current query engine (``None`` before the first publish)."""
+        return self._engine
+
+    @property
+    def snapshot(self) -> Optional[RuleSnapshot]:
+        """The current snapshot (``None`` before the first publish)."""
+        engine = self._engine
+        return engine.snapshot if engine is not None else None
+
+    @property
+    def version(self) -> int:
+        """The published snapshot version (0 before the first publish)."""
+        snapshot = self.snapshot
+        return snapshot.version if snapshot is not None else 0
+
+    def query(self, query: Optional[RuleQuery] = None, **kwargs) -> QueryAnswer:
+        """Answer against the currently published snapshot.
+
+        Captures the engine reference once, so the answer is internally
+        consistent even if a swap happens concurrently.  Raises
+        ``RuntimeError`` while nothing is published yet.
+        """
+        engine = self._engine
+        if engine is None:
+            raise RuntimeError("no snapshot published yet")
+        return engine.query(query, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def publish(self, source: Any) -> RuleSnapshot:
+        """Compile ``source`` and swap it in; returns the new snapshot.
+
+        The compile (the expensive part) runs under the publish lock but
+        readers never wait on it — they keep answering from the previous
+        engine until the final attribute store below.
+        """
+        started = time.perf_counter()
+        with self._publish_lock:
+            version = next(self._versions)
+            snapshot = compile_snapshot(
+                source, version=version, existing_version=version
+            )
+            self.swap(snapshot)
+        seconds = time.perf_counter() - started
+        if obs_metrics.metrics_enabled():
+            obs_metrics.observe(
+                "repro_serve_publish_seconds",
+                seconds,
+                help="Snapshot compile+swap latency per publish",
+                unit="seconds",
+            )
+        return snapshot
+
+    def swap(self, snapshot: RuleSnapshot) -> None:
+        """Install a pre-built snapshot: one attribute store, no reader locks."""
+        engine = QueryEngine(snapshot, cache_size=self.cache_size)
+        self._engine = engine  # the atomic swap readers observe
+        self._published_at = time.time()
+        if obs_metrics.metrics_enabled():
+            obs_metrics.inc(
+                "repro_serve_publishes_total", help="Snapshot swaps performed"
+            )
+            obs_metrics.set_gauge(
+                "repro_serve_snapshot_version",
+                snapshot.version,
+                help="Version of the currently served rule snapshot",
+            )
+            obs_metrics.set_gauge(
+                "repro_serve_snapshot_rules",
+                snapshot.n_rules,
+                help="Rules held by the currently served snapshot",
+            )
+
+    def refresh(self, miner) -> RuleSnapshot:
+        """Re-publish from a streaming miner's current rule set."""
+        return self.publish(miner.rules())
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    def health(self) -> HealthReport:
+        """A serve-side :class:`~repro.obs.health.HealthReport`.
+
+        ``snapshot_published`` is the only gating check (CRIT while
+        nothing is served — the ``/healthz`` 503 condition); the rest are
+        informational readings a scraper can trend.
+        """
+        report = HealthReport()
+        snapshot = self.snapshot
+        if snapshot is None:
+            report.checks.append(
+                HealthCheck(
+                    "snapshot_published", CRIT, 0.0, "no snapshot published yet"
+                )
+            )
+            return report
+        report.checks.append(
+            HealthCheck(
+                "snapshot_published",
+                OK,
+                float(snapshot.version),
+                f"serving snapshot v{snapshot.version} "
+                f"({snapshot.n_rules} rules)",
+            )
+        )
+        age = time.time() - self._published_at if self._published_at else 0.0
+        report.checks.append(
+            HealthCheck(
+                "snapshot_age_seconds", OK, age,
+                "seconds since the last snapshot swap",
+            )
+        )
+        engine = self._engine
+        if engine is not None:
+            info = engine.cache_info()
+            report.checks.append(
+                HealthCheck(
+                    "query_cache_entries",
+                    OK,
+                    float(info["entries"]),
+                    f"{info['hits']} hits / {info['misses']} misses "
+                    f"(capacity {info['capacity']})",
+                )
+            )
+        return report
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serving status as built-ins (the ``/healthz`` payload core)."""
+        snapshot = self.snapshot
+        return {
+            "version": self.version,
+            "n_rules": snapshot.n_rules if snapshot is not None else 0,
+            "created_at": snapshot.created_at if snapshot is not None else None,
+            "partitions": list(snapshot.partitions) if snapshot is not None else [],
+            "health": self.health().to_dict(),
+        }

@@ -8,8 +8,13 @@ from repro.core.config import DARConfig
 
 
 @pytest.fixture
-def fresh_deprecations():
-    """Reset the warn-once registry so each test observes its own warning."""
+def fresh_deprecations(monkeypatch):
+    """Reset the warn-once registry so each test observes its own warning.
+
+    Also clears ``REPRO_STRICT_DEPRECATIONS`` so the warn-path assertions
+    hold even under CI's strict deprecation job.
+    """
+    monkeypatch.delenv(config_module.STRICT_DEPRECATIONS_ENV, raising=False)
     saved = set(config_module._WARNED_DEPRECATIONS)
     config_module._WARNED_DEPRECATIONS.clear()
     yield
@@ -169,3 +174,39 @@ class TestClusterMetricShim:
         with pytest.warns(DeprecationWarning):
             config = DARConfig(cluster_metric="d1")
         assert replace(config, degree_factor=3.0).metric == "d1"
+
+
+class TestStrictDeprecations:
+    """REPRO_STRICT_DEPRECATIONS=1 turns every shim into a hard error."""
+
+    @pytest.fixture(autouse=True)
+    def strict(self, monkeypatch, fresh_deprecations):
+        monkeypatch.setenv(config_module.STRICT_DEPRECATIONS_ENV, "1")
+
+    def test_constructor_alias_raises(self):
+        with pytest.raises(DeprecationWarning, match="cluster_metric"):
+            DARConfig(cluster_metric="d1")
+
+    def test_mapping_alias_raises(self):
+        with pytest.raises(DeprecationWarning, match="cluster_metric"):
+            DARConfig.from_mapping({"cluster_metric": "d1"})
+
+    def test_property_alias_raises(self):
+        config = DARConfig(metric="d1")
+        with pytest.raises(DeprecationWarning, match="cluster_metric"):
+            config.cluster_metric
+
+    def test_raises_every_time_not_once(self):
+        config = DARConfig(metric="d1")
+        for _ in range(2):
+            with pytest.raises(DeprecationWarning):
+                config.cluster_metric
+
+    def test_new_spelling_unaffected(self):
+        assert DARConfig(metric="d1").metric == "d1"
+
+    @pytest.mark.parametrize("value", ["", "0", "no", "off", "false"])
+    def test_disabled_values_keep_warn_path(self, monkeypatch, value):
+        monkeypatch.setenv(config_module.STRICT_DEPRECATIONS_ENV, value)
+        with pytest.warns(DeprecationWarning):
+            assert DARConfig(cluster_metric="d1").metric == "d1"

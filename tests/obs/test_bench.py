@@ -154,3 +154,18 @@ class TestRunScenario:
             params, workload = scenario.build(0.01)
             assert isinstance(params, dict)
             assert callable(workload)
+
+    def test_serve_qps_records_latency_gauges(self, tmp_path):
+        record, path = run_scenario("serve_qps", scale=0.05, root=tmp_path)
+        assert path == trajectory_path("serve_qps", tmp_path)
+        assert record.params["rules"] > 0
+        assert record.params["queries"] > 0
+        metrics = record.metrics
+        assert metrics["repro_serve_qps"] > 0
+        assert (
+            metrics["repro_serve_query_p50_seconds"]
+            <= metrics["repro_serve_query_p99_seconds"]
+        )
+        # Only query-time metrics land in the record: the mine/publish
+        # work happens in build(), outside the measured window.
+        assert "repro_phase1_points_total" not in metrics

@@ -12,6 +12,8 @@ memory round-trips).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -137,7 +139,30 @@ class TestMinerEquivalence:
 
     def test_workers_validated(self):
         with pytest.raises(ValueError, match="workers"):
-            ParallelDARMiner(DARConfig(), workers=0)
+            ParallelDARMiner(DARConfig(), workers=-1)
+
+    def test_workers_zero_resolves_automatically(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        miner = ParallelDARMiner(DARConfig(), workers=0)
+        assert miner.workers == (os.cpu_count() or 1)
+        default = ParallelDARMiner(DARConfig())
+        assert default.workers == (os.cpu_count() or 1)
+
+    def test_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert ParallelDARMiner(DARConfig(), workers=0).workers == 3
+        # An explicit positive request beats the environment.
+        assert ParallelDARMiner(DARConfig(), workers=2).workers == 2
+
+    def test_workers_env_malformed(self, monkeypatch):
+        from repro.parallel.executor import resolve_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
 
     @settings(
         max_examples=5,

@@ -1,0 +1,1 @@
+"""Tests for the serving layer (snapshots, queries, publisher, HTTP)."""

@@ -1,0 +1,38 @@
+"""Shared fixtures: one mined result and its compiled snapshot per session.
+
+Mining dominates the suite's wall time, so the planted-rule result (and a
+support-counted variant for ``min_support`` tests) are mined once and
+shared read-only; every consumer builds its own engines/publishers.
+"""
+
+import pytest
+
+from repro.api import mine
+from repro.core.config import DARConfig
+from repro.data.synthetic import make_planted_rule_relation
+from repro.serve.snapshot import RuleSnapshot
+
+#: The planted-rule workload's partition names (fixed by the generator).
+PARTITIONS = ("age", "dependents", "claims")
+
+
+@pytest.fixture(scope="session")
+def planted_result():
+    relation, _ = make_planted_rule_relation(seed=7)
+    return mine(relation)
+
+
+@pytest.fixture(scope="session")
+def support_result():
+    relation, _ = make_planted_rule_relation(seed=7)
+    return mine(relation, config=DARConfig(count_rule_support=True))
+
+
+@pytest.fixture(scope="session")
+def snapshot(planted_result):
+    return RuleSnapshot.from_result(planted_result)
+
+
+@pytest.fixture(scope="session")
+def support_snapshot(support_result):
+    return RuleSnapshot.from_result(support_result)

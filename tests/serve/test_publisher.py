@@ -1,0 +1,129 @@
+"""SnapshotPublisher: atomic swaps, versioning, health."""
+
+import threading
+
+import pytest
+
+from repro.api import mine
+from repro.data.synthetic import make_clustered_relation
+from repro.serve.publisher import SnapshotPublisher
+from repro.serve.query import RuleQuery
+
+
+@pytest.fixture(scope="module")
+def other_result():
+    """A second result with a different rule count than the planted one."""
+    relation, _ = make_clustered_relation(
+        n_modes=3, points_per_mode=80, n_attributes=3, seed=21
+    )
+    return mine(relation)
+
+
+class TestLifecycle:
+    def test_empty_publisher(self):
+        publisher = SnapshotPublisher()
+        assert publisher.version == 0
+        assert publisher.snapshot is None
+        with pytest.raises(RuntimeError, match="no snapshot"):
+            publisher.query(RuleQuery())
+        assert publisher.health().status == "crit"
+        assert publisher.to_dict()["n_rules"] == 0
+
+    def test_constructor_source_published(self, planted_result):
+        publisher = SnapshotPublisher(planted_result)
+        assert publisher.version == 1
+        answer = publisher.query(RuleQuery())
+        assert len(answer) == len(planted_result.rules)
+        assert publisher.health().status == "ok"
+
+    def test_versions_monotone(self, planted_result, other_result):
+        publisher = SnapshotPublisher(planted_result)
+        publisher.publish(other_result)
+        assert publisher.version == 2
+        publisher.publish(planted_result)
+        assert publisher.version == 3
+
+    def test_refresh_from_miner(self, planted_result):
+        class FakeMiner:
+            def rules(self):
+                return planted_result
+
+        publisher = SnapshotPublisher()
+        publisher.refresh(FakeMiner())
+        assert publisher.version == 1
+        assert publisher.snapshot.n_rules == len(planted_result.rules)
+
+    def test_cache_size_forwarded(self, planted_result):
+        publisher = SnapshotPublisher(planted_result, cache_size=3)
+        assert publisher.engine.cache_size == 3
+
+    def test_to_dict_payload(self, planted_result):
+        payload = SnapshotPublisher(planted_result).to_dict()
+        assert payload["version"] == 1
+        assert payload["n_rules"] == len(planted_result.rules)
+        assert payload["health"]["status"] == "ok"
+        assert payload["partitions"]
+
+
+class TestSwapAtomicity:
+    def test_no_torn_reads_during_swaps(self, planted_result, other_result):
+        """Readers hammering query() across swaps always see one engine.
+
+        Every answer must be internally consistent: its version, rule
+        total, and id count all come from a single snapshot, so an
+        unconstrained query returns exactly ``total_rules`` ids for the
+        version it reports — a torn read (ids from one snapshot, version
+        from another) would break the pairing.
+        """
+        sizes = {
+            1: len(planted_result.rules),
+            2: len(other_result.rules),
+        }
+        publisher = SnapshotPublisher(planted_result)
+        sizes[1] = publisher.snapshot.n_rules
+        errors = []
+        done = threading.Event()
+
+        def reader():
+            query = RuleQuery()
+            while not done.is_set():
+                answer = publisher.query(query)
+                expected = sizes.get((answer.version - 1) % 2 + 1)
+                if answer.total_rules != expected or len(answer) != expected:
+                    errors.append(
+                        f"v{answer.version}: {len(answer)} ids, "
+                        f"total {answer.total_rules}, expected {expected}"
+                    )
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(10):
+                publisher.publish(other_result)
+                publisher.publish(planted_result)
+        finally:
+            done.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert not errors, errors[0]
+        assert publisher.version == 21
+
+    def test_concurrent_publishers_keep_versions_unique(self, planted_result):
+        publisher = SnapshotPublisher()
+        versions = []
+        lock = threading.Lock()
+
+        def writer():
+            snapshot = publisher.publish(planted_result)
+            with lock:
+                versions.append(snapshot.version)
+
+        threads = [threading.Thread(target=writer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert sorted(versions) == [1, 2, 3, 4, 5, 6]
+        assert publisher.version == 6

@@ -1,5 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -577,9 +585,16 @@ class TestWorkers:
         assert parallel_rules == serial_rules
         assert serial_rules
 
-    def test_workers_zero_rejected(self, planted_csv, capsys):
-        assert main(["mine", planted_csv, "--workers", "0"]) == 1
-        assert "--workers must be at least 1" in capsys.readouterr().err
+    def test_workers_zero_is_auto(self, planted_csv, monkeypatch, capsys):
+        # 0 = auto: resolve REPRO_WORKERS (pinned to 1 here so the
+        # single-core CI box stays on the serial engine) and mine fine.
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert main(["mine", planted_csv, "--workers", "0"]) == 0
+        assert "# rules:" in capsys.readouterr().out
+
+    def test_workers_negative_rejected(self, planted_csv, capsys):
+        assert main(["mine", planted_csv, "--workers", "-1"]) == 1
+        assert "--workers must be non-negative" in capsys.readouterr().err
 
     def test_workers_incompatible_with_mixed(self, planted_csv, capsys):
         assert main(["mine", planted_csv, "--workers", "2", "--mixed"]) == 1
@@ -621,3 +636,107 @@ class TestWorkers:
         monkeypatch.setitem(cli_module._COMMANDS, "mine", boom)
         assert main(["mine", planted_csv]) == 130
         assert "interrupted" in capsys.readouterr().err
+
+
+class TestSnapshotCommand:
+    def test_snapshot_from_csv(self, planted_csv, tmp_path, capsys):
+        out = tmp_path / "rules.snap"
+        assert main(["snapshot", planted_csv, "--out", str(out)]) == 0
+        banner = capsys.readouterr().out
+        assert "# snapshot v1:" in banner
+        assert str(out) in banner
+        assert out.exists()
+
+    def test_snapshot_from_streaming_checkpoint(
+        self, planted_csv, tmp_path, capsys
+    ):
+        from repro.core.config import DARConfig
+        from repro.core.streaming import StreamingDARMiner
+        from repro.data.relation import default_partitions
+
+        relation = load_csv(planted_csv)
+        miner = StreamingDARMiner(default_partitions(relation.schema), DARConfig())
+        miner.update(relation)
+        checkpoint = tmp_path / "stream.ckpt"
+        miner.save_checkpoint(checkpoint)
+        out = tmp_path / "rules.snap"
+        assert main(["snapshot", str(checkpoint), "--out", str(out)]) == 0
+        assert f"{len(miner.rules().rules)} rules" in capsys.readouterr().out
+
+    def test_bad_out_path(self, planted_csv, tmp_path, capsys):
+        missing = tmp_path / "no" / "such" / "dir" / "rules.snap"
+        assert main(["snapshot", planted_csv, "--out", str(missing)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeRoundTrip:
+    def test_http_matches_direct_query(self, planted_csv, tmp_path, capsys):
+        """mine -> snapshot -> serve -> HTTP query == DARResult.rules(query)."""
+        from repro.api import mine
+        from repro.serve import RuleQuery, RuleServer, SnapshotPublisher
+
+        snap = tmp_path / "rules.snap"
+        assert main(["snapshot", planted_csv, "--out", str(snap)]) == 0
+        capsys.readouterr()
+        query = RuleQuery(targets=("claims",), top_k=5)
+        expected = mine(load_csv(planted_csv)).rules(query)
+        publisher = SnapshotPublisher(str(snap))
+        with RuleServer(publisher, port=0).start() as server:
+            with urllib.request.urlopen(
+                server.url + "/rules?" + query.to_query_string(), timeout=10
+            ) as response:
+                assert response.status == 200
+                payload = json.loads(response.read())
+        assert payload["snapshot_version"] == 1
+        assert [r["description"] for r in payload["rules"]] == [
+            str(rule) for rule in expected
+        ]
+
+    def test_subprocess_serve_shuts_down_cleanly(self, planted_csv, tmp_path):
+        snap = tmp_path / "rules.snap"
+        assert main(["snapshot", planted_csv, "--out", str(snap)]) == 0
+        root = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--snapshot", str(snap), "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "# serving" in banner
+            url = banner.rsplit(" on ", 1)[1].strip()
+            with urllib.request.urlopen(url + "/healthz", timeout=10) as response:
+                assert response.status == 200
+            process.send_signal(signal.SIGTERM)
+            _, err = process.communicate(timeout=30)
+        except BaseException:
+            process.kill()
+            process.communicate()
+            raise
+        assert process.returncode == 0
+        assert "shut down cleanly" in err
+
+
+class TestBenchCompareErrors:
+    def test_corrupt_trajectory_exits_3(self, tmp_path, capsys):
+        (tmp_path / "BENCH_mine_smoke.json").write_text("{}")
+        assert main([
+            "bench", "compare", "--root", str(tmp_path),
+            "--scenario", "mine_smoke",
+        ]) == 3
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "repro bench run --scenario mine_smoke" in err
+
+    def test_missing_trajectory_exits_3(self, tmp_path, capsys):
+        assert main([
+            "bench", "compare", "--root", str(tmp_path),
+            "--scenario", "serve_qps",
+        ]) == 3
+        err = capsys.readouterr().err
+        assert "no benchmark records for scenario 'serve_qps'" in err
+        assert "hint:" in err
