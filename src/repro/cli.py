@@ -221,6 +221,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=256,
                        help="query answers kept in the LRU cache "
                        "(default 256)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       metavar="N",
+                       help="admit at most N concurrent requests; excess "
+                       "is shed with 503 + Retry-After (default: unbounded)")
+    serve.add_argument("--rate", type=float, default=None, metavar="R",
+                       help="token-bucket admission rate in requests/sec; "
+                       "excess is shed with 429 + Retry-After "
+                       "(default: unlimited)")
+    serve.add_argument("--burst", type=int, default=None, metavar="B",
+                       help="token-bucket burst capacity "
+                       "(default: max(1, int(rate)))")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="per-request deadline in milliseconds; an "
+                       "admitted request that cannot finish in time "
+                       "answers 503 (default: none)")
+    serve.add_argument("--read-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="socket read timeout per request, the "
+                       "anti-slow-loris bound (default 30)")
+    serve.add_argument("--drain-seconds", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="how long shutdown waits for in-flight "
+                       "requests before closing (default 5)")
 
     bench = commands.add_parser(
         "bench",
@@ -235,7 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_run.add_argument("--scenario", required=True,
                            help="scenario name (see repro.obs.bench.SCENARIOS: "
                            "phase1_scaling, phase2_graph, streaming_update, "
-                           "mine_smoke, serve_qps)")
+                           "mine_smoke, serve_qps, serve_overload)")
     bench_run.add_argument("--scale", type=float, default=1.0,
                            help="stretch/shrink the scenario's data sizes "
                            "(default 1.0)")
@@ -756,16 +780,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     from repro.obs.metrics import enable_metrics, get_registry
-    from repro.serve import RuleServer, SnapshotPublisher
+    from repro.serve import RuleServer, ServePolicy, SnapshotPublisher
 
     if args.cache_size < 1:
         raise ValueError("--cache-size must be at least 1")
+    policy = ServePolicy(
+        max_inflight=args.max_inflight,
+        rate=args.rate,
+        burst=args.burst,
+        deadline_seconds=(
+            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+        ),
+        read_timeout_seconds=args.read_timeout,
+        drain_seconds=args.drain_seconds,
+    )
     get_registry().reset()
     enable_metrics()
     publisher = SnapshotPublisher(
         _snapshot_source(args.snapshot), cache_size=args.cache_size
     )
-    with RuleServer(publisher, host=args.host, port=args.port) as server:
+    with RuleServer(
+        publisher, host=args.host, port=args.port, policy=policy
+    ) as server:
         server.start()
         host, port = server.address
         print(
@@ -773,6 +809,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"(snapshot v{publisher.version}) on http://{host}:{port}",
             flush=True,
         )
+        limits = []
+        if policy.max_inflight is not None:
+            limits.append(f"max-inflight={policy.max_inflight}")
+        if policy.rate is not None:
+            limits.append(f"rate={policy.rate:g}/s burst={server.shedder.burst}")
+        if policy.deadline_seconds is not None:
+            limits.append(f"deadline={policy.deadline_seconds * 1000:g}ms")
+        if limits:
+            print("# admission: " + " ".join(limits), flush=True)
         print("# endpoints: /rules /healthz /metrics", flush=True)
         stop = threading.Event()
         if threading.current_thread() is threading.main_thread():

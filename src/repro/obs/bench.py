@@ -554,6 +554,104 @@ def _build_serve_qps(scale: float):
     }, workload
 
 
+def _build_serve_overload(scale: float):
+    import math
+    import threading
+    import urllib.error
+    import urllib.request
+
+    from repro.api import mine
+    from repro.data.synthetic import make_planted_rule_relation
+    from repro.resilience import faults
+    from repro.serve import RuleServer, ServePolicy, SnapshotPublisher
+
+    per_mode = max(int(round(200 * scale)), 40)
+    relation, _ = make_planted_rule_relation(seed=17, points_per_mode=per_mode)
+    publisher = SnapshotPublisher(mine(relation))
+    capacity = 4
+    clients = max(int(round(16 * scale)), 8)
+    requests_per_client = 8
+    # Every request pays a small injected delay at serve.request while it
+    # holds its admission slot, so with clients >> capacity the in-flight
+    # gauge saturates and the shed path actually runs.
+    delay_seconds = 0.01
+
+    def workload():
+        policy = ServePolicy(
+            max_inflight=capacity,
+            deadline_seconds=5.0,
+            drain_seconds=5.0,
+        )
+        injector = faults.FaultInjector().slow_at(
+            "serve.request", delay_seconds
+        )
+        statuses = []
+        latencies = []
+        lock = threading.Lock()
+
+        def client():
+            for _ in range(requests_per_client):
+                begin = time.perf_counter()
+                try:
+                    with urllib.request.urlopen(
+                        server.url + "/rules?top_k=3", timeout=30
+                    ) as response:
+                        status = response.status
+                        response.read()
+                except urllib.error.HTTPError as error:
+                    status = error.code
+                    error.read()
+                elapsed = time.perf_counter() - begin
+                with lock:
+                    statuses.append(status)
+                    if status == 200:
+                        latencies.append(elapsed)
+
+        with faults.injected(injector):
+            with RuleServer(publisher, port=0, policy=policy) as server:
+                server.start()
+                threads = [
+                    threading.Thread(target=client) for _ in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+
+        total = len(statuses)
+        shed = sum(1 for status in statuses if status in (429, 503))
+        accepted = sum(1 for status in statuses if status == 200)
+        latencies.sort()
+        p99 = 0.0
+        if latencies:
+            position = math.ceil(0.99 * len(latencies)) - 1
+            p99 = latencies[min(len(latencies) - 1, max(0, position))]
+        obs_metrics.set_gauge(
+            "repro_serve_overload_shed_rate",
+            shed / total if total else 0.0,
+            help="Fraction of requests shed in the last serve_overload run",
+        )
+        obs_metrics.set_gauge(
+            "repro_serve_overload_accepted_p99_seconds",
+            p99,
+            help="p99 latency of accepted requests in the last "
+            "serve_overload run",
+        )
+        obs_metrics.set_gauge(
+            "repro_serve_overload_accepted_total",
+            accepted,
+            help="Accepted (200) requests in the last serve_overload run",
+        )
+        return {"total": total, "shed": shed, "accepted": accepted}
+
+    return {
+        "rows": len(relation),
+        "capacity": capacity,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+    }, workload
+
+
 def _build_mine_smoke(scale: float):
     from repro.api import mine
     from repro.data.synthetic import make_planted_rule_relation
@@ -599,6 +697,12 @@ SCENARIOS: Dict[str, Scenario] = {
             "query-engine throughput over a published rule snapshot "
             "(records p50/p99 latency and QPS gauges)",
             _build_serve_qps,
+        ),
+        Scenario(
+            "serve_overload",
+            "HTTP serving under injected overload: N clients vs "
+            "max-inflight K (records shed-rate and accepted-p99 gauges)",
+            _build_serve_overload,
         ),
         Scenario(
             "mine_smoke",

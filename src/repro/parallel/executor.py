@@ -19,12 +19,19 @@ class the degradation ladder catches to retry serially.  Errors raised
 propagate unchanged — they would recur on the serial engine, so masking
 them as pool trouble would send the ladder down a pointless rung.
 
-Fault points: ``parallel.pool`` fires when the process pool is created
-and ``parallel.worker`` fires at each worker-task entry (see
-:mod:`repro.resilience.faults`); both convert an
-:class:`~repro.resilience.errors.InjectedFault` into
+Fault points: ``parallel.pool`` fires when the process pool is created,
+``parallel.worker`` fires at each worker-task entry, and ``pool.submit``
+fires before each task submission (see :mod:`repro.resilience.faults`);
+all convert an :class:`~repro.resilience.errors.InjectedFault` into
 :class:`WorkerPoolError` so crash tests exercise the same recovery path
 as real worker death.
+
+Retry rung: before the degradation ladder's serial fallback ever runs,
+:class:`ProcessPoolBackend` can retry a :class:`WorkerPoolError` on a
+*fresh* pool with jittered exponential backoff (``retry=RetryPolicy``),
+and can bound each task with a per-task timeout — a hung worker becomes
+a ``WorkerPoolError`` instead of a hung mine.  Both knobs surface on
+:class:`~repro.resilience.guard.GuardPolicy`.
 """
 
 from __future__ import annotations
@@ -34,8 +41,10 @@ import os
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.obs import metrics as obs_metrics
 from repro.resilience import faults
 from repro.resilience.errors import InjectedFault, ReproError, WorkerPoolError
+from repro.resilience.runtime import Clock, RetryPolicy, SystemClock
 
 __all__ = [
     "ExecutorBackend",
@@ -126,15 +135,33 @@ class ProcessPoolBackend(ExecutorBackend):
     ``cancel_futures=True`` on ``__exit__``, so an interrupt (or any
     exception unwinding through the ``with`` block) cannot leave orphan
     worker processes or queued tasks behind.
+
+    ``retry`` (a :class:`~repro.resilience.runtime.RetryPolicy`) makes
+    :meth:`map_tasks` rebuild the pool and resubmit the whole batch
+    after a :class:`WorkerPoolError`, backing off through ``clock``
+    between attempts; ``task_timeout`` bounds each task's wall time so
+    a wedged worker surfaces as a pool failure rather than a hang.
     """
 
-    def __init__(self, workers: int):
+    def __init__(
+        self,
+        workers: int,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        task_timeout: Optional[float] = None,
+        clock: Optional[Clock] = None,
+    ):
         if workers < 2:
             raise ValueError(
                 "ProcessPoolBackend needs at least 2 workers; use "
                 "SerialBackend for single-worker runs"
             )
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
         self.n_workers = workers
+        self.retry = retry
+        self.task_timeout = task_timeout
+        self.clock = clock or SystemClock()
         self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
     def __enter__(self) -> "ProcessPoolBackend":
@@ -166,25 +193,86 @@ class ProcessPoolBackend(ExecutorBackend):
     ) -> List[Any]:
         """Submit every task; gather results in submission order.
 
-        A dead worker (``BrokenProcessPool``) or an injected
-        ``parallel.*`` fault raises :class:`WorkerPoolError`; other
+        A dead worker (``BrokenProcessPool``), an injected ``parallel.*``
+        or ``pool.submit`` fault, or a task outliving ``task_timeout``
+        raises :class:`WorkerPoolError` — after exhausting the ``retry``
+        policy's fresh-pool attempts, when one is configured.  Other
         :class:`~repro.resilience.errors.ReproError` subclasses (data
-        errors raised inside the task) propagate as themselves.
+        errors raised inside the task) propagate as themselves and are
+        never retried — they would recur.
         """
         if self._executor is None:
             raise WorkerPoolError(
                 "worker pool is not running (use the backend as a context "
                 "manager)"
             )
-        futures = [self._executor.submit(fn, task) for task in tasks]
+        retries = self.retry.retries if self.retry is not None else 0
+        for attempt in range(retries + 1):
+            try:
+                return self._map_once(fn, tasks)
+            except WorkerPoolError:
+                if attempt >= retries:
+                    raise
+                if obs_metrics.metrics_enabled():
+                    obs_metrics.inc(
+                        "repro_resilience_pool_retries_total",
+                        help="Worker-pool batch retries on a fresh pool",
+                    )
+                self.clock.sleep(self.retry.delay(attempt))
+                self._rebuild()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _rebuild(self) -> None:
+        """Replace a (possibly broken) executor with a fresh pool.
+
+        A ``BrokenProcessPool`` poisons the executor permanently, so a
+        retry without a rebuild would fail instantly; startup failures
+        surface through the same ``parallel.pool`` conversion as
+        ``__enter__``.
+        """
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        try:
+            faults.fire("parallel.pool")
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.n_workers
+            )
+        except InjectedFault as error:
+            raise WorkerPoolError(f"worker pool failed to restart: {error}") from error
+        except OSError as error:
+            raise WorkerPoolError(
+                f"could not restart {self.n_workers} worker processes: {error}"
+            ) from error
+
+    def _map_once(
+        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+    ) -> List[Any]:
+        """One submit-and-gather attempt over the current pool."""
+        futures = []
         results: List[Any] = []
         try:
+            for task in tasks:
+                faults.fire("pool.submit")
+                futures.append(self._executor.submit(fn, task))
             for future in futures:
-                results.append(future.result())
+                results.append(future.result(timeout=self.task_timeout))
         except InjectedFault as error:
             raise WorkerPoolError(f"worker task failed: {error}") from error
         except ReproError:
             raise
+        except concurrent.futures.TimeoutError as error:
+            # The wedged worker is still holding the pool: abandon the
+            # executor without waiting (shutdown(wait=True) would hang on
+            # the very task that just timed out).
+            executor = self._executor
+            self._executor = None
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+            raise WorkerPoolError(
+                f"a worker task exceeded its {self.task_timeout:g}s timeout"
+            ) from error
         except BrokenProcessPool as error:
             raise WorkerPoolError(
                 f"a worker process died mid-task: {error}"

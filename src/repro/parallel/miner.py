@@ -72,7 +72,12 @@ class ParallelDARMiner(DARMiner):
 
     ``workers=None`` (or 0) resolves automatically — ``REPRO_WORKERS``
     when set, else ``os.cpu_count()`` (see
-    :func:`~repro.parallel.executor.resolve_workers`).
+    :func:`~repro.parallel.executor.resolve_workers`).  ``pool_retry``
+    and ``task_timeout`` flow to the
+    :class:`~repro.parallel.executor.ProcessPoolBackend`: a pool failure
+    is retried on a fresh pool with backoff before the guard ladder's
+    serial rung ever engages, and a hung worker becomes a
+    ``WorkerPoolError`` after ``task_timeout`` seconds.
 
     >>> from repro.data.synthetic import make_planted_rule_relation
     >>> relation, _ = make_planted_rule_relation(seed=7)
@@ -82,10 +87,17 @@ class ParallelDARMiner(DARMiner):
     """
 
     def __init__(
-        self, config: DARConfig = DARConfig(), workers: Optional[int] = None
+        self,
+        config: DARConfig = DARConfig(),
+        workers: Optional[int] = None,
+        *,
+        pool_retry=None,
+        task_timeout: Optional[float] = None,
     ):
         super().__init__(config)
         self.workers = resolve_workers(workers)
+        self.pool_retry = pool_retry
+        self.task_timeout = task_timeout
         self._backend: Optional[ExecutorBackend] = None
 
     # ------------------------------------------------------------------
@@ -106,7 +118,11 @@ class ParallelDARMiner(DARMiner):
         if self.workers <= 1:
             backend = SerialBackend()
         else:
-            backend = ProcessPoolBackend(self.workers)
+            backend = ProcessPoolBackend(
+                self.workers,
+                retry=self.pool_retry,
+                task_timeout=self.task_timeout,
+            )
         with backend:
             self._backend = backend
             try:

@@ -21,7 +21,21 @@ Instrumented points:
 ``parallel.worker``         entry of each parallel worker task (inherited
                             across ``fork``, so the fault fires inside the
                             worker process)
+``pool.submit``             before each task submission to the process pool
+                            (exercises the pool retry-with-backoff rung)
+``serve.request``           inside the HTTP handler, after admission control
+                            grants the request (latency/failure injection
+                            while the in-flight slot is held; never fires
+                            for the exempt ``/healthz``/``/metrics`` routes)
+``publisher.refresh``       start of ``SnapshotPublisher.refresh`` (compile
+                            failure injection for the supervised loop)
 ==========================  ====================================================
+
+Beyond crashing, a plan can model *latency* two ways: ``slow_at`` sleeps
+per hit (through an injectable clock, so a :class:`FakeClock` makes the
+delay free), and ``block_at`` parks every hit on a :class:`Gate` until
+the test releases it — the deterministic way to hold N requests in
+flight concurrently without a single real sleep.
 
 The module also carries the file- and row-corruption helpers the
 checkpoint and quarantine tests use: :func:`truncate_file`,
@@ -30,6 +44,7 @@ checkpoint and quarantine tests use: :func:`truncate_file`,
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -40,6 +55,7 @@ from repro.resilience.errors import InjectedFault
 __all__ = [
     "FaultPlan",
     "FaultInjector",
+    "Gate",
     "fire",
     "install",
     "uninstall",
@@ -52,6 +68,64 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
+class Gate:
+    """A release-controlled barrier fault plans can park threads on.
+
+    Each waiter blocks on an internal event until :meth:`release`; the
+    test side synchronizes with :meth:`wait_for_waiters` (condition
+    variable, no polling), so a concurrency drill can assert "exactly K
+    requests are now held in flight" before acting.  ``max_wait``
+    bounds each parked thread so a buggy test cannot deadlock the
+    suite.
+    """
+
+    def __init__(self, max_wait: float = 30.0):
+        self.max_wait = max_wait
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._waiters = 0
+        self._total = 0
+
+    @property
+    def waiters(self) -> int:
+        """Threads currently parked on the gate."""
+        with self._lock:
+            return self._waiters
+
+    @property
+    def total_arrivals(self) -> int:
+        """Threads that have ever reached the gate (parked or passed)."""
+        with self._lock:
+            return self._total
+
+    def wait_for_waiters(self, count: int, timeout: float = 10.0) -> bool:
+        """Block until ``count`` threads are parked; ``False`` on timeout."""
+        with self._changed:
+            return self._changed.wait_for(
+                lambda: self._waiters >= count, timeout=timeout
+            )
+
+    def release(self) -> None:
+        """Let every current and future arrival through."""
+        self._event.set()
+        with self._changed:
+            self._changed.notify_all()
+
+    def arrive(self) -> None:
+        """Park the calling thread until release (the plan-side hook)."""
+        with self._changed:
+            self._total += 1
+            self._waiters += 1
+            self._changed.notify_all()
+        try:
+            self._event.wait(timeout=self.max_wait)
+        finally:
+            with self._changed:
+                self._waiters -= 1
+                self._changed.notify_all()
+
+
 class FaultPlan:
     """One scheduled failure: trip after ``after`` hits, ``times`` times.
 
@@ -59,12 +133,17 @@ class FaultPlan:
     on every hit once armed (a hard outage rather than a transient one).
     A plan with ``delay_seconds > 0`` models a *slowdown* instead of a
     crash: each trip sleeps rather than raising — the tool the regression
-    tests use to make a scenario measurably slower on demand.
+    tests use to make a scenario measurably slower on demand.  The sleep
+    goes through ``clock`` when one is supplied (a
+    :class:`~repro.resilience.runtime.FakeClock` makes the delay free and
+    observable); a plan with a :class:`Gate` parks the thread instead.
     """
 
     def __init__(self, after: int = 0, times: Optional[int] = 1,
                  message: str = "injected fault",
-                 delay_seconds: float = 0.0):
+                 delay_seconds: float = 0.0,
+                 clock=None,
+                 gate: Optional[Gate] = None):
         if after < 0:
             raise ValueError("after must be non-negative")
         if times is not None and times < 1:
@@ -75,19 +154,27 @@ class FaultPlan:
         self.times = times
         self.message = message
         self.delay_seconds = delay_seconds
+        self.clock = clock
+        self.gate = gate
         self.hits = 0
         self.trips = 0
 
     def hit(self, point: str) -> None:
-        """Register a hit at ``point``; raise (or sleep) when armed."""
+        """Register a hit at ``point``; raise, sleep or park when armed."""
         self.hits += 1
         if self.hits <= self.after:
             return
         if self.times is not None and self.trips >= self.times:
             return
         self.trips += 1
+        if self.gate is not None:
+            self.gate.arrive()
+            return
         if self.delay_seconds > 0:
-            time.sleep(self.delay_seconds)
+            if self.clock is not None:
+                self.clock.sleep(self.delay_seconds)
+            else:
+                time.sleep(self.delay_seconds)
             return
         raise InjectedFault(f"{point}: {self.message} (hit {self.hits})")
 
@@ -105,18 +192,40 @@ class FaultInjector:
         return self
 
     def slow_at(self, point: str, seconds: float, *, after: int = 0,
-                times: Optional[int] = None) -> "FaultInjector":
+                times: Optional[int] = None, clock=None) -> "FaultInjector":
         """Arm ``point`` to sleep ``seconds`` per hit instead of raising.
 
         ``times=None`` (the default) slows *every* hit once armed — the
         shape of a genuine performance regression, which is what the
         ``repro bench compare`` tests inject to prove the gate trips.
+        With a ``clock`` the sleep goes through it, so a
+        :class:`~repro.resilience.runtime.FakeClock` turns the delay
+        into an instant, observable time jump (the chaos suite's
+        no-real-sleeps latency injection).
         """
         self._plans[point] = FaultPlan(
-            after=after, times=times, delay_seconds=seconds,
+            after=after, times=times, delay_seconds=seconds, clock=clock,
             message=f"injected delay of {seconds}s",
         )
         return self
+
+    def block_at(self, point: str, *, after: int = 0,
+                 times: Optional[int] = None,
+                 max_wait: float = 30.0) -> Gate:
+        """Arm ``point`` to park each hit on a :class:`Gate`; returns it.
+
+        The returned gate is the test's handle: ``wait_for_waiters(K)``
+        to synchronize with K threads held at the point, ``release()``
+        to let them (and all later arrivals) through.  This is how the
+        overload drill holds exactly K requests in flight while the
+        excess is shed — deterministically, with no sleeps.
+        """
+        gate = Gate(max_wait=max_wait)
+        self._plans[point] = FaultPlan(
+            after=after, times=times, gate=gate,
+            message="gated (blocked until release)",
+        )
+        return gate
 
     def hits(self, point: str) -> int:
         """Hits recorded at ``point`` (0 if unarmed)."""

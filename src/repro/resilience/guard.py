@@ -67,6 +67,14 @@ class GuardPolicy:
     """Density-threshold multiplier applied per memory-exhaustion retry."""
     backoff_seconds: float = 0.0
     """Pause before each retry (lets an external memory spike pass)."""
+    pool_retries: int = 0
+    """Fresh-pool retries of a ``WorkerPoolError`` (with jittered
+    exponential backoff) *before* the serial-fallback rung engages."""
+    pool_backoff_seconds: float = 0.05
+    """Base pause of the pool retry backoff (doubles per attempt)."""
+    task_timeout_seconds: Optional[float] = None
+    """Per-task wall-time bound inside the worker pool (``None`` = no
+    bound); a task outliving it surfaces as a ``WorkerPoolError``."""
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -75,6 +83,25 @@ class GuardPolicy:
             raise ValueError("escalation_factor must exceed 1 for progress")
         if self.backoff_seconds < 0:
             raise ValueError("backoff_seconds must be non-negative")
+        if self.pool_retries < 0:
+            raise ValueError("pool_retries must be non-negative")
+        if self.pool_backoff_seconds < 0:
+            raise ValueError("pool_backoff_seconds must be non-negative")
+        if self.task_timeout_seconds is not None and self.task_timeout_seconds <= 0:
+            raise ValueError("task_timeout_seconds must be positive (or None)")
+
+    def pool_retry_policy(self):
+        """The backend-facing :class:`~repro.resilience.runtime.RetryPolicy`
+        (``None`` when pool retries are disabled)."""
+        if self.pool_retries == 0:
+            return None
+        from repro.resilience.runtime import RetryPolicy
+
+        return RetryPolicy(
+            retries=self.pool_retries,
+            base_delay=self.pool_backoff_seconds,
+            max_delay=max(self.pool_backoff_seconds * 8, 1e-9),
+        )
 
 
 def _escalated(config: DARConfig, factor: float) -> DARConfig:
@@ -148,7 +175,12 @@ def validate_result(result: DARResult) -> None:
                 )
 
 
-def _make_miner(config: DARConfig, engine: str, workers: Optional[int]) -> DARMiner:
+def _make_miner(
+    config: DARConfig,
+    engine: str,
+    workers: Optional[int],
+    policy: GuardPolicy,
+) -> DARMiner:
     """The miner for one attempt: serial, or the parallel coordinator."""
     if engine == "serial":
         return DARMiner(config)
@@ -158,7 +190,12 @@ def _make_miner(config: DARConfig, engine: str, workers: Optional[int]) -> DARMi
 
         # workers=None/0 → REPRO_WORKERS, else os.cpu_count() (see
         # resolve_workers for the full resolution order).
-        return ParallelDARMiner(config, workers=resolve_workers(workers))
+        return ParallelDARMiner(
+            config,
+            workers=resolve_workers(workers),
+            pool_retry=policy.pool_retry_policy(),
+            task_timeout=policy.task_timeout_seconds,
+        )
     raise ValueError(
         f"unknown mining engine {engine!r}; expected 'serial' or 'parallel'"
     )
@@ -201,7 +238,7 @@ def guarded_mine(
                 ):
                     try:
                         result = _make_miner(
-                            attempt_config, attempt_engine, workers
+                            attempt_config, attempt_engine, workers, policy
                         ).mine(relation, partitions=partitions, targets=targets)
                     except WorkerPoolError as error:
                         obs_metrics.inc(

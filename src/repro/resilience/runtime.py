@@ -1,0 +1,652 @@
+"""Deterministic overload-control primitives with an injectable clock.
+
+The serving and parallel layers need the classic reliability toolbox —
+deadlines, retries with backoff, circuit breakers, admission control —
+but every one of those is a *time* construct, and tests that sleep are
+slow and flaky.  This module therefore builds all four primitives on a
+:class:`Clock` seam: production code uses the default
+:class:`SystemClock`; tests hand a :class:`FakeClock` whose ``sleep``
+returns instantly and whose readings only move when the test says so,
+which is how the chaos suite drives breaker cooldowns and token-bucket
+refills without a single real ``time.sleep``.
+
+The pieces, bottom up:
+
+* :class:`Deadline` — a fixed point on the monotonic clock; cheap
+  ``remaining()`` / ``expired()`` checks plus ``raise_if_expired()``
+  raising :class:`~repro.resilience.errors.DeadlineExceeded`.
+* :class:`RetryPolicy` — capped exponential backoff with deterministic
+  bounded jitter; :meth:`RetryPolicy.call` retries a callable through
+  the clock, honoring an optional deadline.
+* :class:`CircuitBreaker` — closed → open after a run of consecutive
+  failures, half-open probe after a cooldown, closed again on probe
+  success; refusals raise
+  :class:`~repro.resilience.errors.CircuitOpenError` with a
+  ``retry_after`` hint.
+* :class:`LoadShedder` — token-bucket admission (rate + burst) plus a
+  bounded in-flight gauge; refusals raise
+  :class:`~repro.resilience.errors.RejectedError` instead of queueing,
+  and :meth:`LoadShedder.drain` is the graceful-shutdown wait.
+
+Every state change is exported as a ``repro_resilience_*`` metric (see
+``docs/OBSERVABILITY.md``), so a shed, trip, or retry is never silent.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time as _time
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+from repro.obs import metrics as obs_metrics
+from repro.resilience.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    RejectedError,
+)
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "FakeClock",
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "Admission",
+    "LoadShedder",
+]
+
+
+class Clock:
+    """The time seam every runtime primitive reads through.
+
+    Three methods cover everything the primitives need: ``monotonic()``
+    for intervals, ``time()`` for wall-clock stamps humans read, and
+    ``sleep()`` for pauses.  Subclass to control time in tests; the
+    default implementations delegate to :mod:`time`.
+    """
+
+    def monotonic(self) -> float:
+        """Monotonic seconds — the basis for deadlines and cooldowns."""
+        return _time.monotonic()
+
+    def time(self) -> float:
+        """Wall-clock seconds since the epoch (for human-facing stamps)."""
+        return _time.time()
+
+    def sleep(self, seconds: float) -> None:
+        """Pause the caller for ``seconds`` (never negative)."""
+        if seconds > 0:
+            _time.sleep(seconds)
+
+
+class SystemClock(Clock):
+    """The real clock — :class:`Clock`'s defaults, named for clarity."""
+
+
+class FakeClock(Clock):
+    """A manually advanced clock for deterministic tests.
+
+    ``sleep`` does not block: it advances the clock by the requested
+    amount and records the request in :attr:`sleeps`, so a test can
+    assert exactly which backoff pauses a retry loop asked for.
+    Thread-safe — handler threads in the chaos suite read it
+    concurrently with the test advancing it.
+    """
+
+    def __init__(self, start: float = 1000.0, wall_start: float = 1.7e9):
+        self._now = float(start)
+        self._wall = float(wall_start)
+        self._lock = threading.Lock()
+        #: Every ``sleep`` request observed, in order.
+        self.sleeps: list = []
+
+    def monotonic(self) -> float:
+        """The current fake monotonic reading."""
+        with self._lock:
+            return self._now
+
+    def time(self) -> float:
+        """The current fake wall-clock reading."""
+        with self._lock:
+            return self._wall
+
+    def sleep(self, seconds: float) -> None:
+        """Record the request and advance both readings instantly."""
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        with self._lock:
+            self.sleeps.append(seconds)
+            self._now += seconds
+            self._wall += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move both readings forward by ``seconds`` (test-side control)."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        with self._lock:
+            self._now += seconds
+            self._wall += seconds
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+
+
+class Deadline:
+    """A fixed expiry point on the monotonic clock.
+
+    ``Deadline(None)`` never expires (``remaining()`` is ``None``), so
+    call sites can thread one object through unconditionally instead of
+    branching on "was a timeout configured".
+    """
+
+    def __init__(self, seconds: Optional[float], clock: Optional[Clock] = None):
+        if seconds is not None and seconds < 0:
+            raise ValueError("deadline seconds must be non-negative")
+        self._clock = clock or SystemClock()
+        self.seconds = seconds
+        self._expires_at = (
+            None if seconds is None else self._clock.monotonic() + seconds
+        )
+
+    @classmethod
+    def after(
+        cls, seconds: Optional[float], clock: Optional[Clock] = None
+    ) -> "Deadline":
+        """Alias constructor reading as prose: ``Deadline.after(0.25)``."""
+        return cls(seconds, clock)
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (clamped at 0.0); ``None`` for a boundless deadline."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - self._clock.monotonic())
+
+    def expired(self) -> bool:
+        """Whether the deadline has passed."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def raise_if_expired(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is spent."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.seconds:g}s deadline"
+            )
+
+    def __repr__(self) -> str:
+        if self._expires_at is None:
+            return "Deadline(unbounded)"
+        return f"Deadline({self.seconds:g}s, remaining={self.remaining():.3f}s)"
+
+
+# ----------------------------------------------------------------------
+# Retry with backoff
+# ----------------------------------------------------------------------
+
+
+class RetryPolicy:
+    """Capped exponential backoff with deterministic, bounded jitter.
+
+    The un-jittered schedule is ``base_delay * multiplier**attempt``
+    capped at ``max_delay`` — monotone non-decreasing by construction
+    (property-tested).  Jitter then *subtracts* up to
+    ``jitter * backoff`` from each pause, drawn from a private
+    ``random.Random(seed)``, so delays stay within
+    ``[backoff * (1 - jitter), backoff]``: the same seed replays the
+    same schedule, and jitter can never stretch a pause past the cap.
+    """
+
+    def __init__(
+        self,
+        retries: int = 3,
+        *,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.5,
+        seed: Optional[int] = None,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1 (backoff cannot shrink)")
+        if max_delay < base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.retries = retries
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def backoff(self, attempt: int) -> float:
+        """The un-jittered pause before retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        return min(self.base_delay * self.multiplier**attempt, self.max_delay)
+
+    def delay(self, attempt: int) -> float:
+        """The jittered pause before retry ``attempt`` (0-based).
+
+        Within ``[backoff(attempt) * (1 - jitter), backoff(attempt)]``;
+        consumes one draw from the policy's private RNG.
+        """
+        backoff = self.backoff(attempt)
+        return backoff * (1.0 - self.jitter * self._rng.random())
+
+    def delays(self) -> Iterator[float]:
+        """The full jittered schedule, one pause per permitted retry."""
+        return (self.delay(attempt) for attempt in range(self.retries))
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        clock: Optional[Clock] = None,
+        deadline: Optional[Deadline] = None,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> object:
+        """Run ``fn``, retrying ``retry_on`` failures through ``clock``.
+
+        At most ``retries`` retries (so ``retries + 1`` attempts); the
+        final failure propagates unchanged.  A ``deadline`` bounds the
+        whole affair: when the next pause would land past it, the last
+        error is re-raised immediately instead of sleeping into a lost
+        cause.  ``on_retry(attempt, error)`` observes each pause —
+        the supervisor uses it to log and count.
+        """
+        clock = clock or SystemClock()
+        for attempt in range(self.retries + 1):
+            try:
+                return fn()
+            except retry_on as error:
+                if attempt >= self.retries:
+                    raise
+                pause = self.delay(attempt)
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining is not None and pause >= remaining:
+                        raise
+                if obs_metrics.metrics_enabled():
+                    obs_metrics.inc(
+                        "repro_resilience_retries_total",
+                        help="Retries performed by RetryPolicy.call, by error class",
+                        error=type(error).__name__,
+                    )
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                clock.sleep(pause)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+#: Circuit states, also the exported gauge levels (0/1/2).
+_CLOSED, _HALF_OPEN, _OPEN = "closed", "half_open", "open"
+_STATE_LEVELS = {_CLOSED: 0, _HALF_OPEN: 1, _OPEN: 2}
+
+
+class CircuitBreaker:
+    """Stops hammering a failing dependency; probes it after a cooldown.
+
+    Closed (normal) → open after ``failure_threshold`` *consecutive*
+    failures; while open, :meth:`check` raises
+    :class:`~repro.resilience.errors.CircuitOpenError` whose
+    ``retry_after`` is the cooldown remainder.  After ``reset_timeout``
+    seconds the next check transitions to half-open and admits a single
+    probe: success closes the circuit (and clears the failure run),
+    failure re-opens it with a fresh cooldown.  Thread-safe; all
+    transitions are counted and the current state is exported as the
+    ``repro_resilience_circuit_state{circuit=...}`` gauge
+    (0=closed, 1=half-open, 2=open).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        *,
+        name: str = "default",
+        clock: Optional[Clock] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.name = name
+        self._clock = clock or SystemClock()
+        self._lock = threading.Lock()
+        self._state = _CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+
+    # -- observation ----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (cooldown applied)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """The current run of failures (resets on any success)."""
+        with self._lock:
+            return self._consecutive_failures
+
+    def retry_after(self) -> Optional[float]:
+        """Cooldown seconds remaining while open; ``None`` otherwise."""
+        with self._lock:
+            if self._state != _OPEN or self._opened_at is None:
+                return None
+            elapsed = self._clock.monotonic() - self._opened_at
+            return max(0.0, self.reset_timeout - elapsed)
+
+    # -- state machine --------------------------------------------------
+
+    def _maybe_half_open(self) -> None:
+        """Open → half-open once the cooldown has elapsed (lock held)."""
+        if self._state == _OPEN and self._opened_at is not None:
+            if self._clock.monotonic() - self._opened_at >= self.reset_timeout:
+                self._transition(_HALF_OPEN)
+                self._probe_in_flight = False
+
+    def _transition(self, state: str) -> None:
+        """Move to ``state`` and export the change (lock held)."""
+        if state == self._state:
+            return
+        self._state = state
+        if state == _OPEN:
+            self._opened_at = self._clock.monotonic()
+        if obs_metrics.metrics_enabled():
+            obs_metrics.inc(
+                "repro_resilience_circuit_transitions_total",
+                help="Circuit-breaker transitions, by circuit and new state",
+                circuit=self.name,
+                to=state,
+            )
+            obs_metrics.set_gauge(
+                "repro_resilience_circuit_state",
+                _STATE_LEVELS[state],
+                help="Circuit state (0=closed, 1=half-open, 2=open)",
+                circuit=self.name,
+            )
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed.
+
+        In half-open state only one probe is admitted at a time; a
+        second concurrent caller is refused so a thundering herd cannot
+        pile onto a dependency that has not proven itself yet.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == _CLOSED:
+                return
+            if self._state == _HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return
+            elapsed = (
+                self._clock.monotonic() - self._opened_at
+                if self._opened_at is not None
+                else 0.0
+            )
+            retry_after = max(0.0, self.reset_timeout - elapsed)
+            if obs_metrics.metrics_enabled():
+                obs_metrics.inc(
+                    "repro_resilience_circuit_rejections_total",
+                    help="Calls refused by an open circuit, by circuit",
+                    circuit=self.name,
+                )
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is {self._state} after "
+                f"{self._consecutive_failures} consecutive failure(s); "
+                f"retry in {retry_after:.3f}s",
+                retry_after=retry_after,
+            )
+
+    def record_success(self) -> None:
+        """Note a successful call: closes a probing circuit, clears the run."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != _CLOSED:
+                self._transition(_CLOSED)
+
+    def record_failure(self) -> None:
+        """Note a failed call: extends the run, may trip the circuit."""
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            if self._state == _HALF_OPEN:
+                self._transition(_OPEN)
+            elif (
+                self._state == _CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(_OPEN)
+
+    def call(self, fn: Callable[[], object]) -> object:
+        """Run ``fn`` through the breaker: check, then record the outcome."""
+        self.check()
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def to_dict(self) -> dict:
+        """State summary for health payloads and dashboards."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "reset_timeout_seconds": self.reset_timeout,
+            "retry_after_seconds": self.retry_after(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Load shedding
+# ----------------------------------------------------------------------
+
+
+class Admission:
+    """A granted admission ticket; use as a context manager to release.
+
+    Releasing is idempotent, so an admission is safe to release both in
+    a ``finally`` and from an error path.
+    """
+
+    def __init__(self, shedder: "LoadShedder"):
+        self._shedder = shedder
+        self._released = False
+
+    def release(self) -> None:
+        """Return the in-flight slot (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._shedder._release()
+
+    def __enter__(self) -> "Admission":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class LoadShedder:
+    """Token-bucket admission plus a bounded in-flight gauge.
+
+    Two independent refusals, checked in order:
+
+    * **rate** — a token bucket of capacity ``burst`` refilled at
+      ``rate`` requests/second (through the clock).  Empty bucket →
+      :class:`RejectedError` with ``reason="rate"`` and a
+      ``retry_after`` of one token's refill time.  ``rate=None``
+      disables the bucket.
+    * **inflight** — at most ``max_inflight`` admissions outstanding.
+      Full gauge → :class:`RejectedError` with ``reason="inflight"``
+      and the configured ``retry_after_hint``.  ``max_inflight=None``
+      means unbounded (the gauge still counts, which is what graceful
+      drain watches).
+
+    Refusing instead of queueing is the point: the caller gets an
+    honest backpressure signal while admitted work keeps its latency.
+    """
+
+    def __init__(
+        self,
+        max_inflight: Optional[int] = None,
+        *,
+        rate: Optional[float] = None,
+        burst: Optional[int] = None,
+        retry_after_hint: float = 1.0,
+        clock: Optional[Clock] = None,
+    ):
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be positive (or None)")
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        if burst is not None and burst < 1:
+            raise ValueError("burst must be positive")
+        if retry_after_hint < 0:
+            raise ValueError("retry_after_hint must be non-negative")
+        self.max_inflight = max_inflight
+        self.rate = rate
+        self.burst = burst if burst is not None else (
+            max(1, int(rate)) if rate is not None else 1
+        )
+        self.retry_after_hint = retry_after_hint
+        self._clock = clock or SystemClock()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
+        self._tokens = float(self.burst)
+        self._last_refill = self._clock.monotonic()
+        #: Admissions granted / refusals issued since construction.
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    @property
+    def inflight(self) -> int:
+        """Admissions currently outstanding."""
+        with self._lock:
+            return self._inflight
+
+    def _refill(self) -> None:
+        """Top the bucket up for the time elapsed (lock held)."""
+        if self.rate is None:
+            return
+        now = self._clock.monotonic()
+        elapsed = max(0.0, now - self._last_refill)
+        self._last_refill = now
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate)
+
+    def _shed(self, reason: str, message: str, retry_after: float) -> None:
+        """Count and raise one refusal (lock held)."""
+        self.shed_total += 1
+        if obs_metrics.metrics_enabled():
+            obs_metrics.inc(
+                "repro_resilience_shed_total",
+                help="Requests shed by admission control, by reason",
+                reason=reason,
+            )
+        raise RejectedError(message, reason=reason, retry_after=retry_after)
+
+    def try_admit(self, cost: float = 1.0) -> Admission:
+        """Admit one request or raise :class:`RejectedError`.
+
+        The rate check runs first — a rate-shed request must not consume
+        an in-flight slot.  ``cost`` weights expensive requests against
+        the token bucket (admission slots are always one).
+        """
+        if cost <= 0:
+            raise ValueError("cost must be positive")
+        with self._lock:
+            self._refill()
+            if self.rate is not None and self._tokens < cost:
+                needed = (cost - self._tokens) / self.rate
+                self._shed(
+                    "rate",
+                    f"request rate above {self.rate:g}/s "
+                    f"(burst {self.burst}); retry in {needed:.3f}s",
+                    retry_after=needed,
+                )
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                self._shed(
+                    "inflight",
+                    f"{self._inflight} requests already in flight "
+                    f"(limit {self.max_inflight})",
+                    retry_after=self.retry_after_hint,
+                )
+            if self.rate is not None:
+                self._tokens -= cost
+            self._inflight += 1
+            self.admitted_total += 1
+            if obs_metrics.metrics_enabled():
+                obs_metrics.set_gauge(
+                    "repro_resilience_inflight",
+                    self._inflight,
+                    help="Admitted requests currently in flight",
+                )
+        return Admission(self)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            if obs_metrics.metrics_enabled():
+                obs_metrics.set_gauge(
+                    "repro_resilience_inflight",
+                    self._inflight,
+                    help="Admitted requests currently in flight",
+                )
+            if self._inflight <= 0:
+                self._idle.notify_all()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait (event-driven, no polling) until nothing is in flight.
+
+        Returns ``True`` when the gauge reached zero, ``False`` on
+        timeout — the graceful-shutdown path reports which.  The wait
+        uses the real condition variable regardless of the injected
+        clock: drain synchronizes with live threads, not with time.
+        """
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._inflight <= 0, timeout=timeout
+            )
+
+    def to_dict(self) -> dict:
+        """Admission-control state for health payloads."""
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "rate": self.rate,
+                "burst": self.burst if self.rate is not None else None,
+                "admitted_total": self.admitted_total,
+                "shed_total": self.shed_total,
+            }

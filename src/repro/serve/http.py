@@ -16,25 +16,105 @@ a :class:`~repro.serve.publisher.SnapshotPublisher` with four routes:
 
 Request handling is threaded, so a slow reader never blocks ``/healthz``;
 every request increments ``repro_serve_http_requests_total`` by route and
-status.  Start with :meth:`RuleServer.start` (background thread, used by
-the library facade) or :meth:`RuleServer.serve_forever` (blocking, used
-by the CLI); ``port=0`` binds an ephemeral port exposed via
+status.
+
+**Overload hardening** (:class:`ServePolicy`): every request passes the
+policy's :class:`~repro.resilience.runtime.LoadShedder` — a full
+in-flight gauge sheds with ``503``, an empty token bucket with ``429``,
+both carrying ``Retry-After`` instead of queueing unboundedly
+(``/healthz`` and ``/metrics`` are exempt so operators can always look
+inside).  Admitted requests run under a per-request
+:class:`~repro.resilience.runtime.Deadline` (``503`` on expiry), the
+handler socket carries a read timeout so a slow-loris client cannot pin
+a thread forever, a mid-response client disconnect is counted
+(``repro_serve_client_disconnects_total``) rather than crashing the
+thread, and :meth:`RuleServer.shutdown` drains in-flight requests before
+closing the socket.
+
+Start with :meth:`RuleServer.start` (background thread, used by the
+library facade) or :meth:`RuleServer.serve_forever` (blocking, used by
+the CLI); ``port=0`` binds an ephemeral port exposed via
 :attr:`RuleServer.address`.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.obs import metrics as obs_metrics
+from repro.resilience import faults
+from repro.resilience.errors import (
+    DeadlineExceeded,
+    InjectedFault,
+    RejectedError,
+)
+from repro.resilience.runtime import Clock, Deadline, LoadShedder, SystemClock
 from repro.serve.publisher import SnapshotPublisher
 
-__all__ = ["RuleServer"]
+__all__ = ["ServePolicy", "RuleServer"]
+
+#: Routes admission control never sheds: operators must be able to read
+#: health and metrics precisely when the server is overloaded.
+SHED_EXEMPT_ROUTES = ("/healthz", "/metrics")
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """The serving layer's overload knobs (all optional, all explicit).
+
+    The default policy keeps the pre-hardening behaviour — no admission
+    limits, no deadline — except for the read timeout, which always
+    applies: an unbounded socket read is never the right default.
+    """
+
+    max_inflight: Optional[int] = None
+    """Concurrent admitted requests before shedding with ``503``."""
+    rate: Optional[float] = None
+    """Token-bucket refill in requests/second (``None`` disables)."""
+    burst: Optional[int] = None
+    """Token-bucket capacity (defaults to ``max(1, int(rate))``)."""
+    deadline_seconds: Optional[float] = None
+    """Per-request budget; expiry answers ``503`` with ``Retry-After``."""
+    read_timeout_seconds: float = 30.0
+    """Socket read timeout per request (the anti-slow-loris bound)."""
+    drain_seconds: float = 5.0
+    """How long shutdown waits for in-flight requests to finish."""
+    retry_after_seconds: float = 1.0
+    """The ``Retry-After`` hint attached to in-flight sheds."""
+
+    def __post_init__(self) -> None:
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be positive (or None)")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be positive (or None)")
+        if self.burst is not None and self.burst < 1:
+            raise ValueError("burst must be positive")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive (or None)")
+        if self.read_timeout_seconds <= 0:
+            raise ValueError("read_timeout_seconds must be positive")
+        if self.drain_seconds < 0:
+            raise ValueError("drain_seconds must be non-negative")
+        if self.retry_after_seconds < 0:
+            raise ValueError("retry_after_seconds must be non-negative")
+
+    def build_shedder(self, clock: Optional[Clock] = None) -> LoadShedder:
+        """The policy's admission controller (always built — the in-flight
+        gauge also powers graceful drain even when no limit is set)."""
+        return LoadShedder(
+            self.max_inflight,
+            rate=self.rate,
+            burst=self.burst,
+            retry_after_hint=self.retry_after_seconds,
+            clock=clock,
+        )
 
 
 class RuleServer:
@@ -42,7 +122,10 @@ class RuleServer:
 
     The server never owns mining: someone else publishes snapshots into
     ``publisher`` (possibly while the server runs — readers pick up the
-    swap on their next request).  Usable as a context manager; exit shuts
+    swap on their next request).  ``policy`` configures admission
+    control, deadlines and timeouts; ``clock`` injects time for the
+    chaos suite (deadlines, token refill) and defaults to the real one.
+    Usable as a context manager; exit drains in-flight requests, shuts
     the listener down and joins the serving thread.
     """
 
@@ -52,13 +135,19 @@ class RuleServer:
         *,
         host: str = "127.0.0.1",
         port: int = 8765,
+        policy: Optional[ServePolicy] = None,
+        clock: Optional[Clock] = None,
     ):
         self.publisher = publisher
+        self.policy = policy or ServePolicy()
+        self.clock = clock or SystemClock()
+        self.shedder = self.policy.build_shedder(self.clock)
         self.started_at = time.time()
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+        self._serving = False
 
     # ------------------------------------------------------------------
 
@@ -78,6 +167,7 @@ class RuleServer:
         """Serve from a daemon thread; returns self for chaining."""
         if self._thread is not None:
             raise RuntimeError("server already started")
+        self._serving = True
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             kwargs={"poll_interval": 0.05},
@@ -89,15 +179,44 @@ class RuleServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown` is called."""
+        self._serving = True
         self._httpd.serve_forever(poll_interval=0.05)
 
-    def shutdown(self) -> None:
-        """Stop accepting requests, close the socket, join the thread."""
-        self._httpd.shutdown()
+    def shutdown(self, drain_seconds: Optional[float] = None) -> bool:
+        """Stop accepting, drain in-flight requests, close, join.
+
+        Returns ``True`` when every in-flight request finished within
+        the drain window (``drain_seconds`` overrides the policy's),
+        ``False`` when the window expired with work still running —
+        either way the listener is closed and the thread joined, so the
+        caller always gets its port back.
+        """
+        window = (
+            self.policy.drain_seconds if drain_seconds is None else drain_seconds
+        )
+        # socketserver's shutdown() waits for a serve_forever loop to
+        # acknowledge; on a server that never served it would wait forever.
+        if self._serving:
+            self._httpd.shutdown()
+        started = time.perf_counter()
+        drained = self.shedder.drain(timeout=window)
+        if obs_metrics.metrics_enabled():
+            obs_metrics.observe(
+                "repro_serve_drain_seconds",
+                time.perf_counter() - started,
+                help="Time spent draining in-flight requests at shutdown",
+                unit="seconds",
+            )
+            obs_metrics.inc(
+                "repro_serve_drains_total",
+                help="Graceful shutdowns, by whether the drain completed",
+                clean=str(drained).lower(),
+            )
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        return drained
 
     def __enter__(self) -> "RuleServer":
         return self
@@ -105,6 +224,13 @@ class RuleServer:
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.shutdown()
         return False
+
+
+def _retry_after_header(seconds: Optional[float]) -> str:
+    """An honest integer ``Retry-After`` value (at least 1 second)."""
+    if seconds is None or seconds <= 0:
+        return "1"
+    return str(max(1, math.ceil(seconds)))
 
 
 def _make_handler(server: RuleServer):
@@ -115,14 +241,41 @@ def _make_handler(server: RuleServer):
 
         protocol_version = "HTTP/1.1"
         server_version = "repro-serve"
+        # socketserver applies this to the connection in setup(): a
+        # client that stalls mid-request (slow loris) hits the timeout
+        # and the connection is closed instead of pinning the thread.
+        timeout = server.policy.read_timeout_seconds
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
-            """Dispatch one GET to its route handler."""
+            """Admission-check, then dispatch one GET to its route handler."""
             parsed = urlsplit(self.path)
             route = parsed.path.rstrip("/") or "/"
+            admission = None
+            deadline = Deadline(None, server.clock)
+            if route not in SHED_EXEMPT_ROUTES:
+                try:
+                    admission = server.shedder.try_admit()
+                except RejectedError as rejected:
+                    status = 429 if rejected.reason == "rate" else 503
+                    self._send_json(
+                        status,
+                        {"error": str(rejected), "reason": rejected.reason},
+                        route=route,
+                        retry_after=rejected.retry_after,
+                    )
+                    return
+                deadline = Deadline(
+                    server.policy.deadline_seconds, server.clock
+                )
             try:
+                if admission is not None:
+                    # Fires only on admission-controlled routes, so chaos
+                    # plans can wedge /rules while /healthz and /metrics
+                    # stay readable — the exempt-route guarantee.
+                    faults.fire("serve.request")
+                    deadline.raise_if_expired("request")
                 if route == "/rules":
-                    self._handle_rules(parsed.query)
+                    self._handle_rules(parsed.query, deadline)
                 elif route == "/healthz":
                     self._handle_healthz()
                 elif route == "/metrics":
@@ -136,15 +289,32 @@ def _make_handler(server: RuleServer):
                          "paths": ["/rules", "/healthz", "/metrics", "/"]},
                         route="<unknown>",
                     )
-            except BrokenPipeError:  # client went away mid-response
-                pass
+            except DeadlineExceeded as expired:
+                if obs_metrics.metrics_enabled():
+                    obs_metrics.inc(
+                        "repro_resilience_deadline_exceeded_total",
+                        help="Requests that blew their deadline, by where",
+                        where="serve.request",
+                    )
+                self._send_json(
+                    503,
+                    {"error": str(expired), "reason": "deadline"},
+                    route=route,
+                    retry_after=server.policy.retry_after_seconds,
+                )
+            except (BrokenPipeError, ConnectionResetError):
+                self._count_disconnect(route)
             except Exception as error:  # never kill the serving thread
+                kind = "fault" if isinstance(error, InjectedFault) else "error"
                 try:
                     self._send_json(
-                        500, {"error": str(error)}, route=route
+                        500, {"error": str(error), "reason": kind}, route=route
                     )
                 except Exception:
                     pass
+            finally:
+                if admission is not None:
+                    admission.release()
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
             """The API is read-only; mutation happens through the publisher."""
@@ -155,7 +325,7 @@ def _make_handler(server: RuleServer):
 
         # ------------------------------------------------------------------
 
-        def _handle_rules(self, query_string: str) -> None:
+        def _handle_rules(self, query_string: str, deadline: Deadline) -> None:
             from repro.serve.query import RuleQuery
 
             try:
@@ -171,6 +341,10 @@ def _make_handler(server: RuleServer):
             except ValueError as error:
                 self._send_json(400, {"error": str(error)}, route="/rules")
                 return
+            # The answer is computed but undeliverable within its budget:
+            # shedding here keeps tail latency honest instead of letting
+            # an overloaded server stream ever-later responses.
+            deadline.raise_if_expired("request")
             self._send_json(
                 200,
                 {
@@ -189,6 +363,7 @@ def _make_handler(server: RuleServer):
             report.publish()
             payload = server.publisher.to_dict()
             payload["uptime_seconds"] = time.time() - server.started_at
+            payload["admission"] = server.shedder.to_dict()
             status = 503 if report.status == "crit" else 200
             self._send_json(status, payload, route="/healthz")
 
@@ -214,20 +389,52 @@ def _make_handler(server: RuleServer):
 
         # ------------------------------------------------------------------
 
-        def _send_json(self, status: int, payload: dict, *, route: str) -> None:
+        def _count_disconnect(self, route: str) -> None:
+            """A client vanished mid-response: count it, keep the thread."""
+            self.close_connection = True
+            if obs_metrics.metrics_enabled():
+                obs_metrics.inc(
+                    "repro_serve_client_disconnects_total",
+                    help="Responses abandoned because the client disconnected",
+                    route=route,
+                )
+
+        def _send_json(
+            self,
+            status: int,
+            payload: dict,
+            *,
+            route: str,
+            retry_after: Optional[float] = None,
+        ) -> None:
             body = json.dumps(payload).encode("utf-8")
             self._send_bytes(
-                status, body, "application/json; charset=utf-8", route=route
+                status, body, "application/json; charset=utf-8", route=route,
+                retry_after=retry_after if status in (429, 503) else None,
             )
 
         def _send_bytes(
-            self, status: int, body: bytes, content_type: str, *, route: str
+            self,
+            status: int,
+            body: bytes,
+            content_type: str,
+            *,
+            route: str,
+            retry_after: Optional[float] = None,
         ) -> None:
-            self.send_response(status)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                if retry_after is not None:
+                    self.send_header(
+                        "Retry-After", _retry_after_header(retry_after)
+                    )
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                self._count_disconnect(route)
+                return
             if obs_metrics.metrics_enabled():
                 obs_metrics.inc(
                     "repro_serve_http_requests_total",

@@ -12,6 +12,22 @@ Feed it from a live :class:`~repro.core.streaming.StreamingDARMiner` via
 or from checkpoint files — anything :func:`~repro.serve.snapshot.compile_snapshot`
 accepts.  Versions are assigned monotonically by the publisher, and every
 swap updates the ``repro_serve_snapshot_*`` gauges.
+
+**Failure visibility.**  A publish that dies mid-compile leaves the old
+snapshot serving — and leaves a record: the failure's timestamp, error
+class and message appear in :meth:`SnapshotPublisher.to_dict` and as a
+WARN check in :meth:`SnapshotPublisher.health`, so "the refresh silently
+stopped working an hour ago" is a page, not an archaeology project.
+
+**Supervised refresh.**  :class:`RefreshSupervisor` wraps the
+refresh-from-a-source loop in the resilience runtime: compile failures
+retry with jittered exponential backoff
+(:class:`~repro.resilience.runtime.RetryPolicy`), repeated failures trip
+a :class:`~repro.resilience.runtime.CircuitBreaker` (visible in
+``/healthz`` and ``/metrics``) so a broken miner is probed on a cooldown
+instead of hammered, and a :class:`StalenessPolicy` grace window
+degrades health ok → warn → crit as the served snapshot ages past its
+expected refresh cadence — no flapping.
 """
 
 from __future__ import annotations
@@ -19,14 +35,51 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from typing import Any, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
 
 from repro.obs import metrics as obs_metrics
-from repro.obs.health import CRIT, OK, HealthCheck, HealthReport
+from repro.obs.health import CRIT, OK, WARN, HealthCheck, HealthReport
+from repro.resilience import faults
+from repro.resilience.errors import CircuitOpenError
+from repro.resilience.runtime import (
+    CircuitBreaker,
+    Clock,
+    RetryPolicy,
+    SystemClock,
+)
 from repro.serve.query import QueryAnswer, QueryEngine, RuleQuery
 from repro.serve.snapshot import RuleSnapshot, compile_snapshot
 
-__all__ = ["SnapshotPublisher"]
+__all__ = ["StalenessPolicy", "SnapshotPublisher", "RefreshSupervisor"]
+
+
+@dataclass(frozen=True)
+class StalenessPolicy:
+    """The grace window before a served snapshot's age degrades health.
+
+    ``warn_after_seconds`` and ``crit_after_seconds`` bound the ok →
+    warn → crit ladder; pick them as small multiples of the refresh
+    cadence (e.g. 3x and 10x) so one missed refresh warns and a dead
+    refresh loop eventually pages.
+    """
+
+    warn_after_seconds: float = 300.0
+    crit_after_seconds: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.warn_after_seconds <= 0:
+            raise ValueError("warn_after_seconds must be positive")
+        if self.crit_after_seconds < self.warn_after_seconds:
+            raise ValueError("crit_after_seconds must be >= warn_after_seconds")
+
+    def grade(self, age_seconds: float) -> str:
+        """``ok``/``warn``/``crit`` for a snapshot of the given age."""
+        if age_seconds >= self.crit_after_seconds:
+            return CRIT
+        if age_seconds >= self.warn_after_seconds:
+            return WARN
+        return OK
 
 
 class SnapshotPublisher:
@@ -35,15 +88,29 @@ class SnapshotPublisher:
     ``source`` (optional) is published immediately; otherwise the
     publisher starts empty and :meth:`query` raises until the first
     :meth:`publish`.  A lock serializes concurrent *publishers* (version
-    assignment stays monotone); readers never take it.
+    assignment stays monotone); readers never take it.  ``staleness``
+    (optional) grades snapshot age in :meth:`health`; ``clock`` injects
+    time for deterministic tests.
     """
 
-    def __init__(self, source: Any = None, *, cache_size: int = 256):
+    def __init__(
+        self,
+        source: Any = None,
+        *,
+        cache_size: int = 256,
+        staleness: Optional[StalenessPolicy] = None,
+        clock: Optional[Clock] = None,
+    ):
         self.cache_size = cache_size
+        self.staleness = staleness
+        self._clock = clock or SystemClock()
         self._engine: Optional[QueryEngine] = None
         self._publish_lock = threading.Lock()
         self._versions = itertools.count(1)
         self._published_at: Optional[float] = None
+        self._last_failure: Optional[Dict[str, Any]] = None
+        self._failures_total = 0
+        self._supervisor: Optional["RefreshSupervisor"] = None
         if source is not None:
             self.publish(source)
 
@@ -68,6 +135,16 @@ class SnapshotPublisher:
         snapshot = self.snapshot
         return snapshot.version if snapshot is not None else 0
 
+    @property
+    def last_failure(self) -> Optional[Dict[str, Any]]:
+        """The most recent failed publish attempt (``None`` if none ever).
+
+        ``{"at": epoch_seconds, "error": class_name, "message": str}`` —
+        recorded even when (especially when) the previous snapshot kept
+        serving, and cleared by the next successful publish.
+        """
+        return self._last_failure
+
     def query(self, query: Optional[RuleQuery] = None, **kwargs) -> QueryAnswer:
         """Answer against the currently published snapshot.
 
@@ -89,14 +166,20 @@ class SnapshotPublisher:
 
         The compile (the expensive part) runs under the publish lock but
         readers never wait on it — they keep answering from the previous
-        engine until the final attribute store below.
+        engine until the final attribute store below.  A compile failure
+        leaves the old snapshot serving, records itself (see
+        :attr:`last_failure`) and re-raises.
         """
         started = time.perf_counter()
         with self._publish_lock:
             version = next(self._versions)
-            snapshot = compile_snapshot(
-                source, version=version, existing_version=version
-            )
+            try:
+                snapshot = compile_snapshot(
+                    source, version=version, existing_version=version
+                )
+            except Exception as error:
+                self._record_failure(error)
+                raise
             self.swap(snapshot)
         seconds = time.perf_counter() - started
         if obs_metrics.metrics_enabled():
@@ -108,11 +191,27 @@ class SnapshotPublisher:
             )
         return snapshot
 
+    def _record_failure(self, error: BaseException) -> None:
+        """Remember a failed publish so health/status can surface it."""
+        self._failures_total += 1
+        self._last_failure = {
+            "at": self._clock.time(),
+            "error": type(error).__name__,
+            "message": str(error),
+        }
+        if obs_metrics.metrics_enabled():
+            obs_metrics.inc(
+                "repro_serve_publish_failures_total",
+                help="Publish attempts that failed mid-compile, by error class",
+                error=type(error).__name__,
+            )
+
     def swap(self, snapshot: RuleSnapshot) -> None:
         """Install a pre-built snapshot: one attribute store, no reader locks."""
         engine = QueryEngine(snapshot, cache_size=self.cache_size)
         self._engine = engine  # the atomic swap readers observe
-        self._published_at = time.time()
+        self._published_at = self._clock.time()
+        self._last_failure = None
         if obs_metrics.metrics_enabled():
             obs_metrics.inc(
                 "repro_serve_publishes_total", help="Snapshot swaps performed"
@@ -129,19 +228,40 @@ class SnapshotPublisher:
             )
 
     def refresh(self, miner) -> RuleSnapshot:
-        """Re-publish from a streaming miner's current rule set."""
-        return self.publish(miner.rules())
+        """Re-publish from a streaming miner's current rule set.
+
+        The ``publisher.refresh`` fault point fires first, so the chaos
+        suite can fail or delay exactly this path; a failure inside
+        ``miner.rules()`` is recorded like any other publish failure.
+        """
+        try:
+            faults.fire("publisher.refresh")
+            source = miner.rules()
+        except Exception as error:
+            self._record_failure(error)
+            raise
+        return self.publish(source)
 
     # ------------------------------------------------------------------
     # Health
     # ------------------------------------------------------------------
 
+    def snapshot_age_seconds(self) -> Optional[float]:
+        """Seconds since the last swap (``None`` before the first)."""
+        if self._published_at is None:
+            return None
+        return max(0.0, self._clock.time() - self._published_at)
+
     def health(self) -> HealthReport:
         """A serve-side :class:`~repro.obs.health.HealthReport`.
 
         ``snapshot_published`` is the only gating check (CRIT while
-        nothing is served — the ``/healthz`` 503 condition); the rest are
-        informational readings a scraper can trend.
+        nothing is served — the ``/healthz`` 503 condition).  With a
+        :class:`StalenessPolicy` the age check degrades ok → warn →
+        crit through the grace window; a recorded publish failure and a
+        non-closed refresh circuit surface as WARN so operators see a
+        broken refresh long before the snapshot is stale enough to
+        page.  The rest are informational readings a scraper can trend.
         """
         report = HealthReport()
         snapshot = self.snapshot
@@ -151,6 +271,7 @@ class SnapshotPublisher:
                     "snapshot_published", CRIT, 0.0, "no snapshot published yet"
                 )
             )
+            self._append_failure_check(report)
             return report
         report.checks.append(
             HealthCheck(
@@ -161,13 +282,23 @@ class SnapshotPublisher:
                 f"({snapshot.n_rules} rules)",
             )
         )
-        age = time.time() - self._published_at if self._published_at else 0.0
-        report.checks.append(
-            HealthCheck(
-                "snapshot_age_seconds", OK, age,
-                "seconds since the last snapshot swap",
+        age = self.snapshot_age_seconds() or 0.0
+        if self.staleness is not None:
+            status = self.staleness.grade(age)
+            detail = (
+                f"seconds since the last snapshot swap (warn at "
+                f"{self.staleness.warn_after_seconds:g}s, crit at "
+                f"{self.staleness.crit_after_seconds:g}s)"
             )
+        else:
+            status, detail = OK, "seconds since the last snapshot swap"
+        report.checks.append(
+            HealthCheck("snapshot_age_seconds", status, age, detail)
         )
+        self._append_failure_check(report)
+        supervisor = self._supervisor
+        if supervisor is not None:
+            report.checks.append(supervisor.health_check())
         engine = self._engine
         if engine is not None:
             info = engine.cache_info()
@@ -182,13 +313,189 @@ class SnapshotPublisher:
             )
         return report
 
+    def _append_failure_check(self, report: HealthReport) -> None:
+        """WARN while the most recent publish attempt failed."""
+        if self._last_failure is None:
+            if self._failures_total:
+                report.checks.append(
+                    HealthCheck(
+                        "last_refresh_failure",
+                        OK,
+                        0.0,
+                        f"recovered; {self._failures_total} failure(s) total",
+                    )
+                )
+            return
+        ago = max(0.0, self._clock.time() - self._last_failure["at"])
+        report.checks.append(
+            HealthCheck(
+                "last_refresh_failure",
+                WARN,
+                ago,
+                f"{self._last_failure['error']}: "
+                f"{self._last_failure['message']} "
+                f"({self._failures_total} failure(s) total; previous "
+                f"snapshot still serving)",
+            )
+        )
+
     def to_dict(self) -> Dict[str, Any]:
         """Serving status as built-ins (the ``/healthz`` payload core)."""
         snapshot = self.snapshot
-        return {
+        payload = {
             "version": self.version,
             "n_rules": snapshot.n_rules if snapshot is not None else 0,
             "created_at": snapshot.created_at if snapshot is not None else None,
             "partitions": list(snapshot.partitions) if snapshot is not None else [],
+            "snapshot_age_seconds": self.snapshot_age_seconds(),
+            "last_failure": self._last_failure,
+            "publish_failures_total": self._failures_total,
             "health": self.health().to_dict(),
+        }
+        if self._supervisor is not None:
+            payload["refresh"] = self._supervisor.to_dict()
+        return payload
+
+
+class RefreshSupervisor:
+    """Keeps a publisher fresh from a source that is allowed to fail.
+
+    ``source`` is whatever :meth:`SnapshotPublisher.refresh` accepts (an
+    object with ``rules()``, typically a streaming miner).  Each
+    :meth:`refresh_once`:
+
+    1. asks the circuit breaker for permission — while the circuit is
+       open the refresh is *skipped* (counted, visible in health), not
+       attempted, so a broken miner gets a cooldown instead of a
+       hammering;
+    2. runs the refresh under the retry policy — transient compile
+       failures back off (jittered exponential, through the clock) and
+       retry up to the policy's cap;
+    3. records the overall outcome with the breaker: enough consecutive
+       failed refreshes trip it, and the first successful probe after
+       the cooldown closes it again.
+
+    Attaching the supervisor registers it with the publisher so its
+    circuit state appears in ``/healthz``.  :meth:`run` drives the loop
+    on an interval through the injectable clock; tests call
+    :meth:`refresh_once` directly and never sleep.
+    """
+
+    def __init__(
+        self,
+        publisher: SnapshotPublisher,
+        source: Any,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        clock: Optional[Clock] = None,
+    ):
+        self.publisher = publisher
+        self.source = source
+        self.clock = clock or publisher._clock
+        self.retry = retry if retry is not None else RetryPolicy(retries=2)
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=3, reset_timeout=30.0,
+            name="publisher.refresh", clock=self.clock,
+        )
+        self.refreshes_total = 0
+        self.skips_total = 0
+        self._stop = threading.Event()
+        publisher._supervisor = self
+
+    def refresh_once(self) -> Optional[RuleSnapshot]:
+        """One supervised refresh; ``None`` when skipped by an open circuit.
+
+        A refresh that still fails after the retry budget re-raises (the
+        caller's loop decides whether to keep going) *after* the breaker
+        has recorded the failure.
+        """
+        try:
+            self.breaker.check()
+        except CircuitOpenError:
+            self.skips_total += 1
+            if obs_metrics.metrics_enabled():
+                obs_metrics.inc(
+                    "repro_serve_refresh_skips_total",
+                    help="Refresh ticks skipped because the circuit was open",
+                )
+            return None
+        try:
+            snapshot = self.retry.call(
+                lambda: self.publisher.refresh(self.source),
+                clock=self.clock,
+            )
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        self.refreshes_total += 1
+        return snapshot
+
+    def run(
+        self,
+        interval_seconds: float,
+        *,
+        max_ticks: Optional[int] = None,
+    ) -> None:
+        """Tick :meth:`refresh_once` every interval until :meth:`stop`.
+
+        Failures (including post-retry ones) are swallowed here — they
+        are already recorded in the publisher's failure state, the
+        breaker and the metrics; the loop's job is to survive them.
+        ``max_ticks`` bounds the loop for tests and drills.
+        """
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        ticks = 0
+        while not self._stop.is_set():
+            if max_ticks is not None and ticks >= max_ticks:
+                return
+            try:
+                self.refresh_once()
+            except Exception:
+                pass
+            ticks += 1
+            self.clock.sleep(interval_seconds)
+
+    def start(self, interval_seconds: float) -> threading.Thread:
+        """Run the loop on a named daemon thread; returns it."""
+        thread = threading.Thread(
+            target=self.run,
+            args=(interval_seconds,),
+            name="repro-refresh",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        """Ask a running loop to exit after its current tick."""
+        self._stop.set()
+
+    def health_check(self) -> HealthCheck:
+        """The circuit's state as a health row (warn unless closed)."""
+        state = self.breaker.state
+        status = OK if state == "closed" else WARN
+        retry_after = self.breaker.retry_after()
+        detail = (
+            f"refresh circuit {state} "
+            f"({self.breaker.consecutive_failures} consecutive failure(s), "
+            f"{self.skips_total} skip(s)"
+            + (f"; probe in {retry_after:.1f}s" if retry_after else "")
+            + ")"
+        )
+        from repro.resilience.runtime import _STATE_LEVELS
+
+        return HealthCheck(
+            "refresh_circuit", status, float(_STATE_LEVELS[state]), detail
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Supervisor status for the ``/healthz`` payload."""
+        return {
+            "circuit": self.breaker.to_dict(),
+            "refreshes_total": self.refreshes_total,
+            "skips_total": self.skips_total,
+            "retries": self.retry.retries,
         }

@@ -1,0 +1,419 @@
+"""The overload-control runtime: deadlines, backoff, breakers, shedding.
+
+Everything runs on :class:`FakeClock` — the suite never sleeps for real.
+The backoff and circuit-breaker state machines get hypothesis property
+tests (monotonicity, jitter bounds, threshold exactness) on top of the
+example-based transitions.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    OverloadError,
+    RejectedError,
+)
+from repro.resilience.runtime import (
+    CircuitBreaker,
+    Deadline,
+    FakeClock,
+    LoadShedder,
+    RetryPolicy,
+    SystemClock,
+)
+
+
+class TestFakeClock:
+    def test_advance_moves_both_readings(self):
+        clock = FakeClock(start=10.0, wall_start=100.0)
+        clock.advance(2.5)
+        assert clock.monotonic() == pytest.approx(12.5)
+        assert clock.time() == pytest.approx(102.5)
+
+    def test_sleep_is_instant_and_recorded(self):
+        clock = FakeClock(start=0.0)
+        clock.sleep(3.0)
+        clock.sleep(0.5)
+        assert clock.sleeps == [3.0, 0.5]
+        assert clock.monotonic() == pytest.approx(3.5)
+
+    def test_negative_motion_rejected(self):
+        clock = FakeClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.sleep(-1)
+
+
+class TestDeadline:
+    def test_counts_down_and_expires(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock)
+        assert deadline.remaining() == pytest.approx(1.0)
+        assert not deadline.expired()
+        clock.advance(0.75)
+        assert deadline.remaining() == pytest.approx(0.25)
+        clock.advance(0.5)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_raise_if_expired(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.1, clock)
+        deadline.raise_if_expired()  # plenty of budget: no-op
+        clock.advance(0.2)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.raise_if_expired("the query")
+        assert "the query" in str(excinfo.value)
+        assert isinstance(excinfo.value, OverloadError)
+
+    def test_unbounded_never_expires(self):
+        clock = FakeClock()
+        deadline = Deadline(None, clock)
+        clock.advance(1e9)
+        assert deadline.remaining() is None
+        assert not deadline.expired()
+        deadline.raise_if_expired()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0, FakeClock())
+
+
+class TestRetryPolicy:
+    @given(
+        base=st.floats(min_value=1e-3, max_value=10.0),
+        multiplier=st.floats(min_value=1.0, max_value=8.0),
+        cap_factor=st.floats(min_value=1.0, max_value=100.0),
+        attempts=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_backoff_monotone_and_capped(
+        self, base, multiplier, cap_factor, attempts
+    ):
+        policy = RetryPolicy(
+            retries=3,
+            base_delay=base,
+            multiplier=multiplier,
+            max_delay=base * cap_factor,
+            jitter=0.0,
+        )
+        schedule = [policy.backoff(i) for i in range(attempts)]
+        assert schedule == sorted(schedule)  # monotone non-decreasing
+        assert all(delay <= policy.max_delay for delay in schedule)
+        assert schedule[0] == pytest.approx(min(base, policy.max_delay))
+
+    @given(
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+        attempt=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_jitter_bounds(self, jitter, seed, attempt):
+        policy = RetryPolicy(
+            retries=3, base_delay=0.1, multiplier=2.0, max_delay=5.0,
+            jitter=jitter, seed=seed,
+        )
+        backoff = policy.backoff(attempt)
+        delay = policy.delay(attempt)
+        assert backoff * (1.0 - jitter) - 1e-12 <= delay <= backoff + 1e-12
+
+    def test_same_seed_replays_same_schedule(self):
+        a = RetryPolicy(retries=5, seed=42)
+        b = RetryPolicy(retries=5, seed=42)
+        assert list(a.delays()) == list(b.delays())
+
+    def test_call_retries_then_succeeds(self):
+        clock = FakeClock()
+        policy = RetryPolicy(retries=2, base_delay=0.1, jitter=0.0, seed=0)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return "done"
+
+        assert policy.call(flaky, clock=clock) == "done"
+        assert len(calls) == 3
+        assert clock.sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_call_exhausts_and_reraises(self):
+        clock = FakeClock()
+        policy = RetryPolicy(retries=2, base_delay=0.1, jitter=0.0)
+
+        def always_broken():
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError, match="permanent"):
+            policy.call(always_broken, clock=clock)
+        assert len(clock.sleeps) == 2  # retried exactly the budget
+
+    def test_call_only_retries_requested_errors(self):
+        clock = FakeClock()
+        policy = RetryPolicy(retries=5, base_delay=0.1)
+
+        def wrong_kind():
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            policy.call(wrong_kind, retry_on=(ValueError,), clock=clock)
+        assert clock.sleeps == []  # no pointless backoff
+
+    def test_call_honors_deadline(self):
+        clock = FakeClock()
+        policy = RetryPolicy(retries=10, base_delay=1.0, jitter=0.0)
+        deadline = Deadline(2.5, clock)
+
+        def always_broken():
+            raise ValueError("still down")
+
+        with pytest.raises(ValueError):
+            policy.call(always_broken, clock=clock, deadline=deadline)
+        # paused 1s + 2s (cap), then the next 2s pause would overrun the
+        # 2.5s budget — raises instead of sleeping into a lost cause.
+        assert sum(clock.sleeps) <= 2.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=1.0, max_delay=0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestCircuitBreaker:
+    def make(self, clock, threshold=3, cooldown=30.0):
+        return CircuitBreaker(
+            threshold, cooldown, name="test", clock=clock
+        )
+
+    def test_closed_until_threshold(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.check()  # still admitting
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_success_resets_the_run(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never two *consecutive* failures
+
+    def test_open_rejects_with_retry_after(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check()
+        assert excinfo.value.retry_after == pytest.approx(6.0)
+
+    def test_cooldown_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        breaker.check()  # the probe is admitted
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.check()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.retry_after() == pytest.approx(10.0)
+
+    def test_half_open_admits_single_probe(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.check()  # first probe in
+        with pytest.raises(CircuitOpenError):
+            breaker.check()  # concurrent second caller refused
+
+    def test_call_wrapper_records_outcomes(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=2)
+        with pytest.raises(ValueError):
+            breaker.call(lambda: (_ for _ in ()).throw(ValueError("x")))
+        assert breaker.consecutive_failures == 1
+        assert breaker.call(lambda: 7) == 7
+        assert breaker.consecutive_failures == 0
+
+    @given(
+        threshold=st.integers(min_value=1, max_value=8),
+        outcomes=st.lists(st.booleans(), min_size=1, max_size=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_trips_exactly_on_consecutive_threshold(self, threshold, outcomes):
+        """The breaker is open iff some tail run of failures hit the
+        threshold — never earlier, never later (no cooldown elapses)."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            threshold, 1e9, name="prop", clock=clock
+        )
+        run = 0
+        tripped = False
+        for ok in outcomes:
+            if ok:
+                breaker.record_success()
+                run = 0
+                tripped = False
+            else:
+                breaker.record_failure()
+                run += 1
+                if run >= threshold:
+                    tripped = True
+        assert (breaker.state == "open") == tripped
+
+    def test_to_dict_shape(self):
+        breaker = self.make(FakeClock())
+        payload = breaker.to_dict()
+        assert payload["state"] == "closed"
+        assert payload["failure_threshold"] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(1, -1.0)
+
+
+class TestLoadShedder:
+    def test_inflight_bound_sheds_and_releases(self):
+        shedder = LoadShedder(2, clock=FakeClock())
+        first = shedder.try_admit()
+        second = shedder.try_admit()
+        with pytest.raises(RejectedError) as excinfo:
+            shedder.try_admit()
+        assert excinfo.value.reason == "inflight"
+        assert excinfo.value.retry_after == pytest.approx(1.0)
+        first.release()
+        third = shedder.try_admit()  # slot freed
+        second.release()
+        third.release()
+        assert shedder.inflight == 0
+        assert shedder.admitted_total == 3
+        assert shedder.shed_total == 1
+
+    def test_release_is_idempotent(self):
+        shedder = LoadShedder(1, clock=FakeClock())
+        admission = shedder.try_admit()
+        admission.release()
+        admission.release()
+        assert shedder.inflight == 0
+
+    def test_admission_as_context_manager(self):
+        shedder = LoadShedder(1, clock=FakeClock())
+        with shedder.try_admit():
+            assert shedder.inflight == 1
+        assert shedder.inflight == 0
+
+    def test_token_bucket_refills_through_the_clock(self):
+        clock = FakeClock()
+        shedder = LoadShedder(rate=2.0, burst=2, clock=clock)
+        shedder.try_admit().release()
+        shedder.try_admit().release()
+        with pytest.raises(RejectedError) as excinfo:
+            shedder.try_admit()
+        assert excinfo.value.reason == "rate"
+        assert excinfo.value.retry_after == pytest.approx(0.5)
+        clock.advance(0.5)  # one token back at 2/s
+        shedder.try_admit().release()
+        with pytest.raises(RejectedError):
+            shedder.try_admit()
+
+    def test_burst_caps_the_bucket(self):
+        clock = FakeClock()
+        shedder = LoadShedder(rate=1.0, burst=3, clock=clock)
+        clock.advance(1000.0)  # a long idle period must not bank tokens
+        for _ in range(3):
+            shedder.try_admit().release()
+        with pytest.raises(RejectedError):
+            shedder.try_admit()
+
+    def test_rate_shed_consumes_no_inflight_slot(self):
+        clock = FakeClock()
+        shedder = LoadShedder(5, rate=1.0, burst=1, clock=clock)
+        shedder.try_admit()
+        with pytest.raises(RejectedError) as excinfo:
+            shedder.try_admit()
+        assert excinfo.value.reason == "rate"
+        assert shedder.inflight == 1
+
+    def test_unbounded_tracks_inflight_for_drain(self):
+        shedder = LoadShedder(clock=FakeClock())
+        admissions = [shedder.try_admit() for _ in range(50)]
+        assert shedder.inflight == 50
+        for admission in admissions:
+            admission.release()
+        assert shedder.drain(timeout=0.1)
+
+    def test_drain_waits_for_concurrent_release(self):
+        shedder = LoadShedder(4, clock=FakeClock())
+        admission = shedder.try_admit()
+        released = threading.Event()
+
+        def releaser():
+            released.wait(5.0)
+            admission.release()
+
+        thread = threading.Thread(target=releaser)
+        thread.start()
+        assert not shedder.drain(timeout=0.05)  # still held
+        released.set()
+        assert shedder.drain(timeout=5.0)
+        thread.join()
+
+    def test_to_dict_shape(self):
+        shedder = LoadShedder(3, rate=10.0, clock=FakeClock())
+        payload = shedder.to_dict()
+        assert payload["max_inflight"] == 3
+        assert payload["rate"] == 10.0
+        assert payload["inflight"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadShedder(0)
+        with pytest.raises(ValueError):
+            LoadShedder(rate=-1.0)
+        with pytest.raises(ValueError):
+            LoadShedder(burst=0)
+        with pytest.raises(ValueError):
+            LoadShedder(1, retry_after_hint=-0.1)
+        with pytest.raises(ValueError):
+            LoadShedder(1, clock=FakeClock()).try_admit(cost=0)
+
+
+class TestSystemClock:
+    def test_readings_are_sane(self):
+        clock = SystemClock()
+        first = clock.monotonic()
+        assert clock.monotonic() >= first
+        assert clock.time() > 1e9  # later than 2001
+        clock.sleep(0)  # zero pause must not block

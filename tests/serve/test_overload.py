@@ -1,0 +1,443 @@
+"""Overload drills against a live server — no real ``time.sleep`` anywhere.
+
+Concurrency is pinned with :class:`~repro.resilience.faults.Gate`
+barriers (hold exactly K requests in flight, then act), latency with a
+clock-routed ``slow_at`` (a :class:`FakeClock` makes injected delay an
+instant time jump), and every cooldown/deadline reads the injected
+clock.  The only real waiting is event-based: joins, condition
+variables, and sockets.
+"""
+
+import http.client
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.resilience import faults
+from repro.resilience.runtime import CircuitBreaker, FakeClock, RetryPolicy
+from repro.serve.http import RuleServer, ServePolicy
+from repro.serve.publisher import RefreshSupervisor, SnapshotPublisher
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    """Every test leaves the process without an active injector."""
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def live_metrics():
+    registry = obs_metrics.get_registry()
+    was_enabled = obs_metrics.metrics_enabled()
+    registry.reset()
+    obs_metrics.enable_metrics()
+    yield registry
+    if not was_enabled:
+        obs_metrics.disable_metrics()
+    registry.reset()
+
+
+def _get(base_url, path, timeout=10):
+    """GET returning ``(status, headers, parsed-or-raw body)``."""
+    try:
+        with urllib.request.urlopen(base_url + path, timeout=timeout) as resp:
+            status, headers, body = resp.status, resp.headers, resp.read()
+    except urllib.error.HTTPError as error:
+        status, headers, body = error.code, error.headers, error.read()
+    try:
+        payload = json.loads(body)
+    except (ValueError, UnicodeDecodeError):
+        payload = body
+    return status, headers, payload
+
+
+def _fan_out(base_url, path, clients):
+    """``clients`` threads GET ``path`` once each; returns their results."""
+    results = [None] * clients
+    threads = []
+
+    def one(i):
+        results[i] = _get(base_url, path)
+
+    for i in range(clients):
+        thread = threading.Thread(target=one, args=(i,))
+        thread.start()
+        threads.append(thread)
+    return threads, results
+
+
+class TestOverloadDrill:
+    """The acceptance drill: capacity K, N > K concurrent clients."""
+
+    CAPACITY = 2
+    CLIENTS = 6
+
+    def test_excess_is_shed_admitted_all_succeed(self, planted_result):
+        injector = faults.FaultInjector()
+        gate = injector.block_at("serve.request")
+        faults.install(injector)
+        policy = ServePolicy(
+            max_inflight=self.CAPACITY, deadline_seconds=30.0
+        )
+        publisher = SnapshotPublisher(planted_result)
+        server = RuleServer(publisher, port=0, policy=policy).start()
+        try:
+            threads, results = _fan_out(
+                server.url, "/rules", self.CLIENTS
+            )
+            # Exactly K requests are now parked in flight; the rest shed
+            # immediately, so their threads finish without the gate.
+            assert gate.wait_for_waiters(self.CAPACITY)
+            assert server.shedder.inflight == self.CAPACITY
+
+            # The operator routes stay reachable mid-overload.
+            status, _, payload = _get(server.url, "/healthz")
+            assert status == 200
+            assert payload["admission"]["inflight"] == self.CAPACITY
+            status, _, text = _get(server.url, "/metrics")
+            assert status == 200
+            assert 'repro_resilience_shed_total{reason="inflight"}' in (
+                text.decode("utf-8")
+            )
+
+            gate.release()
+            for thread in threads:
+                thread.join(timeout=10)
+            codes = sorted(status for status, _, _ in results)
+            assert codes == (
+                [200] * self.CAPACITY + [503] * (self.CLIENTS - self.CAPACITY)
+            )
+            for status, headers, payload in results:
+                if status == 503:
+                    assert headers["Retry-After"] == "1"
+                    assert payload["reason"] == "inflight"
+                else:  # no 5xx on admitted traffic — real answers only
+                    assert payload["count"] == payload["total_rules"]
+            assert server.shedder.shed_total == self.CLIENTS - self.CAPACITY
+            assert server.shedder.admitted_total >= self.CAPACITY
+        finally:
+            gate.release()
+            faults.uninstall()
+            assert server.shutdown() is True  # drains clean once released
+        assert server.shedder.inflight == 0
+
+    def test_rate_limit_answers_429_through_fake_clock(self, planted_result):
+        clock = FakeClock()
+        policy = ServePolicy(rate=1.0, burst=1)
+        publisher = SnapshotPublisher(planted_result)
+        with RuleServer(
+            publisher, port=0, policy=policy, clock=clock
+        ).start() as server:
+            status, _, _ = _get(server.url, "/rules")
+            assert status == 200
+            status, headers, payload = _get(server.url, "/rules")
+            assert status == 429
+            assert headers["Retry-After"] == "1"
+            assert payload["reason"] == "rate"
+            # The bucket refills through the injected clock, not wall time.
+            clock.advance(1.0)
+            status, _, _ = _get(server.url, "/rules")
+            assert status == 200
+
+    def test_healthz_exempt_from_rate_limit(self, planted_result):
+        policy = ServePolicy(rate=1.0, burst=1)
+        publisher = SnapshotPublisher(planted_result)
+        with RuleServer(
+            publisher, port=0, policy=policy, clock=FakeClock()
+        ).start() as server:
+            _get(server.url, "/rules")  # drains the only token
+            for _ in range(3):
+                status, _, _ = _get(server.url, "/healthz")
+                assert status == 200
+
+
+class TestDeadlines:
+    def test_slow_request_is_shed_with_503(self, planted_result):
+        clock = FakeClock()
+        injector = faults.FaultInjector()
+        injector.slow_at("serve.request", 2.0, clock=clock)
+        faults.install(injector)
+        policy = ServePolicy(deadline_seconds=0.5)
+        publisher = SnapshotPublisher(planted_result)
+        with RuleServer(
+            publisher, port=0, policy=policy, clock=clock
+        ).start() as server:
+            status, headers, payload = _get(server.url, "/rules")
+            assert status == 503
+            assert payload["reason"] == "deadline"
+            assert headers["Retry-After"] == "1"
+            assert clock.sleeps == [2.0]  # the injected latency, zero wall time
+        assert obs_metrics.get_registry().value(
+            "repro_resilience_deadline_exceeded_total", where="serve.request"
+        ) == 1
+
+    def test_fast_request_survives_its_deadline(self, planted_result):
+        clock = FakeClock()
+        policy = ServePolicy(deadline_seconds=0.5)
+        publisher = SnapshotPublisher(planted_result)
+        with RuleServer(
+            publisher, port=0, policy=policy, clock=clock
+        ).start() as server:
+            status, _, payload = _get(server.url, "/rules")
+            assert status == 200
+            assert payload["count"] > 0
+
+
+class TestSlowLoris:
+    def test_stalled_request_is_disconnected(self, planted_result):
+        """A client that sends half a request and stalls loses its
+        connection after ``read_timeout_seconds`` instead of pinning a
+        handler thread forever (regression: the stdlib default is no
+        timeout at all)."""
+        policy = ServePolicy(read_timeout_seconds=0.2)
+        publisher = SnapshotPublisher(planted_result)
+        with RuleServer(publisher, port=0, policy=policy).start() as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(b"GET /rules HTTP/1.1\r\nHost: loris\r\n")
+                sock.settimeout(10)  # never send the final CRLF; just wait
+                assert sock.recv(1024) == b""  # server hung up on us
+            # The freed thread keeps serving real traffic.
+            status, _, _ = _get(server.url, "/healthz")
+            assert status == 200
+
+    def test_handler_timeout_tracks_policy(self, planted_result):
+        publisher = SnapshotPublisher(planted_result)
+        policy = ServePolicy(read_timeout_seconds=7.5)
+        server = RuleServer(publisher, port=0, policy=policy)
+        try:
+            assert server._httpd.RequestHandlerClass.timeout == 7.5
+        finally:
+            server.shutdown()
+
+
+class TestClientDisconnect:
+    def _stub_handler(self, server, route="/rules"):
+        """A handler instance with the network replaced by stubs."""
+        handler_cls = server._httpd.RequestHandlerClass
+        handler = handler_cls.__new__(handler_cls)
+        handler.send_response = lambda *a, **k: None
+        handler.send_header = lambda *a, **k: None
+        handler.end_headers = lambda *a, **k: None
+        return handler
+
+    def test_broken_pipe_is_counted_not_raised(self, planted_result):
+        publisher = SnapshotPublisher(planted_result)
+        server = RuleServer(publisher, port=0)
+        try:
+            handler = self._stub_handler(server)
+
+            class _GonePipe:
+                def write(self, data):
+                    raise BrokenPipeError("client went away")
+
+            handler.wfile = _GonePipe()
+            # Must not raise — the serving thread survives the client.
+            handler._send_bytes(
+                200, b"{}", "application/json", route="/rules"
+            )
+            assert handler.close_connection is True
+            assert obs_metrics.get_registry().value(
+                "repro_serve_client_disconnects_total", route="/rules"
+            ) == 1
+        finally:
+            server.shutdown()
+
+    def test_connection_reset_is_counted_not_raised(self, planted_result):
+        publisher = SnapshotPublisher(planted_result)
+        server = RuleServer(publisher, port=0)
+        try:
+            handler = self._stub_handler(server)
+
+            class _ResetPipe:
+                def write(self, data):
+                    raise ConnectionResetError("reset by peer")
+
+            handler.wfile = _ResetPipe()
+            handler._send_bytes(200, b"{}", "text/plain", route="/metrics")
+            assert obs_metrics.get_registry().value(
+                "repro_serve_client_disconnects_total", route="/metrics"
+            ) == 1
+        finally:
+            server.shutdown()
+
+    def test_server_survives_abrupt_client_close(self, planted_result):
+        publisher = SnapshotPublisher(planted_result)
+        with RuleServer(publisher, port=0).start() as server:
+            host, port = server.address
+            sock = socket.create_connection((host, port), timeout=10)
+            # RST on close: the handler may hit the broken pipe mid-write.
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                __import__("struct").pack("ii", 1, 0),
+            )
+            sock.sendall(b"GET /rules HTTP/1.1\r\nHost: x\r\n\r\n")
+            sock.close()
+            # Whatever happened on that thread, the server still answers.
+            for _ in range(3):
+                status, _, _ = _get(server.url, "/rules")
+                assert status == 200
+
+
+class TestGracefulDrain:
+    def test_shutdown_reports_unfinished_inflight(self, planted_result):
+        injector = faults.FaultInjector()
+        gate = injector.block_at("serve.request")
+        faults.install(injector)
+        publisher = SnapshotPublisher(planted_result)
+        server = RuleServer(publisher, port=0).start()
+        try:
+            threads, results = _fan_out(server.url, "/rules", 1)
+            assert gate.wait_for_waiters(1)
+            # The drain window expires with the request still parked.
+            assert server.shutdown(drain_seconds=0.05) is False
+            assert obs_metrics.get_registry().value(
+                "repro_serve_drains_total", clean="false"
+            ) == 1
+        finally:
+            gate.release()
+            faults.uninstall()
+        for thread in threads:
+            thread.join(timeout=10)
+        # The parked request still completed once released — drain never
+        # kills work, it only reports whether the window sufficed.
+        assert results[0][0] == 200
+
+    def test_clean_shutdown_drains_true(self, planted_result):
+        publisher = SnapshotPublisher(planted_result)
+        server = RuleServer(publisher, port=0).start()
+        status, _, _ = _get(server.url, "/rules")
+        assert status == 200
+        assert server.shutdown() is True
+
+
+class TestCircuitVisibility:
+    """A tripped refresh circuit shows in /healthz (warn) and /metrics,
+    and recovery after the cooldown is observable end to end."""
+
+    class _FlakySource:
+        def __init__(self, result):
+            self.result = result
+            self.broken = True
+
+        def rules(self):
+            if self.broken:
+                raise RuntimeError("miner wedged")
+            return self.result
+
+    def test_trip_surface_and_recovery(self, planted_result):
+        clock = FakeClock()
+        publisher = SnapshotPublisher(planted_result, clock=clock)
+        source = self._FlakySource(planted_result)
+        supervisor = RefreshSupervisor(
+            publisher,
+            source,
+            retry=RetryPolicy(retries=0),
+            breaker=CircuitBreaker(
+                failure_threshold=2, reset_timeout=10.0,
+                name="publisher.refresh", clock=clock,
+            ),
+            clock=clock,
+        )
+        with RuleServer(publisher, port=0).start() as server:
+            for _ in range(2):  # trip the breaker
+                with pytest.raises(RuntimeError):
+                    supervisor.refresh_once()
+            assert supervisor.refresh_once() is None  # open → skipped
+
+            status, _, payload = _get(server.url, "/healthz")
+            assert status == 200  # old snapshot still serves: warn, not crit
+            assert payload["health"]["status"] == "warn"
+            checks = {
+                check["name"]: check
+                for check in payload["health"]["checks"]
+            }
+            assert checks["refresh_circuit"]["status"] == "warn"
+            assert "open" in checks["refresh_circuit"]["detail"]
+            assert checks["last_refresh_failure"]["status"] == "warn"
+            assert "RuntimeError" in checks["last_refresh_failure"]["detail"]
+            assert payload["refresh"]["circuit"]["state"] == "open"
+            assert payload["refresh"]["skips_total"] == 1
+
+            status, _, text = _get(server.url, "/metrics")
+            exposition = text.decode("utf-8")
+            assert (
+                'repro_resilience_circuit_state{circuit="publisher.refresh"} 2'
+                in exposition
+            )
+            assert "repro_serve_refresh_skips_total" in exposition
+
+            # Cooldown elapses on the fake clock; the probe succeeds.
+            clock.advance(10.0)
+            source.broken = False
+            assert supervisor.refresh_once() is not None
+
+            status, _, payload = _get(server.url, "/healthz")
+            assert payload["health"]["status"] == "ok"
+            checks = {
+                check["name"]: check
+                for check in payload["health"]["checks"]
+            }
+            assert checks["refresh_circuit"]["status"] == "ok"
+            assert "recovered" in checks["last_refresh_failure"]["detail"]
+            assert payload["refresh"]["circuit"]["state"] == "closed"
+
+            status, _, text = _get(server.url, "/metrics")
+            assert (
+                'repro_resilience_circuit_state{circuit="publisher.refresh"} 0'
+                in text.decode("utf-8")
+            )
+
+
+class TestInjectedServeFaults:
+    def test_injected_request_fault_is_500_not_thread_death(
+        self, planted_result
+    ):
+        injector = faults.FaultInjector()
+        injector.fail_at("serve.request", times=1)
+        faults.install(injector)
+        publisher = SnapshotPublisher(planted_result)
+        with RuleServer(publisher, port=0).start() as server:
+            status, _, payload = _get(server.url, "/rules")
+            assert status == 500
+            assert payload["reason"] == "fault"
+            faults.uninstall()
+            status, _, _ = _get(server.url, "/rules")
+            assert status == 200
+        assert server.shedder.inflight == 0  # the slot was released
+
+
+class TestKeepaliveConnection:
+    def test_sheds_and_successes_share_a_connection(self, planted_result):
+        """HTTP/1.1 keep-alive: a shed (429) answer doesn't poison the
+        connection for the retry that follows it."""
+        clock = FakeClock()
+        policy = ServePolicy(rate=1.0, burst=1)
+        publisher = SnapshotPublisher(planted_result)
+        with RuleServer(
+            publisher, port=0, policy=policy, clock=clock
+        ).start() as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                conn.request("GET", "/rules")
+                assert conn.getresponse().read() and True
+                conn.request("GET", "/rules")
+                shed = conn.getresponse()
+                shed.read()
+                assert shed.status == 429
+                clock.advance(1.0)
+                conn.request("GET", "/rules")
+                ok = conn.getresponse()
+                ok.read()
+                assert ok.status == 200
+            finally:
+                conn.close()
