@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence, Union
 
 from repro.core.config import DARConfig
 from repro.core.miner import DARResult
+from repro.data.columnar import ColumnStore
 from repro.data.relation import AttributePartition, Relation
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -42,7 +43,7 @@ __all__ = ["mine"]
 
 
 def mine(
-    relation: Relation,
+    relation: Union[Relation, ColumnStore],
     *,
     config: Optional[Union[DARConfig, Mapping[str, Any]]] = None,
     partitions: Optional[Sequence[AttributePartition]] = None,
@@ -61,6 +62,15 @@ def mine(
     (recorded in ``result.phase2.events``), a Phase II kernel failure
     falls back to the scalar engine, and a structurally corrupt result is
     never returned.
+
+    ``relation`` may also be a memory-mapped
+    :class:`~repro.data.columnar.ColumnStore` (from
+    ``load_csv(..., out_of_core=True)`` or the
+    :class:`~repro.data.columnar.ColumnStore` constructors): Phase I then
+    scans it chunk by chunk so datasets larger than RAM mine in bounded
+    memory, and a columnar backend failure degrades to an in-memory
+    retry (recorded in ``result.phase2.events``).  Out-of-core runs use
+    the serial engine — pass ``engine="serial"`` (the default).
 
     ``config`` — a :class:`DARConfig`, a mapping of its fields, or ``None``
     for the paper's defaults.  ``partitions`` — the attribute partitioning
@@ -82,6 +92,13 @@ def mine(
     """
     from repro.resilience.guard import guarded_mine
 
+    if isinstance(relation, ColumnStore) and engine != "serial":
+        raise ValueError(
+            "out-of-core mining (a ColumnStore input) runs on the serial "
+            "engine; the parallel engine would materialize every column "
+            "into shared memory — pass engine='serial', or materialize "
+            "explicitly with store.to_relation()"
+        )
     if config is None:
         config = DARConfig()
     elif isinstance(config, Mapping):

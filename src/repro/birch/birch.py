@@ -57,6 +57,14 @@ class BirchOptions:
     batch_insert: bool = True
     """Scan through :meth:`ACFTree.insert_points` (same clusters, faster);
     set ``False`` to force the historical per-point loop."""
+    scan_chunk_rows: Optional[int] = None
+    """Batch cadence (rows per ``insert_points`` call) for unbudgeted scans.
+
+    ``None`` keeps the historical behaviour: the whole scan as one batch
+    in-memory, or the caller's chunk boundaries when scanning a chunk
+    stream.  A memory budget always overrides this with the fixed
+    ``_MEMORY_CHECK_INTERVAL`` cadence so budgeted results are
+    bit-identical regardless of where the rows came from."""
 
     def __post_init__(self) -> None:
         if not 0.0 < self.frequency_fraction <= 1.0:
@@ -65,6 +73,8 @@ class BirchOptions:
             raise ValueError("outlier_page_fraction must be in [0, 1]")
         if self.memory_limit_bytes is not None and self.memory_limit_bytes <= 0:
             raise ValueError("memory_limit_bytes must be positive when set")
+        if self.scan_chunk_rows is not None and self.scan_chunk_rows < 1:
+            raise ValueError("scan_chunk_rows must be at least 1 when set")
 
 
 @dataclass
@@ -158,14 +168,40 @@ class BirchClusterer:
             "phase1.fit", partition=self.partition.name
         ) as fit_span:
             result = self._fit_arrays(points, cross_matrices)
-            stats = result.stats
-            fit_span.set("points", stats.points_inserted)
-            fit_span.set("entries", stats.final_entry_count)
-            fit_span.set("rebuilds", stats.rebuilds)
-            if stats.scan is not None:
-                stats.scan.publish(self.partition.name)
-            self._publish_summary(result)
-            return result
+            return self._finish_fit(fit_span, result)
+
+    def fit_chunks(self, chunks) -> BirchResult:
+        """Scan a chunk stream (the out-of-core path of :meth:`fit_arrays`).
+
+        ``chunks`` is any iterable of chunk objects exposing
+        ``chunk.arrays[name]`` — a :class:`~repro.data.columnar.ChunkIterator`
+        in practice — where ``name`` covers this clusterer's partition and
+        every declared cross partition.  Rows are re-batched to the same
+        scan cadence :meth:`fit_arrays` would use (the fixed
+        memory-check interval under a budget, ``scan_chunk_rows``
+        otherwise, else the incoming chunk boundaries), so a budgeted
+        out-of-core scan is bit-identical to a budgeted in-memory scan of
+        the same rows.  Each chunk is finiteness-validated as it streams
+        in, since no one saw the whole array upfront.
+        """
+        with span(
+            "phase1.fit", partition=self.partition.name
+        ) as fit_span:
+            cadence = self._scan_cadence(None)
+            batches = self._rebatched(chunks, cadence)
+            result = self._run_scan(batches, validate=True)
+            return self._finish_fit(fit_span, result)
+
+    def _finish_fit(self, fit_span, result: BirchResult) -> BirchResult:
+        """Annotate the fit span and publish metrics (shared fit tail)."""
+        stats = result.stats
+        fit_span.set("points", stats.points_inserted)
+        fit_span.set("entries", stats.final_entry_count)
+        fit_span.set("rebuilds", stats.rebuilds)
+        if stats.scan is not None:
+            stats.scan.publish(self.partition.name)
+        self._publish_summary(result)
+        return result
 
     def _publish_summary(self, result: BirchResult) -> None:
         """Point-in-time gauges of the finished Phase I pass (per partition)."""
@@ -218,6 +254,111 @@ class BirchClusterer:
             if matrix.size and not np.all(np.isfinite(matrix)):
                 raise ValueError(f"cross matrix {name!r} contains non-finite values")
 
+        # Chunk at the memory-check cadence so the budget is probed at
+        # exactly the same points of the scan as the per-point loop
+        # (every ``_MEMORY_CHECK_INTERVAL`` tuples); an unlimited run
+        # ingests the whole scan as one batch unless ``scan_chunk_rows``
+        # asks for a finer cadence.
+        chunk = self._scan_cadence(max(points.shape[0], 1))
+        cross_names = list(cross_matrices)
+
+        def batches():
+            for start in range(0, points.shape[0], chunk):
+                stop = min(start + chunk, points.shape[0])
+                yield (
+                    points[start:stop],
+                    {name: cross_matrices[name][start:stop] for name in cross_names},
+                )
+
+        return self._run_scan(batches(), validate=False)
+
+    def _scan_cadence(self, default: Optional[int]) -> Optional[int]:
+        """Rows per batch: the budget cadence wins, then ``scan_chunk_rows``.
+
+        ``default`` is what an unconstrained scan uses — the whole array
+        for :meth:`fit_arrays`, ``None`` (keep incoming chunk boundaries)
+        for :meth:`fit_chunks`.
+        """
+        if self.options.memory_limit_bytes is not None:
+            return _MEMORY_CHECK_INTERVAL
+        if self.options.scan_chunk_rows is not None:
+            return self.options.scan_chunk_rows
+        return default
+
+    def _rebatched(self, chunks, cadence: Optional[int]):
+        """Re-cut a chunk stream into ``(points, cross)`` batches of ``cadence`` rows.
+
+        ``cadence=None`` passes chunks through on their own boundaries.
+        Otherwise batches of exactly ``cadence`` rows are emitted (the
+        last may be shorter), crossing chunk boundaries where necessary:
+        aligned spans are sliced zero-copy from the incoming views, and
+        only boundary-straddling batches concatenate (at most ``cadence``
+        rows copied at a time).  Values are untouched either way, which
+        is what makes budgeted scans bit-identical across sources.
+        """
+        point_key = self.partition.name
+        cross_names = list(self._cross_dimensions)
+        pending: List[Dict[str, np.ndarray]] = []
+        buffered = 0
+
+        def materialize(arrays: Dict[str, np.ndarray]):
+            return arrays[point_key], {name: arrays[name] for name in cross_names}
+
+        for chunk in chunks:
+            arrays = {}
+            try:
+                for name in [point_key, *cross_names]:
+                    arrays[name] = np.atleast_2d(
+                        np.asarray(chunk.arrays[name], dtype=np.float64)
+                    )
+            except KeyError as error:
+                raise ValueError(
+                    f"chunk lacks matrix {error.args[0]!r}; scanning "
+                    f"{point_key!r} needs {[point_key, *cross_names]}"
+                ) from None
+            if cadence is None:
+                yield materialize(arrays)
+                continue
+            n_rows = arrays[point_key].shape[0]
+            start = 0
+            while start < n_rows:
+                if not pending and n_rows - start >= cadence:
+                    # Fast path: a whole batch inside one chunk — pure views.
+                    yield materialize(
+                        {name: array[start : start + cadence] for name, array in arrays.items()}
+                    )
+                    start += cadence
+                    continue
+                take = min(cadence - buffered, n_rows - start)
+                pending.append(
+                    {name: array[start : start + take] for name, array in arrays.items()}
+                )
+                buffered += take
+                start += take
+                if buffered == cadence:
+                    yield materialize(
+                        {
+                            name: np.concatenate([piece[name] for piece in pending])
+                            for name in [point_key, *cross_names]
+                        }
+                    )
+                    pending = []
+                    buffered = 0
+        if pending:
+            yield materialize(
+                {
+                    name: np.concatenate([piece[name] for piece in pending])
+                    for name in [point_key, *cross_names]
+                }
+            )
+
+    def _run_scan(self, batches, *, validate: bool) -> BirchResult:
+        """The one-pass scan core shared by the array and chunk entry points.
+
+        ``batches`` yields ``(points, cross_matrices)`` blocks already cut
+        at the resolved cadence; ``validate`` turns on per-block
+        finiteness checks for sources nobody validated upfront.
+        """
         stats = Phase1Stats()
         started = time.perf_counter()
         tree = ACFTree(
@@ -229,41 +370,38 @@ class BirchClusterer:
         )
         stats.threshold_history.append(tree.threshold)
         store = OutlierStore(self.memory_model)
-        cross_names = list(cross_matrices)
-
         if self.options.batch_insert:
             stats.scan = ScanStats()
-            # Chunk at the memory-check cadence so the budget is probed at
-            # exactly the same points of the scan as the per-point loop
-            # (every ``_MEMORY_CHECK_INTERVAL`` tuples); an unlimited run
-            # ingests the whole scan as one batch.
-            if self.options.memory_limit_bytes is not None:
-                chunk = _MEMORY_CHECK_INTERVAL
+
+        for block, cross_blocks in batches:
+            if validate:
+                if block.size and not np.all(np.isfinite(block)):
+                    raise ValueError(
+                        f"partition {self.partition.name!r} contains non-finite values"
+                    )
+                for name, matrix in cross_blocks.items():
+                    if matrix.size and not np.all(np.isfinite(matrix)):
+                        raise ValueError(
+                            f"cross matrix {name!r} contains non-finite values"
+                        )
+            if self.options.batch_insert:
+                tree.insert_points(block, cross_blocks, stats=stats.scan)
+                stats.points_inserted += block.shape[0]
+                if (
+                    self.options.memory_limit_bytes is not None
+                    and stats.points_inserted % _MEMORY_CHECK_INTERVAL == 0
+                ):
+                    tree = self._enforce_budget(tree, store, stats)
             else:
-                chunk = max(points.shape[0], 1)
-            for start in range(0, points.shape[0], chunk):
-                stop = start + chunk
-                tree.insert_points(
-                    points[start:stop],
-                    {name: cross_matrices[name][start:stop] for name in cross_names},
-                    stats=stats.scan,
-                )
-                stats.points_inserted += min(stop, points.shape[0]) - start
-                if (
-                    self.options.memory_limit_bytes is not None
-                    and stats.points_inserted % _MEMORY_CHECK_INTERVAL == 0
-                ):
-                    tree = self._enforce_budget(tree, store, stats)
-        else:
-            for i in range(points.shape[0]):
-                cross_values = {name: cross_matrices[name][i] for name in cross_names}
-                tree.insert_point(points[i], cross_values)
-                stats.points_inserted += 1
-                if (
-                    self.options.memory_limit_bytes is not None
-                    and stats.points_inserted % _MEMORY_CHECK_INTERVAL == 0
-                ):
-                    tree = self._enforce_budget(tree, store, stats)
+                for i in range(block.shape[0]):
+                    cross_values = {name: cross_blocks[name][i] for name in cross_blocks}
+                    tree.insert_point(block[i], cross_values)
+                    stats.points_inserted += 1
+                    if (
+                        self.options.memory_limit_bytes is not None
+                        and stats.points_inserted % _MEMORY_CHECK_INTERVAL == 0
+                    ):
+                        tree = self._enforce_budget(tree, store, stats)
 
         if self.options.memory_limit_bytes is not None:
             tree = self._enforce_budget(tree, store, stats)

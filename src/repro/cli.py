@@ -22,6 +22,7 @@ Examples::
     python -m repro mine /tmp/dirty.csv --lenient --quarantine /tmp/bad.jsonl
     python -m repro mine /tmp/big.csv --checkpoint /tmp/run.ckpt --checkpoint-every 50000
     python -m repro mine /tmp/big.csv --resume /tmp/run.ckpt --checkpoint-every 50000
+    python -m repro mine /tmp/huge.csv --out-of-core --chunk-rows 65536 --memory-budget 64m
     python -m repro baseline /tmp/claims.csv --min-support 0.15
     python -m repro snapshot /tmp/claims.csv --out /tmp/rules.snap
     python -m repro serve --snapshot /tmp/rules.snap --port 8765
@@ -118,6 +119,24 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--max-bad-fraction", type=float, default=0.05,
                       help="lenient mode: abort once this fraction of rows "
                       "is bad (default 0.05)")
+    mine.add_argument("--out-of-core", action="store_true",
+                      help="spill the CSV to a memory-mapped columnar "
+                      "store and mine it chunk by chunk, so files larger "
+                      "than RAM mine in bounded memory (serial engine "
+                      "only; not with --mixed, --checkpoint/--resume or "
+                      "the cleaning flags)")
+    mine.add_argument("--chunk-rows", type=int, default=None, metavar="N",
+                      help="out-of-core spill/scan granularity in rows "
+                      "(default 65536; requires --out-of-core)")
+    mine.add_argument("--spill-dir", metavar="DIR", default=None,
+                      help="directory for the spilled column store "
+                      "(default: a temp dir removed afterwards; requires "
+                      "--out-of-core)")
+    mine.add_argument("--memory-budget", metavar="BYTES", default=None,
+                      help="Phase I tree byte budget per partition; "
+                      "accepts k/m/g suffixes (e.g. 64m).  Works with or "
+                      "without --out-of-core; budgeted runs produce "
+                      "bit-identical rules either way")
     mine.add_argument("--checkpoint", metavar="PATH", default=None,
                       help="mine via the streaming engine, checkpointing "
                       "state to PATH every --checkpoint-every rows")
@@ -259,7 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_run.add_argument("--scenario", required=True,
                            help="scenario name (see repro.obs.bench.SCENARIOS: "
                            "phase1_scaling, phase2_graph, streaming_update, "
-                           "mine_smoke, serve_qps, serve_overload)")
+                           "mine_smoke, serve_qps, serve_overload, "
+                           "outofcore_scan)")
     bench_run.add_argument("--scale", type=float, default=1.0,
                            help="stretch/shrink the scenario's data sizes "
                            "(default 1.0)")
@@ -322,6 +342,31 @@ def _atomic_write_text(path: str, text: str) -> None:
     tmp = target.with_name(target.name + ".tmp")
     tmp.write_text(text)
     os.replace(tmp, target)
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse a byte count with an optional ``k``/``m``/``g`` suffix.
+
+    Accepts ``65536``, ``64k``, ``128M``, ``2g`` (case-insensitive,
+    powers of 1024).  Raises ``ValueError`` with the offending text on
+    anything else, so CLI errors name the bad flag value.
+    """
+    raw = text.strip().lower()
+    factor = 1
+    for suffix, scale in (("k", 1024), ("m", 1024**2), ("g", 1024**3)):
+        if raw.endswith(suffix):
+            raw, factor = raw[: -len(suffix)], scale
+            break
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid byte count {text!r}; expected an integer with an "
+            f"optional k/m/g suffix (e.g. 65536, 64k, 128m)"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"byte count must be positive, got {text!r}")
+    return value * factor
 
 
 def _load_relation(path: str, sink=None) -> Relation:
@@ -487,6 +532,30 @@ def _result_health(result, n_rows: int, sink):
 
 
 def _run_mine(args: argparse.Namespace, capture: Optional[dict] = None) -> int:
+    out_of_core = getattr(args, "out_of_core", False)
+    if not out_of_core:
+        for flag, name in ((args.chunk_rows, "--chunk-rows"),
+                           (args.spill_dir, "--spill-dir")):
+            if flag is not None:
+                raise ValueError(f"{name} requires --out-of-core")
+    else:
+        if args.mixed:
+            raise ValueError(
+                "--out-of-core does not support --mixed (nominal images "
+                "are mined from the in-memory relation)"
+            )
+        if args.checkpoint or args.resume:
+            raise ValueError(
+                "--out-of-core is not supported together with "
+                "--checkpoint/--resume (the streaming engine keeps its "
+                "own bounded state; spilling as well would double the I/O)"
+            )
+        if args.drop_missing or args.impute_mean:
+            raise ValueError(
+                "--drop-missing/--impute-mean rewrite columns in memory, "
+                "which defeats --out-of-core; clean the CSV first or use "
+                "--lenient to quarantine bad rows during the spill"
+            )
     sink = None
     if args.lenient or args.quarantine is not None:
         from repro.resilience.sink import ErrorBudget, Quarantine
@@ -495,7 +564,18 @@ def _run_mine(args: argparse.Namespace, capture: Optional[dict] = None) -> int:
             path=args.quarantine,
             budget=ErrorBudget(max_fraction=args.max_bad_fraction),
         )
-    relation = _load_relation(args.csv, sink=sink)
+    if out_of_core:
+        # No plain-CSV fallback here: spilling needs the typed schema
+        # header up front (kind inference would mean a second pass).
+        relation = load_csv(
+            args.csv,
+            sink=sink,
+            out_of_core=True,
+            chunk_rows=args.chunk_rows,
+            spill_dir=args.spill_dir,
+        )
+    else:
+        relation = _load_relation(args.csv, sink=sink)
     if sink is not None:
         sink.close()
     if args.drop_missing and args.impute_mean:
@@ -516,6 +596,12 @@ def _run_mine(args: argparse.Namespace, capture: Optional[dict] = None) -> int:
         count_rule_support=args.count_support,
         phase2_engine=args.engine,
     )
+    if args.memory_budget is not None:
+        from repro.birch.birch import BirchOptions
+
+        config = config.with_birch(
+            BirchOptions(memory_limit_bytes=_parse_bytes(args.memory_budget))
+        )
     targets = args.target.split(",") if args.target else None
     workers = getattr(args, "workers", 1)
     if workers is None:
@@ -526,6 +612,12 @@ def _run_mine(args: argparse.Namespace, capture: Optional[dict] = None) -> int:
         from repro.parallel.executor import resolve_workers
 
         workers = resolve_workers(0)
+    if out_of_core and workers > 1:
+        raise ValueError(
+            "--workers is not supported together with --out-of-core (the "
+            "parallel engine would materialize every column into shared "
+            "memory); drop --workers to mine out of core serially"
+        )
     checkpoint_infos = []
     stream_miner = None
     if args.checkpoint or args.resume:
@@ -603,6 +695,12 @@ def _run_mine(args: argparse.Namespace, capture: Optional[dict] = None) -> int:
             f"D0={result.degree_thresholds[name]:.6g}"
         )
     if args.stats:
+        if out_of_core:
+            print(
+                f"# columnar: {len(relation)} rows in {relation.directory} "
+                f"(chunk_rows={relation.chunk_rows}, "
+                f"{relation.n_bytes} bytes on disk)"
+            )
         phase1 = getattr(result, "phase1", None) or {}
         for name in sorted(phase1):
             scan = phase1[name].scan

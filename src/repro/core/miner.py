@@ -28,6 +28,8 @@ from repro.core.config import DARConfig
 from repro.core.graph import ClusteringGraph, build_clustering_graph
 from repro.core.phase2_kernel import Phase2Kernel
 from repro.core.rules import DistanceRule, RuleList
+from repro.data.columnar.chunks import ChunkIterator
+from repro.data.columnar.store import ColumnStore
 from repro.data.relation import AttributePartition, Relation, default_partitions
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
@@ -134,9 +136,14 @@ class Phase2Stats:
                 unit="seconds", stage=stage,
             )
         for event in self.events:
-            kind = "memory_escalation" if "memory" in event else (
-                "kernel_fallback" if "kernel" in event else "other"
-            )
+            if "columnar" in event:
+                kind = "columnar_fallback"
+            elif "memory" in event:
+                kind = "memory_escalation"
+            elif "kernel" in event:
+                kind = "kernel_fallback"
+            else:
+                kind = "other"
             obs_metrics.inc(
                 "repro_degradation_events_total",
                 help="Graceful-degradation events, by kind", kind=kind,
@@ -228,16 +235,32 @@ class DARMiner:
 
     def __init__(self, config: DARConfig = DARConfig()):
         self.config = config
+        #: Scan cadence of the current run when mining a
+        #: :class:`~repro.data.columnar.ColumnStore` (``None`` for
+        #: in-memory relations); set per :meth:`mine` call and read by
+        #: :meth:`_run_phase1` to route the scan through ``fit_chunks``.
+        self._chunk_rows: Optional[int] = None
 
     # ------------------------------------------------------------------
 
     def mine(
         self,
-        relation: Relation,
+        relation: "Relation | ColumnStore",
         partitions: Optional[Sequence[AttributePartition]] = None,
         targets: Optional[Sequence[str]] = None,
     ) -> DARResult:
         """Run both phases over ``relation``.
+
+        ``relation`` may be an in-memory
+        :class:`~repro.data.relation.Relation` or a memory-mapped
+        :class:`~repro.data.columnar.ColumnStore`; both expose the
+        ``schema``/``len``/``matrix`` surface the phases read.  A store
+        is scanned chunk by chunk (Phase I consumes a
+        :class:`~repro.data.columnar.ChunkIterator` at the store's
+        ``chunk_rows``, or ``config.birch.scan_chunk_rows`` when set),
+        so only one chunk of each partition is resident at a time; with
+        a memory budget configured, results are bit-identical to mining
+        the materialized relation under the same budget.
 
         ``partitions`` defaults to one partition per interval attribute.
         ``targets`` optionally names the partitions rules may conclude
@@ -247,6 +270,9 @@ class DARMiner:
         assoc-set computation entirely.  Raises ``ValueError`` for empty
         relations, empty partitionings, or unknown target names.
         """
+        self._chunk_rows = (
+            relation.chunk_rows if isinstance(relation, ColumnStore) else None
+        )
         if len(relation) == 0:
             raise ValidationError("cannot mine an empty relation")
         partition_list = list(
@@ -451,6 +477,13 @@ class DARMiner:
         all_clusters: Dict[str, List[Cluster]] = {}
         frequent_clusters: Dict[str, List[Cluster]] = {}
         uid = itertools.count()
+        # Out-of-core runs scan through one re-iterable chunk iterator over
+        # all partition matrices (memory-mapped views), so every
+        # clusterer's pass streams the same fixed-size chunks instead of
+        # touching whole columns at once.
+        chunks: Optional[ChunkIterator] = None
+        if self._chunk_rows is not None:
+            chunks = ChunkIterator(dict(matrices), self._chunk_rows)
         for partition in partition_list:
             others = [p for p in partition_list if p.name != partition.name]
             options = replace(
@@ -459,10 +492,13 @@ class DARMiner:
                 frequency_fraction=self.config.frequency_fraction,
             )
             clusterer = BirchClusterer(partition, others, options)
-            result = clusterer.fit_arrays(
-                matrices[partition.name],
-                {p.name: matrices[p.name] for p in others},
-            )
+            if chunks is not None:
+                result = clusterer.fit_chunks(chunks)
+            else:
+                result = clusterer.fit_arrays(
+                    matrices[partition.name],
+                    {p.name: matrices[p.name] for p in others},
+                )
             phase1_stats[partition.name] = result.stats
             clusters = [
                 Cluster(uid=next(uid), partition=partition, acf=acf)
@@ -499,17 +535,27 @@ class DARMiner:
         and surface only as nonsense thresholds or empty rule sets.  The
         message distinguishes an entirely-bad column (drop it) from a few
         bad rows (clean them, or ingest leniently with a quarantine sink).
+
+        The check walks each matrix in fixed-row blocks so memory-mapped
+        (out-of-core) matrices are validated without ever allocating a
+        whole-column temporary; the per-column bad counts — and therefore
+        the error messages — are exactly those of a whole-array check.
         """
+        block_rows = 1 << 18
         for partition in partitions:
             matrix = np.atleast_2d(np.asarray(matrices[partition.name], float))
-            finite = np.isfinite(matrix)
-            if finite.all():
+            total = matrix.shape[0]
+            bad_counts = np.zeros(matrix.shape[1], dtype=np.int64)
+            for start in range(0, total, block_rows):
+                finite = np.isfinite(matrix[start : start + block_rows])
+                if not finite.all():
+                    bad_counts += (~finite).sum(axis=0)
+            if not bad_counts.any():
                 continue
             for column, attribute in enumerate(partition.attributes):
-                bad = int((~finite[:, column]).sum())
+                bad = int(bad_counts[column])
                 if bad == 0:
                     continue
-                total = matrix.shape[0]
                 if bad == total:
                     raise ValidationError(
                         f"attribute {attribute!r} (partition "

@@ -9,6 +9,13 @@ from repro.data.examples import (
     fig5_insurance,
 )
 from repro.data.cleaning import drop_missing, impute_mean, missing_mask
+from repro.data.columnar import (
+    Chunk,
+    ChunkIterator,
+    Column,
+    ColumnStore,
+    ColumnStoreWriter,
+)
 from repro.data.io import load_csv, load_plain_csv, save_csv
 from repro.data.relation import (
     Attribute,
@@ -36,6 +43,11 @@ __all__ = [
     "drop_missing",
     "impute_mean",
     "missing_mask",
+    "Chunk",
+    "ChunkIterator",
+    "Column",
+    "ColumnStore",
+    "ColumnStoreWriter",
     "load_csv",
     "load_plain_csv",
     "save_csv",

@@ -1,0 +1,60 @@
+"""Out-of-core columnar relations: typed columns, memory maps, chunked scans.
+
+This package is the disk-backed counterpart of the in-memory
+:class:`~repro.data.relation.Relation`.  A :class:`ColumnStore` persists
+each attribute as raw little-endian binary part files described by a JSON
+manifest, reopens them as ``numpy.memmap`` views, and exposes the same
+``schema``/``len``/``matrix`` surface the mining pipeline reads — so
+Phase I's one-pass BIRCH scan can stream a bigger-than-RAM relation
+chunk by chunk without the pipeline knowing the difference.
+
+Layers, bottom up:
+
+* :mod:`~repro.data.columnar.dtypes` — explicit column dtype objects
+  (:class:`NumericDtype`, :class:`CategoricalDtype`,
+  :class:`MaskedNumericDtype`) that encode canonical values into
+  fixed-width storage parts and back, bit-identically.
+* :mod:`~repro.data.columnar.column` — :class:`Column`, one dtype plus
+  its (possibly memory-mapped) part arrays, with extension-array-style
+  slicing/NA/persistence semantics.
+* :mod:`~repro.data.columnar.chunks` — :class:`ChunkIterator`, yielding
+  fixed-row-count contiguous views for streaming scans.
+* :mod:`~repro.data.columnar.store` — :class:`ColumnStore` (the
+  directory format, constructors, ``matrix``/``chunks``/``to_relation``)
+  and :class:`ColumnStoreWriter` (the single-pass CSV spill path).
+
+Entry points most callers want: ``load_csv(path, out_of_core=True)``
+(see :func:`repro.data.io.load_csv`) or :meth:`ColumnStore.from_csv`,
+then pass the store straight to :func:`repro.mine`.
+"""
+
+from repro.data.columnar.chunks import Chunk, ChunkIterator
+from repro.data.columnar.column import Column
+from repro.data.columnar.dtypes import (
+    CategoricalDtype,
+    ColumnDtype,
+    MaskedNumericDtype,
+    NumericDtype,
+    dtype_from_manifest,
+)
+from repro.data.columnar.store import (
+    DEFAULT_CHUNK_ROWS,
+    MANIFEST_NAME,
+    ColumnStore,
+    ColumnStoreWriter,
+)
+
+__all__ = [
+    "Chunk",
+    "ChunkIterator",
+    "Column",
+    "ColumnDtype",
+    "NumericDtype",
+    "CategoricalDtype",
+    "MaskedNumericDtype",
+    "dtype_from_manifest",
+    "ColumnStore",
+    "ColumnStoreWriter",
+    "DEFAULT_CHUNK_ROWS",
+    "MANIFEST_NAME",
+]

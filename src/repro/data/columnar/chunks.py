@@ -1,0 +1,107 @@
+"""Fixed-row-count chunk iteration over columnar matrices.
+
+The scan side of the out-of-core story: a :class:`ChunkIterator` walks a
+set of named ``(n, dim)`` matrices — memory-mapped by
+:meth:`~repro.data.columnar.store.ColumnStore.matrix`, or plain in-memory
+arrays — and yields :class:`Chunk` objects holding *contiguous numpy
+views* of every matrix over the same row range.  Slicing a memmap is a
+zero-copy view, so iteration itself allocates nothing proportional to the
+data; only the consumer's per-chunk arithmetic touches memory, which is
+what bounds the resident set of a bigger-than-RAM scan.
+
+Because views are position-agnostic, the read-side chunk size is
+independent of the write-side spill granularity recorded in the store
+manifest: the same store can be scanned at 256 rows per chunk by a
+budgeted BIRCH pass and at 64k rows per chunk by a support post-scan.
+
+Every yielded chunk increments the ``repro_data_chunks_scanned_total`` /
+``repro_data_chunk_rows_total`` metrics and is wrapped in a
+``columnar.chunk`` span, so traces show the scan cadence chunk by chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+
+__all__ = ["Chunk", "ChunkIterator"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One contiguous row range of every scanned matrix.
+
+    ``arrays`` maps each matrix name (an attribute-partition name, in the
+    mining pipeline) to its ``(n_rows, dim)`` view over rows
+    ``[start, stop)`` of the source.  Views alias the source storage —
+    treat them as read-only.
+    """
+
+    start: int
+    stop: int
+    arrays: Dict[str, np.ndarray]
+
+    @property
+    def n_rows(self) -> int:
+        """Rows in this chunk (``stop - start``)."""
+        return self.stop - self.start
+
+
+class ChunkIterator:
+    """Iterate named matrices in fixed-row-count contiguous chunks.
+
+    ``matrices`` share one row count; ``chunk_rows`` is the cadence (the
+    final chunk may be shorter).  The iterator is re-iterable: each
+    ``iter()`` restarts from row zero, so one iterator object can drive
+    several scans.
+
+    >>> import numpy as np
+    >>> chunks = ChunkIterator({"x": np.arange(10.0).reshape(5, 2)}, chunk_rows=2)
+    >>> [chunk.start for chunk in chunks]
+    [0, 2, 4]
+    """
+
+    def __init__(self, matrices: Mapping[str, np.ndarray], chunk_rows: int):
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be at least 1")
+        if not matrices:
+            raise ValueError("a chunk iterator needs at least one matrix")
+        lengths = {name: matrix.shape[0] for name, matrix in matrices.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"matrices disagree on row count: {lengths}")
+        self.matrices: Dict[str, np.ndarray] = dict(matrices)
+        self.chunk_rows = int(chunk_rows)
+        self.n_rows = next(iter(lengths.values()))
+
+    def __len__(self) -> int:
+        """Number of chunks a full iteration yields."""
+        return -(-self.n_rows // self.chunk_rows) if self.n_rows else 0
+
+    def __iter__(self) -> Iterator[Chunk]:
+        for start in range(0, self.n_rows, self.chunk_rows):
+            stop = min(start + self.chunk_rows, self.n_rows)
+            with span("columnar.chunk", start=start, rows=stop - start):
+                chunk = Chunk(
+                    start=start,
+                    stop=stop,
+                    arrays={
+                        name: matrix[start:stop]
+                        for name, matrix in self.matrices.items()
+                    },
+                )
+            if obs_metrics.metrics_enabled():
+                obs_metrics.inc(
+                    "repro_data_chunks_scanned_total",
+                    help="Chunks yielded by columnar chunk iterators",
+                )
+                obs_metrics.inc(
+                    "repro_data_chunk_rows_total",
+                    stop - start,
+                    help="Rows yielded by columnar chunk iterators",
+                )
+            yield chunk

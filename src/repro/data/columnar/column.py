@@ -1,0 +1,199 @@
+"""A typed, optionally memory-mapped column (extension-array style).
+
+:class:`Column` pairs one :class:`~repro.data.columnar.dtypes.ColumnDtype`
+with its storage parts — plain in-memory arrays after
+:meth:`Column.from_values`, or ``numpy.memmap`` views after
+:meth:`Column.read` opened the column's files from a store directory.
+The API follows the pandas extension-array conventions the conformance
+suite exercises: length, scalar ``[]`` access, zero-copy slicing,
+:meth:`isna`, :meth:`take`, :meth:`to_numpy` and an :meth:`equals` that
+treats NA = NA as equal.
+
+Persistence is raw little-endian binary, one file per storage part
+(``<prefix>.<part>.bin``), described by a manifest entry
+(:meth:`write`'s return value) that records the file names and scalar
+dtypes.  Raw binary — rather than ``.npy`` — keeps the spill path
+single-pass: a ``.npy`` header bakes in the row count, which a streaming
+CSV writer does not know until the scan ends, while raw parts can be
+appended chunk by chunk and described by the manifest afterwards.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.data.columnar.dtypes import (
+    CategoricalDtype,
+    ColumnDtype,
+    NumericDtype,
+    dtype_from_manifest,
+)
+
+__all__ = ["Column"]
+
+PathLike = Union[str, Path]
+
+
+class Column:
+    """One typed column: a dtype plus its named storage parts.
+
+    ``parts`` must contain exactly the arrays the dtype declares, all
+    1-D and of one shared length.  Columns are immutable by convention:
+    no method mutates storage, and slicing returns views (mutating a
+    view would corrupt the parent, exactly as with numpy arrays).
+    """
+
+    def __init__(self, dtype: ColumnDtype, parts: Mapping[str, np.ndarray]):
+        expected = set(dtype.parts)
+        got = set(parts)
+        if expected != got:
+            raise ValueError(
+                f"{type(dtype).__name__} needs parts {sorted(expected)}, "
+                f"got {sorted(got)}"
+            )
+        lengths = {len(array) for array in parts.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged column parts: lengths {sorted(lengths)}")
+        self.dtype = dtype
+        self.parts: Dict[str, np.ndarray] = dict(parts)
+        self._length = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values, dtype: Optional[ColumnDtype] = None) -> "Column":
+        """Build a column from canonical values, inferring a dtype if needed.
+
+        Inference mirrors the relation's storage rule: float-coercible
+        sequences become :class:`NumericDtype`, anything else becomes a
+        :class:`CategoricalDtype` over the distinct values (first-seen
+        order).  Pass ``dtype`` explicitly for masked-numeric columns or
+        to pin a categorical vocabulary.
+        """
+        if dtype is None:
+            try:
+                np.asarray(values, dtype=np.float64)
+            except (TypeError, ValueError):
+                dtype = CategoricalDtype.from_values(values)
+            else:
+                dtype = NumericDtype()
+        return cls(dtype, dtype.encode(values))
+
+    # ------------------------------------------------------------------
+    # Array protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __repr__(self) -> str:
+        return f"Column({self.dtype!r}, n={self._length})"
+
+    def __getitem__(self, item):
+        """Scalar for an int index; a zero-copy view ``Column`` for a slice."""
+        if isinstance(item, slice):
+            return Column(
+                self.dtype, {name: array[item] for name, array in self.parts.items()}
+            )
+        index = int(item)
+        value = self.to_numpy()[index] if self._needs_decode() else self.parts["data"][index]
+        if isinstance(value, np.floating):
+            return float(value)
+        return value
+
+    def _needs_decode(self) -> bool:
+        """Whether scalar access must go through the dtype's decode."""
+        return not isinstance(self.dtype, NumericDtype)
+
+    def isna(self) -> np.ndarray:
+        """Boolean mask of missing values."""
+        return self.dtype.isna(self.parts)
+
+    def to_numpy(self) -> np.ndarray:
+        """The canonical in-memory array (see :meth:`ColumnDtype.decode`).
+
+        Zero-copy for :class:`NumericDtype`; a decoded copy for the
+        masked and categorical dtypes (their canonical form differs from
+        storage).
+        """
+        return self.dtype.decode(self.parts)
+
+    def take(self, indices) -> "Column":
+        """Rows by position (copies; duplicates and reorderings allowed)."""
+        index_array = np.asarray(indices, dtype=np.intp)
+        return Column(
+            self.dtype,
+            {name: array[index_array] for name, array in self.parts.items()},
+        )
+
+    def equals(self, other: "Column") -> bool:
+        """Value equality with NA == NA (unlike ``==`` on float NaN)."""
+        if not isinstance(other, Column) or len(self) != len(other):
+            return False
+        if not np.array_equal(self.isna(), other.isna()):
+            return False
+        mask = ~self.isna()
+        mine, theirs = self.to_numpy()[mask], other.to_numpy()[mask]
+        if self.dtype.is_numeric != other.dtype.is_numeric:
+            return False
+        if self.dtype.is_numeric:
+            return bool(np.array_equal(mine, theirs))
+        return bool(np.all(mine == theirs))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def write(self, directory: PathLike, prefix: str) -> Dict[str, Any]:
+        """Write every part as ``<prefix>.<part>.bin``; return the manifest entry.
+
+        The entry records the dtype manifest and, per part, the file name
+        and scalar dtype string — everything :meth:`read` needs.  Files
+        are raw little-endian binary with no header.
+        """
+        directory = Path(directory)
+        entry: Dict[str, Any] = {"dtype": self.dtype.to_manifest(), "parts": {}}
+        for name, array in self.parts.items():
+            file_name = f"{prefix}.{name}.bin"
+            storage = np.ascontiguousarray(array, dtype=self.dtype.parts[name])
+            storage.tofile(directory / file_name)
+            entry["parts"][name] = {
+                "file": file_name,
+                "numpy_dtype": self.dtype.parts[name].str,
+            }
+        return entry
+
+    @classmethod
+    def read(
+        cls, directory: PathLike, entry: Mapping[str, Any], n_rows: int
+    ) -> "Column":
+        """Open a written column as memory-mapped parts (no data is read).
+
+        ``entry`` is what :meth:`write` returned (via the store manifest);
+        every part file must exist and hold exactly ``n_rows`` scalars,
+        otherwise a ``ValueError`` names the offending file.
+        """
+        dtype = dtype_from_manifest(entry["dtype"])
+        parts: Dict[str, np.ndarray] = {}
+        for name, part in entry["parts"].items():
+            path = Path(directory) / part["file"]
+            scalar = np.dtype(part["numpy_dtype"])
+            if not path.exists():
+                raise ValueError(f"{path}: column part file is missing")
+            actual = path.stat().st_size
+            expected = n_rows * scalar.itemsize
+            if actual != expected:
+                raise ValueError(
+                    f"{path}: expected {expected} bytes "
+                    f"({n_rows} rows x {scalar.itemsize}), found {actual}"
+                )
+            if n_rows == 0:
+                parts[name] = np.empty(0, dtype=scalar)
+            else:
+                parts[name] = np.memmap(path, dtype=scalar, mode="r", shape=(n_rows,))
+        return cls(dtype, parts)

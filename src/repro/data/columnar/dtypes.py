@@ -1,0 +1,263 @@
+"""Explicit column dtype objects for the columnar backend.
+
+The in-memory :class:`~repro.data.relation.Relation` stores every numeric
+column as ``float64`` and every nominal column as a python-object array.
+The out-of-core backend needs a richer, *explicit* description of what is
+on disk — modeled on pandas' extension dtypes (``IntervalDtype`` and
+friends): a small dtype object that knows how to encode canonical values
+into fixed-width storage parts, decode them back bit-identically, and
+round-trip itself through the store's JSON manifest.
+
+Three dtypes cover the relation model:
+
+* :class:`NumericDtype` — ``float64`` values stored verbatim as one
+  little-endian ``<f8`` part (``data``).  NaN is representable, so the
+  encode/decode round trip is bit-identical including missing values.
+* :class:`CategoricalDtype` — string (nominal) values stored as ``<i4``
+  integer codes (``codes``) into an ordered category list kept in the
+  manifest; code ``-1`` means NA and decodes to ``None``.
+* :class:`MaskedNumericDtype` — ``float64`` values plus an explicit
+  ``<u1`` validity mask (``mask``, 1 = missing).  Unlike
+  :class:`NumericDtype` this distinguishes "missing" from a genuine NaN
+  payload, the way pandas' masked arrays do; decode yields NaN at masked
+  positions.
+
+A dtype never touches files itself: it maps values to named *parts*
+(``data``/``codes``/``mask``), each a 1-D numpy array of a fixed
+little-endian scalar dtype, and :class:`~repro.data.columnar.column.Column`
+handles persistence of those parts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ColumnDtype",
+    "NumericDtype",
+    "CategoricalDtype",
+    "MaskedNumericDtype",
+    "dtype_from_manifest",
+]
+
+#: Storage scalar types, fixed little-endian so column files are portable
+#: across machines (numpy reads them back with an explicit byte order).
+_FLOAT = np.dtype("<f8")
+_CODE = np.dtype("<i4")
+_MASK = np.dtype("<u1")
+
+
+class ColumnDtype:
+    """Base class of the explicit column dtypes.
+
+    Subclasses define ``kind`` (the manifest tag), :meth:`encode`,
+    :meth:`decode`, :meth:`isna` and the manifest round trip.  Dtype
+    objects are cheap value objects: equality compares the manifest
+    representation, so two independently constructed dtypes describing
+    the same storage compare equal.
+    """
+
+    #: Manifest tag identifying the dtype class (overridden per subclass).
+    kind: str = ""
+
+    #: ``part name -> numpy storage dtype`` for this column's files.
+    parts: Dict[str, np.dtype] = {}
+
+    def encode(self, values) -> Dict[str, np.ndarray]:
+        """Canonical values → ``{part_name: 1-D storage array}``."""
+        raise NotImplementedError
+
+    def decode(self, parts: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Storage parts → the canonical in-memory column array.
+
+        The result is what :class:`~repro.data.relation.Relation` would
+        store for the same values: ``float64`` for numeric dtypes, a
+        python-object array for categorical.  Implementations return a
+        *view* of the storage whenever the canonical form needs no
+        transformation (see each subclass).
+        """
+        raise NotImplementedError
+
+    def isna(self, parts: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Boolean array marking missing values, straight from storage."""
+        raise NotImplementedError
+
+    def to_manifest(self) -> Dict[str, Any]:
+        """JSON-safe description; inverse of :func:`dtype_from_manifest`."""
+        return {"kind": self.kind}
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether :meth:`decode` yields a float64 array."""
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnDtype):
+            return NotImplemented
+        return self.to_manifest() == other.to_manifest()
+
+    def __hash__(self) -> int:
+        return hash(repr(sorted(self.to_manifest().items())))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+    @staticmethod
+    def _as_1d(values, dtype: np.dtype, what: str) -> np.ndarray:
+        """Coerce ``values`` into a 1-D array of ``dtype``; reject 2-D."""
+        array = np.asarray(values, dtype=dtype)
+        if array.ndim != 1:
+            raise ValueError(f"{what} must be one-dimensional, got shape {array.shape}")
+        return array
+
+
+class NumericDtype(ColumnDtype):
+    """Plain ``float64`` storage: one ``data`` part, values verbatim.
+
+    NaN round-trips as NaN (the relation's own missing-value convention
+    for numeric columns), so encode→decode is bit-identical for every
+    input including non-finite payloads.
+    """
+
+    kind = "numeric"
+    parts = {"data": _FLOAT}
+
+    def encode(self, values) -> Dict[str, np.ndarray]:
+        """``values`` (any float-coercible sequence) → ``{"data": <f8}``."""
+        return {"data": self._as_1d(values, _FLOAT, "numeric column values")}
+
+    def decode(self, parts: Mapping[str, np.ndarray]) -> np.ndarray:
+        """The ``data`` part itself — a zero-copy view of storage."""
+        return np.asarray(parts["data"])
+
+    def isna(self, parts: Mapping[str, np.ndarray]) -> np.ndarray:
+        """NaN positions (the only missing representation this dtype has)."""
+        return np.isnan(parts["data"])
+
+
+class CategoricalDtype(ColumnDtype):
+    """Nominal values stored as integer codes into an ordered category list.
+
+    ``categories`` is the fixed vocabulary; the ``codes`` part holds the
+    per-row index (``<i4``), with ``-1`` meaning NA.  Decoding yields a
+    python-object array of the original category values (``None`` for
+    NA), matching the relation's nominal-column storage.
+    """
+
+    kind = "categorical"
+    parts = {"codes": _CODE}
+
+    def __init__(self, categories: Tuple[str, ...] = ()):
+        self.categories: Tuple[str, ...] = tuple(str(c) for c in categories)
+        if len(set(self.categories)) != len(self.categories):
+            raise ValueError("categories must be unique")
+        self._index = {category: i for i, category in enumerate(self.categories)}
+
+    @property
+    def is_numeric(self) -> bool:
+        """Categorical columns decode to object arrays, not floats."""
+        return False
+
+    @classmethod
+    def from_values(cls, values) -> "CategoricalDtype":
+        """Infer the category vocabulary (first-seen order) from ``values``."""
+        seen: Dict[str, None] = {}
+        for value in values:
+            if value is not None:
+                seen.setdefault(str(value), None)
+        return cls(tuple(seen))
+
+    def encode(self, values) -> Dict[str, np.ndarray]:
+        """Values → codes; an unknown (non-``None``) value is an error."""
+        codes = np.empty(len(values), dtype=_CODE)
+        for i, value in enumerate(values):
+            if value is None:
+                codes[i] = -1
+                continue
+            try:
+                codes[i] = self._index[str(value)]
+            except KeyError:
+                raise ValueError(
+                    f"value {value!r} is not in the categorical vocabulary "
+                    f"({len(self.categories)} categories)"
+                ) from None
+        return {"codes": codes}
+
+    def decode(self, parts: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Codes → object array of categories (``None`` where code is -1)."""
+        codes = np.asarray(parts["codes"])
+        out = np.empty(len(codes), dtype=object)
+        for i, code in enumerate(codes):
+            out[i] = None if code < 0 else self.categories[code]
+        return out
+
+    def isna(self, parts: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Positions with the NA code (-1)."""
+        return np.asarray(parts["codes"]) < 0
+
+    def to_manifest(self) -> Dict[str, Any]:
+        """Tag plus the ordered category vocabulary."""
+        return {"kind": self.kind, "categories": list(self.categories)}
+
+    def __repr__(self) -> str:
+        return f"CategoricalDtype(categories={len(self.categories)})"
+
+
+class MaskedNumericDtype(ColumnDtype):
+    """``float64`` values with an explicit validity mask (1 = missing).
+
+    Distinguishes "missing" from a genuine NaN payload the way pandas'
+    nullable ``Float64`` does: the ``data`` part keeps whatever float was
+    written (masked slots store 0.0), the ``mask`` part records
+    missingness.  :meth:`decode` produces the relation convention — NaN at
+    masked positions — so downstream cleaning (:func:`repro.data.cleaning.
+    drop_missing` / ``impute_mean``) works unchanged.
+    """
+
+    kind = "masked_numeric"
+    parts = {"data": _FLOAT, "mask": _MASK}
+
+    def encode(self, values) -> Dict[str, np.ndarray]:
+        """Floats (NaN = missing) → zero-filled ``data`` plus ``mask``."""
+        data = self._as_1d(values, _FLOAT, "masked numeric column values").copy()
+        mask = np.isnan(data).astype(_MASK)
+        data[mask.astype(bool)] = 0.0
+        return {"data": data, "mask": mask}
+
+    def decode(self, parts: Mapping[str, np.ndarray]) -> np.ndarray:
+        """``data`` with NaN written back at masked positions (a copy)."""
+        data = np.array(parts["data"], dtype=np.float64, copy=True)
+        data[np.asarray(parts["mask"]).astype(bool)] = np.nan
+        return data
+
+    def isna(self, parts: Mapping[str, np.ndarray]) -> np.ndarray:
+        """The mask, as booleans."""
+        return np.asarray(parts["mask"]).astype(bool)
+
+
+_DTYPE_KINDS = {
+    NumericDtype.kind: NumericDtype,
+    CategoricalDtype.kind: CategoricalDtype,
+    MaskedNumericDtype.kind: MaskedNumericDtype,
+}
+
+
+def dtype_from_manifest(entry: Mapping[str, Any]) -> ColumnDtype:
+    """Rebuild a dtype object from its :meth:`ColumnDtype.to_manifest` form.
+
+    Raises ``ValueError`` for an unknown ``kind`` tag so a manifest
+    written by a future format version fails loudly instead of decoding
+    garbage.
+    """
+    kind = entry.get("kind")
+    if kind == CategoricalDtype.kind:
+        return CategoricalDtype(tuple(entry.get("categories", ())))
+    try:
+        return _DTYPE_KINDS[kind]()
+    except KeyError:
+        known = ", ".join(sorted(_DTYPE_KINDS))
+        raise ValueError(
+            f"unknown column dtype kind {kind!r} in manifest (known: {known})"
+        ) from None

@@ -3,6 +3,12 @@
 Format: a first line ``# name:kind,name:kind,...`` followed by a standard
 CSV with a header row of attribute names.  Round-trips exactly for
 interval/ordinal columns (repr-precision floats) and nominal strings.
+
+:func:`load_csv` has two modes over one single-pass parser: the default
+materializes an in-memory :class:`~repro.data.relation.Relation`;
+``out_of_core=True`` streams rows to a memory-mapped
+:class:`~repro.data.columnar.ColumnStore` so files larger than RAM load
+in constant memory.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.data.relation import Attribute, AttributeKind, Relation, Schema
+from repro.obs.trace import span
 from repro.resilience.errors import IngestError
 
 __all__ = ["save_csv", "load_csv", "load_plain_csv"]
@@ -45,7 +52,14 @@ def _render(value: object) -> str:
     return str(value)
 
 
-def load_csv(path: PathLike, *, sink=None) -> Relation:
+def load_csv(
+    path: PathLike,
+    *,
+    sink=None,
+    out_of_core: bool = False,
+    chunk_rows: Optional[int] = None,
+    spill_dir: Optional[PathLike] = None,
+):
     """Read a relation written by :func:`save_csv`.
 
     Strict by default: a missing or malformed schema header, a column row
@@ -60,57 +74,106 @@ def load_csv(path: PathLike, *, sink=None) -> Relation:
     relation is built from the remaining clean rows.  File-level problems
     (missing header, bad schema line) always raise.  Row numbers reported
     to the sink are 0-based data-row indices (header lines excluded).
+
+    With ``out_of_core=True`` the file is *spilled* instead of
+    materialized: rows stream through a
+    :class:`~repro.data.columnar.ColumnStoreWriter` into ``spill_dir``
+    (a fresh temp directory when ``None``) in batches of ``chunk_rows``,
+    and the return value is a memory-mapped
+    :class:`~repro.data.columnar.ColumnStore` rather than a
+    :class:`Relation`.  Parsing, the ``path:line`` error contract, and
+    quarantine behaviour are byte-for-byte identical to the in-memory
+    path — both are fed by the same single-pass row generator, so no
+    mode ever re-reads the file to discover its row count.
     """
     path = Path(path)
+    if not out_of_core and (chunk_rows is not None or spill_dir is not None):
+        raise ValueError("chunk_rows/spill_dir are only meaningful with out_of_core=True")
     with path.open(newline="") as handle:
-        first = handle.readline()
-        if not first:
-            raise IngestError(
-                f"{path}: file is empty — expected a '# name:kind,...' "
-                f"schema header as the first line"
-            )
-        if not first.startswith("#"):
-            raise IngestError(f"{path}: missing '# name:kind,...' schema header")
-        attributes = []
-        for chunk in first[1:].strip().split(","):
-            name, _, kind = chunk.partition(":")
-            if not kind:
-                raise IngestError(f"{path}: malformed schema entry {chunk!r}")
-            try:
-                parsed_kind = AttributeKind(kind.strip())
-            except ValueError:
-                raise IngestError(
-                    f"{path}: malformed schema entry {chunk!r}: unknown "
-                    f"attribute kind {kind.strip()!r}"
-                ) from None
-            attributes.append(Attribute(name.strip(), parsed_kind))
-        schema = Schema(attributes)
+        schema, reader = _parse_header(handle, path)
+        clean_rows = _iter_clean_rows(path, schema, reader, sink)
+        if out_of_core:
+            from repro.data.columnar.store import DEFAULT_CHUNK_ROWS, ColumnStoreWriter
 
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header is None:
+            with span("columnar.spill", path=str(path)):
+                with ColumnStoreWriter(
+                    schema,
+                    spill_dir,
+                    chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS,
+                ) as writer:
+                    writer.append_rows(clean_rows)
+                    return writer.finish()
+        columns: dict = {name: [] for name in schema.names}
+        for row in clean_rows:
+            for name, value in zip(schema.names, row):
+                columns[name].append(value)
+    return Relation(schema, columns)
+
+
+def _parse_header(handle, path: Path):
+    """Parse the schema comment + column header; return ``(schema, reader)``.
+
+    The reader is positioned at the first data row.  All file-level
+    problems raise :class:`IngestError` naming the file.
+    """
+    first = handle.readline()
+    if not first:
+        raise IngestError(
+            f"{path}: file is empty — expected a '# name:kind,...' "
+            f"schema header as the first line"
+        )
+    if not first.startswith("#"):
+        raise IngestError(f"{path}: missing '# name:kind,...' schema header")
+    attributes = []
+    for chunk in first[1:].strip().split(","):
+        name, _, kind = chunk.partition(":")
+        if not kind:
+            raise IngestError(f"{path}: malformed schema entry {chunk!r}")
+        try:
+            parsed_kind = AttributeKind(kind.strip())
+        except ValueError:
             raise IngestError(
-                f"{path}: file ends after the schema line — expected a "
-                f"column header row naming {list(schema.names)}"
-            )
-        if tuple(header) != schema.names:
-            raise IngestError(
-                f"{path}: column header {header} does not match schema {schema.names}"
-            )
-        rows = []
-        data_index = 0
-        for line_number, row in enumerate(reader, start=3):
-            if not row:
-                continue  # blank line
-            try:
-                rows.append(_convert_row(path, schema, row, line_number, sink))
-            except _RowRejected as rejection:
-                sink.divert(data_index, rejection.reason, tuple(row))
-            else:
-                if sink is not None:
-                    sink.note_ok()
-            data_index += 1
-    return Relation.from_rows(schema, rows)
+                f"{path}: malformed schema entry {chunk!r}: unknown "
+                f"attribute kind {kind.strip()!r}"
+            ) from None
+        attributes.append(Attribute(name.strip(), parsed_kind))
+    schema = Schema(attributes)
+
+    reader = csv.reader(handle)
+    header = next(reader, None)
+    if header is None:
+        raise IngestError(
+            f"{path}: file ends after the schema line — expected a "
+            f"column header row naming {list(schema.names)}"
+        )
+    if tuple(header) != schema.names:
+        raise IngestError(
+            f"{path}: column header {header} does not match schema {schema.names}"
+        )
+    return schema, reader
+
+
+def _iter_clean_rows(path: Path, schema: Schema, reader, sink):
+    """Generate converted row tuples, one pass, diverting bad rows to ``sink``.
+
+    Shared by the in-memory and out-of-core paths of :func:`load_csv`, so
+    both see identical rows, identical errors, and identical quarantine
+    records.  Row numbers reported to the sink are 0-based data-row
+    indices; error messages use 1-based physical line numbers.
+    """
+    data_index = 0
+    for line_number, row in enumerate(reader, start=3):
+        if not row:
+            continue  # blank line
+        try:
+            converted = _convert_row(path, schema, row, line_number, sink)
+        except _RowRejected as rejection:
+            sink.divert(data_index, rejection.reason, tuple(row))
+        else:
+            if sink is not None:
+                sink.note_ok()
+            yield converted
+        data_index += 1
 
 
 class _RowRejected(Exception):

@@ -19,6 +19,7 @@ Taxonomy::
     │   └── CheckpointVersionError   — format version is not understood
     ├── ResourceExhaustedError       — degradation ladder ran out of rungs
     ├── WorkerPoolError              — the parallel worker pool died or jammed
+    ├── ColumnStoreError             — the out-of-core columnar backend failed
     ├── CorruptResultError           — a result failed its integrity check
     ├── OverloadError                — work refused to protect the process
     │   ├── RejectedError            — admission control shed the request
@@ -46,6 +47,7 @@ __all__ = [
     "CheckpointVersionError",
     "ResourceExhaustedError",
     "WorkerPoolError",
+    "ColumnStoreError",
     "CorruptResultError",
     "OverloadError",
     "RejectedError",
@@ -100,6 +102,18 @@ class WorkerPoolError(ReproError):
     friends) propagate as themselves — retrying them on the serial engine
     would fail identically, so the degradation ladder only catches this
     class.
+    """
+
+
+class ColumnStoreError(ReproError):
+    """The out-of-core columnar backend failed as *infrastructure*.
+
+    Raised when a store directory cannot be opened (missing or corrupt
+    manifest, truncated column part files) or a memory-mapped read fails
+    mid-scan.  Like :class:`WorkerPoolError`, this marks a backend
+    problem rather than bad data: the guarded driver reacts by
+    materializing the store into an in-memory relation and retrying,
+    so a flaky disk degrades throughput instead of failing the job.
     """
 
 

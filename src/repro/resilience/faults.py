@@ -29,6 +29,9 @@ Instrumented points:
                             for the exempt ``/healthz``/``/metrics`` routes)
 ``publisher.refresh``       start of ``SnapshotPublisher.refresh`` (compile
                             failure injection for the supervised loop)
+``columnar.matrix``         entry of ``ColumnStore.matrix`` (out-of-core
+                            backend failure; exercises the guard ladder's
+                            materialize-and-retry rung)
 ==========================  ====================================================
 
 Beyond crashing, a plan can model *latency* two ways: ``slow_at`` sleeps

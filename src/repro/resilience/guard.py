@@ -15,7 +15,15 @@ mining run degrades in controlled, *recorded* steps instead of dying:
    (which is decision-identical, just slower) and records the rung.
    Data errors raised *inside* a worker propagate unchanged — they would
    recur serially.
-3. **Memory exhaustion → coarser clustering.**  A ``MemoryError`` during
+3. **Columnar backend failure → in-memory retry.**  When mining a
+   memory-mapped :class:`~repro.data.columnar.ColumnStore`, a backend
+   failure (unreadable part file, corrupt manifest, injected fault)
+   raises :class:`~repro.resilience.errors.ColumnStoreError`; the guard
+   materializes the store with ``to_relation()`` and retries the same
+   attempt on the in-memory serial engine — decision-identical, just no
+   longer out-of-core — and records the rung.  If materialization
+   itself fails, the error propagates: the backing files are gone.
+4. **Memory exhaustion → coarser clustering.**  A ``MemoryError`` during
    a run escalates every density threshold by ``escalation_factor`` —
    coarser clusters mean fewer leaf entries and smaller trees — waits
    ``backoff_seconds``, and retries, up to ``max_retries`` times.  The
@@ -23,10 +31,10 @@ mining run degrades in controlled, *recorded* steps instead of dying:
    :class:`~repro.resilience.errors.ResourceExhaustedError` rather than
    an infinite ladder.  Every rung is recorded in
    ``result.phase2.events``.
-4. **Kernel failure → scalar engine.**  Handled inside the miner (the
+5. **Kernel failure → scalar engine.**  Handled inside the miner (the
    vector Phase II kernel falls back to the scalar distance engine and
    records the event); the guard surfaces those events unchanged.
-5. **No partially-corrupt results.**  :func:`validate_result` checks the
+6. **No partially-corrupt results.**  :func:`validate_result` checks the
    structural invariants of the :class:`~repro.core.miner.DARResult`
    before it is returned; a violation raises
    :class:`~repro.resilience.errors.CorruptResultError` instead of
@@ -49,6 +57,7 @@ from repro.data.relation import AttributePartition, Relation
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.resilience.errors import (
+    ColumnStoreError,
     CorruptResultError,
     ResourceExhaustedError,
     WorkerPoolError,
@@ -251,6 +260,24 @@ def guarded_mine(
                             f"parallel worker pool failed ({error}); "
                             f"degraded to the serial engine"
                         )
+                        result = DARMiner(attempt_config).mine(
+                            relation, partitions=partitions, targets=targets
+                        )
+                    except ColumnStoreError as error:
+                        if not hasattr(relation, "to_relation"):
+                            raise  # not an out-of-core input; a real bug
+                        obs_metrics.inc(
+                            "repro_degradation_events_total",
+                            help="Degradation-ladder events by kind",
+                            kind="columnar_fallback",
+                        )
+                        events.append(
+                            f"columnar backend failed ({error}); "
+                            f"materialized the store in memory and retried"
+                        )
+                        # Materialization may raise ColumnStoreError too —
+                        # then the files really are gone and it propagates.
+                        relation = relation.to_relation()
                         result = DARMiner(attempt_config).mine(
                             relation, partitions=partitions, targets=targets
                         )

@@ -1,0 +1,1 @@
+"""Tests of the out-of-core columnar backend (`repro.data.columnar`)."""

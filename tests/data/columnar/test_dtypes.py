@@ -1,0 +1,214 @@
+"""Extension-array-style conformance suite for the column dtypes.
+
+Every test is parameterized over all three dtypes through the
+``case`` fixture, pandas-extension-test style: one set of behavioral
+contracts (construction, NA round trip, slicing views vs copies,
+persistence bit-identity), three implementations that must all satisfy
+them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.columnar import (
+    CategoricalDtype,
+    Column,
+    MaskedNumericDtype,
+    NumericDtype,
+    dtype_from_manifest,
+)
+
+
+class Case:
+    """One dtype under test plus representative values (with NAs)."""
+
+    def __init__(self, dtype, values, na_positions):
+        self.dtype = dtype
+        self.values = values
+        self.na_positions = na_positions
+
+    def __repr__(self):
+        return repr(self.dtype)
+
+
+CASES = [
+    Case(
+        NumericDtype(),
+        [1.5, np.nan, -3.0, 0.0, 2.0**53 + 2.0, -0.0],
+        [1],
+    ),
+    Case(
+        CategoricalDtype(("low", "mid", "high")),
+        ["low", None, "high", "mid", "low", "high"],
+        [1],
+    ),
+    Case(
+        MaskedNumericDtype(),
+        [1.5, np.nan, -3.0, 0.0, 2.0**53 + 2.0, np.nan],
+        [1, 5],
+    ),
+]
+
+
+@pytest.fixture(params=CASES, ids=lambda case: case.dtype.kind)
+def case(request):
+    return request.param
+
+
+@pytest.fixture
+def column(case):
+    return Column.from_values(case.values, case.dtype)
+
+
+class TestConstruction:
+    def test_length_and_parts(self, case, column):
+        assert len(column) == len(case.values)
+        assert set(column.parts) == set(case.dtype.parts)
+        for name, array in column.parts.items():
+            assert array.ndim == 1
+            assert array.dtype == case.dtype.parts[name]
+
+    def test_wrong_parts_rejected(self, case):
+        with pytest.raises(ValueError, match="needs parts"):
+            Column(case.dtype, {"bogus": np.zeros(3)})
+
+    def test_ragged_parts_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            Column(
+                MaskedNumericDtype(),
+                {"data": np.zeros(3), "mask": np.zeros(2, dtype="<u1")},
+            )
+
+    def test_two_dimensional_values_rejected(self, case):
+        if case.dtype.kind == "categorical":
+            pytest.skip("categorical encode consumes python sequences")
+        with pytest.raises(ValueError, match="one-dimensional"):
+            case.dtype.encode(np.zeros((2, 3)))
+
+    def test_inference_matches_relation_rule(self):
+        assert Column.from_values([1, 2.5]).dtype == NumericDtype()
+        inferred = Column.from_values(["a", "b", "a"]).dtype
+        assert inferred == CategoricalDtype(("a", "b"))
+
+
+class TestNA:
+    def test_isna_positions(self, case, column):
+        expected = np.zeros(len(case.values), dtype=bool)
+        expected[case.na_positions] = True
+        assert np.array_equal(column.isna(), expected)
+
+    def test_decode_marks_na_canonically(self, case, column):
+        decoded = column.to_numpy()
+        for position in case.na_positions:
+            if case.dtype.is_numeric:
+                assert np.isnan(decoded[position])
+            else:
+                assert decoded[position] is None
+
+    def test_non_na_values_round_trip(self, case, column):
+        decoded = column.to_numpy()
+        for i, value in enumerate(case.values):
+            if i in case.na_positions:
+                continue
+            if case.dtype.is_numeric:
+                assert decoded[i] == float(value)
+            else:
+                assert decoded[i] == value
+
+    def test_equals_treats_na_as_equal(self, case, column):
+        other = Column.from_values(case.values, case.dtype)
+        assert column.equals(other)
+        assert not column.equals(column[:-1])
+
+
+class TestSlicing:
+    def test_slice_is_zero_copy_view(self, case, column):
+        view = column[1:4]
+        assert len(view) == 3
+        for name in column.parts:
+            assert np.shares_memory(view.parts[name], column.parts[name])
+
+    def test_take_copies(self, case, column):
+        picked = column.take([0, 0, 2])
+        assert len(picked) == 3
+        for name in column.parts:
+            assert not np.shares_memory(picked.parts[name], column.parts[name])
+        assert picked[0] == picked[1]
+
+    def test_scalar_access(self, case, column):
+        for i, value in enumerate(case.values):
+            if i in case.na_positions:
+                continue
+            got = column[i]
+            if case.dtype.is_numeric:
+                assert got == float(value)
+            else:
+                assert got == value
+
+
+class TestPersistence:
+    def test_round_trip_is_bit_identical(self, case, column, tmp_path):
+        entry = column.write(tmp_path, "c0000_test")
+        reopened = Column.read(tmp_path, entry, len(column))
+        for name in column.parts:
+            original = np.ascontiguousarray(
+                column.parts[name], dtype=case.dtype.parts[name]
+            )
+            assert reopened.parts[name].tobytes() == original.tobytes()
+        assert reopened.equals(column)
+
+    def test_read_is_memory_mapped(self, case, column, tmp_path):
+        entry = column.write(tmp_path, "c0000_test")
+        reopened = Column.read(tmp_path, entry, len(column))
+        for part in reopened.parts.values():
+            assert isinstance(part, np.memmap)
+
+    def test_missing_part_file_named_in_error(self, case, column, tmp_path):
+        entry = column.write(tmp_path, "c0000_test")
+        first_file = next(iter(entry["parts"].values()))["file"]
+        (tmp_path / first_file).unlink()
+        with pytest.raises(ValueError, match=first_file):
+            Column.read(tmp_path, entry, len(column))
+
+    def test_truncated_part_file_named_in_error(self, case, column, tmp_path):
+        entry = column.write(tmp_path, "c0000_test")
+        first_file = next(iter(entry["parts"].values()))["file"]
+        path = tmp_path / first_file
+        path.write_bytes(path.read_bytes()[:-1])
+        with pytest.raises(ValueError, match="bytes"):
+            Column.read(tmp_path, entry, len(column))
+
+    def test_dtype_manifest_round_trip(self, case):
+        assert dtype_from_manifest(case.dtype.to_manifest()) == case.dtype
+
+
+class TestDtypeSpecifics:
+    def test_unknown_manifest_kind(self):
+        with pytest.raises(ValueError, match="unknown column dtype kind"):
+            dtype_from_manifest({"kind": "decimal128"})
+
+    def test_categorical_rejects_unknown_value(self):
+        dtype = CategoricalDtype(("a", "b"))
+        with pytest.raises(ValueError, match="not in the categorical vocabulary"):
+            dtype.encode(["a", "z"])
+
+    def test_categorical_rejects_duplicate_categories(self):
+        with pytest.raises(ValueError, match="unique"):
+            CategoricalDtype(("a", "a"))
+
+    def test_masked_numeric_distinguishes_na_from_payload(self):
+        dtype = MaskedNumericDtype()
+        parts = dtype.encode([1.0, np.nan])
+        # Missing slots store a zero payload plus a raised mask bit.
+        assert parts["data"][1] == 0.0
+        assert parts["mask"].tolist() == [0, 1]
+
+    def test_numeric_decode_is_view(self):
+        column = Column.from_values([1.0, 2.0], NumericDtype())
+        assert np.shares_memory(column.to_numpy(), column.parts["data"])
+
+    def test_masked_decode_is_copy(self):
+        column = Column.from_values([1.0, np.nan], MaskedNumericDtype())
+        assert not np.shares_memory(column.to_numpy(), column.parts["data"])

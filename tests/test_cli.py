@@ -141,6 +141,65 @@ class TestMine:
         assert "job=" in out
 
 
+class TestOutOfCore:
+    def test_rules_match_in_memory_mine(self, planted_csv, tmp_path, capsys):
+        assert main(["mine", planted_csv, "--memory-budget", "64k"]) == 0
+        in_memory = capsys.readouterr().out
+        assert main([
+            "mine", planted_csv, "--out-of-core", "--chunk-rows", "123",
+            "--spill-dir", str(tmp_path / "spill"), "--memory-budget", "64k",
+        ]) == 0
+        out_of_core = capsys.readouterr().out
+        assert out_of_core == in_memory
+        assert (tmp_path / "spill" / "manifest.json").exists()
+
+    def test_stats_shows_columnar_line(self, planted_csv, tmp_path, capsys):
+        assert main([
+            "mine", planted_csv, "--out-of-core",
+            "--spill-dir", str(tmp_path / "spill"), "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# columnar: 450 rows" in out
+        assert "bytes on disk" in out
+
+    def test_lenient_spill_quarantines_bad_rows(self, tmp_path, capsys):
+        csv = tmp_path / "dirty.csv"
+        csv.write_text("# a:interval\na\n1.0\nnope\n2.0\n3.0\n4.0\n")
+        assert main([
+            "mine", str(csv), "--out-of-core", "--lenient",
+            "--max-bad-fraction", "0.5", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# columnar: 4 rows" in out
+        assert "1 rows quarantined" in out
+
+    @pytest.mark.parametrize(
+        "extra, message",
+        [
+            (["--chunk-rows", "8"], "requires --out-of-core"),
+            (["--spill-dir", "spill"], "requires --out-of-core"),
+            (["--out-of-core", "--mixed"], "--mixed"),
+            (["--out-of-core", "--checkpoint", "x.ckpt"], "--checkpoint"),
+            (["--out-of-core", "--drop-missing"], "--drop-missing"),
+            (["--out-of-core", "--workers", "2"], "--workers"),
+            (["--memory-budget", "64q"], "invalid byte count"),
+        ],
+    )
+    def test_flag_interactions_rejected(self, planted_csv, capsys, extra, message):
+        assert main(["mine", planted_csv, *extra]) == 1
+        assert message in capsys.readouterr().err
+
+    def test_memory_budget_suffixes(self):
+        from repro.cli import _parse_bytes
+
+        assert _parse_bytes("65536") == 65536
+        assert _parse_bytes("64k") == 64 * 1024
+        assert _parse_bytes("2M") == 2 * 1024**2
+        assert _parse_bytes("1g") == 1024**3
+        with pytest.raises(ValueError, match="positive"):
+            _parse_bytes("0")
+
+
 class TestBaseline:
     def test_runs_and_reports_intervals(self, planted_csv, capsys):
         assert main([

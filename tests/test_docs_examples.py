@@ -86,3 +86,16 @@ class TestTutorialExamples:
 
         relation = load_plain_csv("survey.csv")
         assert bool(np.any(missing_mask(relation)))
+
+
+class TestScalingExamples:
+    def test_has_python_blocks(self):
+        assert len(python_blocks(REPO_ROOT / "docs" / "SCALING.md")) >= 6
+
+    def test_blocks_execute(self, docs_cwd, capsys):
+        namespace = _run_document(REPO_ROOT / "docs" / "SCALING.md")
+        out = capsys.readouterr().out
+        assert "identical rule-for-rule" in out  # the bit-identity block
+        assert (docs_cwd / "store" / "manifest.json").exists()  # the spill
+        assert (docs_cwd / "bad_rows.jsonl").exists()  # the quarantine block
+        assert namespace["out_of_core"].rules
