@@ -8,9 +8,9 @@ the library, so the bound is established from the inside:
 
 1. time the workload with observability disabled (best of several runs);
 2. run it once fully instrumented to *count* the events it would emit
-   (spans recorded plus metric-series updates);
-3. time that many disabled-mode ``span()`` / ``inc()`` calls — the
-   exact code path the hooks take when off — and compare.
+   (spans recorded, metric-series updates, log records);
+3. time that many disabled-mode ``span()`` / ``inc()`` / ``log.event()``
+   calls — the exact code path the hooks take when off — and compare.
 
 The enabled run doubles as an artifact source: its Chrome trace and
 metrics table land in ``benchmarks/results/`` so CI uploads a real
@@ -23,6 +23,7 @@ from repro import obs
 from repro.core.config import DARConfig
 from repro.core.miner import DARMiner
 from repro.data.synthetic import make_planted_rule_relation
+from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import get_tracer, span
 from repro.report.tables import Table
@@ -50,10 +51,11 @@ def timed(fn, *args):
 
 
 def count_events(relation):
-    """One instrumented run: (n_spans, n_metric_updates, artifacts)."""
+    """One instrumented run: (n_spans, n_metric_updates, n_log_records)."""
     get_tracer().clear()
     obs.get_registry().reset()
-    obs.enable(trace=True, metrics=True)
+    obs.get_logger().clear()
+    obs.enable(trace=True, metrics=True, log=True)
     try:
         run_mine(relation)
     finally:
@@ -63,16 +65,18 @@ def count_events(relation):
             metric.count if metric.kind == "histogram" else 1
             for metric in obs.get_registry().metrics()
         )
+        n_records = obs.get_logger().n_emitted
         RESULTS_DIR.mkdir(exist_ok=True)
         get_tracer().to_chrome(RESULTS_DIR / "obs_overhead_trace.json")
         (RESULTS_DIR / "obs_overhead_metrics.txt").write_text(table + "\n")
         obs.disable()
         get_tracer().clear()
         obs.get_registry().reset()
-    return len(spans), n_updates
+        obs.get_logger().clear()
+    return len(spans), n_updates, n_records
 
 
-def time_noop_calls(n_spans, n_updates):
+def time_noop_calls(n_spans, n_updates, n_records):
     """Wall time of the disabled-mode code path, event-for-event."""
     assert not obs.enabled()
     started = time.perf_counter()
@@ -81,6 +85,8 @@ def time_noop_calls(n_spans, n_updates):
             pass
     for _ in range(n_updates):
         obs_metrics.inc("noop_bench_total", 1, help="disabled-mode timing")
+    for _ in range(n_records):
+        obs_log.info("noop.bench", attr=1)
     return time.perf_counter() - started
 
 
@@ -89,18 +95,21 @@ def test_disabled_mode_overhead(benchmark, emit):
     run_mine(relation)  # warm caches before timing anything
 
     baseline = min(timed(run_mine, relation)[1] for _ in range(3))
-    n_spans, n_updates = count_events(relation)
-    noop_seconds = min(time_noop_calls(n_spans, n_updates) for _ in range(3))
+    n_spans, n_updates, n_records = count_events(relation)
+    noop_seconds = min(
+        time_noop_calls(n_spans, n_updates, n_records) for _ in range(3)
+    )
     fraction = noop_seconds / baseline
 
     benchmark.pedantic(run_mine, args=(relation,), rounds=1, iterations=1)
 
     table = Table(
         "Observability disabled-mode overhead",
-        ["rows", "spans", "metric updates", "workload s", "no-op s", "overhead"],
+        ["rows", "spans", "metric updates", "log records",
+         "workload s", "no-op s", "overhead"],
     )
     table.add_row(
-        len(relation), n_spans, n_updates, baseline, noop_seconds,
+        len(relation), n_spans, n_updates, n_records, baseline, noop_seconds,
         f"{fraction:.3%}",
     )
     emit(table, "perf_obs_overhead.txt")

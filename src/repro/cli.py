@@ -9,6 +9,7 @@ Subcommands:
 * ``snapshot``  — compile a versioned, queryable rule snapshot
 * ``serve``     — serve a rule snapshot over HTTP (``/rules``,
   ``/healthz``, ``/metrics``)
+* ``slo``       — evaluate SLO rule packs against saved or live metrics
 * ``bench``     — benchmark telemetry: record trajectories, gate
   regressions, render the HTML dashboard
 
@@ -26,6 +27,9 @@ Examples::
     python -m repro baseline /tmp/claims.csv --min-support 0.15
     python -m repro snapshot /tmp/claims.csv --out /tmp/rules.snap
     python -m repro serve --snapshot /tmp/rules.snap --port 8765
+    python -m repro serve --snapshot /tmp/rules.snap --log - --slo-pack default
+    python -m repro mine /tmp/claims.csv --log /tmp/mine.jsonl --postmortem-dir /tmp/pm
+    python -m repro slo check --metrics /tmp/metrics.prom --fail-on crit
     python -m repro bench run --scenario phase1_scaling
     python -m repro bench compare --strict
     python -m repro bench report --out bench_report.html
@@ -52,6 +56,7 @@ from repro.mixed.miner import MixedDARConfig, MixedDARMiner
 from repro.obs.trace import span
 from repro.quantitative.qar import QARConfig, QARMiner
 from repro.report.describe import describe_rule
+from repro.resilience import faults
 from repro.resilience.errors import ReproError
 from repro.serve.query import RuleQuery, apply_query
 
@@ -167,6 +172,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the run's metrics as Prometheus text "
                       "exposition to PATH (implies --metrics recording; "
                       "the stderr table still needs --metrics)")
+    mine.add_argument("--log", metavar="PATH", default=None,
+                      help="emit structured JSONL logs to PATH "
+                      "('stderr' or '-' for standard error)")
+    mine.add_argument("--log-level", default="info",
+                      choices=("debug", "info", "warn", "error"),
+                      help="minimum level recorded by --log (default: info)")
+    mine.add_argument("--postmortem-dir", metavar="DIR", default=None,
+                      help="arm the flight recorder: on a crash, write a "
+                      "postmortem bundle (.tar.gz with recent logs/spans/"
+                      "metrics, health, config) into DIR; implies tracing "
+                      "and metrics for the run")
 
     baseline = commands.add_parser(
         "baseline", help="Srikant-Agrawal quantitative rules (equi-depth)"
@@ -260,10 +276,49 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="socket read timeout per request, the "
                        "anti-slow-loris bound (default 30)")
+    serve.add_argument("--log", metavar="PATH", default=None,
+                       help="emit structured JSONL logs (one access-log "
+                       "record per request) to PATH ('stderr' or '-' for "
+                       "standard error)")
+    serve.add_argument("--log-level", default="info",
+                       choices=("debug", "info", "warn", "error"),
+                       help="minimum level recorded by --log (default: info)")
+    serve.add_argument("--postmortem-dir", metavar="DIR", default=None,
+                       help="arm the flight recorder: dump a postmortem "
+                       "bundle into DIR on shutdown or crash")
+    serve.add_argument("--slo-pack", metavar="PATH", default=None,
+                       help="evaluate this SLO rule pack (JSON/TOML) on "
+                       "every /healthz; 'default' selects the built-in "
+                       "serving pack")
     serve.add_argument("--drain-seconds", type=float, default=5.0,
                        metavar="SECONDS",
                        help="how long shutdown waits for in-flight "
                        "requests before closing (default 5)")
+
+    slo = commands.add_parser(
+        "slo", help="evaluate SLO rule packs against recorded metrics"
+    )
+    slo_commands = slo.add_subparsers(dest="slo_command", required=True)
+    slo_check = slo_commands.add_parser(
+        "check",
+        help="evaluate a rule pack; exit non-zero when it is violated",
+    )
+    slo_check.add_argument("--pack", metavar="PATH", default=None,
+                           help="SLO rule pack (JSON or TOML); omit or pass "
+                           "'default' for the built-in serving pack")
+    slo_check.add_argument("--metrics", metavar="PATH", default=None,
+                           help="Prometheus text file to evaluate against "
+                           "(e.g. the output of `repro mine --metrics-out`)")
+    slo_check.add_argument("--url", metavar="URL", default=None,
+                           help="scrape a running server's /metrics "
+                           "endpoint instead of reading a file")
+    slo_check.add_argument("--fail-on", choices=("warn", "crit"),
+                           default="crit",
+                           help="violation severity that makes the exit "
+                           "code non-zero (default: crit)")
+    slo_check.add_argument("--json", action="store_true",
+                           help="print the report as JSON instead of the "
+                           "per-rule verdict lines")
 
     bench = commands.add_parser(
         "bench",
@@ -436,11 +491,16 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     recorders first, so repeated in-process invocations (tests, notebooks)
     start from a clean slate and the exported numbers describe exactly
     this run.  ``--report`` implies tracing + metrics (the dashboard needs
-    both) and ``--metrics-out`` implies metrics recording.
+    both) and ``--metrics-out`` implies metrics recording.  ``--log``
+    turns on the structured JSONL logger; ``--postmortem-dir`` arms the
+    flight recorder (implying tracing + metrics, so a bundle has spans
+    and a registry snapshot to carry) and dumps a bundle if the run
+    crashes.
     """
     wants_obs = (
         args.trace or args.metrics or args.profile
         or args.report or args.metrics_out
+        or args.log or args.postmortem_dir
     )
     if not wants_obs:
         return _run_mine(args)
@@ -452,16 +512,32 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     obs.get_registry().reset()
     obs.reset_profiles()
     obs.enable(
-        trace=bool(args.trace or args.report),
-        metrics=bool(args.metrics or args.report or args.metrics_out),
+        trace=bool(args.trace or args.report or args.postmortem_dir),
+        metrics=bool(
+            args.metrics or args.report or args.metrics_out
+            or args.postmortem_dir
+        ),
         profile=args.profile,
     )
+    if args.log:
+        obs.enable_logging(level=args.log_level, path=args.log)
+    if args.postmortem_dir:
+        obs.enable_flight(
+            directory=args.postmortem_dir,
+            config={"command": "mine", "csv": args.csv},
+        )
     capture: dict = {}
     try:
         with span("cli.mine", csv=args.csv):
             status = _run_mine(args, capture=capture)
+    except Exception as error:
+        # Cut the bundle while the recorders still hold the crash window
+        # (the finally below switches them off).
+        obs.dump_on_error("cli-mine", error)
+        raise
     finally:
         obs.disable()
+        obs.disable_flight()
     # Diagnostics go to stderr (like the trace confirmation) so that
     # ``--json`` stdout stays machine-parseable under ``--metrics``.
     if args.metrics:
@@ -877,6 +953,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from repro import obs
     from repro.obs.metrics import enable_metrics, get_registry
     from repro.serve import RuleServer, ServePolicy, SnapshotPublisher
 
@@ -894,11 +971,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     get_registry().reset()
     enable_metrics()
+    obs.publish_build_info()
+    if args.log:
+        obs.enable_logging(level=args.log_level, path=args.log)
+    if args.postmortem_dir:
+        obs.enable_tracing()
+        obs.enable_flight(
+            directory=args.postmortem_dir,
+            config={"command": "serve", "snapshot": args.snapshot},
+        )
+    slo_pack = None
+    if args.slo_pack:
+        from repro.obs import slo as obs_slo
+
+        slo_pack = (
+            obs_slo.default_pack()
+            if args.slo_pack == "default"
+            else obs_slo.load_pack(args.slo_pack)
+        )
     publisher = SnapshotPublisher(
         _snapshot_source(args.snapshot), cache_size=args.cache_size
     )
     with RuleServer(
-        publisher, host=args.host, port=args.port, policy=policy
+        publisher, host=args.host, port=args.port, policy=policy,
+        slo_pack=slo_pack,
     ) as server:
         server.start()
         host, port = server.address
@@ -916,6 +1012,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             limits.append(f"deadline={policy.deadline_seconds * 1000:g}ms")
         if limits:
             print("# admission: " + " ".join(limits), flush=True)
+        if slo_pack is not None:
+            print(f"# slo pack: {len(slo_pack)} rule(s) on /healthz", flush=True)
         print("# endpoints: /rules /healthz /metrics", flush=True)
         stop = threading.Event()
         if threading.current_thread() is threading.main_thread():
@@ -924,6 +1022,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stop.wait()
     print("# shut down cleanly", file=sys.stderr)
     return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Run ``slo check``: evaluate a rule pack, exit non-zero on violation.
+
+    The metrics to judge come from exactly one of ``--metrics`` (a saved
+    Prometheus text file, e.g. ``repro mine --metrics-out``) or ``--url``
+    (a live server, scraped once).  The exit code is the report's
+    :meth:`~repro.obs.slo.SLOReport.exit_code` under ``--fail-on``: 0
+    while healthy, 1 once the worst status reaches the chosen severity —
+    which is what lets CI gate on SLO compliance.
+    """
+    from repro.obs import slo as obs_slo
+
+    if (args.metrics is None) == (args.url is None):
+        raise ValueError("give exactly one of --metrics or --url")
+    if args.metrics is not None:
+        from pathlib import Path
+
+        text = Path(args.metrics).read_text(encoding="utf-8")
+    else:
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/")
+        if not url.endswith("/metrics"):
+            url = f"{url}/metrics"
+        with urlopen(url, timeout=10) as response:  # noqa: S310
+            text = response.read().decode("utf-8")
+    if args.pack in (None, "default"):
+        rules = obs_slo.default_pack()
+    else:
+        rules = obs_slo.load_pack(args.pack)
+    report = obs_slo.evaluate_pack(rules, obs_slo.parse_prometheus(text))
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return report.exit_code(fail_on=args.fail_on)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1026,17 +1164,29 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "snapshot": _cmd_snapshot,
     "serve": _cmd_serve,
+    "slo": _cmd_slo,
     "bench": _cmd_bench,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    ``REPRO_FAIL_AT`` (see :func:`repro.resilience.faults.install_from_env`)
+    arms fault points before the command runs — the CI crash drill's
+    switch.  A command failing with a typed error still gets a postmortem
+    bundle when the flight recorder is armed, then exits 1 with a
+    one-line message.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    faults.install_from_env()
     try:
         return _COMMANDS[args.command](args)
     except (OSError, ValueError, ReproError) as error:
+        from repro.obs import flight as obs_flight
+
+        obs_flight.dump_on_error("cli-error", error)
         print(f"error: {error}", file=sys.stderr)
         return 1
     except KeyboardInterrupt:

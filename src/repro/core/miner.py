@@ -35,6 +35,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.resilience import faults
 from repro.resilience.errors import ValidationError
+from repro.resilience.events import GuardEvent, record_guard_event
 
 __all__ = ["DARMiner", "DARResult", "Phase2Stats"]
 
@@ -69,7 +70,7 @@ class Phase2Stats:
     graph_seconds: float = 0.0
     clique_seconds: float = 0.0
     rules_seconds: float = 0.0
-    events: List[str] = field(default_factory=list)
+    events: List[GuardEvent] = field(default_factory=list)
 
     def stage_breakdown(self) -> Dict[str, float]:
         """Stage-name → seconds, in pipeline order (for reports/CLI)."""
@@ -136,11 +137,16 @@ class Phase2Stats:
                 unit="seconds", stage=stage,
             )
         for event in self.events:
-            if "columnar" in event:
+            if getattr(event, "kind", None) is not None:
+                # Structured GuardEvents were already counted into
+                # repro_degradation_events_total by record_guard_event.
+                continue
+            line = str(event)
+            if "columnar" in line:
                 kind = "columnar_fallback"
-            elif "memory" in event:
+            elif "memory" in line:
                 kind = "memory_escalation"
-            elif "kernel" in event:
+            elif "kernel" in line:
                 kind = "kernel_fallback"
             else:
                 kind = "other"
@@ -346,11 +352,12 @@ class DARMiner:
                             faults.fire("phase2.kernel")
                             kernel = self._make_kernel(flat_frequent)
                         except Exception as error:
-                            phase2.events.append(
+                            phase2.events.append(record_guard_event(
+                                "kernel_fallback",
                                 f"vector Phase II kernel failed during moment "
                                 f"extraction ({error}); degraded to the "
-                                f"scalar engine"
-                            )
+                                f"scalar engine",
+                            ))
                             engine = "scalar"
                             kernel = None
                 phase2.extract_seconds = time.perf_counter() - stage
@@ -369,11 +376,12 @@ class DARMiner:
                                 pruning_diameter_factor=self.config.pruning_diameter_factor,
                             )
                         except Exception as error:
-                            phase2.events.append(
+                            phase2.events.append(record_guard_event(
+                                "kernel_fallback",
                                 f"vector Phase II kernel failed during graph "
                                 f"build ({error}); degraded to the scalar "
-                                f"engine"
-                            )
+                                f"engine",
+                            ))
                             engine = "scalar"
                             kernel = None
                             graph = None

@@ -54,6 +54,7 @@ from repro.obs.health import HealthMonitor, HealthReport, HealthThresholds
 from repro.obs.trace import span
 from repro.resilience import faults
 from repro.resilience.errors import CheckpointCorruptError, ValidationError
+from repro.resilience.events import record_guard_event
 
 __all__ = ["StreamingDARMiner"]
 
@@ -544,10 +545,11 @@ class StreamingDARMiner:
                                 pruning_diameter_factor=self.config.pruning_diameter_factor,
                             )
                         except Exception as error:
-                            phase2.events.append(
+                            phase2.events.append(record_guard_event(
+                                "kernel_fallback",
                                 f"vector Phase II kernel failed ({error}); "
-                                f"degraded to the scalar engine"
-                            )
+                                f"degraded to the scalar engine",
+                            ))
                             engine = "scalar"
                             kernel = None
                             graph = None

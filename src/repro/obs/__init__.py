@@ -33,6 +33,46 @@ span taxonomy and the full metric catalog.
 
 from __future__ import annotations
 
+from repro.obs.context import (
+    RequestContext,
+    activate,
+    bind,
+    current,
+    new_trace_id,
+)
+from repro.obs.flight import (
+    FlightRecorder,
+    build_metadata,
+    disable_flight,
+    dump,
+    dump_on_error,
+    enable_flight,
+    flight_enabled,
+    get_flight,
+)
+from repro.obs.log import (
+    StructuredLogger,
+    debug,
+    disable_logging,
+    enable_logging,
+    error,
+    event,
+    get_logger,
+    info,
+    logging_enabled,
+    warn,
+)
+from repro.obs.slo import (
+    DEFAULT_PACK,
+    SLOReport,
+    SLOResult,
+    SLORule,
+    default_pack,
+    evaluate_pack,
+    load_pack,
+    parse_prometheus,
+    registry_view,
+)
 from repro.obs.bench import (
     BenchRecord,
     BenchRun,
@@ -78,6 +118,8 @@ from repro.obs.regress import (
 from repro.obs.trace import (
     Span,
     Tracer,
+    current_span_id,
+    current_trace_id,
     disable_tracing,
     enable_tracing,
     get_tracer,
@@ -89,6 +131,7 @@ __all__ = [
     "enable",
     "disable",
     "enabled",
+    "publish_build_info",
     # benchmark telemetry
     "BenchRecord",
     "BenchRun",
@@ -134,22 +177,88 @@ __all__ = [
     "disable_profiling",
     "profiling_enabled",
     "reset_profiles",
+    # context / correlation
+    "RequestContext",
+    "new_trace_id",
+    "current",
+    "activate",
+    "bind",
+    "current_span_id",
+    "current_trace_id",
+    # structured logging
+    "StructuredLogger",
+    "get_logger",
+    "enable_logging",
+    "disable_logging",
+    "logging_enabled",
+    "event",
+    "debug",
+    "info",
+    "warn",
+    "error",
+    # flight recorder / postmortems
+    "FlightRecorder",
+    "enable_flight",
+    "disable_flight",
+    "flight_enabled",
+    "get_flight",
+    "dump",
+    "dump_on_error",
+    "build_metadata",
+    # SLO rules
+    "SLORule",
+    "SLOResult",
+    "SLOReport",
+    "DEFAULT_PACK",
+    "default_pack",
+    "evaluate_pack",
+    "load_pack",
+    "parse_prometheus",
+    "registry_view",
 ]
 
 
-def enable(*, trace: bool = True, metrics: bool = True, profile: bool = False) -> None:
+def publish_build_info() -> None:
+    """Register the ``repro_build_info`` gauge (value 1, identity labels).
+
+    Labels carry the package version, git SHA, python and numpy
+    versions, so every ``/metrics`` scrape and postmortem bundle says
+    exactly which build produced it.  No-op while metrics are disabled.
+    """
+    if not metrics_enabled():
+        return
+    get_registry().gauge(
+        "repro_build_info",
+        "Build identity (constant 1; the labels are the payload)",
+        **build_metadata(),
+    ).set(1)
+
+
+def enable(
+    *,
+    trace: bool = True,
+    metrics: bool = True,
+    profile: bool = False,
+    log: bool = False,
+) -> None:
     """Switch observability layers on (tracing and metrics by default).
 
     Profiling is a separate opt-in because its samplers (tracemalloc,
     ``sys.setprofile``) carry real overhead; tracing and metrics are
-    cheap enough to leave on for whole production mines.
+    cheap enough to leave on for whole production mines.  ``log=True``
+    turns on the structured logger with its current sink configuration
+    (use :func:`enable_logging` directly to pick a level or sink).
+    Enabling metrics also registers the ``repro_build_info`` gauge.
     """
     if trace:
         enable_tracing()
     if metrics:
         enable_metrics()
+        publish_build_info()
     if profile:
         enable_profiling()
+    if log:
+        enable_logging()
 
 
 def disable() -> None:
@@ -157,8 +266,14 @@ def disable() -> None:
     disable_tracing()
     disable_metrics()
     disable_profiling()
+    disable_logging()
 
 
 def enabled() -> bool:
     """Whether any observability layer is currently recording."""
-    return tracing_enabled() or metrics_enabled() or profiling_enabled()
+    return (
+        tracing_enabled()
+        or metrics_enabled()
+        or profiling_enabled()
+        or logging_enabled()
+    )

@@ -1,0 +1,116 @@
+"""Ambient request context: the id that links logs, spans and bundles.
+
+A :class:`RequestContext` carries a ``trace_id`` (and, for HTTP traffic,
+the ``request_id`` echoed back in the ``X-Request-Id`` header) through
+everything one logical request touches.  It is *ambient*: code activates
+a context for the duration of a ``with`` block and every log record and
+span opened underneath — on the same thread — is stamped with its ids
+automatically, with no explicit plumbing through call signatures.
+
+Propagation is explicit only at thread/process boundaries:
+:meth:`RequestContext.to_dict` / :meth:`RequestContext.from_dict` make
+the context a picklable payload, which is how the parallel coordinator
+ships it to ``ProcessPoolBackend`` workers alongside the trace/metrics
+flags (see :mod:`repro.parallel.tasks`).
+
+Cost model matches the rest of ``repro.obs``: :func:`current` is one
+thread-local attribute read, and nothing here allocates unless a
+context is actually activated.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+__all__ = [
+    "RequestContext",
+    "new_trace_id",
+    "current",
+    "activate",
+    "bind",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (random, unique per call)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Immutable correlation ids for one logical unit of work.
+
+    ``trace_id`` groups everything a request (or a mine, or a refresh
+    cycle) caused; ``request_id`` is the externally visible id — for
+    HTTP traffic the value of the ``X-Request-Id`` header, which the
+    server uses verbatim as the trace id so one ``grep`` finds both.
+    """
+
+    trace_id: str
+    request_id: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The context as a plain, picklable dict (for worker payloads)."""
+        out: Dict[str, Any] = {"trace_id": self.trace_id}
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
+        return out
+
+    @classmethod
+    def from_dict(cls, state: Mapping[str, Any]) -> "RequestContext":
+        """Rebuild a context from :meth:`to_dict` output."""
+        request_id = state.get("request_id")
+        return cls(
+            trace_id=str(state.get("trace_id", "")),
+            request_id=None if request_id is None else str(request_id),
+        )
+
+
+_local = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+def current() -> Optional[RequestContext]:
+    """The innermost active context on this thread, or ``None``."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def activate(context: RequestContext) -> Iterator[RequestContext]:
+    """Make ``context`` the thread's ambient context for the block."""
+    stack = _stack()
+    stack.append(context)
+    try:
+        yield context
+    finally:
+        stack.pop()
+
+
+@contextmanager
+def bind(
+    trace_id: Optional[str] = None, request_id: Optional[str] = None
+) -> Iterator[RequestContext]:
+    """Activate a context, minting a fresh trace id when none is given.
+
+    Convenience wrapper over :func:`activate` for entry points: the HTTP
+    handler calls ``bind(trace_id=header, request_id=header)`` and the
+    CLI calls plain ``bind()`` to give a whole mine one trace id.
+    """
+    context = RequestContext(
+        trace_id=trace_id if trace_id else new_trace_id(),
+        request_id=request_id,
+    )
+    with activate(context):
+        yield context

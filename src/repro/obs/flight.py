@@ -1,0 +1,338 @@
+"""Flight recorder: a crash-proof window of recent activity + postmortems.
+
+A :class:`FlightRecorder` keeps a lock-cheap ring buffer of the last N
+observability events — structured log records, span closes and metric
+deltas — regardless of whether any sink or exporter is configured.  When
+something dies (unhandled exception, fault-injection trip, SIGTERM, or
+an explicit call) :meth:`FlightRecorder.dump` freezes that window into a
+single *postmortem bundle*: a ``.tar.gz`` containing
+
+==================  ====================================================
+``events.jsonl``    the ring buffer, oldest first, one JSON event/line
+``metrics.prom``    the full Prometheus exposition at dump time
+``health.json``     the health report rows, when the caller has one
+``config.json``     run configuration (CLI args, server policy, ...)
+``meta.json``       reason, timestamps, platform/python/numpy versions,
+                    git SHA, pid, drop counters
+==================  ====================================================
+
+Enabling the recorder (:func:`enable_flight`) installs cheap hooks into
+the tracer, the metrics emission helpers and the structured logger, so
+instrumented code needs no changes; disabling uninstalls them.  Each
+hook is one global read when the recorder is off and one deque append
+under a lock when it is on.
+
+Dump sites are wired into ``guarded_mine``, ``ParallelDARMiner``,
+``RuleServer.shutdown``, fault-injection trips and the CLI's top-level
+error handler; :func:`dump_on_error` tags the exception object so a
+failure that bubbles through several of those layers produces exactly
+one bundle.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import platform
+import subprocess
+import tarfile
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.obs import log as _log
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+__all__ = [
+    "FlightRecorder",
+    "enable_flight",
+    "disable_flight",
+    "flight_enabled",
+    "get_flight",
+    "record",
+    "dump",
+    "dump_on_error",
+    "build_metadata",
+]
+
+#: Default ring capacity: the postmortem window, in events.
+DEFAULT_CAPACITY = 4096
+
+#: Attribute set on exception objects once a bundle has been written for
+#: them, so nested dump hooks do not produce duplicate bundles.
+_DUMPED_FLAG = "_repro_flight_dumped"
+
+
+def _git_sha() -> str:
+    """The repository HEAD SHA, or "unknown" outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def build_metadata() -> Dict[str, str]:
+    """Build-identity labels: version, git SHA, python, numpy.
+
+    Shared by the ``repro_build_info`` gauge and every bundle's
+    ``meta.json``, so a scrape and a postmortem identify the same build.
+    """
+    import numpy
+
+    import repro
+
+    return {
+        "version": repro.__version__,
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+    }
+
+
+class FlightRecorder:
+    """Bounded ring of recent obs events plus the postmortem writer."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        directory: Optional[Union[str, Path]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.directory = Path(directory) if directory is not None else Path(".")
+        self.config: Dict[str, Any] = {}
+        self._events: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._dump_lock = threading.Lock()
+        self.n_recorded = 0
+        self.n_dropped = 0
+        self.n_dumps = 0
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, kind: str, data: Mapping[str, Any]) -> None:
+        """Append one event to the ring (evicting the oldest when full)."""
+        entry = {"ts": time.time(), "kind": kind, "data": dict(data)}
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self.n_dropped += 1
+            self._events.append(entry)
+            self.n_recorded += 1
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Ring contents, oldest first (a snapshot copy)."""
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        """Empty the ring and reset the counters."""
+        with self._lock:
+            self._events.clear()
+            self.n_recorded = 0
+            self.n_dropped = 0
+
+    # -- hooks installed into the other obs layers ----------------------
+
+    def _on_log(self, record_dict: Mapping[str, Any]) -> None:
+        self.record("log", record_dict)
+
+    def _on_span(self, span) -> None:
+        self.record(
+            "span",
+            {
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "trace_id": span.trace_id,
+                "seconds": span.seconds,
+                "attributes": dict(span.attributes),
+            },
+        )
+
+    def _on_metric(self, kind: str, name: str, value, labels: Mapping[str, str]) -> None:
+        self.record(
+            "metric",
+            {"metric": name, "op": kind, "value": value, "labels": dict(labels)},
+        )
+
+    # -- postmortem bundles ---------------------------------------------
+
+    def dump(
+        self,
+        reason: str,
+        *,
+        directory: Optional[Union[str, Path]] = None,
+        health: Optional[Mapping[str, Any]] = None,
+        config: Optional[Mapping[str, Any]] = None,
+        error: Optional[BaseException] = None,
+    ) -> Path:
+        """Write one postmortem bundle; returns the ``.tar.gz`` path.
+
+        ``reason`` is slugged into the file name.  ``health`` and
+        ``config`` override/extend what the recorder already knows; the
+        events, metrics and metadata members are always present.  The
+        bundle is written to a temp file and atomically renamed, so a
+        crash mid-dump never leaves a half-written archive behind.
+        """
+        with self._dump_lock:
+            out_dir = Path(directory) if directory is not None else self.directory
+            out_dir.mkdir(parents=True, exist_ok=True)
+            slug = "".join(
+                ch if ch.isalnum() or ch in "-_" else "-" for ch in reason
+            ).strip("-") or "dump"
+            stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+            base = f"postmortem-{stamp}-{slug}-{os.getpid()}"
+            path = out_dir / f"{base}.tar.gz"
+            serial = 0
+            while path.exists():
+                serial += 1
+                path = out_dir / f"{base}.{serial}.tar.gz"
+
+            events_text = "".join(
+                json.dumps(entry, default=str, separators=(",", ":")) + "\n"
+                for entry in self.events()
+            )
+            metrics_text = _metrics.get_registry().to_prometheus()
+            meta: Dict[str, Any] = {
+                "reason": reason,
+                "created_at": time.strftime(
+                    "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+                ),
+                "pid": os.getpid(),
+                "platform": platform.platform(),
+                "n_events": self.n_recorded,
+                "n_ring_dropped": self.n_dropped,
+                "log_dropped": _log.get_logger().n_dropped,
+                "span_dropped": _trace.get_tracer().n_dropped,
+            }
+            meta.update(build_metadata())
+            if error is not None:
+                meta["error"] = f"{type(error).__name__}: {error}"
+            merged_config = dict(self.config)
+            if config:
+                merged_config.update(config)
+
+            members = [
+                ("events.jsonl", events_text),
+                ("metrics.prom", metrics_text),
+                ("health.json", json.dumps(dict(health or {}), indent=2, default=str)),
+                ("config.json", json.dumps(merged_config, indent=2, default=str)),
+                ("meta.json", json.dumps(meta, indent=2, default=str)),
+            ]
+            tmp = path.with_suffix(".tmp")
+            with tarfile.open(tmp, "w:gz") as archive:
+                for name, text in members:
+                    payload = text.encode("utf-8")
+                    info = tarfile.TarInfo(name=name)
+                    info.size = len(payload)
+                    info.mtime = int(time.time())
+                    archive.addfile(info, io.BytesIO(payload))
+            os.replace(tmp, path)
+            self.n_dumps += 1
+        _metrics.inc(
+            "repro_postmortem_dumps_total",
+            help="Postmortem bundles written by the flight recorder",
+            reason=slug,
+        )
+        return path
+
+
+_enabled = False
+_recorder = FlightRecorder()
+
+
+def flight_enabled() -> bool:
+    """Whether the flight recorder is currently capturing events."""
+    return _enabled
+
+
+def enable_flight(
+    directory: Optional[Union[str, Path]] = None,
+    capacity: Optional[int] = None,
+    config: Optional[Mapping[str, Any]] = None,
+) -> FlightRecorder:
+    """Turn the flight recorder on; returns the active recorder.
+
+    ``capacity`` (when given) replaces the recorder with a fresh ring of
+    that size; ``directory`` sets where bundles land; ``config`` is
+    stored and included in every bundle's ``config.json``.  Enabling
+    installs the capture hooks into the tracer, the metric emission
+    helpers and the structured logger.
+    """
+    global _enabled, _recorder
+    if capacity is not None:
+        _recorder = FlightRecorder(capacity=capacity)
+    if directory is not None:
+        _recorder.directory = Path(directory)
+    if config is not None:
+        _recorder.config = dict(config)
+    _trace._flight_hook = _recorder._on_span
+    _metrics._flight_hook = _recorder._on_metric
+    _log._flight_hook = _recorder._on_log
+    _enabled = True
+    return _recorder
+
+
+def disable_flight() -> None:
+    """Turn the flight recorder off and uninstall its capture hooks."""
+    global _enabled
+    _trace._flight_hook = None
+    _metrics._flight_hook = None
+    _log._flight_hook = None
+    _enabled = False
+
+
+def get_flight() -> FlightRecorder:
+    """The process-wide recorder (valid whether or not it is enabled)."""
+    return _recorder
+
+
+def record(kind: str, **data: Any) -> None:
+    """Append one ad-hoc event to the ring — no-op while disabled."""
+    if not _enabled:
+        return
+    _recorder.record(kind, data)
+
+
+def dump(reason: str, **kwargs: Any) -> Optional[Path]:
+    """Write a bundle now; returns its path, or ``None`` while disabled."""
+    if not _enabled:
+        return None
+    return _recorder.dump(reason, **kwargs)
+
+
+def dump_on_error(reason: str, error: BaseException, **kwargs: Any) -> Optional[Path]:
+    """Write a bundle for ``error`` exactly once across nested handlers.
+
+    The first handler to see the exception writes the bundle and tags
+    the object; later handlers up the stack (the guard ladder, then the
+    CLI) see the tag and skip.  Returns the bundle path, or ``None``
+    when disabled, already dumped, or the dump itself failed (a broken
+    postmortem path must never mask the original error).
+    """
+    if not _enabled:
+        return None
+    if getattr(error, _DUMPED_FLAG, False):
+        return None
+    try:
+        setattr(error, _DUMPED_FLAG, True)
+    except AttributeError:
+        pass
+    try:
+        return _recorder.dump(reason, error=error, **kwargs)
+    except OSError:
+        return None

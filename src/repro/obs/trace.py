@@ -37,6 +37,8 @@ from collections import deque
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.obs import context as _context
+
 __all__ = [
     "Span",
     "Tracer",
@@ -45,7 +47,14 @@ __all__ = [
     "enable_tracing",
     "disable_tracing",
     "tracing_enabled",
+    "current_span_id",
+    "current_trace_id",
 ]
+
+#: Set by :mod:`repro.obs.flight` when the flight recorder is enabled;
+#: called with each finished :class:`Span`.  ``None`` costs one global
+#: read per span close.
+_flight_hook = None
 
 #: Default ring-buffer capacity: old spans are dropped once this many
 #: finished spans are held.  Generous for whole mines (a streaming run
@@ -58,9 +67,15 @@ class Span:
 
     ``start``/``end`` are :func:`time.perf_counter` values; ``end`` is 0.0
     while the span is still open.  ``parent_id`` is 0 for root spans.
+    ``trace_id`` is the ambient request/trace id captured at start time
+    ("" when no context was active) — stable across export and
+    :meth:`Tracer.ingest`, unlike span ids which are per-tracer.
     """
 
-    __slots__ = ("name", "span_id", "parent_id", "thread_id", "start", "end", "attributes")
+    __slots__ = (
+        "name", "span_id", "parent_id", "thread_id", "start", "end",
+        "attributes", "trace_id",
+    )
 
     def __init__(
         self,
@@ -70,6 +85,7 @@ class Span:
         thread_id: int,
         start: float,
         attributes: Dict[str, Any],
+        trace_id: str = "",
     ):
         self.name = name
         self.span_id = span_id
@@ -78,6 +94,7 @@ class Span:
         self.start = start
         self.end = 0.0
         self.attributes = attributes
+        self.trace_id = trace_id
 
     @property
     def seconds(self) -> float:
@@ -101,6 +118,7 @@ class Span:
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "thread_id": self.thread_id,
+            "trace_id": self.trace_id,
             "start": self.start,
             "end": self.end,
             "seconds": self.seconds,
@@ -192,9 +210,21 @@ class Tracer:
         return stack
 
     def start_span(self, name: str, attributes: Optional[Dict[str, Any]] = None) -> Span:
-        """Open a span as a child of the thread's innermost open span."""
+        """Open a span as a child of the thread's innermost open span.
+
+        The new span is stamped with the ambient trace id: the active
+        :class:`~repro.obs.context.RequestContext` wins, else the parent
+        span's trace id is inherited, else "" (an uncorrelated span).
+        """
         stack = self._stack()
         parent_id = stack[-1].span_id if stack else 0
+        ambient = _context.current()
+        if ambient is not None:
+            trace_id = ambient.trace_id
+        elif stack:
+            trace_id = stack[-1].trace_id
+        else:
+            trace_id = ""
         record = Span(
             name=name,
             span_id=next(self._ids),
@@ -202,6 +232,7 @@ class Tracer:
             thread_id=threading.get_ident(),
             start=time.perf_counter(),
             attributes=attributes if attributes is not None else {},
+            trace_id=trace_id,
         )
         stack.append(record)
         return record
@@ -229,6 +260,9 @@ class Tracer:
             if len(self._buffer) == self.capacity:
                 self._dropped += 1
             self._buffer.append(record)
+        hook = _flight_hook
+        if hook is not None:
+            hook(record)
 
     def ingest(
         self,
@@ -273,6 +307,7 @@ class Tracer:
                 thread_id=int(row.get("thread_id", 0)),
                 start=start,
                 attributes=dict(row.get("attributes", {})),
+                trace_id=str(row.get("trace_id", "")),
             )
             record.end = end
             self._append(record)
@@ -372,6 +407,30 @@ def disable_tracing() -> None:
 def get_tracer() -> Tracer:
     """The process-wide tracer (valid whether or not tracing is enabled)."""
     return _tracer
+
+
+def current_span_id() -> int:
+    """The id of this thread's innermost open span (0 when none / disabled)."""
+    if not _enabled:
+        return 0
+    stack = getattr(_tracer._local, "stack", None)
+    return stack[-1].span_id if stack else 0
+
+
+def current_trace_id() -> str:
+    """The ambient trace id: active context first, else the open span's.
+
+    Returns "" when neither a :class:`~repro.obs.context.RequestContext`
+    is active nor a traced span is open on this thread.
+    """
+    ambient = _context.current()
+    if ambient is not None:
+        return ambient.trace_id
+    if _enabled:
+        stack = getattr(_tracer._local, "stack", None)
+        if stack:
+            return stack[-1].trace_id
+    return ""
 
 
 def span(name: str, **attributes: Any):

@@ -51,6 +51,9 @@ from repro.core.config import DARConfig
 from repro.core.miner import DARMiner, DARResult
 from repro.core.phase2_kernel import Phase2Kernel
 from repro.data.relation import AttributePartition, Relation
+from repro.obs import context as obs_context
+from repro.obs import flight as obs_flight
+from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.trace import span
@@ -127,6 +130,9 @@ class ParallelDARMiner(DARMiner):
             self._backend = backend
             try:
                 result = super().mine(relation, partitions=partitions, targets=targets)
+            except Exception as error:
+                obs_flight.dump_on_error("parallel-mine", error)
+                raise
             finally:
                 self._backend = None
         if obs_metrics.metrics_enabled():
@@ -157,6 +163,9 @@ class ParallelDARMiner(DARMiner):
         backend = self._backend
         trace_on = obs_trace.tracing_enabled()
         metrics_on = obs_metrics.metrics_enabled()
+        log_on = obs_log.logging_enabled()
+        ambient = obs_context.current()
+        context_state = ambient.to_dict() if ambient is not None else None
         with SharedMatrixStore() as store:
             store.put_all(matrices)
             descriptor = store.descriptor()
@@ -178,6 +187,8 @@ class ParallelDARMiner(DARMiner):
                         descriptor=descriptor,
                         trace=trace_on and backend.n_workers > 1,
                         metrics=metrics_on and backend.n_workers > 1,
+                        log=log_on and backend.n_workers > 1,
+                        context=context_state,
                     )
                 )
             with span(
@@ -243,6 +254,9 @@ class ParallelDARMiner(DARMiner):
                     epoch=payload.get("epoch"),
                     base=dispatch_base,
                 )
+            records = payload.get("logs")
+            if records:
+                obs_log.get_logger().ingest(records)
 
 
 def _stats_from_payload(payload) -> Phase1Stats:

@@ -74,6 +74,8 @@ class Phase1Task:
     descriptor: Mapping[str, SharedMatrixHandle]
     trace: bool = False
     metrics: bool = False
+    log: bool = False
+    context: Optional[Mapping[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -145,18 +147,24 @@ def phase1_stats_from_dict(state: Mapping[str, Any]) -> Phase1Stats:
     )
 
 
-def _reset_worker_obs(trace: bool, metrics: bool) -> None:
+def _reset_worker_obs(trace: bool, metrics: bool, log: bool = False) -> None:
     """Give the worker a clean observability slate mirroring the parent.
 
     Under the ``fork`` start method the worker inherits the parent's
-    tracer buffer and metrics registry wholesale; without this reset the
-    coordinator would merge the parent's own spans and counters back into
-    itself, double-counting everything.  Each task starts from empty and
-    exports only what it recorded itself.
+    tracer buffer, metrics registry and log buffer wholesale; without
+    this reset the coordinator would merge the parent's own spans,
+    counters and records back into itself, double-counting everything.
+    Each task starts from empty and exports only what it recorded
+    itself.  The flight recorder is always disabled in workers — the
+    coordinator owns the postmortem window, and a worker must never
+    write bundles of its own.
     """
+    from repro.obs import flight as obs_flight
+    from repro.obs import log as obs_log
     from repro.obs import metrics as obs_metrics
     from repro.obs import trace as obs_trace
 
+    obs_flight.disable_flight()
     if metrics:
         obs_metrics.enable_metrics().reset()
     else:
@@ -166,11 +174,23 @@ def _reset_worker_obs(trace: bool, metrics: bool) -> None:
     else:
         obs_trace.disable_tracing()
         obs_trace.get_tracer().clear()
+    if log:
+        # Sink-less on purpose: records buffer in memory and ship home
+        # with the result payload; only the coordinator's sink writes.
+        obs_log.enable_logging(level=obs_log.DEBUG, stream=None, capacity=None)
+        obs_log.get_logger().clear()
+    else:
+        obs_log.disable_logging()
+        obs_log.get_logger().clear()
 
 
-def _export_worker_obs(trace: bool, metrics: bool) -> Dict[str, Any]:
-    """The task's recorded spans/metrics, ready to ship to the parent."""
-    out: Dict[str, Any] = {"metrics": None, "spans": None, "epoch": None}
+def _export_worker_obs(
+    trace: bool, metrics: bool, log: bool = False
+) -> Dict[str, Any]:
+    """The task's recorded spans/metrics/logs, ready to ship to the parent."""
+    out: Dict[str, Any] = {
+        "metrics": None, "spans": None, "epoch": None, "logs": None,
+    }
     if metrics:
         from repro.obs import metrics as obs_metrics
 
@@ -181,6 +201,10 @@ def _export_worker_obs(trace: bool, metrics: bool) -> Dict[str, Any]:
         tracer = obs_trace.get_tracer()
         out["spans"] = [record.to_dict() for record in tracer.spans()]
         out["epoch"] = tracer.epoch
+    if log:
+        from repro.obs import log as obs_log
+
+        out["logs"] = obs_log.get_logger().export_records()
     return out
 
 
@@ -193,24 +217,42 @@ def run_phase1_task(task: Phase1Task) -> Dict[str, Any]:
     are bit-identical to what the serial miner would have computed for
     this partition.
     """
+    from contextlib import nullcontext
+
+    from repro.obs import context as obs_context
+    from repro.obs import log as obs_log
+
     faults.fire("parallel.worker")
     if os.environ.get(KILL_WORKER_ENV) == task.partition.name:
         # Simulated OOM-kill: die without cleanup so the coordinator sees
         # BrokenProcessPool, exactly like a real worker death.
         os._exit(1)
-    _reset_worker_obs(task.trace, task.metrics)
-    with attach_matrices(task.descriptor) as matrices:
-        clusterer = BirchClusterer(task.partition, task.others, task.options)
-        result = clusterer.fit_arrays(
-            matrices[task.partition.name],
-            {p.name: matrices[p.name] for p in task.others},
+    _reset_worker_obs(task.trace, task.metrics, task.log)
+    ambient = (
+        obs_context.activate(obs_context.RequestContext.from_dict(task.context))
+        if task.context is not None
+        else nullcontext()
+    )
+    with ambient:
+        with attach_matrices(task.descriptor) as matrices:
+            clusterer = BirchClusterer(task.partition, task.others, task.options)
+            result = clusterer.fit_arrays(
+                matrices[task.partition.name],
+                {p.name: matrices[p.name] for p in task.others},
+            )
+        obs_log.info(
+            "parallel.partition_done",
+            partition=task.partition.name,
+            clusters=len(result.clusters),
+            points=result.stats.points_inserted,
+            pid=os.getpid(),
         )
     payload: Dict[str, Any] = {
         "partition": task.partition.name,
         "clusters": [acf.state_dict() for acf in result.clusters],
         "stats": phase1_stats_to_dict(result.stats),
     }
-    payload.update(_export_worker_obs(task.trace, task.metrics))
+    payload.update(_export_worker_obs(task.trace, task.metrics, task.log))
     return payload
 
 

@@ -215,6 +215,43 @@ def _health_section(report: Mapping[str, Any]) -> str:
     )
 
 
+def _slo_section(report: Mapping[str, Any]) -> str:
+    """An SLO panel from an :meth:`~repro.obs.slo.SLOReport.to_dict`."""
+    rows = []
+    for result in report.get("results", []):
+        status = str(result.get("status", "skip"))
+        badge = (
+            '<span class="badge">– SKIP</span>'
+            if status == "skip"
+            else _status_badge(status)
+        )
+        value = result.get("value")
+        shown = "absent" if value is None else _fmt_value(value)
+        rows.append(
+            "<tr>"
+            f"<td>{badge}</td>"
+            f"<td>{_esc(result.get('rule', ''))}</td>"
+            f'<td class="num">{_esc(shown)}</td>'
+            f'<td class="kv">want {_esc(result.get("stat", "value"))}'
+            f'({_esc(result.get("metric", ""))}) {_esc(result.get("op", "<="))} '
+            f'{_esc(result.get("threshold", ""))}</td>'
+            f'<td class="kv">{_esc(result.get("detail", ""))}</td>'
+            "</tr>"
+        )
+    table = (
+        "<table><thead><tr><th>status</th><th>rule</th>"
+        '<th class="num">value</th><th>objective</th><th>detail</th></tr>'
+        f"</thead><tbody>{''.join(rows)}</tbody></table>"
+        if rows
+        else '<p class="kv">(no SLO rules evaluated)</p>'
+    )
+    overall = str(report.get("status", "ok"))
+    return (
+        '<section class="card"><h2>SLOs '
+        f"{_status_badge(overall)}</h2>{table}</section>"
+    )
+
+
 def _normalize_span(record: Any) -> Dict[str, Any]:
     if isinstance(record, Mapping):
         return dict(record)
@@ -429,6 +466,7 @@ def render_run_report(
     spans: Optional[Iterable[Any]] = None,
     metrics: Optional[Mapping[str, Any]] = None,
     health: Optional[Mapping[str, Any]] = None,
+    slo: Optional[Mapping[str, Any]] = None,
     metadata: Optional[Mapping[str, Any]] = None,
 ) -> str:
     """One mine's report as a self-contained HTML document string.
@@ -436,7 +474,8 @@ def render_run_report(
     ``spans`` accepts :class:`~repro.obs.trace.Span` objects or their
     ``to_dict`` rows; ``metrics`` is a registry
     :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`; ``health`` a
-    :meth:`~repro.obs.health.HealthReport.to_dict`; ``metadata`` free-form
+    :meth:`~repro.obs.health.HealthReport.to_dict`; ``slo`` an
+    :meth:`~repro.obs.slo.SLOReport.to_dict`; ``metadata`` free-form
     key/value pairs for the header card.  Every argument is optional —
     missing sections render an explanatory placeholder, never an error.
     """
@@ -457,6 +496,8 @@ def render_run_report(
     sections = [_meta_section(meta, hero)]
     if health is not None:
         sections.append(_health_section(health))
+    if slo is not None:
+        sections.append(_slo_section(slo))
     sections.append(_waterfall_section(spans or []))
     sections.append(_metrics_section(metrics or {}))
     if result is not None:
@@ -592,6 +633,9 @@ def render_serve_page(
     health = status.get("health")
     if health is not None:
         sections.append(_health_section(health))
+    slo = status.get("slo")
+    if slo is not None:
+        sections.append(_slo_section(slo))
     serve_metrics = {
         name: value
         for name, value in (metrics or {}).items()

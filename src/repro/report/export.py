@@ -98,7 +98,7 @@ def phase2_stats_to_dict(stats: Phase2Stats) -> Dict:
         "stage_seconds": {
             name: float(value) for name, value in stats.stage_breakdown().items()
         },
-        "events": list(stats.events),
+        "events": [str(event) for event in stats.events],
     }
 
 

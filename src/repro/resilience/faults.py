@@ -47,20 +47,23 @@ checkpoint and quarantine tests use: :func:`truncate_file`,
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Sequence, Union
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.resilience.errors import InjectedFault
 
 __all__ = [
+    "FAIL_AT_ENV",
     "FaultPlan",
     "FaultInjector",
     "Gate",
     "fire",
     "install",
+    "install_from_env",
     "uninstall",
     "injected",
     "truncate_file",
@@ -69,6 +72,12 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+#: Environment switch for arming fault points from outside the process:
+#: ``REPRO_FAIL_AT=point[:after][,point2[:after2]...]`` (see
+#: :func:`install_from_env`).  The CI postmortem smoke test uses this to
+#: crash a real CLI run at an exact position without touching test code.
+FAIL_AT_ENV = "REPRO_FAIL_AT"
 
 
 class Gate:
@@ -179,7 +188,17 @@ class FaultPlan:
             else:
                 time.sleep(self.delay_seconds)
             return
-        raise InjectedFault(f"{point}: {self.message} (hit {self.hits})")
+        error = InjectedFault(f"{point}: {self.message} (hit {self.hits})")
+        # Let the flight recorder see the trip (and cut a postmortem
+        # bundle) while the pre-crash ring is still intact.  Imported
+        # lazily: faults must stay importable with zero repro.obs cost.
+        from repro.obs import flight as obs_flight
+
+        obs_flight.record(
+            "fault", point=point, hits=self.hits, trips=self.trips
+        )
+        obs_flight.dump_on_error(f"fault-{point}", error)
+        raise error
 
 
 class FaultInjector:
@@ -261,6 +280,45 @@ def fire(point: str) -> None:
     """Production-side hook: a no-op unless a test installed an injector."""
     if _ACTIVE is not None:
         _ACTIVE.fire(point)
+
+
+def install_from_env(env: Optional[Mapping[str, str]] = None) -> Optional[FaultInjector]:
+    """Arm fault points named by ``REPRO_FAIL_AT`` and install the injector.
+
+    The variable holds comma-separated ``point[:after]`` entries —
+    ``REPRO_FAIL_AT=streaming.partition:3`` trips
+    ``streaming.partition`` after 3 clean hits, exactly like
+    ``FaultInjector().fail_at("streaming.partition", after=3)``.  Returns
+    the installed injector, or ``None`` when the variable is unset or
+    empty (nothing is installed).  A malformed entry raises
+    ``ValueError`` rather than silently running fault-free: an armed CI
+    crash drill must never pass because of a typo.
+    """
+    raw = (env if env is not None else os.environ).get(FAIL_AT_ENV, "").strip()
+    if not raw:
+        return None
+    injector = FaultInjector()
+    for entry in raw.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        point, _, after_text = entry.partition(":")
+        point = point.strip()
+        if not point:
+            raise ValueError(f"{FAIL_AT_ENV}: empty fault point in {raw!r}")
+        after = 0
+        if after_text:
+            try:
+                after = int(after_text)
+            except ValueError:
+                raise ValueError(
+                    f"{FAIL_AT_ENV}: bad hit count {after_text!r} in {entry!r}"
+                ) from None
+        injector.fail_at(
+            point, after=after, message=f"armed via {FAIL_AT_ENV}"
+        )
+    install(injector)
+    return injector
 
 
 @contextmanager

@@ -54,7 +54,8 @@ from typing import List, Optional, Sequence
 from repro.core.config import DARConfig
 from repro.core.miner import DARMiner, DARResult
 from repro.data.relation import AttributePartition, Relation
-from repro.obs import metrics as obs_metrics
+from repro.obs import flight as obs_flight
+from repro.obs import log as obs_log
 from repro.obs.trace import span
 from repro.resilience.errors import (
     ColumnStoreError,
@@ -62,8 +63,9 @@ from repro.resilience.errors import (
     ResourceExhaustedError,
     WorkerPoolError,
 )
+from repro.resilience.events import GuardEvent, record_guard_event
 
-__all__ = ["GuardPolicy", "guarded_mine", "validate_result"]
+__all__ = ["GuardPolicy", "GuardEvent", "guarded_mine", "validate_result"]
 
 
 @dataclass(frozen=True)
@@ -236,9 +238,10 @@ def guarded_mine(
             f"unknown mining engine {engine!r}; expected 'serial' or 'parallel'"
         )
 
-    events: List[str] = []
+    events: List[GuardEvent] = []
     attempt_config = config
     attempt_engine = engine
+    obs_log.info("mine.start", rows=len(relation), engine=engine)
     with span("mine", rows=len(relation), engine=engine) as mine_span:
         for attempt in range(policy.max_retries + 1):
             try:
@@ -250,31 +253,23 @@ def guarded_mine(
                             attempt_config, attempt_engine, workers, policy
                         ).mine(relation, partitions=partitions, targets=targets)
                     except WorkerPoolError as error:
-                        obs_metrics.inc(
-                            "repro_degradation_events_total",
-                            help="Degradation-ladder events by kind",
-                            kind="worker_pool_failure",
-                        )
                         attempt_engine = "serial"
-                        events.append(
+                        events.append(record_guard_event(
+                            "worker_pool_failure",
                             f"parallel worker pool failed ({error}); "
-                            f"degraded to the serial engine"
-                        )
+                            f"degraded to the serial engine",
+                        ))
                         result = DARMiner(attempt_config).mine(
                             relation, partitions=partitions, targets=targets
                         )
                     except ColumnStoreError as error:
                         if not hasattr(relation, "to_relation"):
                             raise  # not an out-of-core input; a real bug
-                        obs_metrics.inc(
-                            "repro_degradation_events_total",
-                            help="Degradation-ladder events by kind",
-                            kind="columnar_fallback",
-                        )
-                        events.append(
+                        events.append(record_guard_event(
+                            "columnar_fallback",
                             f"columnar backend failed ({error}); "
-                            f"materialized the store in memory and retried"
-                        )
+                            f"materialized the store in memory and retried",
+                        ))
                         # Materialization may raise ColumnStoreError too —
                         # then the files really are gone and it propagates.
                         relation = relation.to_relation()
@@ -282,30 +277,44 @@ def guarded_mine(
                             relation, partitions=partitions, targets=targets
                         )
             except MemoryError as error:
-                obs_metrics.inc(
-                    "repro_degradation_events_total",
-                    help="Degradation-ladder events by kind",
-                    kind="memory_escalation",
-                )
                 if attempt >= policy.max_retries:
-                    raise ResourceExhaustedError(
+                    exhausted = ResourceExhaustedError(
                         f"mining ran out of memory and stayed exhausted after "
                         f"{policy.max_retries} density escalation(s) of "
                         f"x{policy.escalation_factor:g}: {error}"
-                    ) from error
+                    )
+                    record_guard_event(
+                        "memory_escalation",
+                        f"memory exhausted on attempt {attempt + 1}; "
+                        f"escalation budget spent",
+                    )
+                    obs_flight.dump_on_error("guarded-mine", exhausted)
+                    raise exhausted from error
                 attempt_config = _escalated(
                     attempt_config, policy.escalation_factor
                 )
-                events.append(
+                events.append(record_guard_event(
+                    "memory_escalation",
                     f"memory exhausted on attempt {attempt + 1}; escalated "
-                    f"density thresholds x{policy.escalation_factor:g} and retried"
-                )
+                    f"density thresholds x{policy.escalation_factor:g} and retried",
+                ))
                 if policy.backoff_seconds:
                     time.sleep(policy.backoff_seconds)
                 continue
             result.phase2.events = events + result.phase2.events
-            validate_result(result)
+            try:
+                validate_result(result)
+            except CorruptResultError as error:
+                obs_flight.dump_on_error("guarded-mine", error)
+                raise
             mine_span.set("attempts", attempt + 1)
             mine_span.set("rules", len(result.rules))
+            obs_log.info(
+                "mine.done",
+                rules=len(result.rules),
+                attempts=attempt + 1,
+                degradations=len(events),
+                seconds=round(result.phase2.seconds, 6),
+            )
             return result
     raise AssertionError("unreachable")  # pragma: no cover

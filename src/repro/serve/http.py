@@ -48,7 +48,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import urlsplit
 
+from repro.obs import context as obs_context
+from repro.obs import flight as obs_flight
+from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.resilience import faults
 from repro.resilience.errors import (
     DeadlineExceeded,
@@ -137,11 +141,13 @@ class RuleServer:
         port: int = 8765,
         policy: Optional[ServePolicy] = None,
         clock: Optional[Clock] = None,
+        slo_pack=None,
     ):
         self.publisher = publisher
         self.policy = policy or ServePolicy()
         self.clock = clock or SystemClock()
         self.shedder = self.policy.build_shedder(self.clock)
+        self.slo_pack = list(slo_pack) if slo_pack is not None else None
         self.started_at = time.time()
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer((host, port), handler)
@@ -162,6 +168,14 @@ class RuleServer:
         """The server's base URL, e.g. ``http://127.0.0.1:8765``."""
         host, port = self.address
         return f"http://{host}:{port}"
+
+    def slo_report(self):
+        """Evaluate the configured SLO pack now, or ``None`` without one."""
+        if self.slo_pack is None:
+            return None
+        from repro.obs.slo import evaluate_pack
+
+        return evaluate_pack(self.slo_pack)
 
     def start(self) -> "RuleServer":
         """Serve from a daemon thread; returns self for chaining."""
@@ -216,6 +230,17 @@ class RuleServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        obs_log.info(
+            "serve.shutdown",
+            drained=drained,
+            drain_seconds=round(time.perf_counter() - started, 6),
+        )
+        if obs_flight.flight_enabled():
+            obs_flight.dump(
+                "server-shutdown",
+                health=self.publisher.to_dict(),
+                config={"policy": self.policy.__dict__, "url": self.url},
+            )
         return drained
 
     def __enter__(self) -> "RuleServer":
@@ -241,15 +266,54 @@ def _make_handler(server: RuleServer):
 
         protocol_version = "HTTP/1.1"
         server_version = "repro-serve"
+        # Per-request correlation state, reset at the top of do_GET.
+        _request_id: Optional[str] = None
+        _status = 0
+        _shed_reason = ""
         # socketserver applies this to the connection in setup(): a
         # client that stalls mid-request (slow loris) hits the timeout
         # and the connection is closed instead of pinning the thread.
         timeout = server.policy.read_timeout_seconds
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
-            """Admission-check, then dispatch one GET to its route handler."""
+            """Correlate, admission-check and dispatch one GET request.
+
+            The ``X-Request-Id`` header (generated when absent) becomes
+            the request's trace id: it is echoed on the response, stamped
+            into every span and log record the request causes, and
+            written into exactly one structured ``serve.access`` record
+            per request — success, shed, deadline or crash alike.
+            """
             parsed = urlsplit(self.path)
             route = parsed.path.rstrip("/") or "/"
+            request_id = (
+                self.headers.get("X-Request-Id") or obs_context.new_trace_id()
+            )
+            self._request_id = request_id
+            self._status = 0
+            self._shed_reason = ""
+            started = time.perf_counter()
+            context = obs_context.RequestContext(
+                trace_id=request_id, request_id=request_id
+            )
+            with obs_context.activate(context):
+                try:
+                    with span("serve.request", route=route):
+                        self._dispatch(parsed, route)
+                finally:
+                    fields = {
+                        "method": "GET",
+                        "route": route,
+                        "status": self._status,
+                        "seconds": round(time.perf_counter() - started, 6),
+                        "request_id": request_id,
+                    }
+                    if self._shed_reason:
+                        fields["shed_reason"] = self._shed_reason
+                    obs_log.event("serve.access", **fields)
+
+        def _dispatch(self, parsed, route: str) -> None:
+            """Admission-check, then dispatch one GET to its route handler."""
             admission = None
             deadline = Deadline(None, server.clock)
             if route not in SHED_EXEMPT_ROUTES:
@@ -257,6 +321,7 @@ def _make_handler(server: RuleServer):
                     admission = server.shedder.try_admit()
                 except RejectedError as rejected:
                     status = 429 if rejected.reason == "rate" else 503
+                    self._shed_reason = rejected.reason
                     self._send_json(
                         status,
                         {"error": str(rejected), "reason": rejected.reason},
@@ -296,6 +361,7 @@ def _make_handler(server: RuleServer):
                         help="Requests that blew their deadline, by where",
                         where="serve.request",
                     )
+                self._shed_reason = "deadline"
                 self._send_json(
                     503,
                     {"error": str(expired), "reason": "deadline"},
@@ -318,9 +384,19 @@ def _make_handler(server: RuleServer):
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
             """The API is read-only; mutation happens through the publisher."""
+            self._request_id = (
+                self.headers.get("X-Request-Id") or obs_context.new_trace_id()
+            )
             self._send_json(
                 405, {"error": "the serving API is read-only (GET only)"},
                 route="<method>",
+            )
+            obs_log.event(
+                "serve.access",
+                method="POST",
+                route="<method>",
+                status=self._status,
+                request_id=self._request_id,
             )
 
         # ------------------------------------------------------------------
@@ -359,11 +435,21 @@ def _make_handler(server: RuleServer):
             )
 
         def _handle_healthz(self) -> None:
+            from repro.obs.health import HealthReport
+
             report = server.publisher.health()
+            slo_report = server.slo_report()
+            if slo_report is not None:
+                report = HealthReport(
+                    checks=list(report.checks) + slo_report.to_health_checks()
+                )
             report.publish()
             payload = server.publisher.to_dict()
             payload["uptime_seconds"] = time.time() - server.started_at
             payload["admission"] = server.shedder.to_dict()
+            payload["health"] = report.to_dict()
+            if slo_report is not None:
+                payload["slo"] = slo_report.to_dict()
             status = 503 if report.status == "crit" else 200
             self._send_json(status, payload, route="/healthz")
 
@@ -377,8 +463,12 @@ def _make_handler(server: RuleServer):
         def _handle_index(self) -> None:
             from repro.report.dashboard import render_serve_page
 
+            status_payload = server.publisher.to_dict()
+            slo_report = server.slo_report()
+            if slo_report is not None:
+                status_payload["slo"] = slo_report.to_dict()
             document = render_serve_page(
-                status=server.publisher.to_dict(),
+                status=status_payload,
                 metrics=obs_metrics.get_registry().snapshot(),
                 uptime_seconds=time.time() - server.started_at,
             )
@@ -422,10 +512,13 @@ def _make_handler(server: RuleServer):
             route: str,
             retry_after: Optional[float] = None,
         ) -> None:
+            self._status = status
             try:
                 self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
+                if self._request_id is not None:
+                    self.send_header("X-Request-Id", self._request_id)
                 if retry_after is not None:
                     self.send_header(
                         "Retry-After", _retry_after_header(retry_after)

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
 from repro.obs.health import CRIT, OK, WARN, HealthCheck, HealthReport
 from repro.resilience import faults
@@ -189,6 +190,12 @@ class SnapshotPublisher:
                 help="Snapshot compile+swap latency per publish",
                 unit="seconds",
             )
+        obs_log.info(
+            "serve.publish",
+            version=snapshot.version,
+            n_rules=snapshot.n_rules,
+            seconds=round(seconds, 6),
+        )
         return snapshot
 
     def _record_failure(self, error: BaseException) -> None:
@@ -205,6 +212,12 @@ class SnapshotPublisher:
                 help="Publish attempts that failed mid-compile, by error class",
                 error=type(error).__name__,
             )
+        obs_log.error(
+            "serve.publish_failed",
+            error=type(error).__name__,
+            message=str(error),
+            failures_total=self._failures_total,
+        )
 
     def swap(self, snapshot: RuleSnapshot) -> None:
         """Install a pre-built snapshot: one attribute store, no reader locks."""
@@ -419,6 +432,11 @@ class RefreshSupervisor:
                     "repro_serve_refresh_skips_total",
                     help="Refresh ticks skipped because the circuit was open",
                 )
+            obs_log.warn(
+                "serve.refresh_skipped",
+                circuit=self.breaker.state,
+                skips_total=self.skips_total,
+            )
             return None
         try:
             snapshot = self.retry.call(

@@ -13,15 +13,18 @@ from repro.data.synthetic import make_clustered_relation, make_planted_rule_rela
 def _reset_obs():
     """Keep observability state from leaking between tests.
 
-    Any test may enable tracing/metrics/profiling; this disables all
-    three and clears their recorders afterwards so ordering never
-    matters.
+    Any test may enable tracing/metrics/profiling/logging or arm the
+    flight recorder; this disables every layer and clears its recorder
+    afterwards so ordering never matters.
     """
     yield
     from repro import obs
+    from repro.obs import log as obs_log
     from repro.obs import trace
 
     obs.disable()
+    obs.disable_flight()
+    obs.get_flight().clear()
     obs.get_registry().reset()
     if obs.get_tracer().capacity != trace.DEFAULT_CAPACITY:
         # A test shrank the ring buffer; later tests expect the default.
@@ -29,6 +32,12 @@ def _reset_obs():
         trace.disable_tracing()
     obs.get_tracer().clear()
     obs.reset_profiles()
+    # Rebuild the logger (closing any file sink a test attached) and
+    # leave it disabled with the default configuration.
+    obs_log.enable_logging(
+        level=obs_log.INFO, capacity=obs_log.DEFAULT_CAPACITY
+    )
+    obs_log.disable_logging()
 
 
 @pytest.fixture

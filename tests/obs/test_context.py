@@ -1,0 +1,85 @@
+"""Request-context propagation: ambient ids, nesting, thread isolation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import context
+
+
+class TestRequestContext:
+    def test_frozen_and_round_trips(self):
+        ctx = context.RequestContext(trace_id="t1", request_id="r1")
+        with pytest.raises(Exception):
+            ctx.trace_id = "other"
+        assert context.RequestContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_from_dict_without_request_id(self):
+        ctx = context.RequestContext.from_dict({"trace_id": "t2"})
+        assert ctx.trace_id == "t2"
+        assert ctx.request_id is None
+
+    def test_new_trace_id_is_unique_hex(self):
+        ids = {context.new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert len(trace_id) == 16
+            int(trace_id, 16)  # hex or raise
+
+
+class TestActivation:
+    def test_no_ambient_context_by_default(self):
+        assert context.current() is None
+
+    def test_activate_sets_and_restores(self):
+        ctx = context.RequestContext(trace_id="abc", request_id="abc")
+        with context.activate(ctx):
+            assert context.current() is ctx
+        assert context.current() is None
+
+    def test_nesting_restores_outer(self):
+        outer = context.RequestContext(trace_id="outer")
+        inner = context.RequestContext(trace_id="inner")
+        with context.activate(outer):
+            with context.activate(inner):
+                assert context.current().trace_id == "inner"
+            assert context.current().trace_id == "outer"
+
+    def test_restores_on_exception(self):
+        ctx = context.RequestContext(trace_id="boom")
+        with pytest.raises(RuntimeError):
+            with context.activate(ctx):
+                raise RuntimeError("boom")
+        assert context.current() is None
+
+    def test_bind_mints_an_id_when_none_given(self):
+        with context.bind() as ctx:
+            assert ctx.trace_id
+            assert context.current() is ctx
+        assert context.current() is None
+
+    def test_bind_honors_explicit_ids(self):
+        with context.bind(trace_id="demo", request_id="req-9") as ctx:
+            assert ctx.trace_id == "demo"
+            assert ctx.request_id == "req-9"
+
+
+class TestThreadIsolation:
+    def test_contexts_do_not_leak_across_threads(self):
+        seen = {}
+
+        def worker():
+            seen["in_thread"] = context.current()
+            with context.bind(trace_id="thread-own") as ctx:
+                seen["own"] = context.current() is ctx
+
+        with context.bind(trace_id="main-ctx"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert context.current().trace_id == "main-ctx"
+        # The thread never saw the main thread's context, only its own.
+        assert seen["in_thread"] is None
+        assert seen["own"] is True

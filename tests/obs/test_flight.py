@@ -1,0 +1,177 @@
+"""Flight recorder: ring capture, overflow, postmortem bundles, dedup."""
+
+from __future__ import annotations
+
+import json
+import tarfile
+import threading
+
+import pytest
+
+from repro.obs import flight
+from repro.obs import log
+from repro.obs import metrics
+from repro.obs import trace
+from repro.obs.trace import span
+
+
+@pytest.fixture
+def recorder(tmp_path):
+    active = flight.enable_flight(directory=tmp_path, capacity=64)
+    active.clear()
+    yield active
+    flight.disable_flight()
+
+
+class TestRingCapture:
+    def test_hooks_capture_log_span_and_metric(self, recorder):
+        log.enable_logging(level=log.DEBUG)
+        trace.enable_tracing()
+        metrics.enable_metrics().reset()
+        log.info("hello", n=1)
+        with span("work"):
+            pass
+        metrics.inc("repro_test_total")
+        kinds = [entry["kind"] for entry in recorder.events()]
+        assert "log" in kinds
+        assert "span" in kinds
+        assert "metric" in kinds
+
+    def test_disable_uninstalls_hooks(self, recorder):
+        log.enable_logging(level=log.DEBUG)
+        flight.disable_flight()
+        before = len(recorder.events())
+        log.info("after.disable")
+        assert len(recorder.events()) == before
+
+    def test_explicit_record_respects_enable_gate(self, recorder):
+        flight.record("checkpoint", step=3)
+        assert recorder.events()[-1]["data"] == {"step": 3}
+        flight.disable_flight()
+        flight.record("ignored")
+        assert recorder.events()[-1]["data"] == {"step": 3}
+
+    def test_overflow_keeps_newest_and_counts_drops(self):
+        # Mirrors the tracer's ring-overflow contract: far more events
+        # than capacity; eviction is oldest-first and fully accounted.
+        recorder = flight.FlightRecorder(capacity=8)
+        for i in range(50):
+            recorder.record("tick", {"i": i})
+        events = recorder.events()
+        assert len(events) == 8
+        assert [entry["data"]["i"] for entry in events] == list(range(42, 50))
+        assert recorder.n_recorded == 50
+        assert recorder.n_dropped == 42
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            flight.FlightRecorder(capacity=0)
+
+    def test_threaded_recording_is_bounded_and_complete(self):
+        recorder = flight.FlightRecorder(capacity=16)
+        threads = [
+            threading.Thread(
+                target=lambda t=t: [
+                    recorder.record("hammer", {"t": t, "i": i})
+                    for i in range(100)
+                ]
+            )
+            for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert recorder.n_recorded == 400
+        assert len(recorder.events()) == 16
+        assert recorder.n_dropped == 400 - 16
+
+
+class TestBundles:
+    def _open(self, path):
+        bundle = {}
+        with tarfile.open(path) as archive:
+            for name in archive.getnames():
+                bundle[name] = archive.extractfile(name).read().decode()
+        return bundle
+
+    def test_dump_writes_all_members(self, recorder, tmp_path):
+        metrics.enable_metrics().reset()
+        metrics.inc("repro_test_total", help="t")
+        flight.record("note", what="pre-crash")
+        path = flight.dump("unit-test", health={"status": "ok"})
+        assert path is not None and path.parent == tmp_path
+        bundle = self._open(path)
+        assert sorted(bundle) == [
+            "config.json", "events.jsonl", "health.json",
+            "meta.json", "metrics.prom",
+        ]
+        (event_line,) = [
+            json.loads(line)
+            for line in bundle["events.jsonl"].splitlines()
+            if json.loads(line)["kind"] == "note"
+        ]
+        assert event_line["data"]["what"] == "pre-crash"
+        assert "repro_test_total" in bundle["metrics.prom"]
+        assert json.loads(bundle["health.json"])["status"] == "ok"
+
+    def test_meta_names_the_build_and_reason(self, recorder):
+        path = flight.dump("why not")
+        meta = json.loads(self._open(path)["meta.json"])
+        assert meta["reason"] == "why not"
+        for key in ("version", "git_sha", "python", "numpy", "pid"):
+            assert key in meta
+        assert "why-not" in path.name  # slugged into the filename
+
+    def test_config_merges_recorder_and_call_site(self, recorder):
+        recorder.config = {"command": "mine", "csv": "a.csv"}
+        path = flight.dump("cfg", config={"attempt": 2})
+        config = json.loads(self._open(path)["config.json"])
+        assert config == {"command": "mine", "csv": "a.csv", "attempt": 2}
+
+    def test_colliding_names_get_serials(self, recorder):
+        first = flight.dump("same-second")
+        second = flight.dump("same-second")
+        assert first != second
+        assert first.exists() and second.exists()
+
+    def test_dump_while_disabled_returns_none(self, tmp_path):
+        flight.disable_flight()
+        assert flight.dump("nope") is None
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestDumpOnError:
+    def test_first_handler_dumps_later_ones_skip(self, recorder):
+        error = RuntimeError("boom")
+        first = flight.dump_on_error("inner-handler", error)
+        second = flight.dump_on_error("outer-handler", error)
+        assert first is not None
+        assert second is None
+        assert recorder.n_dumps == 1
+
+    def test_distinct_errors_each_get_a_bundle(self, recorder):
+        assert flight.dump_on_error("a", RuntimeError("x")) is not None
+        assert flight.dump_on_error("b", RuntimeError("y")) is not None
+        assert recorder.n_dumps == 2
+
+    def test_error_line_lands_in_meta(self, recorder):
+        path = flight.dump_on_error("crash", ValueError("teeth"))
+        with tarfile.open(path) as archive:
+            meta = json.loads(archive.extractfile("meta.json").read())
+        assert meta["error"] == "ValueError: teeth"
+
+    def test_unwritable_directory_never_masks_the_error(self, recorder, tmp_path):
+        blocked = tmp_path / "not-a-dir"
+        blocked.write_text("file, not directory")
+        recorder.directory = blocked
+        assert flight.dump_on_error("bad-dir", RuntimeError("orig")) is None
+
+
+class TestDumpMetric:
+    def test_dump_counter_increments_by_reason(self, recorder):
+        metrics.enable_metrics().reset()
+        flight.dump("drill")
+        assert metrics.get_registry().counter(
+            "repro_postmortem_dumps_total", reason="drill"
+        ).value == 1

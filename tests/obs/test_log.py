@@ -1,0 +1,252 @@
+"""Structured logging: levels, stamping, sinks, bounded drops, concurrency."""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+
+import pytest
+
+from repro.obs import context
+from repro.obs import log
+from repro.obs import metrics
+from repro.obs import trace
+from repro.obs.trace import span
+
+
+@pytest.fixture
+def logger():
+    active = log.enable_logging(level=log.DEBUG, capacity=256)
+    yield active
+    log.disable_logging()
+
+
+class TestLevels:
+    def test_parse_level_names_and_ints(self):
+        assert log.parse_level("debug") == log.DEBUG
+        assert log.parse_level("WARN") == log.WARN
+        assert log.parse_level("warning") == log.WARN
+        assert log.parse_level(log.ERROR) == log.ERROR
+        with pytest.raises(ValueError):
+            log.parse_level("shout")
+
+    def test_below_level_records_nothing(self):
+        logger = log.StructuredLogger(level=log.WARN)
+        assert logger.debug("quiet") is None
+        assert logger.info("quiet") is None
+        assert logger.records() == []
+        assert logger.n_emitted == 0
+
+    def test_at_or_above_level_records(self, logger):
+        logger.warn("loud", code=7)
+        (record,) = logger.records()
+        assert record["event"] == "loud"
+        assert record["level"] == "warn"
+        assert record["code"] == 7
+
+    def test_module_emitters_are_noops_while_disabled(self):
+        assert not log.logging_enabled()
+        log.info("dropped.on.the.floor")
+        assert log.get_logger().records() == []
+
+
+class TestStamping:
+    def test_plain_record_has_no_ids(self, logger):
+        record = logger.info("bare")
+        assert "trace_id" not in record
+        assert "span_id" not in record
+        assert "request_id" not in record
+
+    def test_ambient_context_stamps_trace_and_request_id(self, logger):
+        with context.bind(trace_id="demo", request_id="req-1"):
+            record = logger.info("stamped")
+        assert record["trace_id"] == "demo"
+        assert record["request_id"] == "req-1"
+
+    def test_open_span_stamps_span_id(self, logger):
+        trace.enable_tracing()
+        with context.bind(trace_id="demo"):
+            with span("work") as active:
+                record = logger.info("inside")
+        assert record["span_id"] == active.span_id
+        assert record["trace_id"] == "demo"
+
+    def test_span_inherits_ambient_trace_id(self, logger):
+        trace.enable_tracing()
+        with context.bind(trace_id="linkme"):
+            with span("work"):
+                pass
+        (recorded,) = trace.get_tracer().spans()
+        assert recorded.trace_id == "linkme"
+
+
+class TestSinks:
+    def test_file_sink_writes_parseable_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = log.StructuredLogger(path=path)
+        logger.info("first", n=1)
+        logger.info("second", n=2)
+        logger.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == [
+            "first", "second",
+        ]
+
+    def test_enable_logging_stderr_alias(self):
+        logger = log.enable_logging(path="stderr")
+        assert logger._stream is sys.stderr
+        assert logger.path is None
+
+    def test_stream_and_path_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            log.StructuredLogger(stream=sys.stderr, path=tmp_path / "x.jsonl")
+
+    def test_sink_errors_are_counted_not_raised(self, tmp_path):
+        path = tmp_path / "closed.jsonl"
+        logger = log.StructuredLogger(path=path)
+        logger._stream.close()
+        logger.info("after.close")
+        assert logger.n_sink_errors == 1
+        assert logger.n_emitted == 1  # the buffer still got the record
+
+    def test_non_serializable_fields_are_stringified(self, logger):
+        record = logger.info("odd", payload=object())
+        line = logger.to_jsonl().strip()
+        assert json.loads(line)["event"] == "odd"
+        assert isinstance(json.loads(line)["payload"], str)
+        assert record is not None
+
+
+class TestBoundedBuffer:
+    def test_overflow_drops_oldest_and_counts(self):
+        logger = log.StructuredLogger(capacity=4)
+        for i in range(10):
+            logger.info("tick", i=i)
+        records = logger.records()
+        assert len(records) == 4
+        assert [r["i"] for r in records] == [6, 7, 8, 9]
+        assert logger.n_dropped == 6
+        assert logger.n_emitted == 10
+
+    def test_clear_resets_counters(self):
+        logger = log.StructuredLogger(capacity=2)
+        for _ in range(5):
+            logger.info("x")
+        logger.clear()
+        assert logger.records() == []
+        assert logger.n_emitted == 0
+        assert logger.n_dropped == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            log.StructuredLogger(capacity=0)
+
+
+class TestSelfMetrics:
+    def test_records_total_counter_by_level(self, logger):
+        metrics.enable_metrics().reset()
+        logger.info("a")
+        logger.info("b")
+        logger.error("c")
+        registry = metrics.get_registry()
+        assert registry.counter(
+            "repro_log_records_total", level="info"
+        ).value == 2
+        assert registry.counter(
+            "repro_log_records_total", level="error"
+        ).value == 1
+
+
+class TestIngest:
+    def test_ingest_preserves_foreign_ids_and_feeds_sink(self, tmp_path):
+        path = tmp_path / "merged.jsonl"
+        logger = log.StructuredLogger(path=path)
+        foreign = [
+            {"ts": 1.0, "level": "info", "event": "w", "trace_id": "far"},
+        ]
+        assert logger.ingest(foreign) == 1
+        assert logger.records()[-1]["trace_id"] == "far"
+        logger.close()
+        assert json.loads(path.read_text())["trace_id"] == "far"
+
+
+class TestWorkerPropagation:
+    """Worker log records flow back to the coordinator, ids intact."""
+
+    def test_parallel_workers_log_under_the_bound_trace_id(self):
+        import os
+
+        from repro.core.config import DARConfig
+        from repro.data.synthetic import make_planted_rule_relation
+        from repro.parallel import ParallelDARMiner
+
+        relation, _ = make_planted_rule_relation(seed=7)
+        log.enable_logging(level=log.DEBUG)
+        with context.bind(trace_id="fanout-1", request_id="req-f1"):
+            ParallelDARMiner(DARConfig(), workers=2).mine(relation)
+        done = [
+            record
+            for record in log.get_logger().records()
+            if record["event"] == "parallel.partition_done"
+        ]
+        assert len(done) == len(relation.schema.names)
+        for record in done:
+            # Emitted inside the worker process under the shipped context.
+            assert record["trace_id"] == "fanout-1"
+            assert record["request_id"] == "req-f1"
+            assert record["pid"] != os.getpid()
+        assert {record["partition"] for record in done} == set(
+            relation.schema.names
+        )
+
+
+class TestConcurrency:
+    """S3: hammer the logger from threads; lines must never tear."""
+
+    N_THREADS = 8
+    N_EACH = 200
+
+    def test_threaded_file_sink_has_no_torn_lines(self, tmp_path):
+        path = tmp_path / "hammer.jsonl"
+        logger = log.StructuredLogger(capacity=64, path=path)
+        start = threading.Barrier(self.N_THREADS)
+
+        def hammer(worker: int) -> None:
+            start.wait()
+            for i in range(self.N_EACH):
+                logger.info("hammer", worker=worker, i=i, pad="x" * 64)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,))
+            for t in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        logger.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == self.N_THREADS * self.N_EACH
+        seen = set()
+        for line in lines:
+            record = json.loads(line)  # a torn line would raise here
+            seen.add((record["worker"], record["i"]))
+        assert len(seen) == self.N_THREADS * self.N_EACH
+
+    def test_threaded_overflow_memory_stays_bounded(self):
+        logger = log.StructuredLogger(capacity=32)
+        threads = [
+            threading.Thread(
+                target=lambda: [logger.info("x") for _ in range(self.N_EACH)]
+            )
+            for _ in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = self.N_THREADS * self.N_EACH
+        assert len(logger.records()) == 32
+        assert logger.n_emitted == total
+        assert logger.n_dropped == total - 32

@@ -254,3 +254,40 @@ def test_poison_past_budget_aborts(tmp_path):
     sink = Quarantine(budget=ErrorBudget(max_fraction=0.05, grace_rows=10))
     with pytest.raises(repro.ErrorBudgetExceeded):
         load_csv(dirty_path, sink=sink)
+
+
+class TestInstallFromEnv:
+    """``REPRO_FAIL_AT`` arming — the CI crash drill's switch."""
+
+    def test_unset_or_empty_installs_nothing(self):
+        assert faults.install_from_env(env={}) is None
+        assert faults.install_from_env(env={faults.FAIL_AT_ENV: "  "}) is None
+        assert faults._ACTIVE is None
+
+    def test_single_entry_arms_the_point(self):
+        injector = faults.install_from_env(
+            env={faults.FAIL_AT_ENV: "streaming.partition:2"}
+        )
+        assert injector is not None
+        assert faults._ACTIVE is injector
+        faults.fire("streaming.partition")
+        faults.fire("streaming.partition")
+        with pytest.raises(InjectedFault, match="streaming.partition"):
+            faults.fire("streaming.partition")
+
+    def test_multiple_entries_arm_independently(self):
+        faults.install_from_env(
+            env={faults.FAIL_AT_ENV: "phase2.kernel, parallel.worker:1"}
+        )
+        with pytest.raises(InjectedFault):
+            faults.fire("phase2.kernel")
+        faults.fire("parallel.worker")
+        with pytest.raises(InjectedFault):
+            faults.fire("parallel.worker")
+
+    def test_malformed_entries_raise_instead_of_disarming(self):
+        with pytest.raises(ValueError, match="bad hit count"):
+            faults.install_from_env(env={faults.FAIL_AT_ENV: "a.b:soon"})
+        with pytest.raises(ValueError, match="empty fault point"):
+            faults.install_from_env(env={faults.FAIL_AT_ENV: ":3"})
+        assert faults._ACTIVE is None

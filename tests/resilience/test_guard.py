@@ -174,3 +174,68 @@ def test_guarded_mine_never_returns_corrupt_result(planted, monkeypatch):
     monkeypatch.setattr(DARMiner, "mine", corrupting_mine)
     with pytest.raises(CorruptResultError):
         guarded_mine(planted)
+
+
+# ----------------------------------------------------------------------
+# GuardEvent: structured events that keep the old string contract
+# ----------------------------------------------------------------------
+
+
+class TestGuardEvent:
+    def test_string_protocol_matches_the_detail(self):
+        from repro.resilience.events import GuardEvent
+
+        event = GuardEvent("memory_escalation", "memory exhausted at 0.15")
+        assert str(event) == "memory exhausted at 0.15"
+        assert "memory" in event
+        assert event == "memory exhausted at 0.15"
+        assert event != "something else"
+        assert hash(event) == hash("memory exhausted at 0.15")
+
+    def test_to_dict_carries_kind_and_timestamp(self):
+        from repro.resilience.events import GuardEvent
+
+        event = GuardEvent("kernel_fallback", "degraded to the scalar engine")
+        out = event.to_dict()
+        assert out["kind"] == "kernel_fallback"
+        assert out["detail"] == "degraded to the scalar engine"
+        assert out["at_iso"].endswith("Z")
+
+    def test_record_increments_the_metric_and_logs(self):
+        from repro.obs import log as obs_log
+        from repro.obs import metrics as obs_metrics
+        from repro.resilience.events import record_guard_event
+
+        obs_metrics.enable_metrics()
+        obs_metrics.get_registry().reset()
+        obs_log.enable_logging(level=obs_log.DEBUG)
+        event = record_guard_event("memory_escalation", "simulated")
+        assert event.kind == "memory_escalation"
+        assert obs_metrics.get_registry().counter(
+            "repro_degradation_events_total", kind="memory_escalation"
+        ).value == 1
+        (record,) = [
+            r
+            for r in obs_log.get_logger().records()
+            if r["event"] == "mine.degraded"
+        ]
+        assert record["level"] == "warn"
+        assert record["kind"] == "memory_escalation"
+
+    def test_ladder_rungs_carry_kind_labels(self, planted, monkeypatch):
+        calls = []
+        real_mine = DARMiner.mine
+
+        def flaky_mine(self, relation, partitions=None, targets=None):
+            calls.append(1)
+            if len(calls) < 2:
+                raise MemoryError("simulated exhaustion")
+            return real_mine(
+                self, relation, partitions=partitions, targets=targets
+            )
+
+        monkeypatch.setattr(DARMiner, "mine", flaky_mine)
+        result = guarded_mine(planted, policy=GuardPolicy(max_retries=2))
+        (event,) = result.phase2.events
+        assert event.kind == "memory_escalation"
+        assert "memory exhausted" in event

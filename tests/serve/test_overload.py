@@ -81,6 +81,9 @@ class TestOverloadDrill:
     CLIENTS = 6
 
     def test_excess_is_shed_admitted_all_succeed(self, planted_result):
+        from repro.obs import log as obs_log
+
+        obs_log.enable_logging(level=obs_log.DEBUG)
         injector = faults.FaultInjector()
         gate = injector.block_at("serve.request")
         faults.install(injector)
@@ -123,6 +126,29 @@ class TestOverloadDrill:
                     assert payload["count"] == payload["total_rules"]
             assert server.shedder.shed_total == self.CLIENTS - self.CAPACITY
             assert server.shedder.admitted_total >= self.CAPACITY
+
+            # Every client left one structured access record; the shed
+            # ones name their reason, the admitted ones carry none.
+            n_shed = self.CLIENTS - self.CAPACITY
+            assert obs_log.get_logger().wait_for(
+                lambda records: sum(
+                    1
+                    for r in records
+                    if r["event"] == "serve.access" and r["route"] == "/rules"
+                ) >= self.CLIENTS
+            )
+            access = [
+                r
+                for r in obs_log.get_logger().records()
+                if r["event"] == "serve.access" and r["route"] == "/rules"
+            ]
+            assert sorted(r["status"] for r in access) == (
+                [200] * self.CAPACITY + [503] * n_shed
+            )
+            shed_records = [r for r in access if r["status"] == 503]
+            assert all(r["shed_reason"] == "inflight" for r in shed_records)
+            assert all("shed_reason" not in r for r in access if r["status"] == 200)
+            assert all(r["request_id"] for r in access)
         finally:
             gate.release()
             faults.uninstall()
@@ -161,6 +187,9 @@ class TestOverloadDrill:
 
 class TestDeadlines:
     def test_slow_request_is_shed_with_503(self, planted_result):
+        from repro.obs import log as obs_log
+
+        obs_log.enable_logging(level=obs_log.DEBUG)
         clock = FakeClock()
         injector = faults.FaultInjector()
         injector.slow_at("serve.request", 2.0, clock=clock)
@@ -178,6 +207,17 @@ class TestDeadlines:
         assert obs_metrics.get_registry().value(
             "repro_resilience_deadline_exceeded_total", where="serve.request"
         ) == 1
+        # The blown deadline is named in the request's access record.
+        assert obs_log.get_logger().wait_for(
+            lambda records: any(r["event"] == "serve.access" for r in records)
+        )
+        (access,) = [
+            r
+            for r in obs_log.get_logger().records()
+            if r["event"] == "serve.access"
+        ]
+        assert access["status"] == 503
+        assert access["shed_reason"] == "deadline"
 
     def test_fast_request_survives_its_deadline(self, planted_result):
         clock = FakeClock()

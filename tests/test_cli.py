@@ -799,3 +799,132 @@ class TestBenchCompareErrors:
         err = capsys.readouterr().err
         assert "no benchmark records for scenario 'serve_qps'" in err
         assert "hint:" in err
+
+
+class TestLoggingAndPostmortemFlags:
+    @pytest.fixture
+    def clustered_csv(self, tmp_path):
+        path = tmp_path / "clustered.csv"
+        assert main([
+            "generate", "clustered", str(path),
+            "--size", "600", "--modes", "3", "--attributes", "2", "--seed", "5",
+        ]) == 0
+        return str(path)
+
+    def test_mine_log_writes_jsonl(self, planted_csv, tmp_path, capsys):
+        log_path = tmp_path / "mine.jsonl"
+        assert main(["mine", planted_csv, "--log", str(log_path)]) == 0
+        events = [
+            json.loads(line)["event"]
+            for line in log_path.read_text().splitlines()
+        ]
+        assert "mine.start" in events
+        assert "mine.done" in events
+
+    def test_bad_log_level_rejected_by_parser(self, planted_csv):
+        with pytest.raises(SystemExit):
+            main(["mine", planted_csv, "--log-level", "shout"])
+
+    def test_postmortem_bundle_on_injected_crash(
+        self, clustered_csv, tmp_path, capsys, monkeypatch
+    ):
+        import tarfile
+
+        from repro.resilience import faults
+
+        monkeypatch.setenv("REPRO_FAIL_AT", "streaming.partition:5")
+        pm = tmp_path / "pm"
+        try:
+            code = main([
+                "mine", clustered_csv,
+                "--checkpoint", str(tmp_path / "run.ckpt"),
+                "--checkpoint-every", "200",
+                "--postmortem-dir", str(pm),
+            ])
+        finally:
+            faults.uninstall()
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+        (bundle,) = list(pm.glob("*.tar.gz"))
+        with tarfile.open(bundle) as archive:
+            names = sorted(archive.getnames())
+            meta = json.loads(archive.extractfile("meta.json").read())
+        assert names == [
+            "config.json", "events.jsonl", "health.json",
+            "meta.json", "metrics.prom",
+        ]
+        assert "streaming.partition" in meta["reason"]
+
+    def test_malformed_fail_at_is_an_error(self, planted_csv, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAIL_AT", "streaming.partition:soon")
+        with pytest.raises(ValueError, match="bad hit count"):
+            main(["mine", planted_csv])
+
+
+class TestSloCommand:
+    HEALTHY = (
+        "repro_serve_http_requests_total 100\n"
+        "repro_resilience_shed_total 1\n"
+    )
+    OVERLOADED = (
+        "repro_serve_http_requests_total 100\n"
+        "repro_resilience_shed_total 50\n"
+    )
+
+    def _prom(self, tmp_path, text):
+        path = tmp_path / "metrics.prom"
+        path.write_text(text)
+        return str(path)
+
+    def test_healthy_metrics_exit_zero(self, tmp_path, capsys):
+        assert main([
+            "slo", "check", "--metrics", self._prom(tmp_path, self.HEALTHY),
+        ]) == 0
+        assert "slo status: ok" in capsys.readouterr().out
+
+    def test_violated_metrics_exit_one(self, tmp_path, capsys):
+        assert main([
+            "slo", "check", "--metrics", self._prom(tmp_path, self.OVERLOADED),
+        ]) == 1
+        assert "serve_shed_rate" in capsys.readouterr().out
+
+    def test_json_output_is_parseable(self, tmp_path, capsys):
+        assert main([
+            "slo", "check", "--json",
+            "--metrics", self._prom(tmp_path, self.HEALTHY),
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "ok"
+        assert len(report["results"]) == 5  # the default pack
+
+    def test_fail_on_warn_tightens_the_gate(self, tmp_path, capsys):
+        warn_only = self.HEALTHY + (
+            'repro_resilience_circuit_state{circuit="publisher.refresh"} 1\n'
+        )
+        path = self._prom(tmp_path, warn_only)
+        assert main(["slo", "check", "--metrics", path]) == 0
+        assert main([
+            "slo", "check", "--metrics", path, "--fail-on", "warn",
+        ]) == 1
+
+    def test_custom_pack_file(self, tmp_path, capsys):
+        pack = tmp_path / "pack.json"
+        pack.write_text(json.dumps([
+            {"name": "traffic", "metric": "repro_serve_http_requests_total",
+             "threshold": 10, "op": ">=", "severity": "crit"},
+        ]))
+        assert main([
+            "slo", "check", "--pack", str(pack),
+            "--metrics", self._prom(tmp_path, self.HEALTHY),
+        ]) == 0
+
+    def test_metrics_and_url_together_rejected(self, tmp_path, capsys):
+        assert main([
+            "slo", "check", "--metrics", self._prom(tmp_path, self.HEALTHY),
+            "--url", "http://localhost:1",
+        ]) == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_neither_source_rejected(self, capsys):
+        assert main(["slo", "check"]) == 1
+        assert "exactly one" in capsys.readouterr().err
